@@ -1,0 +1,441 @@
+// Package tcor's root benchmark harness regenerates every table and figure
+// of the paper's evaluation under `go test -bench`, one benchmark per
+// artifact, and reports each figure's headline number as a custom metric
+// (decrease percentages, speedups, capacity-parity ratios). Results across
+// benchmarks share one memoized Runner, so the suite's scenes and the six
+// full-system simulations per benchmark are paid for once per `go test`
+// invocation; the first benchmark touching a configuration does the work.
+//
+// Micro-benchmarks for the hot substrates (cache accesses per policy,
+// Attribute Cache operations, binning, rasterization, whole-frame
+// simulation) follow the figure benches.
+package tcor
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"tcor/internal/cache"
+	"tcor/internal/experiments"
+	"tcor/internal/geom"
+	"tcor/internal/geometry"
+	"tcor/internal/gpu"
+	"tcor/internal/mem"
+	"tcor/internal/raster"
+	"tcor/internal/tcor"
+	"tcor/internal/tiling"
+	"tcor/internal/trace"
+	"tcor/internal/workload"
+)
+
+var (
+	runnerOnce sync.Once
+	runner     *experiments.Runner
+)
+
+// benchRunner returns the shared experiment runner (full suite, one frame
+// per benchmark to keep `go test -bench=.` tractable).
+func benchRunner() *experiments.Runner {
+	runnerOnce.Do(func() {
+		runner = experiments.NewRunner()
+		runner.Frames = 1
+	})
+	return runner
+}
+
+// --- Policy studies: Figs. 1, 11, 12, 13 ---
+
+func BenchmarkFig01_LRUvsOPT(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		fig, err := r.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lru, opt := fig.Curve("LRU"), fig.Curve("OPT")
+		last := len(lru.MissRatios) - 1
+		b.ReportMetric(lru.MissRatios[last], "LRU-miss@160KB")
+		b.ReportMetric(opt.MissRatios[last], "OPT-miss@160KB")
+	}
+}
+
+func BenchmarkFig11_LowerBound(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Fig11(); err != nil {
+			b.Fatal(err)
+		}
+		optKB, lruKB, ratio, err := r.OPTReachParity(0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(optKB, "OPT-parity-KB")
+		b.ReportMetric(lruKB, "LRU-parity-KB")
+		b.ReportMetric(ratio, "capacity-ratio(paper:6.8)")
+	}
+}
+
+func BenchmarkFig12_Associativity(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		figs, err := r.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pol := range []string{"LRU", "OPT"} {
+			c := figs[pol].Curve("Associativity 4")
+			b.ReportMetric(c.MissRatios[len(c.MissRatios)-1], pol+"-4way-miss@160KB")
+		}
+	}
+}
+
+func BenchmarkFig13_PolicyShootout(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		fig, err := r.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, name := range []string{"MRU", "DRRIP (M=2)", "LRU", "OPT"} {
+			c := fig.Curve(name)
+			unit := strings.ReplaceAll(strings.ReplaceAll(name, " ", ""), "(M=2)", "")
+			b.ReportMetric(c.MissRatios[len(c.MissRatios)-1], unit+"@160KB")
+		}
+	}
+}
+
+// --- Full-system traffic: Figs. 14-19 ---
+
+func benchTraffic(b *testing.B, get func(*experiments.Runner) (*experiments.TrafficFigure, error)) {
+	b.Helper()
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		fig, err := get(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*fig.Average, "%decrease(avg)")
+	}
+}
+
+func BenchmarkFig14_PBtoL2_64KB(b *testing.B) {
+	benchTraffic(b, (*experiments.Runner).Fig14)
+}
+
+func BenchmarkFig15_PBtoL2_128KB(b *testing.B) {
+	benchTraffic(b, (*experiments.Runner).Fig15)
+}
+
+func BenchmarkFig16_PBtoMem_64KB(b *testing.B) {
+	benchTraffic(b, (*experiments.Runner).Fig16)
+}
+
+func BenchmarkFig17_PBtoMem_128KB(b *testing.B) {
+	benchTraffic(b, (*experiments.Runner).Fig17)
+}
+
+func BenchmarkFig18_MemTotal_64KB(b *testing.B) {
+	benchTraffic(b, (*experiments.Runner).Fig18)
+}
+
+func BenchmarkFig19_MemTotal_128KB(b *testing.B) {
+	benchTraffic(b, (*experiments.Runner).Fig19)
+}
+
+// --- Energy: Figs. 20-22 ---
+
+func BenchmarkFig20_HierEnergy_64KB(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		fig, err := r.Fig20()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*fig.AvgTCOR, "%decrease-TCOR(paper:14.1)")
+		b.ReportMetric(100*fig.AvgNoL2, "%decrease-noL2(paper:~9)")
+	}
+}
+
+func BenchmarkFig21_HierEnergy_128KB(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		fig, err := r.Fig21()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*fig.AvgTCOR, "%decrease-TCOR(paper:13.6)")
+	}
+}
+
+func BenchmarkFig22_GPUEnergy(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		fig, err := r.Fig22()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*fig.Avg64, "%decrease-64KB(paper:5.6)")
+		b.ReportMetric(100*fig.Avg128, "%decrease-128KB(paper:5.3)")
+	}
+}
+
+// --- Throughput: Figs. 23/24 and the headline ---
+
+func BenchmarkFig23_Throughput_64KB(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		fig, err := r.Fig23()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.AvgSpeedup, "speedup(paper:4.7x)")
+	}
+}
+
+func BenchmarkFig24_Throughput_128KB(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		fig, err := r.Fig24()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.AvgSpeedup, "speedup(paper:5.0x)")
+	}
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		h, err := r.Headline()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*h.MemHierarchyDecrease, "%hier-energy(paper:13.8)")
+		b.ReportMetric(100*h.GPUEnergyDecrease, "%gpu-energy(paper:5.5)")
+		b.ReportMetric(100*h.FPSIncrease, "%fps(paper:3.7)")
+		b.ReportMetric(h.TilingSpeedup, "tiling-speedup(paper:~5x)")
+	}
+}
+
+// --- Tables ---
+
+func BenchmarkTableII_Workloads(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.TableII(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks ---
+
+func benchPolicy(b *testing.B, p cache.Policy) {
+	b.Helper()
+	tr := make(trace.Trace, 1<<16)
+	state := uint64(88172645463325252)
+	for i := range tr {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		tr[i].Key = trace.Key(state % 4096)
+	}
+	trace.AnnotateNextUse(tr)
+	c := cache.MustNew(cache.Config{Lines: 1024, Ways: 4, WriteAllocate: true}, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(tr[i%len(tr)])
+	}
+}
+
+func BenchmarkCacheAccessLRU(b *testing.B)   { benchPolicy(b, cache.NewLRU()) }
+func BenchmarkCacheAccessOPT(b *testing.B)   { benchPolicy(b, cache.NewOPT()) }
+func BenchmarkCacheAccessDRRIP(b *testing.B) { benchPolicy(b, cache.NewDRRIP(1)) }
+func BenchmarkCacheAccessPLRU(b *testing.B)  { benchPolicy(b, cache.NewPLRU()) }
+
+func BenchmarkAttributeCacheReadHit(b *testing.B) {
+	sink := mem.NewCounter()
+	c, err := tcor.NewAttributeCache(tcor.DefaultAttrCacheConfig(48*1024), sink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := []uint64{0x30000000, 0x30000040, 0x30000080}
+	c.Write(7, 3, 1, 9, blocks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(7, 3, uint16(i&0xFFF), 9, blocks)
+		c.Unlock(7)
+	}
+}
+
+func BenchmarkBinning(b *testing.B) {
+	spec, _ := workload.ByAlias("TRu")
+	spec.Frames = 1
+	screen := geom.DefaultScreen()
+	scene, err := workload.Generate(spec, screen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trav, _ := tiling.NewTraversal(screen, tiling.OrderZ)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tiling.Bin(screen, trav, scene.Frame(0).Prims); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZOrderTraversal(b *testing.B) {
+	screen := geom.DefaultScreen()
+	for i := 0; i < b.N; i++ {
+		if _, err := tiling.NewTraversal(screen, tiling.OrderZ); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRasterTile(b *testing.B) {
+	screen := geom.DefaultScreen()
+	p, err := raster.New(raster.DefaultConfig(screen, 4<<20, 12), mem.NewCounter(), mem.NewCounter())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tri := &geom.Primitive{
+		Pos:   [3]geom.Vec2{{X: -10, Y: -10}, {X: 100, Y: -10}, {X: -10, Y: 100}},
+		Attrs: []geom.Attribute{{}},
+	}
+	work := []raster.TileWork{{Prim: tri}, {Prim: tri}, {Prim: tri}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RasterTile(0, i, work)
+	}
+}
+
+func BenchmarkFullFrameBaseline(b *testing.B) {
+	benchFullFrame(b, gpu.Baseline(64*1024))
+}
+
+func BenchmarkFullFrameTCOR(b *testing.B) {
+	benchFullFrame(b, gpu.TCOR(64*1024))
+}
+
+func benchFullFrame(b *testing.B, cfg gpu.Config) {
+	b.Helper()
+	spec, _ := workload.ByAlias("CCS")
+	spec.Frames = 1
+	scene, err := workload.Generate(spec, geom.DefaultScreen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gpu.Simulate(scene, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Benches for the beyond-the-paper studies ---
+
+func BenchmarkRelatedWork(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RelatedWork(48); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCCS(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		a, err := r.Ablation("CCS", 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full, base := a.Row("TCOR (full)"), a.Row("baseline")
+		b.ReportMetric(float64(base.PBL2)/float64(full.PBL2), "baseline/TCOR-PB-L2")
+	}
+}
+
+func BenchmarkParallelRenderers(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		p, err := r.ParallelRenderers("SoD", 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := p.Points[len(p.Points)-1]
+		b.ReportMetric(last.TCORFPS/last.BaseFPS, "TCOR/base-FPS@64renderers")
+	}
+}
+
+func BenchmarkTBRvsIMR(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		ratio, err := r.IMRRatio("SoD")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ratio, "IMR/TBR-traffic(paper:1.96x)")
+	}
+}
+
+// --- Micro-benchmarks for the newer substrates ---
+
+func BenchmarkCacheAccessShepherd(b *testing.B) { benchPolicy(b, cache.NewShepherd(1)) }
+func BenchmarkCacheAccessHawkeye(b *testing.B)  { benchPolicy(b, cache.NewHawkeye(nil)) }
+func BenchmarkCacheAccessSHiP(b *testing.B)     { benchPolicy(b, cache.NewSHiP(nil)) }
+
+func BenchmarkStackDistances(b *testing.B) {
+	tr := make(trace.Trace, 1<<16)
+	state := uint64(2463534242)
+	for i := range tr {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		tr[i].Key = trace.Key(state % 2048)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := cache.LRUStackDistances(tr)
+		if p.Total != int64(len(tr)) {
+			b.Fatal("bad profile")
+		}
+	}
+}
+
+func BenchmarkGeometryPipeline(b *testing.B) {
+	scene := &geometry.Scene{
+		Camera: geometry.Camera{
+			Eye:    geom.Vec3{X: 6, Y: 4, Z: 10},
+			Target: geom.Vec3{},
+			Up:     geom.Vec3{Y: 1},
+			FovY:   1.0, Aspect: 1960.0 / 768.0, Near: 0.1, Far: 100,
+		},
+	}
+	sphere := geometry.Sphere(24, 32)
+	for i := 0; i < 16; i++ {
+		scene.Objects = append(scene.Objects, geometry.Object{
+			Mesh:      sphere,
+			Transform: geom.Translate(float32(i%4)*3-4, 0, float32(i/4)*3-4),
+		})
+	}
+	cfg := geometry.PipelineConfig{Screen: geom.DefaultScreen(), CullBackfaces: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := geometry.Run(scene, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHilbertTraversal(b *testing.B) {
+	screen := geom.DefaultScreen()
+	for i := 0; i < b.N; i++ {
+		if _, err := tiling.NewTraversal(screen, tiling.OrderHilbert); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Command paperfig regenerates the tables and figures of the TCOR paper
+// (HPCA 2022) from the simulator.
+//
+// Usage:
+//
+//	paperfig -fig 14            # one figure (1, 9, 11..24)
+//	paperfig -table 2           # Table I or II
+//	paperfig -headline          # the abstract-level aggregate numbers
+//	paperfig -all               # everything, in paper order
+//	paperfig -frames 2 -benchmarks CCS,SoD -fig 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tcor/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (1, 9, 11-24)")
+	table := flag.Int("table", 0, "table number to regenerate (1 or 2)")
+	headline := flag.Bool("headline", false, "print the headline aggregate results")
+	ablation := flag.String("ablation", "", "run the design-choice ablation on a benchmark alias (e.g. CCS)")
+	parallel := flag.String("parallel", "", "run the parallel-renderer scaling study on a benchmark alias")
+	related := flag.Bool("related", false, "run the related-work policy comparison (extended Fig. 13)")
+	imr := flag.String("imr", "", "compare TBR against immediate-mode rendering on a benchmark alias")
+	sweep := flag.String("sweep", "", "run the Tile Cache size sweep on a benchmark alias")
+	falseOverlap := flag.String("falseoverlap", "", "compare exact vs bounding-box binning on a benchmark alias")
+	tileSize := flag.String("tilesize", "", "run the tile-size sensitivity study on a benchmark alias")
+	reuse := flag.String("reuse", "", "print the reuse-interval profile of a benchmark alias")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	frames := flag.Int("frames", 0, "frames per benchmark (0 = spec default)")
+	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark aliases (default: all ten)")
+	format := flag.String("format", "text", "output format: text or csv")
+	outDir := flag.String("out", "", "also write each artifact as CSV into this directory")
+	par := flag.Int("par", 4, "parallel simulations during -all prewarm")
+	plot := flag.Bool("plot", false, "render policy figures (1, 11, 13) as terminal charts")
+	report := flag.String("report", "", "write a full markdown results report to this file")
+	flag.Parse()
+
+	switch *format {
+	case "text":
+	case "csv":
+		printTableOut = func(t *experiments.Table) { fmt.Print(t.CSV()) }
+	default:
+		fmt.Fprintf(os.Stderr, "paperfig: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "paperfig:", err)
+			os.Exit(1)
+		}
+		inner := printTableOut
+		printTableOut = func(t *experiments.Table) {
+			inner(t)
+			path := filepath.Join(*outDir, slugify(t.Title)+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "paperfig: writing", path, ":", err)
+			}
+		}
+	}
+
+	r := experiments.NewRunner()
+	r.Frames = *frames
+	if *benchmarks != "" {
+		r.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+
+	if *report != "" {
+		if err := r.Prewarm(prewarmPar); err != nil {
+			fmt.Fprintln(os.Stderr, "paperfig:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfig:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := r.WriteReport(f, time.Now()); err != nil {
+			fmt.Fprintln(os.Stderr, "paperfig:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *report)
+		return
+	}
+	if *tileSize != "" {
+		t, _, err := r.TileSizeSweep(*tileSize)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfig:", err)
+			os.Exit(1)
+		}
+		printTableOut(t)
+		return
+	}
+	if *falseOverlap != "" {
+		t, err := r.FalseOverlap(*falseOverlap)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfig:", err)
+			os.Exit(1)
+		}
+		printTableOut(t)
+		return
+	}
+	if *sweep != "" {
+		t, _, err := r.SizeSweep(*sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfig:", err)
+			os.Exit(1)
+		}
+		printTableOut(t)
+		return
+	}
+	if *imr != "" {
+		t, err := r.TBRvsIMR(*imr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfig:", err)
+			os.Exit(1)
+		}
+		printTableOut(t)
+		return
+	}
+	if *related {
+		t, err := r.RelatedWork(48)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfig:", err)
+			os.Exit(1)
+		}
+		printTableOut(t)
+		return
+	}
+	if *reuse != "" {
+		t, err := r.ReuseProfile(*reuse)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfig:", err)
+			os.Exit(1)
+		}
+		printTableOut(t)
+		return
+	}
+	if *parallel != "" {
+		p, err := r.ParallelRenderers(*parallel, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfig:", err)
+			os.Exit(1)
+		}
+		printTableOut(p.Table())
+		return
+	}
+	if *ablation != "" {
+		a, err := r.Ablation(*ablation, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfig:", err)
+			os.Exit(1)
+		}
+		printTableOut(a.Table())
+		return
+	}
+	prewarmPar = *par
+	plotFigures = *plot
+	if err := run(r, *fig, *table, *headline, *all); err != nil {
+		fmt.Fprintln(os.Stderr, "paperfig:", err)
+		os.Exit(1)
+	}
+}
+
+// printTableOut renders a table in the selected output format.
+var printTableOut = func(t *experiments.Table) { fmt.Println(t) }
+
+// prewarmPar is the -par flag value used by the -all prewarm.
+var prewarmPar = 4
+
+// plotFigures selects ASCII charts for the policy figures.
+var plotFigures = false
+
+// slugify turns a table title into a file name.
+func slugify(title string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == ':' || r == '/' || r == ',':
+			if n := b.String(); len(n) > 0 && n[len(n)-1] != '-' {
+				b.WriteByte('-')
+			}
+		}
+		if b.Len() > 48 {
+			break
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
+}
+
+func run(r *experiments.Runner, fig, table int, headline, all bool) error {
+	if all {
+		if err := r.Prewarm(prewarmPar); err != nil {
+			return err
+		}
+		for _, t := range []int{1, 2} {
+			if err := printTable(r, t); err != nil {
+				return err
+			}
+		}
+		for _, f := range []int{1, 9, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24} {
+			if err := printFig(r, f); err != nil {
+				return err
+			}
+		}
+		return printHeadline(r)
+	}
+	if table != 0 {
+		return printTable(r, table)
+	}
+	if fig != 0 {
+		return printFig(r, fig)
+	}
+	if headline {
+		return printHeadline(r)
+	}
+	flag.Usage()
+	return fmt.Errorf("nothing to do: pass -fig, -table, -headline or -all")
+}
+
+func printTable(r *experiments.Runner, n int) error {
+	switch n {
+	case 1:
+		printTableOut(experiments.TableI())
+	case 2:
+		t, err := r.TableII()
+		if err != nil {
+			return err
+		}
+		printTableOut(t)
+	default:
+		return fmt.Errorf("unknown table %d", n)
+	}
+	return nil
+}
+
+func printFig(r *experiments.Runner, n int) error {
+	var t *experiments.Table
+	var err error
+	switch n {
+	case 1:
+		var f *experiments.PolicyFigure
+		if f, err = r.Fig1(); err == nil {
+			if plotFigures {
+				fmt.Print(f.AsciiPlot(70, 18))
+				return nil
+			}
+			t = f.Table()
+		}
+	case 9, 10:
+		t, err = experiments.Fig910()
+	case 11:
+		var f *experiments.PolicyFigure
+		if f, err = r.Fig11(); err == nil {
+			if plotFigures {
+				fmt.Print(f.AsciiPlot(70, 18))
+				return nil
+			}
+			t = f.Table()
+		}
+	case 12:
+		figs, e := r.Fig12()
+		if e != nil {
+			return e
+		}
+		for _, pol := range []string{"LRU", "OPT"} {
+			ft := figs[pol].Table()
+			ft.Title = fmt.Sprintf("Figure 12 (%s): miss ratio vs size and associativity", pol)
+			printTableOut(ft)
+		}
+		return nil
+	case 13:
+		var f *experiments.PolicyFigure
+		if f, err = r.Fig13(); err == nil {
+			if plotFigures {
+				fmt.Print(f.AsciiPlot(70, 18))
+				return nil
+			}
+			t = f.Table()
+		}
+	case 14, 15, 16, 17, 18, 19:
+		var f *experiments.TrafficFigure
+		switch n {
+		case 14:
+			f, err = r.Fig14()
+		case 15:
+			f, err = r.Fig15()
+		case 16:
+			f, err = r.Fig16()
+		case 17:
+			f, err = r.Fig17()
+		case 18:
+			f, err = r.Fig18()
+		case 19:
+			f, err = r.Fig19()
+		}
+		if err == nil {
+			t = f.Table()
+		}
+	case 20, 21:
+		var f *experiments.EnergyFigure
+		if n == 20 {
+			f, err = r.Fig20()
+		} else {
+			f, err = r.Fig21()
+		}
+		if err == nil {
+			t = f.Table()
+		}
+	case 22:
+		var f *experiments.GPUEnergyFigure
+		if f, err = r.Fig22(); err == nil {
+			t = f.Table()
+		}
+	case 23, 24:
+		var f *experiments.ThroughputFigure
+		if n == 23 {
+			f, err = r.Fig23()
+		} else {
+			f, err = r.Fig24()
+		}
+		if err == nil {
+			t = f.Table()
+		}
+	default:
+		return fmt.Errorf("unknown figure %d", n)
+	}
+	if err != nil {
+		return err
+	}
+	printTableOut(t)
+	return nil
+}
+
+func printHeadline(r *experiments.Runner) error {
+	h, err := r.Headline()
+	if err != nil {
+		return err
+	}
+	printTableOut(h.Table())
+	return nil
+}

@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Figure 14: PB accesses to L2, normalized to baseline (64 KiB Tile Cache)": "figure-14-pb-accesses-to-l2-normalized-to-baselin",
+		"Table I: GPU simulation parameters":                                       "table-i-gpu-simulation-parameters",
+		"":                                                                         "",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Command tcorsim runs one benchmark of the suite through the full TBR GPU
+// model under a chosen Tile Cache organization and prints a detailed report:
+// per-level traffic, cache statistics, energy breakdown, Tile Fetcher
+// throughput and frame rate.
+//
+// Usage:
+//
+//	tcorsim -benchmark CCS -config tcor -size 64
+//	tcorsim -benchmark DDS -config baseline -size 128 -frames 3
+//	tcorsim -benchmark SoD -compare        # baseline vs TCOR side by side
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tcor/internal/geom"
+	"tcor/internal/gpu"
+	"tcor/internal/memmap"
+	"tcor/internal/workload"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "CCS", "benchmark alias (see paperfig -table 2)")
+	specPath := flag.String("spec", "", "JSON workload profile (overrides -benchmark; see internal/workload.ParseSpec)")
+	config := flag.String("config", "tcor", "configuration: baseline, tcor, tcor-nol2")
+	sizeKB := flag.Int("size", 64, "total Tile Cache size in KiB (paper: 64 or 128)")
+	frames := flag.Int("frames", 0, "frames to simulate (0 = benchmark default)")
+	compare := flag.Bool("compare", false, "run baseline and TCOR and print both")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
+	flag.Parse()
+	emitJSON = *jsonOut
+
+	if err := run(*benchmark, *specPath, *config, *sizeKB, *frames, *compare); err != nil {
+		fmt.Fprintln(os.Stderr, "tcorsim:", err)
+		os.Exit(1)
+	}
+}
+
+// emitJSON selects the machine-readable output mode.
+var emitJSON bool
+
+// summary is the JSON shape of one simulation.
+type summary struct {
+	Benchmark     string  `json:"benchmark"`
+	Config        string  `json:"config"`
+	TileCacheKB   int     `json:"tileCacheKB"`
+	Frames        int     `json:"frames"`
+	PBL2Reads     int64   `json:"pbL2Reads"`
+	PBL2Writes    int64   `json:"pbL2Writes"`
+	PBMemReads    int64   `json:"pbMemReads"`
+	PBMemWrites   int64   `json:"pbMemWrites"`
+	MemReads      int64   `json:"memReads"`
+	MemWrites     int64   `json:"memWrites"`
+	PPC           float64 `json:"primitivesPerCycle"`
+	FPS           float64 `json:"fps"`
+	HierEnergyMJ  float64 `json:"memHierarchyEnergyMJ"`
+	TotalEnergyMJ float64 `json:"totalGPUEnergyMJ"`
+	FrameCycles   int64   `json:"frameCycles"`
+}
+
+func run(benchmark, specPath, config string, sizeKB, frames int, compare bool) error {
+	var spec workload.Spec
+	var err error
+	if specPath != "" {
+		spec, err = workload.LoadSpec(specPath)
+	} else {
+		spec, err = workload.ByAlias(benchmark)
+	}
+	if err != nil {
+		return err
+	}
+	if frames > 0 {
+		spec.Frames = frames
+	}
+	scene, err := workload.Generate(spec, geom.DefaultScreen())
+	if err != nil {
+		return err
+	}
+	st := scene.Stats()
+	if !emitJSON {
+		fmt.Printf("benchmark %s (%s): %d primitives, %.2f MiB Parameter Buffer, re-use %.2f, %d frame(s)\n\n",
+			spec.Alias, spec.Name, st.Primitives,
+			float64(st.PBFootprint)/(1024*1024), st.AvgPrimReuse, scene.NumFrames())
+	}
+
+	if compare {
+		for _, c := range []string{"baseline", "tcor"} {
+			if err := simulate(scene, c, sizeKB); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return simulate(scene, config, sizeKB)
+}
+
+func configFor(name string, sizeKB int) (gpu.Config, error) {
+	bytes := sizeKB * 1024
+	switch name {
+	case "baseline":
+		return gpu.Baseline(bytes), nil
+	case "tcor":
+		return gpu.TCOR(bytes), nil
+	case "tcor-nol2":
+		return gpu.TCORNoL2(bytes), nil
+	default:
+		return gpu.Config{}, fmt.Errorf("unknown config %q (baseline, tcor, tcor-nol2)", name)
+	}
+}
+
+func simulate(scene *workload.Scene, config string, sizeKB int) error {
+	cfg, err := configFor(config, sizeKB)
+	if err != nil {
+		return err
+	}
+	res, err := gpu.Simulate(scene, cfg)
+	if err != nil {
+		return err
+	}
+	if emitJSON {
+		pbL2, pbMem := res.L2In.PB(), res.DRAMIn.PB()
+		out, err := json.MarshalIndent(summary{
+			Benchmark: res.Benchmark, Config: config, TileCacheKB: sizeKB,
+			Frames:    res.Frames,
+			PBL2Reads: pbL2.Reads, PBL2Writes: pbL2.Writes,
+			PBMemReads: pbMem.Reads, PBMemWrites: pbMem.Writes,
+			MemReads: res.DRAM.Reads, MemWrites: res.DRAM.Writes,
+			PPC: res.PPC(), FPS: res.FPS(600e6),
+			HierEnergyMJ:  res.MemHierarchyPJ / 1e9,
+			TotalEnergyMJ: res.TotalPJ / 1e9,
+			FrameCycles:   res.FrameCycles / int64(res.Frames),
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+
+	fmt.Printf("=== %s, %d KiB Tile Cache ===\n", config, sizeKB)
+	pbL2 := res.L2In.PB()
+	pbMem := res.DRAMIn.PB()
+	fmt.Printf("PB accesses to L2:          %8d reads %8d writes\n", pbL2.Reads, pbL2.Writes)
+	fmt.Printf("PB accesses to main memory: %8d reads %8d writes\n", pbMem.Reads, pbMem.Writes)
+	fmt.Printf("total main memory accesses: %8d reads %8d writes\n", res.DRAM.Reads, res.DRAM.Writes)
+	for _, reg := range []memmap.Region{
+		memmap.RegionPBLists, memmap.RegionPBAttributes, memmap.RegionTextures,
+		memmap.RegionInputGeometry, memmap.RegionFrameBuffer,
+	} {
+		rc := res.DRAMIn.Region(reg)
+		if rc.Reads+rc.Writes > 0 {
+			fmt.Printf("  memory %-16s %8d reads %8d writes\n", reg, rc.Reads, rc.Writes)
+		}
+	}
+	if res.Kind == gpu.KindTCOR {
+		a := res.AttrStats
+		fmt.Printf("attribute cache: %d reads (%.1f%% hit), %d writes (%d inserted, %d bypassed), %d stalls\n",
+			a.Reads, 100*float64(a.ReadHits)/float64(max64(a.Reads, 1)),
+			a.Writes, a.WriteInserts, a.WriteBypasses, a.Stalls)
+		l := res.ListStats
+		fmt.Printf("prim list cache: %d accesses (%.1f%% hit)\n",
+			l.Reads+l.Writes, 100*float64(l.Hits)/float64(max64(l.Reads+l.Writes, 1)))
+	} else {
+		ts := res.TileStats
+		fmt.Printf("tile cache: %d accesses (%.1f%% hit), %d writebacks\n",
+			ts.Accesses, 100*ts.HitRatio(), ts.Writebacks)
+	}
+	l2 := res.L2Stats
+	fmt.Printf("L2: %d accesses (%.1f%% hit), %d writebacks, %d dropped (dead), %d dead evictions\n",
+		l2.Reads+l2.Writes, 100*float64(l2.Hits)/float64(max64(l2.Reads+l2.Writes, 1)),
+		l2.Writebacks, l2.DroppedWritebacks, l2.DeadEvictions)
+	fmt.Printf("tile fetcher: %.3f primitives/cycle (%d primitives over %d cycles)\n",
+		res.PPC(), res.PrimReads, res.TFCycles)
+	fmt.Printf("frame: %d cycles -> %.1f FPS at 600 MHz\n",
+		res.FrameCycles/int64(res.Frames), res.FPS(600e6))
+	fmt.Printf("energy: memory hierarchy %.3f mJ, total GPU %.3f mJ\n\n",
+		res.MemHierarchyPJ/1e9, res.TotalPJ/1e9)
+	fmt.Println(res.Tally.String())
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"tcor/internal/gpu"
+	"tcor/internal/workload"
+)
+
+func TestConfigFor(t *testing.T) {
+	cases := map[string]gpu.TileCacheKind{
+		"baseline":  gpu.KindBaseline,
+		"tcor":      gpu.KindTCOR,
+		"tcor-nol2": gpu.KindTCOR,
+	}
+	for name, kind := range cases {
+		cfg, err := configFor(name, 64)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if cfg.Kind != kind {
+			t.Errorf("%s: kind = %v", name, cfg.Kind)
+		}
+		if cfg.TileCacheBytes != 64*1024 {
+			t.Errorf("%s: size = %d", name, cfg.TileCacheBytes)
+		}
+	}
+	if _, err := configFor("bogus", 64); err == nil {
+		t.Error("unknown config must fail")
+	}
+	nol2, _ := configFor("tcor-nol2", 64)
+	if nol2.L2Enhanced {
+		t.Error("tcor-nol2 must disable the L2 enhancements")
+	}
+}
+
+func TestRunTextAndJSON(t *testing.T) {
+	// Exercise both output paths end to end on the smallest benchmark.
+	for _, js := range []bool{false, true} {
+		emitJSON = js
+		if err := run("GTr", "", "tcor", 64, 1, false); err != nil {
+			t.Fatalf("json=%v: %v", js, err)
+		}
+	}
+	emitJSON = false
+	if err := run("GTr", "", "bogus", 64, 1, false); err == nil {
+		t.Error("bogus config must fail")
+	}
+	if err := run("nope", "", "tcor", 64, 1, false); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+}
+
+func TestRunWithSpecFile(t *testing.T) {
+	path := t.TempDir() + "/s.json"
+	data, err := workload.MarshalSpec(workload.Suite()[9]) // GTr, smallest
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, "tcor", 64, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path+".missing", "tcor", 64, 1, false); err == nil {
+		t.Error("missing spec must fail")
+	}
+}

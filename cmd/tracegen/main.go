@@ -1,0 +1,128 @@
+// Command tracegen synthesizes a benchmark, bins one frame, and dumps the
+// Parameter Buffer access trace in a simple text format — one record per
+// line — for consumption by external cache simulators.
+//
+// Two trace kinds are available:
+//
+//	-kind prim    primitive-granularity PB-Attributes accesses (the stream
+//	              behind the paper's Figs. 1 and 11-13):
+//	              W <prim>            (Polygon List Builder write)
+//	              R <prim> <optnum>   (Tile Fetcher read + OPT Number)
+//	-kind block   block-granularity byte addresses for the whole Parameter
+//	              Buffer under a chosen PB-Lists layout:
+//	              W|R <hex addr> <region>
+//
+// Usage:
+//
+//	tracegen -benchmark CCS -kind prim > ccs.trace
+//	tracegen -benchmark DDS -kind block -layout interleaved > dds.trace
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"tcor/internal/geom"
+	"tcor/internal/memmap"
+	"tcor/internal/pbuffer"
+	"tcor/internal/tiling"
+	"tcor/internal/workload"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "CCS", "benchmark alias")
+	kind := flag.String("kind", "prim", "trace kind: prim or block")
+	layout := flag.String("layout", "interleaved", "PB-Lists layout for block traces: baseline or interleaved")
+	order := flag.String("order", "z", "tile traversal order: z or scanline")
+	flag.Parse()
+
+	if err := run(*benchmark, *kind, *layout, *order); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchmark, kind, layoutName, orderName string) error {
+	spec, err := workload.ByAlias(benchmark)
+	if err != nil {
+		return err
+	}
+	spec.Frames = 1
+	screen := geom.DefaultScreen()
+	scene, err := workload.Generate(spec, screen)
+	if err != nil {
+		return err
+	}
+	ord := tiling.OrderZ
+	if orderName == "scanline" {
+		ord = tiling.OrderScanline
+	} else if orderName != "z" {
+		return fmt.Errorf("unknown order %q", orderName)
+	}
+	trav, err := tiling.NewTraversal(screen, ord)
+	if err != nil {
+		return err
+	}
+	b, err := tiling.Bin(screen, trav, scene.Frame(0).Prims)
+	if err != nil {
+		return err
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch kind {
+	case "prim":
+		for p := range b.PrimTiles {
+			fmt.Fprintf(w, "W %d\n", p)
+		}
+		for _, tile := range trav.Seq {
+			for _, e := range b.Lists[tile] {
+				fmt.Fprintf(w, "R %d %d\n", e.Prim, e.OPTNum)
+			}
+		}
+	case "block":
+		var lists pbuffer.ListLayout
+		switch layoutName {
+		case "baseline":
+			lists = pbuffer.NewBaselineListLayout(screen.NumTiles())
+		case "interleaved":
+			lists = pbuffer.NewInterleavedListLayout(screen.NumTiles())
+		default:
+			return fmt.Errorf("unknown layout %q", layoutName)
+		}
+		tiling.Replay(b, lists, pbuffer.NewAttrLayout(), &blockDumper{w: w})
+	default:
+		return fmt.Errorf("unknown trace kind %q", kind)
+	}
+	return nil
+}
+
+// blockDumper writes each block-granularity event as one line.
+type blockDumper struct {
+	w *bufio.Writer
+}
+
+func (d *blockDumper) ListWrite(addr uint64, tile geom.TileID) {
+	fmt.Fprintf(d.w, "W %#x %s\n", addr, memmap.RegionOf(addr))
+}
+
+func (d *blockDumper) AttrWrite(prim uint32, n uint8, first, last uint16, blocks []uint64) {
+	for _, b := range blocks {
+		fmt.Fprintf(d.w, "W %#x %s\n", b, memmap.RegionOf(b))
+	}
+}
+
+func (d *blockDumper) ListRead(addr uint64, tile geom.TileID) {
+	fmt.Fprintf(d.w, "R %#x %s\n", addr, memmap.RegionOf(addr))
+}
+
+func (d *blockDumper) PrimRead(prim uint32, n uint8, opt, last uint16, blocks []uint64, tile geom.TileID) {
+	for _, b := range blocks {
+		fmt.Fprintf(d.w, "R %#x %s\n", b, memmap.RegionOf(b))
+	}
+}
+
+func (d *blockDumper) TileDone(tile geom.TileID, pos uint16) {}

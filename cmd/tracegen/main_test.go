@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"tcor/internal/geom"
+)
+
+func TestBlockDumperFormats(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	d := &blockDumper{w: w}
+	d.ListWrite(0x20000000, 3)
+	d.AttrWrite(1, 2, 0, 5, []uint64{0x30000000, 0x30000040})
+	d.ListRead(0x20000040, 3)
+	d.PrimRead(1, 2, 9, 5, []uint64{0x30000000, 0x30000040}, 3)
+	d.TileDone(3, 0)
+	w.Flush()
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "W 0x20000000 PB-Lists") {
+		t.Errorf("list write line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "PB-Attributes") {
+		t.Errorf("attr write line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "R ") {
+		t.Errorf("list read line = %q", lines[3])
+	}
+}
+
+func TestRunArgsValidation(t *testing.T) {
+	if err := run("nope", "prim", "interleaved", "z"); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+	if err := run("GTr", "bogus", "interleaved", "z"); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	if err := run("GTr", "block", "bogus", "z"); err == nil {
+		t.Error("unknown layout must fail")
+	}
+	if err := run("GTr", "prim", "interleaved", "bogus"); err == nil {
+		t.Error("unknown order must fail")
+	}
+	_ = geom.TileID(0)
+}

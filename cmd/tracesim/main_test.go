@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTrace(t *testing.T) {
+	src := `
+# comment
+W 0
+W 1
+R 0 17
+R 1 4095
+`
+	tr, err := parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 4 {
+		t.Fatalf("records = %d", len(tr))
+	}
+	if !tr[0].Write || tr[2].Write {
+		t.Error("record directions wrong")
+	}
+	if tr[2].Key != 0 || tr[3].Key != 1 {
+		t.Error("keys wrong")
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	for i, src := range []string{
+		"W\n", "R\n", "X 1\n", "W abc\n", "R xyz 1\n",
+	} {
+		if _, err := parse(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{
+		"LRU", "lru", "MRU", "FIFO", "NRU", "LIP", "BIP", "DIP",
+		"SRRIP", "BRRIP", "DRRIP", "Shepherd", "Hawkeye", "SHiP", "Random", "OPT",
+	} {
+		mk, err := policyByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if mk() == nil {
+			t.Errorf("%s: nil policy", name)
+		}
+	}
+	if _, err := policyByName("nope"); err == nil {
+		t.Error("unknown policy must fail")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	path := t.TempDir() + "/t.trace"
+	trace := "W 0\nW 1\nW 2\nR 0 1\nR 1 2\nR 2 4095\nR 0 4095\n"
+	if err := writeFile(path, trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 48, 4, []string{"LRU", "OPT"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 48, 0, []string{"bogus"}); err == nil {
+		t.Error("bogus policy must fail")
+	}
+	if err := run(path+".missing", 48, 0, []string{"LRU"}); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func FuzzParseTrace(f *testing.F) {
+	f.Add("W 0\nR 0 1\n")
+	f.Add("# c\n\nW 12\nR 12 4095\nR 12 0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		// Must never panic; on success every record is W or R with a key.
+		tr, err := parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for _, a := range tr {
+			_ = a.Key
+		}
+	})
+}

@@ -1,0 +1,109 @@
+// Policycompare: drive the cache library directly with a Parameter Buffer
+// access trace and compare every replacement policy the library implements
+// against the optimal OPT and the paper's analytic lower bound.
+//
+// This is the library-level view behind the paper's Figs. 1 and 13: a
+// trace-driven, primitive-granularity simulation where each cache line holds
+// one primitive (~192 bytes).
+//
+//	go run ./examples/policycompare
+//	go run ./examples/policycompare -benchmark DDS -ways 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tcor/internal/cache"
+	"tcor/internal/geom"
+	"tcor/internal/tiling"
+	"tcor/internal/trace"
+	"tcor/internal/workload"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "SoD", "benchmark alias")
+	ways := flag.Int("ways", 0, "associativity (0 = fully associative)")
+	flag.Parse()
+
+	// Build the PB-Attributes access stream of one binned frame: one write
+	// per primitive (the Polygon List Builder), then the Tile Fetcher's
+	// reads in Z-order traversal.
+	spec, err := workload.ByAlias(*benchmark)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.Frames = 1
+	screen := geom.DefaultScreen()
+	scene, err := workload.Generate(spec, screen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trav, err := tiling.NewTraversal(screen, tiling.OrderZ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	binning, err := tiling.Bin(screen, trav, scene.Frame(0).Prims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tr trace.Trace
+	for p := range binning.PrimTiles {
+		tr = append(tr, trace.Access{Key: trace.Key(p), Write: true})
+	}
+	for _, tile := range trav.Seq {
+		for _, e := range binning.Lists[tile] {
+			tr = append(tr, trace.Access{Key: trace.Key(e.Prim)})
+		}
+	}
+	trace.AnnotateNextUse(tr) // the OPT policy needs Belady next-use indices
+
+	tp := trace.UniqueKeys(tr)
+	fmt.Printf("%s: %d accesses (%d writes, %d reads), %d primitives\n\n",
+		*benchmark, len(tr), trace.Writes(tr), trace.Reads(tr), tp)
+
+	policies := []func() cache.Policy{
+		cache.NewLRU, cache.NewMRU, cache.NewFIFO,
+		cache.NewSRRIP,
+		func() cache.Policy { return cache.NewBRRIP(1) },
+		func() cache.Policy { return cache.NewDRRIP(1) },
+		func() cache.Policy { return cache.NewRandom(1) },
+		cache.NewOPT,
+	}
+	// Tree-PLRU needs a power-of-two associativity; include it only when
+	// the requested geometry allows it.
+	if w := *ways; w > 0 && w&(w-1) == 0 {
+		policies = append(policies[:3:3], append([]func() cache.Policy{cache.NewPLRU}, policies[3:]...)...)
+	}
+
+	fmt.Printf("%-10s", "size(KB)")
+	for _, np := range policies {
+		fmt.Printf("%12s", np().Name())
+	}
+	fmt.Printf("%12s\n", "LowerBound")
+
+	for _, sizeKB := range []int{16, 32, 48, 64, 96, 128} {
+		cp := sizeKB * 1024 / 192 // capacity in ~192-byte primitives
+		lines := cp
+		w := *ways
+		if w > 0 {
+			lines = cp / w * w
+			if lines < w {
+				lines = w
+			}
+		}
+		fmt.Printf("%-10d", sizeKB)
+		for _, np := range policies {
+			st, err := cache.Simulate(cache.Config{
+				Lines: lines, Ways: w, WriteAllocate: true,
+			}, np(), tr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%12.3f", st.MissRatio())
+		}
+		fmt.Printf("%12.3f\n", cache.TraceLowerBoundMissRatio(tr, cp))
+	}
+	fmt.Println("\n(miss ratio; lower is better — OPT must dominate, and nothing beats the bound)")
+}

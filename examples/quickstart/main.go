@@ -1,0 +1,66 @@
+// Quickstart: synthesize a small mobile-game workload, run it through the
+// baseline TBR GPU and through TCOR, and print the paper's headline metrics
+// side by side.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tcor/internal/geom"
+	"tcor/internal/gpu"
+	"tcor/internal/workload"
+)
+
+func main() {
+	// Pick a benchmark from the paper's Table II suite. CCS (Candy Crush
+	// Saga) is the smallest: ~1500 primitives per frame with high re-use.
+	spec, err := workload.ByAlias("CCS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.Frames = 2
+
+	// Generate the calibrated scene: deterministic, so every run of this
+	// example prints the same numbers.
+	scene, err := workload.Generate(spec, geom.DefaultScreen())
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := scene.Stats()
+	fmt.Printf("workload: %s — %d primitives/frame, %.2f MiB Parameter Buffer, re-use %.2f\n\n",
+		spec.Name, st.Primitives, float64(st.PBFootprint)/(1<<20), st.AvgPrimReuse)
+
+	// Simulate both Tile Cache organizations at the paper's 64 KiB budget.
+	base, err := gpu.Simulate(scene, gpu.Baseline(64*1024))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tc, err := gpu.Simulate(scene, gpu.TCOR(64*1024))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-34s %14s %14s\n", "metric", "baseline", "TCOR")
+	row := func(name string, b, t float64, format string) {
+		fmt.Printf("%-34s %14s %14s\n", name,
+			fmt.Sprintf(format, b), fmt.Sprintf(format, t))
+	}
+	bPB, tPB := base.L2In.PB(), tc.L2In.PB()
+	row("PB accesses to L2", float64(bPB.Reads+bPB.Writes), float64(tPB.Reads+tPB.Writes), "%.0f")
+	bM, tM := base.DRAMIn.PB(), tc.DRAMIn.PB()
+	row("PB accesses to main memory", float64(bM.Reads+bM.Writes), float64(tM.Reads+tM.Writes), "%.0f")
+	row("total main memory accesses", float64(base.DRAM.Reads+base.DRAM.Writes),
+		float64(tc.DRAM.Reads+tc.DRAM.Writes), "%.0f")
+	row("memory hierarchy energy (mJ)", base.MemHierarchyPJ/1e9, tc.MemHierarchyPJ/1e9, "%.3f")
+	row("total GPU energy (mJ)", base.TotalPJ/1e9, tc.TotalPJ/1e9, "%.3f")
+	row("tile fetcher prim/cycle", base.PPC(), tc.PPC(), "%.3f")
+	row("frames per second", base.FPS(600e6), tc.FPS(600e6), "%.1f")
+
+	fmt.Printf("\nTCOR: %.1f%% less memory-hierarchy energy, %.1fx tiling engine speedup, %+.1f%% FPS\n",
+		100*(1-tc.MemHierarchyPJ/base.MemHierarchyPJ),
+		tc.PPC()/base.PPC(),
+		100*(tc.FPS(600e6)/base.FPS(600e6)-1))
+}

@@ -1,0 +1,3 @@
+module tcor
+
+go 1.22

@@ -1,0 +1,104 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcor/internal/trace"
+)
+
+func TestHawkeyeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := make(trace.Trace, 30000)
+	for i := range tr {
+		tr[i].Key = trace.Key(rng.Intn(500))
+	}
+	trace.AnnotateNextUse(tr)
+	cfg := Config{Lines: 128, Ways: 4, WriteAllocate: true}
+	a, err := Simulate(cfg, NewHawkeye(nil), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Simulate(cfg, NewHawkeye(nil), tr)
+	if a != b {
+		t.Error("hawkeye not deterministic")
+	}
+	if a.Hits == 0 || a.Misses == 0 {
+		t.Errorf("degenerate: %+v", a)
+	}
+}
+
+// Hawkeye learns to bypass a streaming signature mixed into a hot loop:
+// the scan's signature trains cache-averse and stops evicting the loop.
+func TestHawkeyeLearnsScanResistance(t *testing.T) {
+	// Signatures: keys < 32 are "loop" (one signature group of 32), keys
+	// >= 1<<20 are "scan" (each group of 32 distinct, but all far from the
+	// loop's). Loop of 24 keys in a 32-line cache + heavy scan traffic.
+	var tr trace.Trace
+	scan := trace.Key(1 << 20)
+	for round := 0; round < 400; round++ {
+		for k := trace.Key(0); k < 24; k++ {
+			tr = append(tr, trace.Access{Key: k})
+		}
+		for j := 0; j < 12; j++ {
+			tr = append(tr, trace.Access{Key: scan})
+			scan++
+		}
+	}
+	trace.AnnotateNextUse(tr)
+	cfg := Config{Lines: 32, WriteAllocate: true}
+	lruS, _ := Simulate(cfg, NewLRU(), tr)
+	hkS, err := Simulate(cfg, NewHawkeye(nil), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optS, _ := Simulate(cfg, NewOPT(), tr)
+	if optS.Misses > hkS.Misses {
+		t.Fatalf("OPT %d > Hawkeye %d: optimality broken", optS.Misses, hkS.Misses)
+	}
+	if hkS.Misses >= lruS.Misses {
+		t.Errorf("Hawkeye %d misses >= LRU %d on the scan mix", hkS.Misses, lruS.Misses)
+	}
+	gap := float64(lruS.Misses-hkS.Misses) / float64(lruS.Misses-optS.Misses)
+	t.Logf("LRU %d, Hawkeye %d, OPT %d: %.0f%% of the gap bridged",
+		lruS.Misses, hkS.Misses, optS.Misses, 100*gap)
+	if gap < 0.3 {
+		t.Errorf("Hawkeye bridged only %.0f%% of the gap on its home turf", 100*gap)
+	}
+}
+
+func TestHawkeyeCustomSignature(t *testing.T) {
+	// A custom signature that isolates the scan perfectly.
+	sig := func(acc trace.Access) uint32 {
+		if acc.Key >= 1000 {
+			return 1
+		}
+		return 0
+	}
+	var tr trace.Trace
+	for round := 0; round < 300; round++ {
+		for k := trace.Key(0); k < 6; k++ {
+			tr = append(tr, trace.Access{Key: k})
+		}
+		tr = append(tr, trace.Access{Key: trace.Key(1000 + round)})
+	}
+	trace.AnnotateNextUse(tr)
+	st, err := Simulate(Config{Lines: 8, WriteAllocate: true}, NewHawkeye(sig), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After warmup the loop should hit and only the scan misses:
+	// 6 + 300 + warmup transients.
+	if st.Misses > 400 {
+		t.Errorf("misses = %d; scan signature apparently not learned", st.Misses)
+	}
+}
+
+func TestDefaultSignatureGroupsKeys(t *testing.T) {
+	a := DefaultSignature(trace.Access{Key: 0})
+	b := DefaultSignature(trace.Access{Key: 31})
+	c := DefaultSignature(trace.Access{Key: 32})
+	if a != b || b == c {
+		t.Errorf("signature grouping broken: %d %d %d", a, b, c)
+	}
+}

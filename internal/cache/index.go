@@ -1,0 +1,35 @@
+package cache
+
+import "tcor/internal/trace"
+
+// IndexFunc maps a key to a set index in [0, sets).
+type IndexFunc func(key trace.Key, sets int) int
+
+// ModuloIndex is the conventional set mapping: the key modulo the set count
+// (the low-order bits when the set count is a power of two).
+func ModuloIndex(key trace.Key, sets int) int {
+	return int(key % trace.Key(sets))
+}
+
+// XORIndex implements an XOR-based placement function (González et al. [12],
+// Topham & González [36]): the set is the XOR of consecutive bit fields of
+// the key. Folding several tag fields into the index spreads
+// power-of-two-strided data across all sets, which is exactly the conflict
+// pattern the baseline PB-Lists layout suffers from (paper §III-B).
+func XORIndex(key trace.Key, sets int) int {
+	if sets&(sets-1) != 0 {
+		// Bit folding needs a power-of-two set count; degrade to a
+		// multiplicative hash otherwise.
+		return int((key * 2654435761) % trace.Key(sets))
+	}
+	mask := trace.Key(sets - 1)
+	shift := uint(0)
+	for s := sets; s > 1; s >>= 1 {
+		shift++
+	}
+	x := trace.Key(0)
+	for k := key; k != 0; k >>= shift {
+		x ^= k & mask
+	}
+	return int(x)
+}

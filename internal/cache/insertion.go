@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"math/rand"
+
+	"tcor/internal/trace"
+)
+
+// Insertion-policy family (Qureshi et al. [30], "Adaptive insertion policies
+// for high performance caching"): LRU replacement with a modified insertion
+// point. LIP inserts new lines at the LRU position (they must prove
+// themselves with a hit before gaining recency), BIP inserts at MRU with a
+// small probability and at LRU otherwise, and DIP set-duels between
+// classic LRU and BIP. These are the classic thrash-resistant baselines the
+// dead-block literature in the paper's related-work section builds on.
+
+// lipStamp is the recency value given to LRU-position inserts: older than
+// every real access (the cache clock is strictly positive).
+const lipStamp = int64(-1)
+
+// --- NRU ---
+
+type nru struct{}
+
+// NewNRU returns the not-recently-used policy: a single reference bit per
+// line; victims are lines with the bit clear, and when every line is
+// referenced all bits reset. This is the hardware-cheap policy many GPUs
+// actually ship.
+func NewNRU() Policy { return nru{} }
+
+func (nru) Name() string         { return "NRU" }
+func (nru) Reset(sets, ways int) {}
+
+// Touch marks the line referenced (reusing the RRPV field as the NRU bit:
+// 0 = referenced, 1 = not).
+func (nru) Touch(set, way int, line *Line, a trace.Access) { line.RRPV = 0 }
+
+func (nru) Insert(set, way int, line *Line, a trace.Access) { line.RRPV = 0 }
+
+func (nru) Victim(set int, lines []Line) int {
+	for w := range lines {
+		if lines[w].RRPV != 0 {
+			return w
+		}
+	}
+	// Everyone referenced: clear all bits, evict way 0.
+	for w := range lines {
+		lines[w].RRPV = 1
+	}
+	lines[0].RRPV = 0
+	return 0
+}
+
+// --- LIP ---
+
+type lip struct{}
+
+// NewLIP returns the LRU-insertion policy: misses insert at the LRU
+// position, so streaming data that is never reused evicts itself instead of
+// flushing the working set.
+func NewLIP() Policy { return lip{} }
+
+func (lip) Name() string                                   { return "LIP" }
+func (lip) Reset(sets, ways int)                           {}
+func (lip) Touch(set, way int, line *Line, a trace.Access) {}
+
+func (lip) Insert(set, way int, line *Line, a trace.Access) {
+	line.LastUse = lipStamp
+}
+
+func (lip) Victim(set int, lines []Line) int { return lru{}.Victim(set, lines) }
+
+// --- BIP ---
+
+type bip struct {
+	rng *rand.Rand
+	// epsilon is the MRU-insertion probability denominator (1/epsilon).
+	epsilon int
+}
+
+// NewBIP returns the bimodal insertion policy: LIP, except that with
+// probability 1/32 a miss inserts at MRU, letting the policy adapt when the
+// working set changes.
+func NewBIP(seed int64) Policy {
+	return &bip{rng: rand.New(rand.NewSource(seed)), epsilon: 32}
+}
+
+func (*bip) Name() string                                   { return "BIP" }
+func (*bip) Reset(sets, ways int)                           {}
+func (*bip) Touch(set, way int, line *Line, a trace.Access) {}
+
+func (b *bip) Insert(set, way int, line *Line, a trace.Access) {
+	if b.rng.Intn(b.epsilon) != 0 {
+		line.LastUse = lipStamp
+	}
+}
+
+func (*bip) Victim(set int, lines []Line) int { return lru{}.Victim(set, lines) }
+
+// --- DIP ---
+
+type dip struct {
+	rng     *rand.Rand
+	sets    int
+	psel    int
+	pselMax int
+}
+
+// NewDIP returns dynamic insertion (DIP-SD): set dueling between LRU and
+// BIP insertion, follower sets adopting whichever leader group misses less.
+func NewDIP(seed int64) Policy {
+	return &dip{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (*dip) Name() string { return "DIP" }
+
+func (d *dip) Reset(sets, ways int) {
+	d.sets = sets
+	d.pselMax = 1<<drripPselBits - 1
+	d.psel = d.pselMax / 2
+}
+
+// leaderKind mirrors the DRRIP dueling layout: 0 = LRU leader, 1 = BIP
+// leader, -1 = follower.
+func (d *dip) leaderKind(set int) int {
+	if d.sets < 2*drripLeaderStride {
+		return set & 1
+	}
+	switch set % drripLeaderStride {
+	case 0:
+		return 0
+	case drripLeaderStride / 2:
+		return 1
+	default:
+		return -1
+	}
+}
+
+func (d *dip) Touch(set, way int, line *Line, a trace.Access) {}
+
+func (d *dip) Insert(set, way int, line *Line, a trace.Access) {
+	useBIP := false
+	switch d.leaderKind(set) {
+	case 0: // LRU leader missing: evidence against LRU insertion
+		if d.psel < d.pselMax {
+			d.psel++
+		}
+	case 1: // BIP leader missing: evidence against BIP insertion
+		useBIP = true
+		if d.psel > 0 {
+			d.psel--
+		}
+	default:
+		useBIP = d.psel > d.pselMax/2
+	}
+	if useBIP && d.rng.Intn(32) != 0 {
+		line.LastUse = lipStamp
+	}
+}
+
+func (*dip) Victim(set int, lines []Line) int { return lru{}.Victim(set, lines) }

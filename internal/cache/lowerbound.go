@@ -1,0 +1,37 @@
+package cache
+
+import "tcor/internal/trace"
+
+// LowerBoundMisses computes the paper's lower bound on total misses for the
+// PB-Attributes access stream (§V-A): every one of the TP primitives is
+// written exactly once (TP compulsory write misses), and the primitives that
+// cannot fit in the cache when the Polygon List Builder finishes must miss
+// at least once when first read, giving
+//
+//	LB = TP + (TP - CP)  when CP < TP
+//	LB = TP              when CP >= TP
+//
+// where CP is the cache capacity in primitives.
+func LowerBoundMisses(totalPrimitives, capacityPrimitives int) int64 {
+	tp, cp := int64(totalPrimitives), int64(capacityPrimitives)
+	if cp >= tp {
+		return tp
+	}
+	return tp + (tp - cp)
+}
+
+// LowerBoundMissRatio converts the miss lower bound into a miss ratio for a
+// trace with the given total number of accesses.
+func LowerBoundMissRatio(totalPrimitives, capacityPrimitives int, totalAccesses int64) float64 {
+	if totalAccesses == 0 {
+		return 0
+	}
+	return float64(LowerBoundMisses(totalPrimitives, capacityPrimitives)) / float64(totalAccesses)
+}
+
+// TraceLowerBoundMissRatio derives the lower bound directly from a
+// primitive-granularity trace (writes happen exactly once per primitive).
+func TraceLowerBoundMissRatio(tr trace.Trace, capacityPrimitives int) float64 {
+	tp := trace.UniqueKeys(tr)
+	return LowerBoundMissRatio(tp, capacityPrimitives, int64(len(tr)))
+}

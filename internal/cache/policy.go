@@ -1,0 +1,193 @@
+package cache
+
+import (
+	"math/rand"
+
+	"tcor/internal/trace"
+)
+
+// Policy selects victims and maintains per-line replacement state. The cache
+// calls Touch on every hit and Insert on every fill; Victim is called only
+// when a set is full. Victim must return the way index of the line to evict.
+//
+// Implementations may keep global state (e.g. DRRIP's set-dueling counter);
+// Reset is called once by cache.New with the final geometry.
+type Policy interface {
+	Name() string
+	Reset(sets, ways int)
+	Touch(set, way int, line *Line, acc trace.Access)
+	Insert(set, way int, line *Line, acc trace.Access)
+	Victim(set int, lines []Line) int
+}
+
+// --- LRU ---
+
+type lru struct{}
+
+// NewLRU returns the least-recently-used policy.
+func NewLRU() Policy { return lru{} }
+
+func (lru) Name() string                                    { return "LRU" }
+func (lru) Reset(sets, ways int)                            {}
+func (lru) Touch(set, way int, line *Line, a trace.Access)  {}
+func (lru) Insert(set, way int, line *Line, a trace.Access) {}
+
+func (lru) Victim(set int, lines []Line) int {
+	v, best := 0, lines[0].LastUse
+	for w := 1; w < len(lines); w++ {
+		if lines[w].LastUse < best {
+			v, best = w, lines[w].LastUse
+		}
+	}
+	return v
+}
+
+// --- MRU ---
+
+type mru struct{}
+
+// NewMRU returns the most-recently-used policy (evicts the newest line;
+// useful for cyclic access patterns, shown as the worst performer in the
+// paper's Fig. 13).
+func NewMRU() Policy { return mru{} }
+
+func (mru) Name() string                                    { return "MRU" }
+func (mru) Reset(sets, ways int)                            {}
+func (mru) Touch(set, way int, line *Line, a trace.Access)  {}
+func (mru) Insert(set, way int, line *Line, a trace.Access) {}
+
+func (mru) Victim(set int, lines []Line) int {
+	v, best := 0, lines[0].LastUse
+	for w := 1; w < len(lines); w++ {
+		if lines[w].LastUse > best {
+			v, best = w, lines[w].LastUse
+		}
+	}
+	return v
+}
+
+// --- FIFO ---
+
+type fifo struct{}
+
+// NewFIFO returns the first-in-first-out policy.
+func NewFIFO() Policy { return fifo{} }
+
+func (fifo) Name() string                                    { return "FIFO" }
+func (fifo) Reset(sets, ways int)                            {}
+func (fifo) Touch(set, way int, line *Line, a trace.Access)  {}
+func (fifo) Insert(set, way int, line *Line, a trace.Access) {}
+
+func (fifo) Victim(set int, lines []Line) int {
+	v, best := 0, lines[0].Seq
+	for w := 1; w < len(lines); w++ {
+		if lines[w].Seq < best {
+			v, best = w, lines[w].Seq
+		}
+	}
+	return v
+}
+
+// --- Random ---
+
+type random struct{ rng *rand.Rand }
+
+// NewRandom returns a seeded random replacement policy. Determinism matters
+// for reproducibility, so the seed is explicit.
+func NewRandom(seed int64) Policy {
+	return &random{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (*random) Name() string                                    { return "Random" }
+func (*random) Reset(sets, ways int)                            {}
+func (*random) Touch(set, way int, line *Line, a trace.Access)  {}
+func (*random) Insert(set, way int, line *Line, a trace.Access) {}
+
+func (r *random) Victim(set int, lines []Line) int {
+	return r.rng.Intn(len(lines))
+}
+
+// --- Tree-PLRU ---
+
+type plru struct {
+	ways int
+	// bits[set] holds the ways-1 internal nodes of the binary tree in heap
+	// order; false points left, true points right.
+	bits [][]bool
+}
+
+// NewPLRU returns the binary-tree pseudo-LRU policy. Ways must be a power of
+// two; Reset panics otherwise.
+func NewPLRU() Policy { return &plru{} }
+
+func (*plru) Name() string { return "PLRU" }
+
+func (p *plru) Reset(sets, ways int) {
+	if ways&(ways-1) != 0 {
+		panic("cache: tree-PLRU requires power-of-two associativity")
+	}
+	p.ways = ways
+	p.bits = make([][]bool, sets)
+	for i := range p.bits {
+		p.bits[i] = make([]bool, ways) // node 0 unused; nodes 1..ways-1
+	}
+}
+
+// touchWay flips the tree nodes on the path to way so they point away from
+// it (marking it most recently used).
+func (p *plru) touchWay(set, way int) {
+	node := 1
+	for depth := p.ways >> 1; depth >= 1; depth >>= 1 {
+		right := way&depth != 0
+		p.bits[set][node] = !right // point away from the accessed half
+		node = node<<1 | boolBit(right)
+	}
+}
+
+func (p *plru) Touch(set, way int, line *Line, a trace.Access)  { p.touchWay(set, way) }
+func (p *plru) Insert(set, way int, line *Line, a trace.Access) { p.touchWay(set, way) }
+
+func (p *plru) Victim(set int, lines []Line) int {
+	node := 1
+	way := 0
+	for depth := p.ways >> 1; depth >= 1; depth >>= 1 {
+		right := p.bits[set][node]
+		if right {
+			way |= depth
+		}
+		node = node<<1 | boolBit(right)
+	}
+	return way
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- OPT (Belady) ---
+
+type opt struct{}
+
+// NewOPT returns the offline optimal policy driven by trace next-use
+// annotations (Mattson et al. [27]; the paper's yardstick). The victim is
+// the resident line whose next use lies farthest in the future; lines that
+// are never used again are preferred unconditionally.
+func NewOPT() Policy { return opt{} }
+
+func (opt) Name() string                                    { return "OPT" }
+func (opt) Reset(sets, ways int)                            {}
+func (opt) Touch(set, way int, line *Line, a trace.Access)  {}
+func (opt) Insert(set, way int, line *Line, a trace.Access) {}
+
+func (opt) Victim(set int, lines []Line) int {
+	v, best := 0, lines[0].NextUse
+	for w := 1; w < len(lines); w++ {
+		if lines[w].NextUse > best {
+			v, best = w, lines[w].NextUse
+		}
+	}
+	return v
+}

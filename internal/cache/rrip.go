@@ -1,0 +1,156 @@
+package cache
+
+import (
+	"math/rand"
+
+	"tcor/internal/trace"
+)
+
+// The RRIP family (Jaleel et al. [22], the paper's DRRIP comparison point,
+// Fig. 13). Each line carries an M-bit Re-Reference Prediction Value; 0
+// means "re-referenced soon", 2^M-1 means "re-referenced in the distant
+// future". Victims are lines with the maximum RRPV; if none exists all
+// RRPVs are aged until one does.
+
+const rripBits = 2 // M=2, as in the paper ("DRRIP (M=2)")
+
+const (
+	rrpvMax  = 1<<rripBits - 1 // 3: distant
+	rrpvLong = rrpvMax - 1     // 2: long (SRRIP insertion)
+)
+
+func rripVictim(lines []Line) int {
+	for {
+		for w := range lines {
+			if lines[w].RRPV >= rrpvMax {
+				return w
+			}
+		}
+		for w := range lines {
+			lines[w].RRPV++
+		}
+	}
+}
+
+// --- SRRIP ---
+
+type srrip struct{}
+
+// NewSRRIP returns Static RRIP with hit-priority promotion: hits reset RRPV
+// to 0, fills insert with RRPV=2 (long re-reference interval).
+func NewSRRIP() Policy { return srrip{} }
+
+func (srrip) Name() string         { return "SRRIP" }
+func (srrip) Reset(sets, ways int) {}
+
+func (srrip) Touch(set, way int, line *Line, a trace.Access) { line.RRPV = 0 }
+
+func (srrip) Insert(set, way int, line *Line, a trace.Access) { line.RRPV = rrpvLong }
+
+func (srrip) Victim(set int, lines []Line) int { return rripVictim(lines) }
+
+// --- BRRIP ---
+
+type brrip struct{ rng *rand.Rand }
+
+// NewBRRIP returns Bimodal RRIP: most fills insert with RRPV=3 (distant),
+// and with low probability (1/32) with RRPV=2. Thrash-resistant.
+func NewBRRIP(seed int64) Policy {
+	return &brrip{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (*brrip) Name() string         { return "BRRIP" }
+func (*brrip) Reset(sets, ways int) {}
+
+func (*brrip) Touch(set, way int, line *Line, a trace.Access) { line.RRPV = 0 }
+
+func (b *brrip) Insert(set, way int, line *Line, a trace.Access) {
+	if b.rng.Intn(32) == 0 {
+		line.RRPV = rrpvLong
+	} else {
+		line.RRPV = rrpvMax
+	}
+}
+
+func (*brrip) Victim(set int, lines []Line) int { return rripVictim(lines) }
+
+// --- DRRIP ---
+
+// drrip implements Dynamic RRIP with set dueling: a few leader sets always
+// use the SRRIP insertion policy, a few always use BRRIP, and a saturating
+// counter (PSEL) tracks which leader group misses less; follower sets adopt
+// the winner.
+type drrip struct {
+	rng        *rand.Rand
+	sets       int
+	psel       int
+	pselMax    int
+	leaderMask int // leader sets are chosen as set % leaderStride
+}
+
+const (
+	drripPselBits     = 10
+	drripLeaderStride = 32 // 1 SRRIP leader + 1 BRRIP leader per 32 sets
+)
+
+// NewDRRIP returns Dynamic RRIP (M=2) with set dueling, the configuration
+// compared against OPT in the paper's Fig. 13.
+func NewDRRIP(seed int64) Policy {
+	return &drrip{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (*drrip) Name() string { return "DRRIP" }
+
+func (d *drrip) Reset(sets, ways int) {
+	d.sets = sets
+	d.pselMax = 1<<drripPselBits - 1
+	d.psel = d.pselMax / 2
+}
+
+// leaderKind returns 0 for SRRIP leaders, 1 for BRRIP leaders, -1 for
+// follower sets. With few sets every set duels in alternation.
+func (d *drrip) leaderKind(set int) int {
+	stride := drripLeaderStride
+	if d.sets < 2*stride {
+		// Small caches: odd sets duel for BRRIP, even for SRRIP.
+		return set & 1
+	}
+	switch set % stride {
+	case 0:
+		return 0
+	case stride / 2:
+		return 1
+	default:
+		return -1
+	}
+}
+
+func (d *drrip) Touch(set, way int, line *Line, a trace.Access) { line.RRPV = 0 }
+
+func (d *drrip) Insert(set, way int, line *Line, a trace.Access) {
+	useBRRIP := false
+	switch d.leaderKind(set) {
+	case 0: // SRRIP leader: a miss here is evidence against SRRIP
+		if d.psel < d.pselMax {
+			d.psel++
+		}
+	case 1: // BRRIP leader: a miss here is evidence against BRRIP
+		useBRRIP = true
+		if d.psel > 0 {
+			d.psel--
+		}
+	default:
+		useBRRIP = d.psel > d.pselMax/2
+	}
+	if useBRRIP {
+		if d.rng.Intn(32) == 0 {
+			line.RRPV = rrpvLong
+		} else {
+			line.RRPV = rrpvMax
+		}
+	} else {
+		line.RRPV = rrpvLong
+	}
+}
+
+func (*drrip) Victim(set int, lines []Line) int { return rripVictim(lines) }

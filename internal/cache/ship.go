@@ -1,0 +1,63 @@
+package cache
+
+import "tcor/internal/trace"
+
+// SHiP (Wu et al., MICRO 2011 — the paper's reference [38]): a
+// Signature-based Hit Predictor over RRIP. Every line remembers the
+// signature it was inserted under and whether it was ever re-referenced; an
+// eviction without reuse decrements the signature's counter, a hit
+// increments it. Insertions under a zero counter are predicted dead and
+// enter at the distant RRPV.
+type ship struct {
+	sig  SignatureFunc
+	shct map[uint32]int8 // signature hit counters, saturating at shipCtrMax
+}
+
+const shipCtrMax = 7
+
+// NewSHiP returns the SHiP-RRIP policy (nil signature = DefaultSignature,
+// grouping primitives by mesh as in NewHawkeye).
+func NewSHiP(sig SignatureFunc) Policy {
+	if sig == nil {
+		sig = DefaultSignature
+	}
+	return &ship{sig: sig}
+}
+
+func (*ship) Name() string { return "SHiP" }
+
+func (s *ship) Reset(sets, ways int) {
+	s.shct = make(map[uint32]int8)
+}
+
+func (s *ship) Touch(set, way int, line *Line, acc trace.Access) {
+	line.RRPV = 0
+	if !line.Reused {
+		line.Reused = true
+		if c := s.shct[line.Sig]; c < shipCtrMax {
+			s.shct[line.Sig] = c + 1
+		}
+	}
+}
+
+func (s *ship) Insert(set, way int, line *Line, acc trace.Access) {
+	line.Sig = s.sig(acc)
+	line.Reused = false
+	if s.shct[line.Sig] == 0 {
+		line.RRPV = rrpvMax // predicted dead on arrival
+	} else {
+		line.RRPV = rrpvLong
+	}
+}
+
+func (s *ship) Victim(set int, lines []Line) int {
+	w := rripVictim(lines)
+	// Train on the outcome: an eviction without reuse is evidence the
+	// signature's lines are dead on arrival.
+	if lines[w].Valid && !lines[w].Reused {
+		if c := s.shct[lines[w].Sig]; c > 0 {
+			s.shct[lines[w].Sig] = c - 1
+		}
+	}
+	return w
+}

@@ -1,0 +1,56 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcor/internal/trace"
+)
+
+func TestSHiPDeterministicAndSane(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr := make(trace.Trace, 25000)
+	for i := range tr {
+		tr[i].Key = trace.Key(rng.Intn(400))
+	}
+	trace.AnnotateNextUse(tr)
+	cfg := Config{Lines: 128, Ways: 4, WriteAllocate: true}
+	a, err := Simulate(cfg, NewSHiP(nil), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Simulate(cfg, NewSHiP(nil), tr)
+	if a != b {
+		t.Error("SHiP not deterministic")
+	}
+	opt, _ := Simulate(cfg, NewOPT(), tr)
+	if opt.Misses > a.Misses {
+		t.Error("OPT optimality violated by SHiP")
+	}
+}
+
+// SHiP learns to insert a never-reused stream at distant RRPV, protecting a
+// hot loop that LRU would thrash.
+func TestSHiPScanResistance(t *testing.T) {
+	var tr trace.Trace
+	scan := trace.Key(1 << 20)
+	for round := 0; round < 400; round++ {
+		for k := trace.Key(0); k < 24; k++ {
+			tr = append(tr, trace.Access{Key: k})
+		}
+		for j := 0; j < 12; j++ {
+			tr = append(tr, trace.Access{Key: scan})
+			scan++
+		}
+	}
+	trace.AnnotateNextUse(tr)
+	cfg := Config{Lines: 32, WriteAllocate: true}
+	lruS, _ := Simulate(cfg, NewLRU(), tr)
+	shipS, err := Simulate(cfg, NewSHiP(nil), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shipS.Misses >= lruS.Misses {
+		t.Errorf("SHiP %d misses >= LRU %d on the scan mix", shipS.Misses, lruS.Misses)
+	}
+}

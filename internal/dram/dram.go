@@ -1,0 +1,126 @@
+// Package dram models main memory: a bank/row-buffer DRAM with an open-page
+// policy. It stands in for DRAMSim2 in the paper's toolchain; only the
+// properties that feed the results matter — access counts (energy), and
+// row-hit vs row-miss latency (Table I: 50–100 cycles).
+package dram
+
+import (
+	"fmt"
+
+	"tcor/internal/geom"
+	"tcor/internal/mem"
+	"tcor/internal/memmap"
+)
+
+// Config describes the DRAM geometry and timing.
+type Config struct {
+	Banks         int
+	RowBytes      int
+	RowHitCycles  int // latency when the row buffer already holds the row
+	RowMissCycles int // latency when a new row must be activated
+	// BytesPerCycle is the sustained data-bus bandwidth in bytes per GPU
+	// clock cycle; it bounds frame time from below when a frame is
+	// memory-bandwidth-bound. 16 B/cycle at 600 MHz is ~9.6 GB/s, a
+	// contemporary mobile LPDDR channel.
+	BytesPerCycle float64
+}
+
+// DefaultConfig returns a contemporary mobile LPDDR-style configuration
+// matching Table I's 50–100 cycle main-memory latency.
+func DefaultConfig() Config {
+	return Config{Banks: 8, RowBytes: 2048, RowHitCycles: 50, RowMissCycles: 100, BytesPerCycle: 16}
+}
+
+// Stats counts DRAM events.
+type Stats struct {
+	Reads, Writes      int64
+	RowHits, RowMisses int64
+	TotalCycles        int64 // sum of per-access latencies
+	// ReadCycles sums the latencies of read accesses only; writes are
+	// posted and do not stall the requester.
+	ReadCycles int64
+	// BusyCycles is the data-bus occupancy: accesses x (64 B / bandwidth).
+	// A frame can never finish faster than the DRAM is busy.
+	BusyCycles int64
+}
+
+// DRAM is the main-memory model. It is the terminal mem.Sink of the
+// hierarchy and embeds a per-region access counter for the figures that
+// report main-memory traffic by data type.
+type DRAM struct {
+	cfg     Config
+	rows    []int64 // open row per bank; -1 = closed
+	stats   Stats
+	Counter *mem.Counter
+}
+
+// New builds the DRAM model.
+func New(cfg Config) (*DRAM, error) {
+	if cfg.Banks <= 0 || cfg.RowBytes <= 0 {
+		return nil, fmt.Errorf("dram: bad geometry %+v", cfg)
+	}
+	if cfg.RowHitCycles <= 0 || cfg.RowMissCycles < cfg.RowHitCycles {
+		return nil, fmt.Errorf("dram: bad timing %+v", cfg)
+	}
+	if cfg.BytesPerCycle <= 0 {
+		cfg.BytesPerCycle = 16
+	}
+	d := &DRAM{cfg: cfg, rows: make([]int64, cfg.Banks), Counter: mem.NewCounter()}
+	for i := range d.rows {
+		d.rows[i] = -1
+	}
+	return d, nil
+}
+
+// Stats returns a copy of the statistics.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// bankAndRow splits an address into its bank and row. Banks interleave at
+// row granularity.
+func (d *DRAM) bankAndRow(addr uint64) (int, int64) {
+	row := int64(addr / uint64(d.cfg.RowBytes))
+	return int(row % int64(d.cfg.Banks)), row / int64(d.cfg.Banks)
+}
+
+// Latency returns the access latency for addr and updates the row-buffer
+// state (open-page policy).
+func (d *DRAM) Latency(addr uint64) int {
+	bank, row := d.bankAndRow(addr)
+	if d.rows[bank] == row {
+		d.stats.RowHits++
+		d.stats.TotalCycles += int64(d.cfg.RowHitCycles)
+		return d.cfg.RowHitCycles
+	}
+	d.rows[bank] = row
+	d.stats.RowMisses++
+	d.stats.TotalCycles += int64(d.cfg.RowMissCycles)
+	return d.cfg.RowMissCycles
+}
+
+// Access implements mem.Sink.
+func (d *DRAM) Access(r mem.Request) {
+	lat := d.Latency(r.Addr)
+	if r.Write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+		d.stats.ReadCycles += int64(lat)
+	}
+	d.stats.BusyCycles += int64(float64(64)/d.cfg.BytesPerCycle + 0.5)
+	d.Counter.Access(r)
+}
+
+// TileRetired implements mem.Sink (no-op).
+func (d *DRAM) TileRetired(pos uint16, tile geom.TileID) {}
+
+// EndFrame implements mem.Sink (no-op: DRAM state carries across frames).
+func (d *DRAM) EndFrame() {}
+
+// Region returns the per-region access counts.
+func (d *DRAM) Region(r memmap.Region) mem.RegionCounts { return d.Counter.Region(r) }
+
+// PB returns the combined Parameter Buffer access counts.
+func (d *DRAM) PB() mem.RegionCounts { return d.Counter.PB() }
+
+// Total returns reads+writes.
+func (d *DRAM) Total() int64 { return d.stats.Reads + d.stats.Writes }

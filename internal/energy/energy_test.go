@@ -1,0 +1,83 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSRAMScaling(t *testing.T) {
+	m := DefaultModel()
+	small := m.SRAMRead(16*1024, 4)
+	big := m.SRAMRead(64*1024, 4)
+	huge := m.SRAMRead(1<<20, 8)
+	if !(small < big && big < huge) {
+		t.Errorf("energy must grow with size: %v %v %v", small, big, huge)
+	}
+	// Associativity costs energy.
+	if m.SRAMRead(64*1024, 8) <= m.SRAMRead(64*1024, 1) {
+		t.Error("higher associativity must cost more")
+	}
+	// Sanity magnitudes: L1 ~ 10pJ, L2 ~ tens of pJ, DRAM ~ nJ.
+	if big < 5 || big > 30 {
+		t.Errorf("64KiB L1 read = %v pJ, out of plausible range", big)
+	}
+	if huge < 25 || huge > 150 {
+		t.Errorf("1MiB L2 read = %v pJ, out of plausible range", huge)
+	}
+	if m.DRAMRead < 20*huge {
+		t.Error("DRAM must dominate SRAM per access")
+	}
+	if m.SRAMWrite(64*1024, 4) <= m.SRAMRead(64*1024, 4) {
+		t.Error("writes cost more than reads")
+	}
+	if m.SRAMRead(0, 4) != 0 {
+		t.Error("zero-size structure costs nothing")
+	}
+	if m.SRAMRead(1024, 0) != m.SRAMRead(1024, 1) {
+		t.Error("ways<1 should clamp to 1")
+	}
+}
+
+func TestTally(t *testing.T) {
+	ta := NewTally()
+	ta.Add("l1", 100, 2.0)
+	ta.Add("l1", 50, 2.0)
+	ta.Add("dram", 10, 3000)
+	e := ta.Get("l1")
+	if e.Accesses != 150 || e.PJ != 300 {
+		t.Errorf("l1 entry = %+v", e)
+	}
+	if ta.Total() != 300+30000 {
+		t.Errorf("total = %v", ta.Total())
+	}
+	if ta.Get("absent").Accesses != 0 {
+		t.Error("absent component should be zero")
+	}
+	comps := ta.Components()
+	if len(comps) != 2 || comps[0] != "dram" || comps[1] != "l1" {
+		t.Errorf("components = %v", comps)
+	}
+	ta.AddEnergy("static", 42)
+	if ta.Get("static").PJ != 42 {
+		t.Error("AddEnergy")
+	}
+	out := ta.String()
+	if !strings.Contains(out, "TOTAL") || !strings.Contains(out, "dram") {
+		t.Errorf("String output:\n%s", out)
+	}
+}
+
+func TestTallyMerge(t *testing.T) {
+	a := NewTally()
+	a.Add("x", 10, 1)
+	b := NewTally()
+	b.Add("x", 5, 2)
+	b.Add("y", 1, 7)
+	a.Merge(b)
+	if got := a.Get("x"); got.Accesses != 15 || got.PJ != 20 {
+		t.Errorf("merged x = %+v", got)
+	}
+	if got := a.Get("y"); got.PJ != 7 {
+		t.Errorf("merged y = %+v", got)
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tcor/internal/gpu"
+	"tcor/internal/tiling"
+)
+
+// AblationRow is one configuration of the ablation study.
+type AblationRow struct {
+	Name string
+	// PBL2 is Parameter Buffer accesses to the L2; PBMem to main memory.
+	PBL2, PBMem int64
+	// HierPJ is memory-hierarchy energy.
+	HierPJ float64
+	// PPC is Tile Fetcher throughput.
+	PPC float64
+}
+
+// AblationResult is the full ablation over one benchmark.
+type AblationResult struct {
+	Benchmark string
+	SizeKB    int
+	Rows      []AblationRow
+}
+
+// Row returns the named row, or nil.
+func (a *AblationResult) Row(name string) *AblationRow {
+	for i := range a.Rows {
+		if a.Rows[i].Name == name {
+			return &a.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the ablation.
+func (a *AblationResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Ablation study (%s, %d KiB Tile Cache): each TCOR mechanism removed in isolation",
+			a.Benchmark, a.SizeKB),
+		Header: []string{"Configuration", "PB->L2", "PB->Mem", "Hier. energy (mJ)", "TF PPC"},
+	}
+	for _, r := range a.Rows {
+		t.AddRow(r.Name, fmt.Sprintf("%d", r.PBL2), fmt.Sprintf("%d", r.PBMem),
+			fmt.Sprintf("%.3f", r.HierPJ/1e9), f3(r.PPC))
+	}
+	return t
+}
+
+// Ablation runs the design-choice studies DESIGN.md calls out on one
+// benchmark: full TCOR, then TCOR with each mechanism disabled in turn
+// (interleaved PB-Lists layout, XOR indexing, write bypass, L2
+// enhancements), plus a scanline-traversal variant and the baseline.
+func (r *Runner) Ablation(alias string, sizeKB int) (*AblationResult, error) {
+	bytes := tileCacheBytes(sizeKB)
+	configs := []struct {
+		name string
+		cfg  gpu.Config
+	}{
+		{"TCOR (full)", gpu.TCOR(bytes)},
+		{"no interleaved layout", func() gpu.Config {
+			c := gpu.TCOR(bytes)
+			c.InterleavedLists = false
+			return c
+		}()},
+		{"no XOR indexing", func() gpu.Config {
+			c := gpu.TCOR(bytes)
+			c.XORIndex = false
+			return c
+		}()},
+		{"no write bypass", func() gpu.Config {
+			c := gpu.TCOR(bytes)
+			c.WriteBypass = false
+			return c
+		}()},
+		{"no L2 enhancements", gpu.TCORNoL2(bytes)},
+		{"scanline traversal", func() gpu.Config {
+			c := gpu.TCOR(bytes)
+			c.Order = tiling.OrderScanline
+			return c
+		}()},
+		{"hilbert traversal", func() gpu.Config {
+			c := gpu.TCOR(bytes)
+			c.Order = tiling.OrderHilbert
+			return c
+		}()},
+		{"baseline", gpu.Baseline(bytes)},
+	}
+	out := &AblationResult{Benchmark: alias, SizeKB: sizeKB}
+	for _, c := range configs {
+		res, err := r.Run(alias, fmt.Sprintf("abl-%s-%d", c.name, sizeKB), c.cfg)
+		if err != nil {
+			return nil, err
+		}
+		pb := res.L2In.PB()
+		pbm := res.DRAMIn.PB()
+		out.Rows = append(out.Rows, AblationRow{
+			Name:   c.name,
+			PBL2:   pb.Reads + pb.Writes,
+			PBMem:  pbm.Reads + pbm.Writes,
+			HierPJ: res.MemHierarchyPJ,
+			PPC:    res.PPC(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AsciiPlot renders a PolicyFigure's curves as a terminal line chart, so
+// `paperfig -fig 1 -plot` reproduces the *figure*, not just its table. Each
+// curve gets a marker; the y axis is the miss ratio, the x axis the cache
+// size in KB.
+func (p *PolicyFigure) AsciiPlot(width, height int) string {
+	if len(p.Curves) == 0 || len(p.Curves[0].SizesKB) == 0 {
+		return "(no data)\n"
+	}
+	if width < 20 {
+		width = 64
+	}
+	if height < 5 {
+		height = 16
+	}
+	markers := []byte{'L', 'O', '*', '+', 'x', 'o', '#', '@'}
+
+	// Bounds.
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, c := range p.Curves {
+		for _, v := range c.MissRatios {
+			minY = math.Min(minY, v)
+			maxY = math.Max(maxY, v)
+		}
+	}
+	if maxY == minY {
+		maxY = minY + 1e-9
+	}
+	minX := p.Curves[0].SizesKB[0]
+	maxX := p.Curves[0].SizesKB[len(p.Curves[0].SizesKB)-1]
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for ci, c := range p.Curves {
+		m := markers[ci%len(markers)]
+		for i := range c.SizesKB {
+			x := int((c.SizesKB[i] - minX) / (maxX - minX) * float64(width-1))
+			y := int((maxY - c.MissRatios[i]) / (maxY - minY) * float64(height-1))
+			if x >= 0 && x < width && y >= 0 && y < height {
+				grid[y][x] = m
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d (miss ratio vs size in KB)\n", p.Fig)
+	for i, row := range grid {
+		label := "      "
+		if i == 0 {
+			label = fmt.Sprintf("%.3f ", maxY)
+		} else if i == height-1 {
+			label = fmt.Sprintf("%.3f ", minY)
+		}
+		fmt.Fprintf(&b, "%8s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%8s+%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s %-10.0f%*.0f\n", "", minX, width-10, maxX)
+	b.WriteString("legend: ")
+	for ci, c := range p.Curves {
+		if ci > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c=%s", markers[ci%len(markers)], c.Label)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tcor/internal/cache"
+)
+
+// MissCurve is one series of a policy study: miss ratio (suite average)
+// against cache size.
+type MissCurve struct {
+	Label      string
+	SizesKB    []float64
+	MissRatios []float64
+}
+
+// PolicyFigure is the result of one of Figs. 1, 11, 12, 13.
+type PolicyFigure struct {
+	Fig    int
+	Curves []MissCurve
+}
+
+// Curve returns the series with the given label, or nil.
+func (p *PolicyFigure) Curve(label string) *MissCurve {
+	for i := range p.Curves {
+		if p.Curves[i].Label == label {
+			return &p.Curves[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the figure as columns of miss ratios per size.
+func (p *PolicyFigure) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure %d: miss ratio vs cache size (suite average)", p.Fig),
+		Header: []string{"Size(KB)"},
+	}
+	for _, c := range p.Curves {
+		t.Header = append(t.Header, c.Label)
+	}
+	if len(p.Curves) == 0 {
+		return t
+	}
+	for i, sz := range p.Curves[0].SizesKB {
+		row := []string{fmt.Sprintf("%.0f", sz)}
+		for _, c := range p.Curves {
+			row = append(row, f3(c.MissRatios[i]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// policySpec names a replacement policy and how to build a fresh instance.
+type policySpec struct {
+	label string
+	make  func() cache.Policy
+}
+
+func policyByName(name string) policySpec {
+	switch name {
+	case "LRU":
+		return policySpec{"LRU", cache.NewLRU}
+	case "MRU":
+		return policySpec{"MRU", cache.NewMRU}
+	case "FIFO":
+		return policySpec{"FIFO", cache.NewFIFO}
+	case "OPT":
+		return policySpec{"OPT", cache.NewOPT}
+	case "DRRIP":
+		return policySpec{"DRRIP (M=2)", func() cache.Policy { return cache.NewDRRIP(1) }}
+	case "SRRIP":
+		return policySpec{"SRRIP", cache.NewSRRIP}
+	case "PLRU":
+		return policySpec{"PLRU", cache.NewPLRU}
+	default:
+		panic("experiments: unknown policy " + name)
+	}
+}
+
+// cacheCfgFor builds a primitive-granularity cache geometry for a capacity
+// of cp primitives and the requested associativity (ways<=0 means fully
+// associative). The line count is rounded down to a multiple of the ways.
+func cacheCfgFor(cp, ways int) cache.Config {
+	if ways <= 0 {
+		return cache.Config{Lines: cp, WriteAllocate: true}
+	}
+	lines := cp / ways * ways
+	if lines < ways {
+		lines = ways
+	}
+	return cache.Config{Lines: lines, Ways: ways, WriteAllocate: true}
+}
+
+// missRatioAvg simulates the policy over every benchmark's attribute trace
+// and returns the suite-average miss ratio. Fully associative LRU takes the
+// one-pass Mattson stack-distance path (exact — the cache tests prove the
+// two agree to the access); everything else is event-driven.
+func (r *Runner) missRatioAvg(ps policySpec, cp, ways int) (float64, error) {
+	var sum float64
+	suite := r.Suite()
+	for _, spec := range suite {
+		if ps.label == "LRU" && ways <= 0 {
+			p, err := r.LRUProfile(spec.Alias)
+			if err != nil {
+				return 0, err
+			}
+			sum += p.MissRatioAt(cp)
+			continue
+		}
+		tr, err := r.AttributeTrace(spec.Alias)
+		if err != nil {
+			return 0, err
+		}
+		st, err := cache.Simulate(cacheCfgFor(cp, ways), ps.make(), tr)
+		if err != nil {
+			return 0, err
+		}
+		sum += st.MissRatio()
+	}
+	return sum / float64(len(suite)), nil
+}
+
+// lowerBoundAvg returns the suite-average lower-bound miss ratio for a
+// capacity of cp primitives (§V-A).
+func (r *Runner) lowerBoundAvg(cp int) (float64, error) {
+	var sum float64
+	suite := r.Suite()
+	for _, spec := range suite {
+		tr, err := r.AttributeTrace(spec.Alias)
+		if err != nil {
+			return 0, err
+		}
+		sum += cache.TraceLowerBoundMissRatio(tr, cp)
+	}
+	return sum / float64(len(suite)), nil
+}
+
+// sweep runs one policy/associativity over the given sizes.
+func (r *Runner) sweep(label string, ps policySpec, sizesKB []float64, ways int) (MissCurve, error) {
+	c := MissCurve{Label: label, SizesKB: sizesKB}
+	for _, sz := range sizesKB {
+		mr, err := r.missRatioAvg(ps, CapacityPrims(sz), ways)
+		if err != nil {
+			return c, err
+		}
+		c.MissRatios = append(c.MissRatios, mr)
+	}
+	return c, nil
+}
+
+// lbCurve builds the lower-bound series.
+func (r *Runner) lbCurve(sizesKB []float64) (MissCurve, error) {
+	c := MissCurve{Label: "Lower Bound", SizesKB: sizesKB}
+	for _, sz := range sizesKB {
+		lb, err := r.lowerBoundAvg(CapacityPrims(sz))
+		if err != nil {
+			return c, err
+		}
+		c.MissRatios = append(c.MissRatios, lb)
+	}
+	return c, nil
+}
+
+func sizesRange(from, to, step float64) []float64 {
+	var out []float64
+	for s := from; s <= to+1e-9; s += step {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig1 reproduces Figure 1: LRU and OPT miss ratios in a fully associative
+// L1 Attribute Cache for increasing cache size.
+func (r *Runner) Fig1() (*PolicyFigure, error) {
+	sizes := sizesRange(8, 160, 8)
+	fig := &PolicyFigure{Fig: 1}
+	for _, name := range []string{"LRU", "OPT"} {
+		c, err := r.sweep(name, policyByName(name), sizes, 0)
+		if err != nil {
+			return nil, err
+		}
+		fig.Curves = append(fig.Curves, c)
+	}
+	return fig, nil
+}
+
+// Fig11 reproduces Figure 11: LRU and OPT against the lower bound, fully
+// associative, out to 450 KB. OPT reaches the bound at a fraction of the
+// capacity LRU needs (the paper quotes 55 KiB vs 375 KiB, a factor 6.8).
+func (r *Runner) Fig11() (*PolicyFigure, error) {
+	sizes := sizesRange(10, 450, 20)
+	fig := &PolicyFigure{Fig: 11}
+	lb, err := r.lbCurve(sizes)
+	if err != nil {
+		return nil, err
+	}
+	fig.Curves = append(fig.Curves, lb)
+	for _, name := range []string{"LRU", "OPT"} {
+		c, err := r.sweep(name, policyByName(name), sizes, 0)
+		if err != nil {
+			return nil, err
+		}
+		fig.Curves = append(fig.Curves, c)
+	}
+	return fig, nil
+}
+
+// Fig12 reproduces Figure 12: LRU and OPT for direct-mapped, 2/4/8-way and
+// fully associative caches across sizes, against the lower bound.
+func (r *Runner) Fig12() (map[string]*PolicyFigure, error) {
+	sizes := sizesRange(8, 160, 8)
+	assocs := []struct {
+		label string
+		ways  int
+	}{
+		{"Direct Mapped", 1},
+		{"Associativity 2", 2},
+		{"Associativity 4", 4},
+		{"Associativity 8", 8},
+		{"Fully Associative", 0},
+	}
+	out := make(map[string]*PolicyFigure, 2)
+	for _, polName := range []string{"LRU", "OPT"} {
+		fig := &PolicyFigure{Fig: 12}
+		lb, err := r.lbCurve(sizes)
+		if err != nil {
+			return nil, err
+		}
+		fig.Curves = append(fig.Curves, lb)
+		for _, a := range assocs {
+			c, err := r.sweep(a.label, policyByName(polName), sizes, a.ways)
+			if err != nil {
+				return nil, err
+			}
+			fig.Curves = append(fig.Curves, c)
+		}
+		out[polName] = fig
+	}
+	return out, nil
+}
+
+// Fig13 reproduces Figure 13: LRU, MRU, DRRIP (M=2) and OPT in a 4-way
+// cache against the lower bound.
+func (r *Runner) Fig13() (*PolicyFigure, error) {
+	sizes := sizesRange(40, 160, 8)
+	fig := &PolicyFigure{Fig: 13}
+	lb, err := r.lbCurve(sizes)
+	if err != nil {
+		return nil, err
+	}
+	fig.Curves = append(fig.Curves, lb)
+	for _, name := range []string{"MRU", "DRRIP", "LRU", "OPT"} {
+		c, err := r.sweep(policyByName(name).label, policyByName(name), sizes, 4)
+		if err != nil {
+			return nil, err
+		}
+		fig.Curves = append(fig.Curves, c)
+	}
+	return fig, nil
+}
+
+// OPTReachParity quantifies the Fig. 11 headline: the smallest simulated
+// sizes at which OPT and LRU come within tol of the lower bound, and their
+// ratio (the paper reports 6.8x).
+func (r *Runner) OPTReachParity(tol float64) (optKB, lruKB, ratio float64, err error) {
+	sizes := sizesRange(10, 1200, 10)
+	find := func(name string) (float64, error) {
+		ps := policyByName(name)
+		for _, sz := range sizes {
+			cp := CapacityPrims(sz)
+			mr, err := r.missRatioAvg(ps, cp, 0)
+			if err != nil {
+				return 0, err
+			}
+			lb, err := r.lowerBoundAvg(cp)
+			if err != nil {
+				return 0, err
+			}
+			if mr-lb <= tol {
+				return sz, nil
+			}
+		}
+		return sizes[len(sizes)-1], nil
+	}
+	if optKB, err = find("OPT"); err != nil {
+		return
+	}
+	if lruKB, err = find("LRU"); err != nil {
+		return
+	}
+	ratio = lruKB / optKB
+	return
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+func TestPrewarmParallelMatchesSequential(t *testing.T) {
+	a := fastRunner("CCS", "GTr")
+	if err := a.Prewarm(8); err != nil {
+		t.Fatal(err)
+	}
+	figA, err := a.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := fastRunner("CCS", "GTr")
+	figB, err := b.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range figA.Rows {
+		if figA.Rows[i] != figB.Rows[i] {
+			t.Errorf("row %d differs: %+v vs %+v", i, figA.Rows[i], figB.Rows[i])
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"tcor/internal/cache"
+	"tcor/internal/geom"
+	"tcor/internal/gpu"
+	"tcor/internal/tiling"
+	"tcor/internal/trace"
+	"tcor/internal/workload"
+)
+
+// Runner generates scenes and runs full-system simulations, memoizing both
+// so that the figures sharing the same underlying runs (Figs. 14–24 all
+// come from six configurations per benchmark) pay for each run once.
+type Runner struct {
+	Screen geom.Screen
+	// Frames overrides the per-spec frame count when positive (tests use 1
+	// for speed; the paper harness uses the spec default).
+	Frames int
+	// Benchmarks restricts the suite (nil = all ten).
+	Benchmarks []string
+
+	mu       sync.Mutex
+	scenes   map[string]*workload.Scene
+	runs     map[string]*gpu.Result
+	traces   map[string]trace.Trace
+	bins     map[string]*tiling.Binning
+	profiles map[string]cache.StackProfile
+}
+
+// NewRunner returns a Runner over the default screen and full suite.
+func NewRunner() *Runner {
+	return &Runner{Screen: geom.DefaultScreen()}
+}
+
+// Suite returns the benchmark specs this runner covers, in paper order.
+func (r *Runner) Suite() []workload.Spec {
+	all := workload.Suite()
+	if r.Benchmarks == nil {
+		return all
+	}
+	var out []workload.Spec
+	for _, alias := range r.Benchmarks {
+		for _, s := range all {
+			if s.Alias == alias {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// Scene returns the calibrated scene for a benchmark.
+func (r *Runner) Scene(alias string) (*workload.Scene, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if sc, ok := r.scenes[alias]; ok {
+		return sc, nil
+	}
+	spec, err := workload.ByAlias(alias)
+	if err != nil {
+		return nil, err
+	}
+	if r.Frames > 0 {
+		spec.Frames = r.Frames
+	}
+	sc, err := workload.Generate(spec, r.Screen)
+	if err != nil {
+		return nil, err
+	}
+	if r.scenes == nil {
+		r.scenes = make(map[string]*workload.Scene)
+	}
+	r.scenes[alias] = sc
+	return sc, nil
+}
+
+// Run simulates a benchmark under a configuration, memoized under the given
+// configuration name.
+func (r *Runner) Run(alias, cfgName string, cfg gpu.Config) (*gpu.Result, error) {
+	key := alias + "/" + cfgName
+	r.mu.Lock()
+	if res, ok := r.runs[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+	sc, err := r.Scene(alias)
+	if err != nil {
+		return nil, err
+	}
+	res, err := gpu.Simulate(sc, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s under %s: %w", alias, cfgName, err)
+	}
+	r.mu.Lock()
+	if r.runs == nil {
+		r.runs = make(map[string]*gpu.Result)
+	}
+	r.runs[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// Prewarm runs the six full-system configurations behind Figs. 14-24 for
+// every benchmark of the suite concurrently, bounded by par workers, so a
+// subsequent figure pass is all cache hits. Results are identical to the
+// sequential path (runs are independent and memoized under a mutex).
+func (r *Runner) Prewarm(par int) error {
+	if par < 1 {
+		par = 1
+	}
+	type job struct {
+		alias, name string
+		cfg         gpu.Config
+	}
+	var jobs []job
+	for _, spec := range r.Suite() {
+		for _, sizeKB := range []int{64, 128} {
+			jobs = append(jobs,
+				job{spec.Alias, fmt.Sprintf("base%d", sizeKB), gpu.Baseline(sizeKB * 1024)},
+				job{spec.Alias, fmt.Sprintf("tcor%d", sizeKB), gpu.TCOR(sizeKB * 1024)},
+				job{spec.Alias, fmt.Sprintf("nol2-%d", sizeKB), gpu.TCORNoL2(sizeKB * 1024)})
+		}
+	}
+	// Generate scenes first (they are shared by the three configs).
+	for _, spec := range r.Suite() {
+		if _, err := r.Scene(spec.Alias); err != nil {
+			return err
+		}
+	}
+	sem := make(chan struct{}, par)
+	errs := make(chan error, len(jobs))
+	for _, j := range jobs {
+		sem <- struct{}{}
+		go func(j job) {
+			defer func() { <-sem }()
+			_, err := r.Run(j.alias, j.name, j.cfg)
+			errs <- err
+		}(j)
+	}
+	for range jobs {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Binning returns the memoized frame-0 binning of a benchmark under the
+// paper's Z-order traversal.
+func (r *Runner) Binning(alias string) (*tiling.Binning, error) {
+	r.mu.Lock()
+	if b, ok := r.bins[alias]; ok {
+		r.mu.Unlock()
+		return b, nil
+	}
+	r.mu.Unlock()
+	sc, err := r.Scene(alias)
+	if err != nil {
+		return nil, err
+	}
+	trav, err := tiling.NewTraversal(r.Screen, tiling.OrderZ)
+	if err != nil {
+		return nil, err
+	}
+	b, err := tiling.Bin(r.Screen, trav, sc.Frame(0).Prims)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.bins == nil {
+		r.bins = make(map[string]*tiling.Binning)
+	}
+	r.bins[alias] = b
+	r.mu.Unlock()
+	return b, nil
+}
+
+// AttributeTrace returns the memoized primitive-granularity access trace to
+// PB-Attributes of a benchmark's first frame: one write per primitive in
+// program order (the Polygon List Builder), then the Tile Fetcher's reads
+// tile by tile in traversal order — the stream behind Figs. 1 and 11–13.
+// The trace is annotated with Belady next-use indices.
+func (r *Runner) AttributeTrace(alias string) (trace.Trace, error) {
+	r.mu.Lock()
+	if tr, ok := r.traces[alias]; ok {
+		r.mu.Unlock()
+		return tr, nil
+	}
+	r.mu.Unlock()
+	b, err := r.Binning(alias)
+	if err != nil {
+		return nil, err
+	}
+	var tr trace.Trace
+	for p := range b.PrimTiles {
+		tr = append(tr, trace.Access{Key: trace.Key(p), Write: true})
+	}
+	for _, tile := range b.Traversal.Seq {
+		for _, e := range b.Lists[tile] {
+			tr = append(tr, trace.Access{Key: trace.Key(e.Prim)})
+		}
+	}
+	trace.AnnotateNextUse(tr)
+	r.mu.Lock()
+	if r.traces == nil {
+		r.traces = make(map[string]trace.Trace)
+	}
+	r.traces[alias] = tr
+	r.mu.Unlock()
+	return tr, nil
+}
+
+// LRUProfile returns the memoized Mattson stack-distance profile of a
+// benchmark's attribute trace: fully-associative LRU miss ratios at every
+// capacity from one pass (reference [27]'s own technique).
+func (r *Runner) LRUProfile(alias string) (cache.StackProfile, error) {
+	r.mu.Lock()
+	if p, ok := r.profiles[alias]; ok {
+		r.mu.Unlock()
+		return p, nil
+	}
+	r.mu.Unlock()
+	tr, err := r.AttributeTrace(alias)
+	if err != nil {
+		return cache.StackProfile{}, err
+	}
+	p := cache.LRUStackDistances(tr)
+	r.mu.Lock()
+	if r.profiles == nil {
+		r.profiles = make(map[string]cache.StackProfile)
+	}
+	r.profiles[alias] = p
+	r.mu.Unlock()
+	return p, nil
+}
+
+// PrimBytes is the average primitive size used to convert cache byte
+// budgets into primitive capacities in the policy studies: ~3 attributes of
+// 64 bytes each (§III-C1: "an average primitive has around 3 attributes,
+// leading to 192 bytes").
+const PrimBytes = 192
+
+// CapacityPrims converts a cache size in KiB to a primitive capacity.
+func CapacityPrims(sizeKB float64) int {
+	cp := int(sizeKB * 1024 / PrimBytes)
+	if cp < 1 {
+		cp = 1
+	}
+	return cp
+}
+
+// cacheSimLRU is a test helper: event-driven fully associative LRU misses.
+func cacheSimLRU(cp int, tr trace.Trace) (int64, error) {
+	st, err := cache.Simulate(cache.Config{Lines: cp, WriteAllocate: true}, cache.NewLRU(), tr)
+	if err != nil {
+		return 0, err
+	}
+	return st.Misses, nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tcor/internal/gpu"
+)
+
+// SizeSweepRow is one Tile Cache size point.
+type SizeSweepRow struct {
+	SizeKB      int
+	BasePBL2    int64
+	TCORPBL2    int64
+	Decrease    float64
+	TCORHierPJ  float64
+	TCORSpeedup float64
+}
+
+// SizeSweep extends the paper's two-point (64/128 KiB) evaluation into a
+// Tile Cache size sweep, showing where TCOR's advantage saturates: once the
+// Attribute Cache holds the working set, bigger caches stop paying.
+func (r *Runner) SizeSweep(alias string) (*Table, []SizeSweepRow, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Tile Cache size sweep, %s: beyond the paper's 64/128 KiB points", alias),
+		Header: []string{"Size(KiB)", "Base PB->L2", "TCOR PB->L2", "Decrease", "TCOR hier (mJ)", "TF speedup"},
+	}
+	var rows []SizeSweepRow
+	for _, sizeKB := range []int{32, 48, 64, 96, 128, 192, 256} {
+		base, err := r.Run(alias, fmt.Sprintf("sw-base-%d", sizeKB), gpu.Baseline(sizeKB*1024))
+		if err != nil {
+			return nil, nil, err
+		}
+		tc, err := r.Run(alias, fmt.Sprintf("sw-tcor-%d", sizeKB), gpu.TCOR(sizeKB*1024))
+		if err != nil {
+			return nil, nil, err
+		}
+		bPB := base.L2In.PB()
+		tPB := tc.L2In.PB()
+		row := SizeSweepRow{
+			SizeKB:     sizeKB,
+			BasePBL2:   bPB.Reads + bPB.Writes,
+			TCORPBL2:   tPB.Reads + tPB.Writes,
+			TCORHierPJ: tc.MemHierarchyPJ,
+		}
+		if row.BasePBL2 > 0 {
+			row.Decrease = 1 - float64(row.TCORPBL2)/float64(row.BasePBL2)
+		}
+		if b := base.PPC(); b > 0 {
+			row.TCORSpeedup = tc.PPC() / b
+		}
+		rows = append(rows, row)
+		t.AddRow(fmt.Sprintf("%d", sizeKB),
+			fmt.Sprintf("%d", row.BasePBL2), fmt.Sprintf("%d", row.TCORPBL2),
+			pct(row.Decrease), fmt.Sprintf("%.3f", row.TCORHierPJ/1e9),
+			fmt.Sprintf("%.1fx", row.TCORSpeedup))
+	}
+	return t, rows, nil
+}

@@ -1,0 +1,432 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tcor/internal/gpu"
+	"tcor/internal/mem"
+)
+
+// tileCacheBytes maps the two experiment sizes of §V-B.
+func tileCacheBytes(sizeKB int) int { return sizeKB * 1024 }
+
+// run helpers for the six configurations behind Figs. 14-24.
+func (r *Runner) baseline(alias string, sizeKB int) (*gpu.Result, error) {
+	return r.Run(alias, fmt.Sprintf("base%d", sizeKB), gpu.Baseline(tileCacheBytes(sizeKB)))
+}
+
+func (r *Runner) tcorFull(alias string, sizeKB int) (*gpu.Result, error) {
+	return r.Run(alias, fmt.Sprintf("tcor%d", sizeKB), gpu.TCOR(tileCacheBytes(sizeKB)))
+}
+
+func (r *Runner) tcorNoL2(alias string, sizeKB int) (*gpu.Result, error) {
+	return r.Run(alias, fmt.Sprintf("nol2-%d", sizeKB), gpu.TCORNoL2(tileCacheBytes(sizeKB)))
+}
+
+// TrafficRow is one benchmark's bar of a normalized traffic figure: reads
+// and writes for baseline and TCOR, both normalized to the baseline total.
+type TrafficRow struct {
+	Alias                 string
+	BaseReads, BaseWrites int64
+	TCORReads, TCORWrites int64
+	Decrease              float64 // 1 - (TCOR total / baseline total)
+}
+
+// TrafficFigure is the result of Figs. 14-19.
+type TrafficFigure struct {
+	Fig     int
+	SizeKB  int
+	Metric  string
+	Rows    []TrafficRow
+	Average float64 // average of per-benchmark decreases
+}
+
+// Table renders the figure.
+func (f *TrafficFigure) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Figure %d: %s, normalized to baseline (%d KiB Tile Cache)",
+			f.Fig, f.Metric, f.SizeKB),
+		Header: []string{"Benchmark", "BaseRd", "BaseWr", "TCORRd", "TCORWr", "Decrease"},
+	}
+	for _, row := range f.Rows {
+		base := float64(row.BaseReads + row.BaseWrites)
+		norm := func(v int64) string {
+			if base == 0 {
+				return "-"
+			}
+			return f3(float64(v) / base)
+		}
+		t.AddRow(row.Alias, norm(row.BaseReads), norm(row.BaseWrites),
+			norm(row.TCORReads), norm(row.TCORWrites), pct(row.Decrease))
+	}
+	t.AddRow("average", "", "", "", "", pct(f.Average))
+	return t
+}
+
+// trafficFigure builds Figs. 14-19 from a per-result counter extractor.
+func (r *Runner) trafficFigure(fig, sizeKB int, metric string,
+	get func(*gpu.Result) mem.RegionCounts) (*TrafficFigure, error) {
+	f := &TrafficFigure{Fig: fig, SizeKB: sizeKB, Metric: metric}
+	var sum float64
+	for _, spec := range r.Suite() {
+		base, err := r.baseline(spec.Alias, sizeKB)
+		if err != nil {
+			return nil, err
+		}
+		tc, err := r.tcorFull(spec.Alias, sizeKB)
+		if err != nil {
+			return nil, err
+		}
+		b, tcc := get(base), get(tc)
+		row := TrafficRow{
+			Alias:     spec.Alias,
+			BaseReads: b.Reads, BaseWrites: b.Writes,
+			TCORReads: tcc.Reads, TCORWrites: tcc.Writes,
+		}
+		if tot := b.Reads + b.Writes; tot > 0 {
+			row.Decrease = 1 - float64(tcc.Reads+tcc.Writes)/float64(tot)
+		}
+		sum += row.Decrease
+		f.Rows = append(f.Rows, row)
+	}
+	if len(f.Rows) > 0 {
+		f.Average = sum / float64(len(f.Rows))
+	}
+	return f, nil
+}
+
+// Fig14 and Fig15: Parameter Buffer accesses to the L2, for the 64 KiB and
+// 128 KiB Tile Caches.
+func (r *Runner) Fig14() (*TrafficFigure, error) { return r.figPBL2(14, 64) }
+
+// Fig15 is the 128 KiB variant of Fig14.
+func (r *Runner) Fig15() (*TrafficFigure, error) { return r.figPBL2(15, 128) }
+
+func (r *Runner) figPBL2(fig, sizeKB int) (*TrafficFigure, error) {
+	return r.trafficFigure(fig, sizeKB, "PB accesses to L2",
+		func(res *gpu.Result) mem.RegionCounts { return res.L2In.PB() })
+}
+
+// Fig16 and Fig17: Parameter Buffer accesses to Main Memory.
+func (r *Runner) Fig16() (*TrafficFigure, error) { return r.figPBMem(16, 64) }
+
+// Fig17 is the 128 KiB variant of Fig16.
+func (r *Runner) Fig17() (*TrafficFigure, error) { return r.figPBMem(17, 128) }
+
+func (r *Runner) figPBMem(fig, sizeKB int) (*TrafficFigure, error) {
+	return r.trafficFigure(fig, sizeKB, "PB accesses to Main Memory",
+		func(res *gpu.Result) mem.RegionCounts { return res.DRAMIn.PB() })
+}
+
+// Fig18 and Fig19: total Main Memory accesses (all regions, including the
+// Color Buffer flush).
+func (r *Runner) Fig18() (*TrafficFigure, error) { return r.figMemTotal(18, 64) }
+
+// Fig19 is the 128 KiB variant of Fig18.
+func (r *Runner) Fig19() (*TrafficFigure, error) { return r.figMemTotal(19, 128) }
+
+func (r *Runner) figMemTotal(fig, sizeKB int) (*TrafficFigure, error) {
+	return r.trafficFigure(fig, sizeKB, "total Main Memory accesses",
+		func(res *gpu.Result) mem.RegionCounts {
+			return mem.RegionCounts{Reads: res.DRAM.Reads, Writes: res.DRAM.Writes}
+		})
+}
+
+// EnergyRow is one benchmark's bars of Figs. 20/21.
+type EnergyRow struct {
+	Alias        string
+	BasePJ       float64
+	NoL2PJ       float64
+	TCORPJ       float64
+	DecreaseNoL2 float64 // 1 - NoL2/Base
+	DecreaseTCOR float64 // 1 - TCOR/Base
+}
+
+// EnergyFigure is the result of Figs. 20/21.
+type EnergyFigure struct {
+	Fig     int
+	SizeKB  int
+	Rows    []EnergyRow
+	AvgNoL2 float64
+	AvgTCOR float64
+}
+
+// Table renders the figure.
+func (f *EnergyFigure) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Figure %d: Memory hierarchy energy, normalized to baseline (%d KiB Tile Cache)",
+			f.Fig, f.SizeKB),
+		Header: []string{"Benchmark", "Baseline", "TCOR-noL2", "TCOR", "Dec(noL2)", "Dec(TCOR)"},
+	}
+	for _, row := range f.Rows {
+		t.AddRow(row.Alias, "1.000", f3(row.NoL2PJ/row.BasePJ), f3(row.TCORPJ/row.BasePJ),
+			pct(row.DecreaseNoL2), pct(row.DecreaseTCOR))
+	}
+	t.AddRow("average", "", "", "", pct(f.AvgNoL2), pct(f.AvgTCOR))
+	return t
+}
+
+// Fig20 and Fig21: memory-hierarchy energy for baseline, TCOR without the
+// L2 enhancements, and full TCOR.
+func (r *Runner) Fig20() (*EnergyFigure, error) { return r.figEnergy(20, 64) }
+
+// Fig21 is the 128 KiB variant of Fig20.
+func (r *Runner) Fig21() (*EnergyFigure, error) { return r.figEnergy(21, 128) }
+
+func (r *Runner) figEnergy(fig, sizeKB int) (*EnergyFigure, error) {
+	f := &EnergyFigure{Fig: fig, SizeKB: sizeKB}
+	var sumN, sumT float64
+	for _, spec := range r.Suite() {
+		base, err := r.baseline(spec.Alias, sizeKB)
+		if err != nil {
+			return nil, err
+		}
+		noL2, err := r.tcorNoL2(spec.Alias, sizeKB)
+		if err != nil {
+			return nil, err
+		}
+		tc, err := r.tcorFull(spec.Alias, sizeKB)
+		if err != nil {
+			return nil, err
+		}
+		row := EnergyRow{
+			Alias:  spec.Alias,
+			BasePJ: base.MemHierarchyPJ,
+			NoL2PJ: noL2.MemHierarchyPJ,
+			TCORPJ: tc.MemHierarchyPJ,
+		}
+		row.DecreaseNoL2 = 1 - row.NoL2PJ/row.BasePJ
+		row.DecreaseTCOR = 1 - row.TCORPJ/row.BasePJ
+		sumN += row.DecreaseNoL2
+		sumT += row.DecreaseTCOR
+		f.Rows = append(f.Rows, row)
+	}
+	if len(f.Rows) > 0 {
+		f.AvgNoL2 = sumN / float64(len(f.Rows))
+		f.AvgTCOR = sumT / float64(len(f.Rows))
+	}
+	return f, nil
+}
+
+// GPUEnergyRow is one benchmark of Fig. 22.
+type GPUEnergyRow struct {
+	Alias       string
+	Decrease64  float64
+	Decrease128 float64
+}
+
+// GPUEnergyFigure is the result of Fig. 22.
+type GPUEnergyFigure struct {
+	Rows          []GPUEnergyRow
+	Avg64, Avg128 float64
+}
+
+// Table renders the figure.
+func (f *GPUEnergyFigure) Table() *Table {
+	t := &Table{
+		Title:  "Figure 22: Decrease in total GPU energy wrt the baseline",
+		Header: []string{"Benchmark", "64KB Tile Cache", "128KB Tile Cache"},
+	}
+	for _, row := range f.Rows {
+		t.AddRow(row.Alias, pct(row.Decrease64), pct(row.Decrease128))
+	}
+	t.AddRow("average", pct(f.Avg64), pct(f.Avg128))
+	return t
+}
+
+// Fig22 reproduces Figure 22: per-benchmark decrease in total GPU energy
+// for both Tile Cache sizes.
+func (r *Runner) Fig22() (*GPUEnergyFigure, error) {
+	f := &GPUEnergyFigure{}
+	var s64, s128 float64
+	for _, spec := range r.Suite() {
+		row := GPUEnergyRow{Alias: spec.Alias}
+		for _, sizeKB := range []int{64, 128} {
+			base, err := r.baseline(spec.Alias, sizeKB)
+			if err != nil {
+				return nil, err
+			}
+			tc, err := r.tcorFull(spec.Alias, sizeKB)
+			if err != nil {
+				return nil, err
+			}
+			dec := 1 - tc.TotalPJ/base.TotalPJ
+			if sizeKB == 64 {
+				row.Decrease64 = dec
+			} else {
+				row.Decrease128 = dec
+			}
+		}
+		s64 += row.Decrease64
+		s128 += row.Decrease128
+		f.Rows = append(f.Rows, row)
+	}
+	if n := float64(len(f.Rows)); n > 0 {
+		f.Avg64, f.Avg128 = s64/n, s128/n
+	}
+	return f, nil
+}
+
+// ThroughputRow is one benchmark of Figs. 23/24.
+type ThroughputRow struct {
+	Alias   string
+	BasePPC float64
+	TCORPPC float64
+	Speedup float64
+}
+
+// ThroughputFigure is the result of Figs. 23/24.
+type ThroughputFigure struct {
+	Fig        int
+	SizeKB     int
+	Rows       []ThroughputRow
+	AvgSpeedup float64
+}
+
+// Table renders the figure.
+func (f *ThroughputFigure) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Figure %d: Primitives output per cycle by the Tile Fetcher (%d KiB Tile Cache)",
+			f.Fig, f.SizeKB),
+		Header: []string{"Benchmark", "Baseline PPC", "TCOR PPC", "Speedup"},
+	}
+	for _, row := range f.Rows {
+		t.AddRow(row.Alias, f3(row.BasePPC), f3(row.TCORPPC), fmt.Sprintf("%.1fx", row.Speedup))
+	}
+	t.AddRow("average", "", "", fmt.Sprintf("%.1fx", f.AvgSpeedup))
+	return t
+}
+
+// Fig23 and Fig24: Tile Fetcher throughput (primitives per cycle) with an
+// unbounded output queue.
+func (r *Runner) Fig23() (*ThroughputFigure, error) { return r.figThroughput(23, 64) }
+
+// Fig24 is the 128 KiB variant of Fig23.
+func (r *Runner) Fig24() (*ThroughputFigure, error) { return r.figThroughput(24, 128) }
+
+func (r *Runner) figThroughput(fig, sizeKB int) (*ThroughputFigure, error) {
+	f := &ThroughputFigure{Fig: fig, SizeKB: sizeKB}
+	var sum float64
+	for _, spec := range r.Suite() {
+		base, err := r.baseline(spec.Alias, sizeKB)
+		if err != nil {
+			return nil, err
+		}
+		tc, err := r.tcorFull(spec.Alias, sizeKB)
+		if err != nil {
+			return nil, err
+		}
+		row := ThroughputRow{Alias: spec.Alias, BasePPC: base.PPC(), TCORPPC: tc.PPC()}
+		if row.BasePPC > 0 {
+			row.Speedup = row.TCORPPC / row.BasePPC
+		}
+		sum += row.Speedup
+		f.Rows = append(f.Rows, row)
+	}
+	if len(f.Rows) > 0 {
+		f.AvgSpeedup = sum / float64(len(f.Rows))
+	}
+	return f, nil
+}
+
+// Headline aggregates the paper's abstract-level claims: 13.8% memory
+// hierarchy energy decrease, 5.5% total GPU energy decrease, 3.7% FPS
+// increase, ~5x Tiling Engine speedup.
+type Headline struct {
+	MemHierarchyDecrease float64
+	GPUEnergyDecrease    float64
+	FPSIncrease          float64
+	TilingSpeedup        float64
+}
+
+// Table renders the headline numbers.
+func (h Headline) Table() *Table {
+	t := &Table{
+		Title:  "Headline results (suite average, 64 KiB Tile Cache)",
+		Header: []string{"Metric", "This repro", "Paper"},
+	}
+	t.AddRow("Memory hierarchy energy decrease", pct(h.MemHierarchyDecrease), "13.8%")
+	t.AddRow("Total GPU energy decrease", pct(h.GPUEnergyDecrease), "5.5%")
+	t.AddRow("FPS increase", pct(h.FPSIncrease), "3.7%")
+	t.AddRow("Tiling Engine speedup", fmt.Sprintf("%.1fx", h.TilingSpeedup), "~5x")
+	return t
+}
+
+// Headline computes the abstract-level aggregate over the suite at 64 KiB.
+func (r *Runner) Headline() (Headline, error) {
+	var h Headline
+	n := 0
+	const clock = 600e6
+	for _, spec := range r.Suite() {
+		base, err := r.baseline(spec.Alias, 64)
+		if err != nil {
+			return h, err
+		}
+		tc, err := r.tcorFull(spec.Alias, 64)
+		if err != nil {
+			return h, err
+		}
+		h.MemHierarchyDecrease += 1 - tc.MemHierarchyPJ/base.MemHierarchyPJ
+		h.GPUEnergyDecrease += 1 - tc.TotalPJ/base.TotalPJ
+		h.FPSIncrease += tc.FPS(clock)/base.FPS(clock) - 1
+		if base.PPC() > 0 {
+			h.TilingSpeedup += tc.PPC() / base.PPC()
+		}
+		n++
+	}
+	if n > 0 {
+		h.MemHierarchyDecrease /= float64(n)
+		h.GPUEnergyDecrease /= float64(n)
+		h.FPSIncrease /= float64(n)
+		h.TilingSpeedup /= float64(n)
+	}
+	return h, nil
+}
+
+// TableI renders the simulation parameters of Table I.
+func TableI() *Table {
+	t := &Table{
+		Title:  "Table I: GPU simulation parameters",
+		Header: []string{"Parameter", "Value"},
+	}
+	t.AddRow("Tech Specs", "600MHz, 1V, 32nm")
+	t.AddRow("Screen Resolution", "1960x768")
+	t.AddRow("Tile Size", "32x32")
+	t.AddRow("Tile Traversal Order", "Z-order")
+	t.AddRow("Main Memory Latency", "50-100 cycles")
+	t.AddRow("Main Memory Size", "1GiB")
+	t.AddRow("Vertex Cache", "64-bytes/line, 64KiB, 4-way, 1 cycle")
+	t.AddRow("Texture Caches (4x)", "64-bytes/line, 64KiB, 4-way, 1 cycle")
+	t.AddRow("Tile Cache", "64-bytes/line, 64KiB, 4-way, 1 cycle")
+	t.AddRow("L2 Cache", "64-bytes/line, 1MiB, 8-way, 12 cycles")
+	return t
+}
+
+// TableII renders the benchmark suite with both the published targets and
+// the realized statistics of the generated scenes.
+func (r *Runner) TableII() (*Table, error) {
+	t := &Table{
+		Title: "Table II: Evaluated benchmarks (synthetic scenes calibrated to the published statistics)",
+		Header: []string{"Benchmark", "Alias", "Installs(M)", "Genre", "Type",
+			"PB MiB (target)", "PB MiB (measured)", "Reuse (target)", "Reuse (measured)", "Prims", "Prims/Tile"},
+	}
+	for _, spec := range r.Suite() {
+		sc, err := r.Scene(spec.Alias)
+		if err != nil {
+			return nil, err
+		}
+		st := sc.Stats()
+		typ := "2D"
+		if spec.ThreeD {
+			typ = "3D"
+		}
+		t.AddRow(spec.Name, spec.Alias, fmt.Sprintf("%d", spec.Installs), spec.Genre, typ,
+			fmt.Sprintf("%.2f", spec.PBFootprintMiB),
+			fmt.Sprintf("%.2f", float64(st.PBFootprint)/(1024*1024)),
+			fmt.Sprintf("%.2f", spec.AvgPrimReuse),
+			fmt.Sprintf("%.2f", st.AvgPrimReuse),
+			fmt.Sprintf("%d", st.Primitives),
+			fmt.Sprintf("%.1f", st.AvgPrimsTile))
+	}
+	return t, nil
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tcor/internal/geom"
+	"tcor/internal/gpu"
+	"tcor/internal/workload"
+)
+
+// TileSizeRow is one tile-size point of the sensitivity study.
+type TileSizeRow struct {
+	TileSize    int
+	Tiles       int
+	AvgReuse    float64 // measured primitive re-use at this tile size
+	BasePBL2    int64
+	TCORPBL2    int64
+	Decrease    float64
+	TCORSpeedup float64
+	TCORHierPJ  float64
+}
+
+// TileSizeSweep varies the tile edge around Table I's 32x32 and re-runs
+// baseline and TCOR. Tile size is the TBR architecture's fundamental
+// trade-off (§II): smaller tiles shrink the on-chip buffers but multiply
+// primitive re-use (each primitive overlaps more tiles), growing the
+// Parameter Buffer and amplifying what the replacement policy can win or
+// lose. Scenes are regenerated per tile size from the same spec, so the
+// *workload* is held fixed while the binning granularity changes.
+func (r *Runner) TileSizeSweep(alias string) (*Table, []TileSizeRow, error) {
+	spec, err := workload.ByAlias(alias)
+	if err != nil {
+		return nil, nil, err
+	}
+	if r.Frames > 0 {
+		spec.Frames = r.Frames
+	}
+
+	// Generate the geometry ONCE at the canonical 32-pixel tiles, then
+	// re-bin the identical primitives at each tile size — the workload is
+	// held fixed while only the binning granularity changes (re-generating
+	// would recalibrate primitive sizes to the Table II re-use target and
+	// hide the effect under study).
+	canonical, err := r.Scene(alias)
+	if err != nil {
+		return nil, nil, err
+	}
+	frames := make([]workload.Frame, canonical.NumFrames())
+	for f := range frames {
+		frames[f] = *canonical.Frame(f)
+	}
+
+	t := &Table{
+		Title:  fmt.Sprintf("Tile-size sensitivity, %s: the TBR trade-off around Table I's 32x32", alias),
+		Header: []string{"Tile", "Tiles", "Re-use", "Base PB->L2", "TCOR PB->L2", "Decrease", "TF speedup"},
+	}
+	// 16-pixel tiles would need 5,904 tile IDs at this resolution —
+	// beyond the 12-bit OPT Number/last-tile fields the paper's hardware
+	// encodes (Figs. 6, 8) — so the sweep's lower end is 24 pixels.
+	var rows []TileSizeRow
+	for _, ts := range []int{24, 32, 48, 64} {
+		screen := geom.Screen{Width: r.Screen.Width, Height: r.Screen.Height, TileSize: ts}
+		if err := screen.Validate(); err != nil {
+			return nil, nil, err
+		}
+		scene, err := workload.NewSceneFromFrames(spec, screen, frames)
+		if err != nil {
+			return nil, nil, err
+		}
+		mk := func(c gpu.Config) gpu.Config {
+			c.Screen = screen
+			return c
+		}
+		base, err := gpu.Simulate(scene, mk(gpu.Baseline(64*1024)))
+		if err != nil {
+			return nil, nil, err
+		}
+		tc, err := gpu.Simulate(scene, mk(gpu.TCOR(64*1024)))
+		if err != nil {
+			return nil, nil, err
+		}
+		bPB, tPB := base.L2In.PB(), tc.L2In.PB()
+		row := TileSizeRow{
+			TileSize:   ts,
+			Tiles:      screen.NumTiles(),
+			AvgReuse:   scene.Stats().AvgPrimReuse,
+			BasePBL2:   bPB.Reads + bPB.Writes,
+			TCORPBL2:   tPB.Reads + tPB.Writes,
+			TCORHierPJ: tc.MemHierarchyPJ,
+		}
+		if row.BasePBL2 > 0 {
+			row.Decrease = 1 - float64(row.TCORPBL2)/float64(row.BasePBL2)
+		}
+		if b := base.PPC(); b > 0 {
+			row.TCORSpeedup = tc.PPC() / b
+		}
+		rows = append(rows, row)
+		t.AddRow(fmt.Sprintf("%dx%d", ts, ts), fmt.Sprintf("%d", row.Tiles),
+			fmt.Sprintf("%.2f", row.AvgReuse),
+			fmt.Sprintf("%d", row.BasePBL2), fmt.Sprintf("%d", row.TCORPBL2),
+			pct(row.Decrease), fmt.Sprintf("%.1fx", row.TCORSpeedup))
+	}
+	return t, rows, nil
+}

@@ -1,0 +1,37 @@
+package geom
+
+import "testing"
+
+// FuzzTriangleRectOverlap cross-checks the separating-axis overlap test
+// against a point-sampling oracle: whenever the SAT test reports no
+// overlap, no sampled point of the rectangle may be inside the triangle
+// (sampling can prove overlap but never absence, so the check is
+// one-sided).
+func FuzzTriangleRectOverlap(f *testing.F) {
+	f.Add(float32(0), float32(0), float32(10), float32(0), float32(0), float32(10))
+	f.Add(float32(50), float32(20), float32(20), float32(50), float32(70), float32(70))
+	f.Add(float32(-5), float32(-5), float32(40), float32(-5), float32(-5), float32(40))
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, cx, cy float32) {
+		bound := func(v float32) float32 {
+			if v != v || v > 1e6 || v < -1e6 { // NaN/huge inputs: clamp
+				return 0
+			}
+			return v
+		}
+		a := Vec2{bound(ax), bound(ay)}
+		b := Vec2{bound(bx), bound(by)}
+		c := Vec2{bound(cx), bound(cy)}
+		r := Rect{Min: Vec2{8, 8}, Max: Vec2{24, 24}}
+		if TriangleRectOverlap(a, b, c, r) {
+			return
+		}
+		for x := r.Min.X; x <= r.Max.X; x += 1.5 {
+			for y := r.Min.Y; y <= r.Max.Y; y += 1.5 {
+				if PointInTriangle(Vec2{x, y}, a, b, c) {
+					t.Fatalf("SAT says no overlap but (%v,%v) is inside triangle (%v %v %v)",
+						x, y, a, b, c)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package geom
+
+import "math"
+
+// Mat4 is a 4x4 row-major single-precision matrix.
+type Mat4 [16]float32
+
+// Identity returns the identity matrix.
+func Identity() Mat4 {
+	return Mat4{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// Mul returns the matrix product m*n.
+func (m Mat4) Mul(n Mat4) Mat4 {
+	var r Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var s float32
+			for k := 0; k < 4; k++ {
+				s += m[i*4+k] * n[k*4+j]
+			}
+			r[i*4+j] = s
+		}
+	}
+	return r
+}
+
+// Apply returns m*v treating v as a column vector.
+func (m Mat4) Apply(v Vec4) Vec4 {
+	return Vec4{
+		m[0]*v.X + m[1]*v.Y + m[2]*v.Z + m[3]*v.W,
+		m[4]*v.X + m[5]*v.Y + m[6]*v.Z + m[7]*v.W,
+		m[8]*v.X + m[9]*v.Y + m[10]*v.Z + m[11]*v.W,
+		m[12]*v.X + m[13]*v.Y + m[14]*v.Z + m[15]*v.W,
+	}
+}
+
+// Translate returns a translation matrix.
+func Translate(x, y, z float32) Mat4 {
+	m := Identity()
+	m[3], m[7], m[11] = x, y, z
+	return m
+}
+
+// ScaleUniform returns a uniform scaling matrix.
+func ScaleUniform(s float32) Mat4 {
+	m := Identity()
+	m[0], m[5], m[10] = s, s, s
+	return m
+}
+
+// RotateZ returns a rotation matrix about the z axis by angle radians.
+func RotateZ(angle float32) Mat4 {
+	s := float32(math.Sin(float64(angle)))
+	c := float32(math.Cos(float64(angle)))
+	m := Identity()
+	m[0], m[1] = c, -s
+	m[4], m[5] = s, c
+	return m
+}

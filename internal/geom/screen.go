@@ -1,0 +1,134 @@
+package geom
+
+import "fmt"
+
+// Screen describes the render target and its partition into square tiles.
+// The paper's configuration (Table I) is 1960x768 pixels with 32x32 tiles.
+type Screen struct {
+	Width, Height int // pixels
+	TileSize      int // pixels per tile edge
+}
+
+// DefaultScreen returns the Table I configuration.
+func DefaultScreen() Screen {
+	return Screen{Width: 1960, Height: 768, TileSize: 32}
+}
+
+// TilesX returns the number of tile columns.
+func (s Screen) TilesX() int { return (s.Width + s.TileSize - 1) / s.TileSize }
+
+// TilesY returns the number of tile rows.
+func (s Screen) TilesY() int { return (s.Height + s.TileSize - 1) / s.TileSize }
+
+// NumTiles returns the total number of tiles on the screen.
+func (s Screen) NumTiles() int { return s.TilesX() * s.TilesY() }
+
+// Validate reports whether the screen configuration is usable.
+func (s Screen) Validate() error {
+	if s.Width <= 0 || s.Height <= 0 {
+		return fmt.Errorf("geom: screen %dx%d must be positive", s.Width, s.Height)
+	}
+	if s.TileSize <= 0 {
+		return fmt.Errorf("geom: tile size %d must be positive", s.TileSize)
+	}
+	if s.NumTiles() > 1<<12 {
+		// Tile IDs travel in 12-bit PMD/L2 fields (paper Figs. 6, 8).
+		return fmt.Errorf("geom: %d tiles exceed the 12-bit tile ID space", s.NumTiles())
+	}
+	return nil
+}
+
+// TileID identifies a tile by its row-major index on the screen.
+type TileID uint16
+
+// InvalidTile is the sentinel for "no tile" / "never accessed again". It is
+// the all-ones value of the 12-bit OPT Number field.
+const InvalidTile TileID = 0xFFF
+
+// TileAt returns the tile containing pixel (x, y). The caller must pass
+// coordinates within the screen.
+func (s Screen) TileAt(x, y int) TileID {
+	return TileID(y/s.TileSize*s.TilesX() + x/s.TileSize)
+}
+
+// TileCoord returns the column and row of tile t.
+func (s Screen) TileCoord(t TileID) (tx, ty int) {
+	return int(t) % s.TilesX(), int(t) / s.TilesX()
+}
+
+// TileRect returns the screen-space rectangle of tile t, clipped to the
+// screen edge for partial boundary tiles.
+func (s Screen) TileRect(t TileID) Rect {
+	tx, ty := s.TileCoord(t)
+	r := Rect{
+		Min: Vec2{float32(tx * s.TileSize), float32(ty * s.TileSize)},
+		Max: Vec2{float32((tx + 1) * s.TileSize), float32((ty + 1) * s.TileSize)},
+	}
+	if r.Max.X > float32(s.Width) {
+		r.Max.X = float32(s.Width)
+	}
+	if r.Max.Y > float32(s.Height) {
+		r.Max.Y = float32(s.Height)
+	}
+	return r
+}
+
+// OverlappedTilesBBox appends the IDs of all tiles the primitive's
+// *bounding box* covers — the cheap conservative test simple binners use.
+// Thin or diagonal primitives produce false overlaps: tiles whose lists
+// carry a primitive the Rasterizer will discard (the overhead studied by
+// Antochi et al. [2] and Yang et al. [39]; see the FalseOverlap
+// experiment).
+func (s Screen) OverlappedTilesBBox(p *Primitive, dst []TileID) []TileID {
+	bb := p.BBox()
+	if bb.Max.X < 0 || bb.Max.Y < 0 ||
+		bb.Min.X > float32(s.Width) || bb.Min.Y > float32(s.Height) {
+		return dst
+	}
+	x0 := clampInt(int(bb.Min.X)/s.TileSize, 0, s.TilesX()-1)
+	x1 := clampInt(int(bb.Max.X)/s.TileSize, 0, s.TilesX()-1)
+	y0 := clampInt(int(bb.Min.Y)/s.TileSize, 0, s.TilesY()-1)
+	y1 := clampInt(int(bb.Max.Y)/s.TileSize, 0, s.TilesY()-1)
+	for ty := y0; ty <= y1; ty++ {
+		for tx := x0; tx <= x1; tx++ {
+			dst = append(dst, TileID(ty*s.TilesX()+tx))
+		}
+	}
+	return dst
+}
+
+// OverlappedTiles appends to dst the IDs of all tiles the primitive
+// overlaps, in row-major order, using the exact triangle-rectangle test over
+// the tiles covered by the primitive's bounding box. It returns the extended
+// slice.
+func (s Screen) OverlappedTiles(p *Primitive, dst []TileID) []TileID {
+	bb := p.BBox()
+	// Clip the bbox to the screen.
+	if bb.Max.X < 0 || bb.Max.Y < 0 ||
+		bb.Min.X > float32(s.Width) || bb.Min.Y > float32(s.Height) {
+		return dst
+	}
+	x0 := clampInt(int(bb.Min.X)/s.TileSize, 0, s.TilesX()-1)
+	x1 := clampInt(int(bb.Max.X)/s.TileSize, 0, s.TilesX()-1)
+	y0 := clampInt(int(bb.Min.Y)/s.TileSize, 0, s.TilesY()-1)
+	y1 := clampInt(int(bb.Max.Y)/s.TileSize, 0, s.TilesY()-1)
+	for ty := y0; ty <= y1; ty++ {
+		for tx := x0; tx <= x1; tx++ {
+			t := TileID(ty*s.TilesX() + tx)
+			if TriangleRectOverlap(p.Pos[0], p.Pos[1], p.Pos[2], s.TileRect(t)) {
+				dst = append(dst, t)
+			}
+		}
+	}
+	return dst
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

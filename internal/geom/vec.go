@@ -1,0 +1,122 @@
+// Package geom provides the small linear-algebra and screen-space geometry
+// kernel used by the TBR GPU model: vectors, 4x4 matrices, triangles,
+// bounding boxes and triangle-tile overlap tests.
+//
+// Coordinates follow the usual graphics convention: the Geometry Pipeline
+// works in clip space, and after the viewport transform primitives live in
+// screen space with the origin at the top-left corner, x growing right and
+// y growing down, both measured in pixels.
+package geom
+
+import "math"
+
+// Vec2 is a 2-component single-precision vector (screen-space positions).
+type Vec2 struct {
+	X, Y float32
+}
+
+// Vec3 is a 3-component single-precision vector.
+type Vec3 struct {
+	X, Y, Z float32
+}
+
+// Vec4 is a 4-component single-precision vector. It doubles as the storage
+// unit for one vertex worth of one attribute (16 bytes, matching the paper's
+// attribute layout: 48 bytes per attribute = 16 bytes x 3 vertices).
+type Vec4 struct {
+	X, Y, Z, W float32
+}
+
+// Add returns a+b.
+func (a Vec2) Add(b Vec2) Vec2 { return Vec2{a.X + b.X, a.Y + b.Y} }
+
+// Sub returns a-b.
+func (a Vec2) Sub(b Vec2) Vec2 { return Vec2{a.X - b.X, a.Y - b.Y} }
+
+// Scale returns a*s.
+func (a Vec2) Scale(s float32) Vec2 { return Vec2{a.X * s, a.Y * s} }
+
+// Dot returns the dot product of a and b.
+func (a Vec2) Dot(b Vec2) float32 { return a.X*b.X + a.Y*b.Y }
+
+// Cross returns the z component of the 3D cross product of a and b
+// interpreted as vectors in the z=0 plane. Its sign gives the orientation of
+// the turn from a to b.
+func (a Vec2) Cross(b Vec2) float32 { return a.X*b.Y - a.Y*b.X }
+
+// Len returns the Euclidean length of a.
+func (a Vec2) Len() float32 {
+	return float32(math.Sqrt(float64(a.Dot(a))))
+}
+
+// Add returns a+b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a-b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns a*s.
+func (a Vec3) Scale(s float32) Vec3 { return Vec3{a.X * s, a.Y * s, a.Z * s} }
+
+// Dot returns the dot product of a and b.
+func (a Vec3) Dot(b Vec3) float32 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the cross product of a and b.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Len returns the Euclidean length of a.
+func (a Vec3) Len() float32 {
+	return float32(math.Sqrt(float64(a.Dot(a))))
+}
+
+// Normalize returns a unit-length vector in the direction of a, or the zero
+// vector when a has zero length.
+func (a Vec3) Normalize() Vec3 {
+	l := a.Len()
+	if l == 0 {
+		return Vec3{}
+	}
+	return a.Scale(1 / l)
+}
+
+// Add returns a+b.
+func (a Vec4) Add(b Vec4) Vec4 {
+	return Vec4{a.X + b.X, a.Y + b.Y, a.Z + b.Z, a.W + b.W}
+}
+
+// Sub returns a-b.
+func (a Vec4) Sub(b Vec4) Vec4 {
+	return Vec4{a.X - b.X, a.Y - b.Y, a.Z - b.Z, a.W - b.W}
+}
+
+// Scale returns a*s.
+func (a Vec4) Scale(s float32) Vec4 {
+	return Vec4{a.X * s, a.Y * s, a.Z * s, a.W * s}
+}
+
+// Dot returns the dot product of a and b.
+func (a Vec4) Dot(b Vec4) float32 {
+	return a.X*b.X + a.Y*b.Y + a.Z*b.Z + a.W*b.W
+}
+
+// XY returns the first two components of a as a Vec2.
+func (a Vec4) XY() Vec2 { return Vec2{a.X, a.Y} }
+
+// XYZ returns the first three components of a as a Vec3.
+func (a Vec4) XYZ() Vec3 { return Vec3{a.X, a.Y, a.Z} }
+
+// PerspectiveDivide returns a scaled by 1/W with W preserved. For W==0 the
+// vector is returned unchanged (degenerate clip-space point).
+func (a Vec4) PerspectiveDivide() Vec4 {
+	if a.W == 0 {
+		return a
+	}
+	inv := 1 / a.W
+	return Vec4{a.X * inv, a.Y * inv, a.Z * inv, a.W}
+}

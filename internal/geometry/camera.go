@@ -1,0 +1,76 @@
+// Package geometry implements the Geometry Pipeline of paper Fig. 2 as a
+// functional front end: vertex fetch, vertex shading (model-view-projection
+// transform), primitive assembly from indexed meshes, frustum culling,
+// polygon clipping against the view volume, back-face culling, perspective
+// divide and the viewport transform. Its output is the stream of
+// screen-space primitives (geom.Primitive) the Tiling Engine bins.
+//
+// The synthetic workloads of internal/workload generate screen-space
+// geometry directly for calibration control; this package exists so the
+// system can also consume real 3D scenes end to end (see examples/scene3d).
+package geometry
+
+import (
+	"fmt"
+	"math"
+
+	"tcor/internal/geom"
+)
+
+// Camera is a pinhole camera with a perspective projection.
+type Camera struct {
+	Eye, Target, Up geom.Vec3
+	// FovY is the vertical field of view in radians.
+	FovY float32
+	// Aspect is width/height.
+	Aspect float32
+	// Near and Far are the positive distances to the clip planes.
+	Near, Far float32
+}
+
+// Validate reports whether the camera parameters are usable.
+func (c Camera) Validate() error {
+	if c.FovY <= 0 || c.FovY >= math.Pi {
+		return fmt.Errorf("geometry: field of view %v out of (0, pi)", c.FovY)
+	}
+	if c.Aspect <= 0 {
+		return fmt.Errorf("geometry: aspect %v must be positive", c.Aspect)
+	}
+	if c.Near <= 0 || c.Far <= c.Near {
+		return fmt.Errorf("geometry: near/far %v/%v must satisfy 0 < near < far", c.Near, c.Far)
+	}
+	if c.Eye == c.Target {
+		return fmt.Errorf("geometry: eye and target coincide")
+	}
+	return nil
+}
+
+// View returns the world-to-camera matrix (right-handed look-at).
+func (c Camera) View() geom.Mat4 {
+	f := c.Target.Sub(c.Eye).Normalize()
+	s := f.Cross(c.Up.Normalize()).Normalize()
+	u := s.Cross(f)
+	return geom.Mat4{
+		s.X, s.Y, s.Z, -s.Dot(c.Eye),
+		u.X, u.Y, u.Z, -u.Dot(c.Eye),
+		-f.X, -f.Y, -f.Z, f.Dot(c.Eye),
+		0, 0, 0, 1,
+	}
+}
+
+// Projection returns the perspective projection matrix mapping the view
+// frustum into clip space (-w..w on every axis, OpenGL convention).
+func (c Camera) Projection() geom.Mat4 {
+	t := float32(math.Tan(float64(c.FovY) / 2))
+	return geom.Mat4{
+		1 / (c.Aspect * t), 0, 0, 0,
+		0, 1 / t, 0, 0,
+		0, 0, -(c.Far + c.Near) / (c.Far - c.Near), -2 * c.Far * c.Near / (c.Far - c.Near),
+		0, 0, -1, 0,
+	}
+}
+
+// ViewProjection returns Projection() * View().
+func (c Camera) ViewProjection() geom.Mat4 {
+	return c.Projection().Mul(c.View())
+}

@@ -1,0 +1,35 @@
+package geometry_test
+
+import (
+	"fmt"
+	"math"
+
+	"tcor/internal/geom"
+	"tcor/internal/geometry"
+)
+
+// Render a cube through the full Geometry Pipeline: transform, clip, cull,
+// viewport-map. The emitted primitives are bin-ready for the Tiling Engine.
+func ExampleRun() {
+	scene := &geometry.Scene{
+		Camera: geometry.Camera{
+			Eye:    geom.Vec3{X: 3, Y: 2.5, Z: 5},
+			Target: geom.Vec3{},
+			Up:     geom.Vec3{Y: 1},
+			FovY:   math.Pi / 3,
+			Aspect: 1960.0 / 768.0,
+			Near:   0.1, Far: 100,
+		},
+		Objects: []geometry.Object{
+			{Mesh: geometry.Cube(), Transform: geom.Identity()},
+		},
+	}
+	prims, stats, _ := geometry.Run(scene, geometry.PipelineConfig{
+		Screen:        geom.DefaultScreen(),
+		CullBackfaces: true,
+	})
+	fmt.Printf("triangles: %d in, %d out, %d backface-culled\n",
+		stats.TrianglesIn, len(prims), stats.CulledBackfacing)
+	// Output:
+	// triangles: 12 in, 6 out, 6 backface-culled
+}

@@ -1,0 +1,116 @@
+package geometry
+
+import (
+	"fmt"
+
+	"tcor/internal/geom"
+)
+
+// Vertex is one input vertex: an object-space position plus the attribute
+// payload that will be interpolated by the Raster Pipeline (colors, normals,
+// texture coordinates — each a Vec4, 16 bytes, matching the paper's
+// PB-Attributes layout).
+type Vertex struct {
+	Pos   geom.Vec3
+	Attrs []geom.Vec4
+}
+
+// Mesh is an indexed triangle mesh.
+type Mesh struct {
+	Vertices []Vertex
+	// Indices holds vertex indices, three per triangle.
+	Indices []uint32
+}
+
+// Validate checks the mesh's structural invariants.
+func (m *Mesh) Validate() error {
+	if len(m.Indices)%3 != 0 {
+		return fmt.Errorf("geometry: %d indices is not a multiple of 3", len(m.Indices))
+	}
+	nAttrs := -1
+	for i, v := range m.Vertices {
+		if nAttrs == -1 {
+			nAttrs = len(v.Attrs)
+		} else if len(v.Attrs) != nAttrs {
+			return fmt.Errorf("geometry: vertex %d has %d attrs, mesh uses %d", i, len(v.Attrs), nAttrs)
+		}
+	}
+	if nAttrs == 0 {
+		return fmt.Errorf("geometry: mesh vertices need at least one attribute")
+	}
+	if nAttrs > geom.MaxAttributes {
+		return fmt.Errorf("geometry: %d attributes exceed the PMD limit %d", nAttrs, geom.MaxAttributes)
+	}
+	for i, idx := range m.Indices {
+		if int(idx) >= len(m.Vertices) {
+			return fmt.Errorf("geometry: index %d at %d out of range", idx, i)
+		}
+	}
+	return nil
+}
+
+// NumTriangles returns the triangle count.
+func (m *Mesh) NumTriangles() int { return len(m.Indices) / 3 }
+
+// Object places a mesh in the world.
+type Object struct {
+	Mesh      *Mesh
+	Transform geom.Mat4 // model matrix
+}
+
+// Scene is a 3D scene: a camera plus objects in submission (draw) order.
+type Scene struct {
+	Camera  Camera
+	Objects []Object
+}
+
+// Cube returns a unit cube mesh centered at the origin with one color
+// attribute and one texture-coordinate attribute per vertex.
+func Cube() *Mesh {
+	corner := func(x, y, z float32) Vertex {
+		return Vertex{
+			Pos: geom.Vec3{X: x, Y: y, Z: z},
+			Attrs: []geom.Vec4{
+				{X: (x + 1) / 2, Y: (y + 1) / 2, Z: (z + 1) / 2, W: 1}, // color
+				{X: (x + 1) / 2, Y: (y + 1) / 2},                       // uv
+			},
+		}
+	}
+	m := &Mesh{}
+	for _, z := range []float32{-0.5, 0.5} {
+		for _, y := range []float32{-0.5, 0.5} {
+			for _, x := range []float32{-0.5, 0.5} {
+				m.Vertices = append(m.Vertices, corner(x*2, y*2, z*2))
+			}
+		}
+	}
+	// 12 triangles; vertex order gives outward-facing CCW winding.
+	m.Indices = []uint32{
+		0, 2, 1, 1, 2, 3, // z = -1 face
+		4, 5, 6, 5, 7, 6, // z = +1 face
+		0, 1, 4, 1, 5, 4, // y = -1
+		2, 6, 3, 3, 6, 7, // y = +1
+		0, 4, 2, 2, 4, 6, // x = -1
+		1, 3, 5, 3, 7, 5, // x = +1
+	}
+	return m
+}
+
+// Plane returns a two-triangle rectangle in the XZ plane (a ground plane)
+// spanning [-size/2, size/2] on X and Z at the given Y.
+func Plane(size, y float32) *Mesh {
+	h := size / 2
+	mk := func(x, z float32) Vertex {
+		return Vertex{
+			Pos: geom.Vec3{X: x, Y: y, Z: z},
+			Attrs: []geom.Vec4{
+				{X: 0.4, Y: 0.5, Z: 0.4, W: 1},
+				{X: (x + h) / size, Y: (z + h) / size},
+			},
+		}
+	}
+	return &Mesh{
+		Vertices: []Vertex{mk(-h, -h), mk(h, -h), mk(h, h), mk(-h, h)},
+		Indices:  []uint32{0, 1, 2, 0, 2, 3},
+	}
+}

@@ -1,0 +1,28 @@
+package gpu_test
+
+import (
+	"fmt"
+
+	"tcor/internal/geom"
+	"tcor/internal/gpu"
+	"tcor/internal/workload"
+)
+
+// Run one benchmark under baseline and TCOR and compare Parameter Buffer
+// traffic to main memory — the paper's Fig. 16 metric for one workload.
+func ExampleSimulate() {
+	spec, _ := workload.ByAlias("GTr")
+	spec.Frames = 1
+	scene, _ := workload.Generate(spec, geom.DefaultScreen())
+
+	base, _ := gpu.Simulate(scene, gpu.Baseline(64*1024))
+	tc, _ := gpu.Simulate(scene, gpu.TCOR(64*1024))
+
+	b := base.DRAMIn.PB()
+	t := tc.DRAMIn.PB()
+	fmt.Printf("baseline PB->memory accesses > 0: %v\n", b.Reads+b.Writes > 0)
+	fmt.Printf("TCOR PB->memory accesses: %d\n", t.Reads+t.Writes)
+	// Output:
+	// baseline PB->memory accesses > 0: true
+	// TCOR PB->memory accesses: 0
+}

@@ -1,0 +1,524 @@
+package gpu
+
+import (
+	"fmt"
+
+	"tcor/internal/cache"
+	"tcor/internal/dram"
+	"tcor/internal/energy"
+	"tcor/internal/geom"
+	"tcor/internal/l2"
+	"tcor/internal/mem"
+	"tcor/internal/memmap"
+	"tcor/internal/pbuffer"
+	"tcor/internal/raster"
+	"tcor/internal/tcor"
+	"tcor/internal/tiling"
+	"tcor/internal/trace"
+	"tcor/internal/workload"
+)
+
+// Result carries everything the paper's figures report for one run.
+type Result struct {
+	Benchmark string
+	Kind      TileCacheKind
+	Frames    int
+
+	// L2In counts requests arriving at the L2 from all the L1 caches, by
+	// region (Figs. 14/15 use the Parameter Buffer slice).
+	L2In *mem.Counter
+	// DRAMCounts counts main-memory accesses by region, including the
+	// Color Buffer flush traffic that bypasses the L2 (Figs. 16-19).
+	DRAM      dram.Stats
+	DRAMIn    *mem.Counter
+	L2Stats   l2.Stats
+	AttrStats tcor.AttrStats
+	ListStats tcor.ListStats
+	TileStats cache.Stats // baseline tile cache
+	// TileL2Reads/Writes are the L2 requests the baseline tile cache
+	// issued (fetches and write-backs).
+	TileL2Reads, TileL2Writes int64
+	VertexStats               cache.Stats
+	// VertexL2Reads counts the Vertex Cache's fill requests to the L2.
+	VertexL2Reads int64
+	RasterStats   raster.Stats
+
+	// Tiling Engine throughput (Figs. 23/24): primitive reads issued by
+	// the Tile Fetcher over the cycles it spent, with an unlimited output
+	// queue (the Rasterizer never back-pressures it in this measurement).
+	TFCycles  int64
+	PrimReads int64
+
+	// Whole-frame timing.
+	GeomCycles, PLBCycles, RasterCycles int64
+	FrameCycles                         int64
+
+	// PerFrame breaks the run down frame by frame (animation makes frames
+	// differ; FPS stability studies need the distribution, not the mean).
+	PerFrame []FrameStats
+
+	// Energy (picojoules, summed over frames).
+	Tally          *energy.Tally
+	MemHierarchyPJ float64
+	TotalPJ        float64
+}
+
+// FrameStats is the per-frame slice of the run.
+type FrameStats struct {
+	Frame      int
+	PrimReads  int64
+	TFCycles   int64
+	TileCycles int64 // sum over tiles of max(fetch, raster)
+	DRAMReads  int64
+	DRAMWrites int64
+}
+
+// PPC returns the Tile Fetcher's primitives per cycle.
+func (r *Result) PPC() float64 {
+	if r.TFCycles == 0 {
+		return 0
+	}
+	return float64(r.PrimReads) / float64(r.TFCycles)
+}
+
+// FPS returns frames per second under the Table I clock.
+func (r *Result) FPS(clockHz float64) float64 {
+	if r.FrameCycles == 0 {
+		return 0
+	}
+	return clockHz / (float64(r.FrameCycles) / float64(r.Frames))
+}
+
+// Simulate runs every frame of the scene through the configured GPU.
+func Simulate(scene *workload.Scene, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := newSim(scene, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for f := 0; f < scene.NumFrames(); f++ {
+		if err := s.runFrame(f); err != nil {
+			return nil, err
+		}
+	}
+	return s.finish()
+}
+
+// teeSink counts requests by region and forwards them.
+type teeSink struct {
+	*mem.Counter
+	next mem.Sink
+}
+
+func newTee(next mem.Sink) *teeSink {
+	return &teeSink{Counter: mem.NewCounter(), next: next}
+}
+
+func (t *teeSink) Access(r mem.Request) {
+	t.Counter.Access(r)
+	t.next.Access(r)
+}
+
+func (t *teeSink) TileRetired(pos uint16, tile geom.TileID) { t.next.TileRetired(pos, tile) }
+func (t *teeSink) EndFrame()                                { t.next.EndFrame() }
+
+// sim is the wired-up machine.
+type sim struct {
+	cfg   Config
+	scene *workload.Scene
+	trav  *tiling.Traversal
+
+	dramDev *dram.DRAM
+	l2c     *l2.Cache
+	l2in    *teeSink // in front of the L2: counts all L1->L2 traffic
+
+	// Tiling Engine L1s: exactly one of (tile) or (lists, attrs) is set.
+	tile      *cache.Cache // baseline unified Tile Cache
+	tileStats struct {
+		reads, writes, l2Reads, l2Writes int64
+	}
+	lists *tcor.PrimitiveListCache
+	attrs *tcor.AttributeCache
+
+	vertex        *cache.Cache
+	vertexL2Reads int64
+
+	rasterPipe *raster.Pipeline
+
+	listLayout pbuffer.ListLayout
+	attrLayout pbuffer.AttrLayout
+
+	// framePrimReads is the per-frame bookkeeping cursor for PerFrame.
+	framePrimReads int64
+
+	res Result
+}
+
+func newSim(scene *workload.Scene, cfg Config) (*sim, error) {
+	s := &sim{cfg: cfg, scene: scene}
+	var err error
+	s.trav, err = tiling.NewTraversal(cfg.Screen, cfg.Order)
+	if err != nil {
+		return nil, err
+	}
+	s.dramDev, err = dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	s.l2c, err = l2.New(cfg.L2, s.dramDev)
+	if err != nil {
+		return nil, err
+	}
+	s.l2in = newTee(s.l2c)
+
+	switch cfg.Kind {
+	case KindBaseline:
+		s.tile, err = cache.New(cache.Config{
+			Lines:         cache.LinesFor(cfg.TileCacheBytes, memmap.BlockBytes),
+			Ways:          cfg.TileCacheWays,
+			WriteAllocate: true,
+		}, cache.NewLRU())
+		if err != nil {
+			return nil, fmt.Errorf("gpu: tile cache: %w", err)
+		}
+	case KindTCOR:
+		lcfg := tcor.DefaultListCacheConfig()
+		lcfg.TagLastUse = cfg.L2Enhanced
+		s.lists, err = tcor.NewPrimitiveListCache(lcfg, s.l2in)
+		if err != nil {
+			return nil, err
+		}
+		acfg := tcor.DefaultAttrCacheConfig(cfg.TileCacheBytes - lcfg.SizeBytes)
+		acfg.XORIndex = cfg.XORIndex
+		acfg.WriteBypass = cfg.WriteBypass
+		s.attrs, err = tcor.NewAttributeCache(acfg, s.l2in)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("gpu: unknown tile cache kind %d", cfg.Kind)
+	}
+
+	s.vertex, err = cache.New(cache.Config{
+		Lines:         cache.LinesFor(cfg.VertexCacheBytes, memmap.BlockBytes),
+		Ways:          cfg.VertexCacheWays,
+		WriteAllocate: true,
+	}, cache.NewLRU())
+	if err != nil {
+		return nil, fmt.Errorf("gpu: vertex cache: %w", err)
+	}
+
+	spec := scene.Spec
+	rcfg := raster.DefaultConfig(cfg.Screen, int64(spec.TextureMiB*1024*1024), spec.ShaderInstrPerPixel)
+	// 3D titles carry some alpha-blended effects (particles, glass, UI
+	// overlays); a modest deterministic share exercises the Blending unit.
+	if spec.ThreeD {
+		rcfg.TranslucentFraction = 0.05
+	}
+	s.rasterPipe, err = raster.New(rcfg, s.l2in, s.dramDev)
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.InterleavedLists {
+		s.listLayout = pbuffer.NewInterleavedListLayout(cfg.Screen.NumTiles())
+	} else {
+		s.listLayout = pbuffer.NewBaselineListLayout(cfg.Screen.NumTiles())
+	}
+	s.attrLayout = pbuffer.NewAttrLayout()
+
+	s.res.Benchmark = spec.Alias
+	s.res.Kind = cfg.Kind
+	return s, nil
+}
+
+// penalty measures the stall cycles incurred by the last L1 operation from
+// the L2/DRAM traffic it generated, scaled by the MSHR overlap factor.
+type penaltyProbe struct {
+	l2Reads, dramReadCycles int64
+}
+
+func (s *sim) snap() penaltyProbe {
+	return penaltyProbe{
+		l2Reads:        s.l2in.Reads,
+		dramReadCycles: s.dramDev.Stats().ReadCycles,
+	}
+}
+
+func (s *sim) penaltySince(p penaltyProbe) int64 {
+	l2 := (s.l2in.Reads - p.l2Reads) * int64(s.cfg.Timing.L2Cycles)
+	dr := s.dramDev.Stats().ReadCycles - p.dramReadCycles
+	return (l2 + dr) / int64(s.cfg.Timing.MSHROverlap)
+}
+
+// runFrame pushes one frame through the whole pipeline.
+func (s *sim) runFrame(f int) error {
+	dramBefore := s.dramDev.Stats()
+	frame := s.scene.Frame(f)
+	prims := frame.Prims
+
+	// --- Geometry Pipeline: vertex fetch + vertex shading. ---
+	s.res.GeomCycles += s.geometry(prims)
+
+	// --- Tiling Engine, phase 1: Polygon List Builder. ---
+	binning, err := tiling.Bin(s.cfg.Screen, s.trav, prims)
+	if err != nil {
+		return err
+	}
+	h := &frameHandler{sim: s, binning: binning, frame: f, prims: prims}
+	tiling.Replay(binning, s.listLayout, s.attrLayout, h)
+	h.drainQueue()
+
+	// Per-tile overlap of Tile Fetcher and Raster Pipeline: the stages are
+	// decoupled by the output queue, so the frame pays the slower of the
+	// two per tile.
+	fs := FrameStats{Frame: f}
+	for i := range h.tileTF {
+		tf, rs := h.tileTF[i], h.tileRaster[i]
+		if tf > rs {
+			fs.TileCycles += tf
+		} else {
+			fs.TileCycles += rs
+		}
+		fs.TFCycles += tf
+		s.res.RasterCycles += rs
+	}
+	s.res.FrameCycles += fs.TileCycles
+
+	// Shader program fills: each frame streams the vertex and fragment
+	// programs into the instruction caches once.
+	s.instrFills()
+
+	// --- Frame boundary: recycle the Parameter Buffer. ---
+	switch s.cfg.Kind {
+	case KindBaseline:
+		s.tile.FlushAll() // PB-only cache; drop without write-back
+	case KindTCOR:
+		s.lists.EndFrame()
+		s.attrs.EndFrame()
+	}
+	s.l2in.EndFrame()
+	s.rasterPipe.EndFrame()
+	dramAfter := s.dramDev.Stats()
+	fs.PrimReads = s.res.PrimReads - s.framePrimReads
+	s.framePrimReads = s.res.PrimReads
+	fs.DRAMReads = dramAfter.Reads - dramBefore.Reads
+	fs.DRAMWrites = dramAfter.Writes - dramBefore.Writes
+	s.res.PerFrame = append(s.res.PerFrame, fs)
+	s.res.Frames++
+	return nil
+}
+
+// geometry models the Vertex Fetcher and Vertex Stage: each primitive
+// fetches three 16-byte vertices from the input geometry stream through the
+// Vertex Cache, then runs the vertex program.
+func (s *sim) geometry(prims []geom.Primitive) int64 {
+	var cycles int64
+	for i := range prims {
+		for v := 0; v < 3; v++ {
+			addr := memmap.InputGeometryBase + uint64(i*3+v)*16
+			p := s.snap()
+			res := s.vertex.Access(trace.Access{Key: trace.Key(memmap.Block(addr))})
+			if !res.Hit {
+				s.vertexL2Reads++
+				s.l2in.Access(mem.Request{Addr: addr &^ (memmap.BlockBytes - 1)})
+			}
+			cycles += int64(s.cfg.Timing.L1Cycles) + s.penaltySince(p)
+		}
+		cycles += int64(s.cfg.Timing.VertexInstr) * 3 / 4 // 4-lane vertex shading
+	}
+	return cycles
+}
+
+// instrFills charges the per-frame shader-program streaming into the
+// instruction caches from the L2.
+func (s *sim) instrFills() {
+	for b := int64(0); b < s.rasterPipe.InstrFootprintBlocks(); b++ {
+		s.l2in.Access(mem.Request{Addr: memmap.FragShaderInstrBase + uint64(b)*memmap.BlockBytes})
+	}
+	vblocks := int64(s.cfg.Timing.VertexInstr) * 16 / memmap.BlockBytes
+	for b := int64(0); b <= vblocks; b++ {
+		s.l2in.Access(mem.Request{Addr: memmap.VertexShaderInstrBase + uint64(b)*memmap.BlockBytes})
+	}
+}
+
+// frameHandler adapts the Tiling Engine event stream onto the configured
+// cache organization and accumulates the timing.
+type frameHandler struct {
+	sim     *sim
+	binning *tiling.Binning
+	frame   int
+	prims   []geom.Primitive
+
+	plbCycles int64
+	// Per-traversal-position Tile Fetcher and Raster cycles.
+	tileTF     []int64
+	tileRaster []int64
+	curTF      int64
+
+	// TCOR output queue: primitives locked until the Rasterizer consumes
+	// them.
+	queue []uint32
+}
+
+// tileAccess routes one block-granularity Tiling Engine access to the
+// correct L1 and returns the stall penalty.
+func (h *frameHandler) tileAccess(addr uint64, write bool, tilePos uint16) int64 {
+	s := h.sim
+	p := s.snap()
+	switch s.cfg.Kind {
+	case KindBaseline:
+		if write {
+			s.tileStats.writes++
+		} else {
+			s.tileStats.reads++
+		}
+		res := s.tile.Access(trace.Access{Key: trace.Key(memmap.Block(addr)), Write: write})
+		if res.Evicted && res.VictimDirty {
+			s.tileStats.l2Writes++
+			s.l2in.Access(mem.Request{Addr: memmap.BlockAddr(uint64(res.Victim)), Write: true})
+		}
+		// Read misses fetch. Write misses fetch when the write is partial:
+		// a PMD appended mid-block must merge with the PMDs already there,
+		// and a 48-byte attribute store into a 64-byte line is partial by
+		// construction (Fig. 4) — this fetch-on-attribute-write is
+		// precisely the overhead TCOR's primitive-granularity Attribute
+		// Buffer avoids. Only first-PMD writes (block-aligned PB-Lists
+		// addresses) allocate without a fetch.
+		partial := addr%memmap.BlockBytes != 0 ||
+			memmap.RegionOf(addr) == memmap.RegionPBAttributes
+		if !res.Hit && (!write || partial) {
+			s.tileStats.l2Reads++
+			s.l2in.Access(mem.Request{Addr: addr &^ (memmap.BlockBytes - 1)})
+		}
+	case KindTCOR:
+		s.lists.Access(addr, write, tilePos)
+	}
+	return int64(s.cfg.Timing.L1Cycles) + s.penaltySince(p)
+}
+
+// ListWrite implements tiling.Handler.
+func (h *frameHandler) ListWrite(addr uint64, tile geom.TileID) {
+	pos := h.binning.Traversal.Pos[tile]
+	// Binning work: overlap test + append (~2 cycles per PMD) plus the L1
+	// write. Writes drain through a write buffer, so miss handling is
+	// off the critical path; only write-buffer pressure (an eighth of the
+	// miss penalty) throttles the builder.
+	penalty := h.tileAccess(addr, true, pos)
+	h.plbCycles += 2 + int64(h.sim.cfg.Timing.L1Cycles) + (penalty-int64(h.sim.cfg.Timing.L1Cycles))/8
+}
+
+// AttrWrite implements tiling.Handler.
+func (h *frameHandler) AttrWrite(prim uint32, numAttrs uint8, firstUse, lastUse uint16, blocks []uint64) {
+	s := h.sim
+	switch s.cfg.Kind {
+	case KindBaseline:
+		for _, b := range blocks {
+			penalty := h.tileAccess(b, true, lastUse)
+			h.plbCycles += int64(s.cfg.Timing.L1Cycles) + (penalty-int64(s.cfg.Timing.L1Cycles))/8
+		}
+	case KindTCOR:
+		p := s.snap()
+		s.attrs.Write(prim, numAttrs, firstUse, lastUse, blocks)
+		h.plbCycles += int64(s.cfg.Timing.L1Cycles) + s.penaltySince(p)/8
+	}
+}
+
+// ListRead implements tiling.Handler.
+func (h *frameHandler) ListRead(addr uint64, tile geom.TileID) {
+	pos := h.binning.Traversal.Pos[tile]
+	h.curTF += h.tileAccess(addr, false, pos)
+}
+
+// PrimRead implements tiling.Handler.
+func (h *frameHandler) PrimRead(prim uint32, numAttrs uint8, optNum, lastUse uint16, blocks []uint64, tile geom.TileID) {
+	s := h.sim
+	s.res.PrimReads++
+	pos := h.binning.Traversal.Pos[tile]
+	switch s.cfg.Kind {
+	case KindBaseline:
+		// The baseline Tile Fetcher reads each attribute block through the
+		// Tile Cache and copies the attributes out.
+		for _, b := range blocks {
+			h.curTF += h.tileAccess(b, false, pos)
+		}
+	case KindTCOR:
+		p := s.snap()
+		res := s.attrs.Read(prim, numAttrs, optNum, lastUse, blocks)
+		for res.Stalled {
+			if len(h.queue) == 0 {
+				return // cannot happen: queue empty means nothing locked
+			}
+			// Rasterizer consumes the oldest in-flight primitive.
+			s.attrs.Unlock(h.queue[0])
+			h.queue = h.queue[1:]
+			h.curTF++ // one-cycle drain step
+			res = s.attrs.Read(prim, numAttrs, optNum, lastUse, blocks)
+		}
+		h.queue = append(h.queue, prim)
+		if len(h.queue) > s.cfg.OutputQueueDepth {
+			s.attrs.Unlock(h.queue[0])
+			h.queue = h.queue[1:]
+		}
+		h.curTF += int64(s.cfg.Timing.L1Cycles) + s.penaltySince(p)
+	}
+}
+
+// TileDone implements tiling.Handler: close out the tile's Tile Fetcher
+// cycle count, rasterize the tile, and signal retirement to the L2.
+func (h *frameHandler) TileDone(tile geom.TileID, pos uint16) {
+	s := h.sim
+	work := make([]raster.TileWork, 0, len(h.binning.Lists[tile]))
+	for _, e := range h.binning.Lists[tile] {
+		work = append(work, raster.TileWork{Prim: &h.prims[e.Prim]})
+	}
+	rc := s.rasterPipe.RasterTile(tile, h.frame, work)
+	h.tileTF = append(h.tileTF, h.curTF)
+	h.tileRaster = append(h.tileRaster, rc)
+	s.res.TFCycles += h.curTF
+	h.curTF = 0
+	s.l2in.TileRetired(pos, tile)
+}
+
+// drainQueue unlocks any primitives still in the output queue at frame end.
+func (h *frameHandler) drainQueue() {
+	if h.sim.cfg.Kind != KindTCOR {
+		h.sim.res.PLBCycles += h.plbCycles
+		return
+	}
+	for _, p := range h.queue {
+		h.sim.attrs.Unlock(p)
+	}
+	h.queue = h.queue[:0]
+	h.sim.res.PLBCycles += h.plbCycles
+}
+
+// finish collects stats and computes energy.
+func (s *sim) finish() (*Result, error) {
+	r := &s.res
+	r.L2In = s.l2in.Counter
+	r.L2Stats = s.l2c.Stats()
+	r.DRAM = s.dramDev.Stats()
+	r.DRAMIn = s.dramDev.Counter
+	r.VertexStats = s.vertex.Stats()
+	r.VertexL2Reads = s.vertexL2Reads
+	r.RasterStats = s.rasterPipe.Stats()
+	if s.cfg.Kind == KindTCOR {
+		r.AttrStats = s.attrs.Stats()
+		r.ListStats = s.lists.Stats()
+	} else {
+		r.TileStats = s.tile.Stats()
+		r.TileL2Reads = s.tileStats.l2Reads
+		r.TileL2Writes = s.tileStats.l2Writes
+	}
+	r.FrameCycles += r.GeomCycles + r.PLBCycles
+	// Bandwidth bound: the frame cannot retire before the DRAM bus has
+	// transferred everything it owed.
+	if busy := r.DRAM.BusyCycles; busy > r.FrameCycles {
+		r.FrameCycles = busy
+	}
+	s.computeEnergy(r)
+	return r, nil
+}

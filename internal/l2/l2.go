@@ -1,0 +1,259 @@
+// Package l2 models the shared L2 cache with TCOR's enhancements
+// (paper §III-D): every line is tagged with the Parameter Buffer section it
+// belongs to (2-bit field) and, for PB data, the traversal position of the
+// last tile that will use it (12-bit field). As the Tile Fetcher retires
+// tiles, lines whose last-use tile has already been processed become dead;
+// the replacement policy evicts dead lines first — dropping their write-back
+// even when dirty — then non-PB lines, then live PB lines, with LRU inside
+// each priority class.
+package l2
+
+import (
+	"fmt"
+
+	"tcor/internal/geom"
+	"tcor/internal/mem"
+	"tcor/internal/memmap"
+)
+
+// Config describes the L2.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	// Enhanced enables the TCOR dead-line replacement policy; when false
+	// the cache is plain LRU (the baseline and the "TCOR without L2
+	// enhancements" ablation).
+	Enhanced bool
+}
+
+// DefaultConfig returns the Table I configuration: 1 MiB, 8-way.
+func DefaultConfig(enhanced bool) Config {
+	return Config{SizeBytes: 1 << 20, Ways: 8, Enhanced: enhanced}
+}
+
+// Stats counts L2 events.
+type Stats struct {
+	Reads, Writes     int64
+	Hits, Misses      int64
+	Writebacks        int64 // dirty evictions written to memory
+	DroppedWritebacks int64 // dirty dead lines evicted without write-back
+	DeadEvictions     int64 // evictions that found a dead line
+	MemReads          int64 // fills requested from memory
+}
+
+type line struct {
+	key     uint64 // block index
+	valid   bool
+	dirty   bool
+	lastUse int64
+	region  memmap.Region
+	// lastTile is the traversal position of the last tile using this line;
+	// tagged is whether it is known (PB lines in enhanced mode).
+	lastTile uint16
+	tagged   bool
+}
+
+// Cache is the shared L2.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	clock   int64
+	stats   Stats
+	next    mem.Sink
+	// retired is the traversal position of the last tile the Tile Fetcher
+	// finished; -1 before any tile retires.
+	retired int
+}
+
+// New builds the L2; next receives main-memory traffic.
+func New(cfg Config, next mem.Sink) (*Cache, error) {
+	if next == nil {
+		return nil, fmt.Errorf("l2: needs a next-level sink")
+	}
+	lines := cfg.SizeBytes / memmap.BlockBytes
+	if cfg.Ways <= 0 || lines <= 0 || lines%cfg.Ways != 0 {
+		return nil, fmt.Errorf("l2: bad geometry %d bytes %d ways", cfg.SizeBytes, cfg.Ways)
+	}
+	sets := lines / cfg.Ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("l2: %d sets is not a power of two", sets)
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]line, sets),
+		setMask: uint64(sets - 1),
+		next:    next,
+		retired: -1,
+	}
+	backing := make([]line, lines)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return c, nil
+}
+
+// Stats returns a copy of the statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Config returns the configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// isDead reports whether a line's data can never be read again: it belongs
+// to the Parameter Buffer, its last-use tile is known, and that tile has
+// retired (§III-D1).
+func (c *Cache) isDead(l *line) bool {
+	return c.cfg.Enhanced && l.tagged && l.region.IsParameterBuffer() &&
+		c.retired >= 0 && int(l.lastTile) <= c.retired
+}
+
+// Access implements mem.Sink.
+func (c *Cache) Access(r mem.Request) {
+	c.clock++
+	if r.Write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	key := memmap.Block(r.Addr)
+	set := c.sets[key&c.setMask]
+	for w := range set {
+		if set[w].valid && set[w].key == key {
+			c.stats.Hits++
+			l := &set[w]
+			l.lastUse = c.clock
+			if r.Write {
+				l.dirty = true
+			}
+			if r.HasLastUse {
+				l.lastTile = r.LastUse
+				l.tagged = true
+			}
+			return
+		}
+	}
+	c.stats.Misses++
+	// Fill. Reads fetch the block from memory; writes from the L1s are
+	// full-block transfers (whole attribute blocks or full-line
+	// write-backs), so write misses allocate without a fetch.
+	if !r.Write {
+		c.stats.MemReads++
+		c.next.Access(mem.Request{Addr: memmap.BlockAddr(key)})
+	}
+	w := c.victim(set)
+	if set[w].valid {
+		c.evict(&set[w])
+	}
+	set[w] = line{
+		key:      key,
+		valid:    true,
+		dirty:    r.Write,
+		lastUse:  c.clock,
+		region:   r.Region(),
+		lastTile: r.LastUse,
+		tagged:   r.HasLastUse,
+	}
+}
+
+// victim selects a way: an invalid line if any; otherwise, in enhanced
+// mode, the best line by priority class (dead > non-PB > live PB) with LRU
+// inside the class (§III-D2); plain LRU otherwise.
+func (c *Cache) victim(set []line) int {
+	for w := range set {
+		if !set[w].valid {
+			return w
+		}
+	}
+	if !c.cfg.Enhanced {
+		return lruVictim(set)
+	}
+	best := 0
+	bestClass := c.class(&set[0])
+	for w := 1; w < len(set); w++ {
+		cl := c.class(&set[w])
+		if cl < bestClass || (cl == bestClass && set[w].lastUse < set[best].lastUse) {
+			best, bestClass = w, cl
+		}
+	}
+	return best
+}
+
+// class returns the replacement priority class: 0 dead, 1 non-PB, 2 live
+// PB. Lower evicts first.
+func (c *Cache) class(l *line) int {
+	if c.isDead(l) {
+		return 0
+	}
+	if !l.region.IsParameterBuffer() {
+		return 1
+	}
+	return 2
+}
+
+func lruVictim(set []line) int {
+	best := 0
+	for w := 1; w < len(set); w++ {
+		if set[w].lastUse < set[best].lastUse {
+			best = w
+		}
+	}
+	return best
+}
+
+// evict writes a dirty victim back to memory — unless it is dead, in which
+// case the write-back is dropped (§III-D2: "it does not have to be written
+// back to Main Memory even if it is dirty").
+func (c *Cache) evict(l *line) {
+	if c.isDead(l) {
+		c.stats.DeadEvictions++
+		if l.dirty {
+			c.stats.DroppedWritebacks++
+		}
+		return
+	}
+	if l.dirty {
+		c.stats.Writebacks++
+		c.next.Access(mem.Request{Addr: memmap.BlockAddr(l.key), Write: true})
+	}
+}
+
+// TileRetired implements mem.Sink: the Tile Fetcher finished the tile at
+// traversal position pos, so every PB line tagged with a last-use position
+// <= pos is now dead.
+func (c *Cache) TileRetired(pos uint16, tile geom.TileID) {
+	if int(pos) > c.retired {
+		c.retired = int(pos)
+	}
+	c.next.TileRetired(pos, tile)
+}
+
+// EndFrame implements mem.Sink: the Parameter Buffer is recycled, so PB
+// lines are invalidated without write-back in *both* modes (the driver
+// reclaims the buffer; this is not part of the TCOR enhancement). The
+// retired-tile counter resets for the next frame.
+func (c *Cache) EndFrame() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			l := &c.sets[s][w]
+			if l.valid && l.region.IsParameterBuffer() {
+				*l = line{}
+			}
+		}
+	}
+	c.retired = -1
+	c.next.EndFrame()
+}
+
+// Occupancy returns how many valid lines currently hold data of each
+// region; for tests and reports.
+func (c *Cache) Occupancy() map[memmap.Region]int {
+	out := make(map[memmap.Region]int)
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid {
+				out[c.sets[s][w].region]++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+package l2
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcor/internal/mem"
+	"tcor/internal/memmap"
+)
+
+func newL2(t *testing.T, sizeBytes, ways int, enhanced bool) (*Cache, *mem.Counter) {
+	t.Helper()
+	sink := mem.NewCounter()
+	c, err := New(Config{SizeBytes: sizeBytes, Ways: ways, Enhanced: enhanced}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, sink
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(DefaultConfig(true), nil); err == nil {
+		t.Error("nil sink must fail")
+	}
+	if _, err := New(Config{SizeBytes: 0, Ways: 8}, mem.NewCounter()); err == nil {
+		t.Error("zero size must fail")
+	}
+	if _, err := New(Config{SizeBytes: 64 * 24, Ways: 8}, mem.NewCounter()); err == nil {
+		t.Error("non-pow2 sets must fail")
+	}
+}
+
+func TestReadMissFetchesFromMemory(t *testing.T) {
+	c, sink := newL2(t, 1024, 2, false)
+	c.Access(mem.Request{Addr: memmap.TexturesBase})
+	if sink.Reads != 1 {
+		t.Errorf("memory reads = %d", sink.Reads)
+	}
+	c.Access(mem.Request{Addr: memmap.TexturesBase})
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d", st.Hits, st.Misses)
+	}
+}
+
+func TestWriteMissAllocatesWithoutFetch(t *testing.T) {
+	c, sink := newL2(t, 1024, 2, false)
+	c.Access(mem.Request{Addr: memmap.PBAttributesBase, Write: true})
+	if sink.Total() != 0 {
+		t.Errorf("write allocate must not fetch, saw %d", sink.Total())
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Errorf("misses = %d", st.Misses)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	// 2 lines, 2 ways, 1 set.
+	c, sink := newL2(t, 128, 2, false)
+	c.Access(mem.Request{Addr: memmap.PBAttributesBase, Write: true})
+	c.Access(mem.Request{Addr: memmap.PBAttributesBase + 64, Write: true})
+	c.Access(mem.Request{Addr: memmap.PBAttributesBase + 128}) // evicts LRU dirty
+	if sink.Writes != 1 {
+		t.Errorf("writebacks to memory = %d", sink.Writes)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("stats writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestDeadLineDroppedWriteback(t *testing.T) {
+	c, sink := newL2(t, 128, 2, true)
+	// Dirty PB line whose last tile is position 3.
+	c.Access(mem.Request{Addr: memmap.PBAttributesBase, Write: true, LastUse: 3, HasLastUse: true})
+	c.Access(mem.Request{Addr: memmap.TexturesBase})
+	// Tile 3 retires: the PB line is dead.
+	c.TileRetired(3, 0)
+	// Force an eviction.
+	c.Access(mem.Request{Addr: memmap.TexturesBase + 1024})
+	st := c.Stats()
+	if st.DeadEvictions != 1 || st.DroppedWritebacks != 1 {
+		t.Errorf("dead/dropped = %d/%d, want 1/1", st.DeadEvictions, st.DroppedWritebacks)
+	}
+	if sink.Writes != 0 {
+		t.Errorf("dead dirty line must not be written back, saw %d", sink.Writes)
+	}
+}
+
+func TestPriorityDeadOverNonPBOverLivePB(t *testing.T) {
+	// 3 classes in one set of 4 ways.
+	c, _ := newL2(t, 256, 4, true)
+	pbDead := memmap.PBAttributesBase       // last tile 1
+	tex := memmap.TexturesBase + 64         // non-PB
+	pbLive := memmap.PBAttributesBase + 128 // last tile 50
+	pbLive2 := memmap.PBListsBase + 192     // last tile 60
+	c.Access(mem.Request{Addr: pbDead, Write: true, LastUse: 1, HasLastUse: true})
+	c.Access(mem.Request{Addr: tex})
+	c.Access(mem.Request{Addr: pbLive, Write: true, LastUse: 50, HasLastUse: true})
+	c.Access(mem.Request{Addr: pbLive2, Write: true, LastUse: 60, HasLastUse: true})
+	c.TileRetired(2, 0)
+
+	// First eviction: the dead PB line.
+	c.Access(mem.Request{Addr: memmap.TexturesBase + 4096})
+	if c.Stats().DeadEvictions != 1 {
+		t.Fatalf("expected dead line evicted first: %+v", c.Stats())
+	}
+	// Second eviction: non-PB (the two textures are LRU-ordered; the old
+	// one goes; live PB survives).
+	c.Access(mem.Request{Addr: memmap.TexturesBase + 8192})
+	occ := c.Occupancy()
+	if occ[memmap.RegionPBAttributes] != 1 || occ[memmap.RegionPBLists] != 1 {
+		t.Errorf("live PB lines must survive, occupancy %v", occ)
+	}
+	// Third: fill with another texture; victim must again be a texture
+	// (non-PB class) not the live PB lines.
+	c.Access(mem.Request{Addr: memmap.TexturesBase + 12288})
+	occ = c.Occupancy()
+	if occ[memmap.RegionPBAttributes] != 1 || occ[memmap.RegionPBLists] != 1 {
+		t.Errorf("live PB evicted before non-PB: %v", occ)
+	}
+}
+
+func TestBaselineLRUIgnoresClasses(t *testing.T) {
+	c, sink := newL2(t, 128, 2, false)
+	// Dirty dead-taggable PB line and a texture; baseline must evict pure
+	// LRU and write the dirty line back.
+	c.Access(mem.Request{Addr: memmap.PBAttributesBase, Write: true, LastUse: 0, HasLastUse: true})
+	c.TileRetired(0, 0)
+	c.Access(mem.Request{Addr: memmap.TexturesBase})
+	c.Access(mem.Request{Addr: memmap.TexturesBase + 1024}) // evicts PB line (LRU)
+	if c.Stats().DroppedWritebacks != 0 {
+		t.Error("baseline must not drop writebacks")
+	}
+	if sink.Writes != 1 {
+		t.Errorf("baseline writeback missing: %d", sink.Writes)
+	}
+}
+
+func TestEndFrameDropsPBKeepsOthers(t *testing.T) {
+	c, sink := newL2(t, 1024, 2, true)
+	c.Access(mem.Request{Addr: memmap.PBAttributesBase, Write: true, LastUse: 9, HasLastUse: true})
+	c.Access(mem.Request{Addr: memmap.PBListsBase + 64, Write: true, LastUse: 9, HasLastUse: true})
+	c.Access(mem.Request{Addr: memmap.TexturesBase + 128})
+	c.EndFrame()
+	occ := c.Occupancy()
+	if occ[memmap.RegionPBAttributes] != 0 || occ[memmap.RegionPBLists] != 0 {
+		t.Errorf("PB lines must be dropped at frame end: %v", occ)
+	}
+	if occ[memmap.RegionTextures] != 1 {
+		t.Errorf("texture lines must survive frame end: %v", occ)
+	}
+	if sink.Writes != 0 {
+		t.Error("frame-end recycling must not write back")
+	}
+	if sink.Frames != 1 {
+		t.Error("EndFrame must propagate")
+	}
+	// The retired counter reset: a new frame's PB line with last tile 0 is
+	// NOT dead until tile 0 retires again.
+	c.Access(mem.Request{Addr: memmap.PBAttributesBase, Write: true, LastUse: 0, HasLastUse: true})
+	c.Access(mem.Request{Addr: memmap.PBAttributesBase + 64, Write: true, LastUse: 5, HasLastUse: true})
+	st := c.Stats()
+	c.Access(mem.Request{Addr: memmap.TexturesBase + 4096})
+	c.Access(mem.Request{Addr: memmap.TexturesBase + 8192})
+	if c.Stats().DeadEvictions != st.DeadEvictions {
+		t.Error("nothing should be dead before any tile retires in the new frame")
+	}
+}
+
+func TestTileRetiredPropagates(t *testing.T) {
+	c, sink := newL2(t, 1024, 2, true)
+	c.TileRetired(5, 3)
+	if sink.TileRetirements != 1 {
+		t.Error("TileRetired must propagate to the next level")
+	}
+	// Retirement is monotonic.
+	c.TileRetired(2, 1)
+	c.Access(mem.Request{Addr: memmap.PBAttributesBase, Write: true, LastUse: 4, HasLastUse: true})
+	// Line with last use 4 <= retired 5 is dead even though a lower
+	// retirement arrived later.
+	for i := 1; i < 40; i++ {
+		c.Access(mem.Request{Addr: memmap.TexturesBase + uint64(i)*64})
+	}
+	if c.Stats().DeadEvictions == 0 {
+		t.Error("monotonic retirement lost")
+	}
+}
+
+// Randomized invariant test: arbitrary interleavings of accesses, tile
+// retirements and frame boundaries keep the L2's accounting consistent.
+func TestL2InvariantsUnderRandomTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, enhanced := range []bool{false, true} {
+		sink := mem.NewCounter()
+		c, err := New(Config{SizeBytes: 16 * 1024, Ways: 4, Enhanced: enhanced}, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases := []uint64{
+			memmap.PBListsBase, memmap.PBAttributesBase,
+			memmap.TexturesBase, memmap.InputGeometryBase,
+		}
+		retired := -1
+		for i := 0; i < 50000; i++ {
+			switch rng.Intn(20) {
+			case 0:
+				pos := uint16(rng.Intn(64))
+				if int(pos) > retired {
+					retired = int(pos)
+				}
+				c.TileRetired(pos, 0)
+			case 1:
+				if rng.Intn(10) == 0 {
+					c.EndFrame()
+					retired = -1
+				}
+			default:
+				base := bases[rng.Intn(len(bases))]
+				r := mem.Request{
+					Addr:  base + uint64(rng.Intn(2048))*64,
+					Write: rng.Intn(3) == 0,
+				}
+				if memmap.RegionOf(r.Addr).IsParameterBuffer() && rng.Intn(2) == 0 {
+					r.LastUse = uint16(rng.Intn(64))
+					r.HasLastUse = true
+				}
+				// Textures and geometry are read-only in the real machine.
+				if !memmap.RegionOf(r.Addr).IsParameterBuffer() {
+					r.Write = false
+				}
+				c.Access(r)
+			}
+		}
+		st := c.Stats()
+		if st.Hits+st.Misses != st.Reads+st.Writes {
+			t.Errorf("enhanced=%v: hits+misses != accesses", enhanced)
+		}
+		if sink.Writes != st.Writebacks {
+			t.Errorf("enhanced=%v: memory writes %d != writebacks %d",
+				enhanced, sink.Writes, st.Writebacks)
+		}
+		if sink.Reads != st.MemReads {
+			t.Errorf("enhanced=%v: memory reads %d != fills %d",
+				enhanced, sink.Reads, st.MemReads)
+		}
+		if !enhanced && (st.DroppedWritebacks != 0 || st.DeadEvictions != 0) {
+			t.Errorf("baseline used dead-line machinery: %+v", st)
+		}
+		// Occupancy never exceeds capacity.
+		total := 0
+		for _, n := range c.Occupancy() {
+			total += n
+		}
+		if total > 16*1024/64 {
+			t.Errorf("occupancy %d exceeds capacity", total)
+		}
+	}
+}
+
+// The enhanced L2 never evicts a live PB line while a dead one exists in
+// the same set (spot-checked on a crafted stream).
+func TestEnhancedNeverEvictsLiveOverDead(t *testing.T) {
+	sink := mem.NewCounter()
+	c, err := New(Config{SizeBytes: 128, Ways: 2, Enhanced: true}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Live PB line (last tile 50) and dead PB line (last tile 1).
+	c.Access(mem.Request{Addr: memmap.PBAttributesBase, Write: true, LastUse: 50, HasLastUse: true})
+	c.Access(mem.Request{Addr: memmap.PBAttributesBase + 64, Write: true, LastUse: 1, HasLastUse: true})
+	c.TileRetired(10, 0)
+	c.Access(mem.Request{Addr: memmap.TexturesBase}) // forces one eviction
+	occ := c.Occupancy()
+	if occ[memmap.RegionPBAttributes] != 1 {
+		t.Fatalf("occupancy %v", occ)
+	}
+	if c.Stats().DeadEvictions != 1 || sink.Writes != 0 {
+		t.Errorf("dead line not chosen or written back: %+v writes=%d", c.Stats(), sink.Writes)
+	}
+}

@@ -1,0 +1,104 @@
+// Package mem defines the request plumbing between levels of the simulated
+// memory hierarchy: a Request (block address + metadata) and the Sink
+// interface implemented by every level that can service requests from the
+// level above (the shared L2, the DRAM model, and counting stubs in tests).
+package mem
+
+import (
+	"tcor/internal/geom"
+	"tcor/internal/memmap"
+)
+
+// Request is one block-granularity access travelling down the hierarchy.
+type Request struct {
+	// Block is the byte address of the 64-byte block (aligned or not; the
+	// receiver normalizes with memmap.Block).
+	Addr uint64
+	// Write distinguishes write(-back) requests from reads.
+	Write bool
+	// LastUse is the traversal position of the last tile that will use this
+	// block. Only meaningful for Parameter Buffer data; TCOR's Polygon List
+	// Builder stores it in the spare bits of PB-Attributes blocks and the
+	// L2 derives it from the address for PB-Lists blocks (§III-D1).
+	// memmap-region classification decides whether it is consulted.
+	LastUse uint16
+	// HasLastUse reports whether LastUse carries information (TCOR
+	// configurations set it; the baseline never does).
+	HasLastUse bool
+}
+
+// Region classifies the request's address.
+func (r Request) Region() memmap.Region { return memmap.RegionOf(r.Addr) }
+
+// Sink is a memory hierarchy level that accepts requests from above.
+type Sink interface {
+	// Access services one request.
+	Access(r Request)
+	// TileRetired tells the level that the Tile Fetcher finished the tile
+	// at the given traversal position (dead-line bookkeeping, §III-D1).
+	// Levels that don't care ignore it.
+	TileRetired(pos uint16, tile geom.TileID)
+	// EndFrame marks a frame boundary: the Parameter Buffer is recycled by
+	// the driver, so PB lines are invalidated without write-back.
+	EndFrame()
+}
+
+// Counter is a Sink that tallies requests by region and direction. It is the
+// terminal level in unit tests and doubles as the access meter in front of
+// DRAM.
+type Counter struct {
+	Reads, Writes   int64
+	ByRegion        map[memmap.Region]*RegionCounts
+	TileRetirements int
+	Frames          int
+}
+
+// RegionCounts holds per-region read/write tallies.
+type RegionCounts struct {
+	Reads, Writes int64
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter {
+	return &Counter{ByRegion: make(map[memmap.Region]*RegionCounts)}
+}
+
+// Access implements Sink.
+func (c *Counter) Access(r Request) {
+	rc := c.ByRegion[r.Region()]
+	if rc == nil {
+		rc = &RegionCounts{}
+		c.ByRegion[r.Region()] = rc
+	}
+	if r.Write {
+		c.Writes++
+		rc.Writes++
+	} else {
+		c.Reads++
+		rc.Reads++
+	}
+}
+
+// TileRetired implements Sink.
+func (c *Counter) TileRetired(pos uint16, tile geom.TileID) { c.TileRetirements++ }
+
+// EndFrame implements Sink.
+func (c *Counter) EndFrame() { c.Frames++ }
+
+// Total returns reads+writes.
+func (c *Counter) Total() int64 { return c.Reads + c.Writes }
+
+// Region returns the counts for one region (zero value if untouched).
+func (c *Counter) Region(r memmap.Region) RegionCounts {
+	if rc := c.ByRegion[r]; rc != nil {
+		return *rc
+	}
+	return RegionCounts{}
+}
+
+// PB returns combined Parameter Buffer reads and writes (both sections).
+func (c *Counter) PB() RegionCounts {
+	l := c.Region(memmap.RegionPBLists)
+	a := c.Region(memmap.RegionPBAttributes)
+	return RegionCounts{Reads: l.Reads + a.Reads, Writes: l.Writes + a.Writes}
+}

@@ -1,0 +1,55 @@
+package memmap
+
+import "testing"
+
+func TestRegionOf(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		want Region
+	}{
+		{0, RegionOther},
+		{InputGeometryBase, RegionInputGeometry},
+		{PBListsBase, RegionPBLists},
+		{PBListsBase + 1<<20, RegionPBLists},
+		{PBAttributesBase, RegionPBAttributes},
+		{TexturesBase + 12345, RegionTextures},
+		{FrameBufferBase, RegionFrameBuffer},
+		{VertexShaderInstrBase, RegionVertexShaderInstr},
+		{FragShaderInstrBase, RegionFragShaderInstr},
+		{1 << 62, RegionOther},
+	}
+	for _, c := range cases {
+		if got := RegionOf(c.addr); got != c.want {
+			t.Errorf("RegionOf(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	if Block(127) != 1 {
+		t.Errorf("Block(127) = %d", Block(127))
+	}
+	if BlockAddr(Block(PBListsBase+640)) != PBListsBase+640 {
+		t.Error("block addr round trip failed for aligned address")
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	for r := RegionOther; r <= RegionFragShaderInstr; r++ {
+		if r.String() == "" {
+			t.Errorf("region %d has empty name", r)
+		}
+	}
+	if RegionOther.String() != "Other" || RegionPBLists.String() != "PB-Lists" {
+		t.Error("unexpected region names")
+	}
+}
+
+func TestIsParameterBuffer(t *testing.T) {
+	if !RegionPBLists.IsParameterBuffer() || !RegionPBAttributes.IsParameterBuffer() {
+		t.Error("PB regions must report IsParameterBuffer")
+	}
+	if RegionTextures.IsParameterBuffer() || RegionOther.IsParameterBuffer() {
+		t.Error("non-PB regions must not report IsParameterBuffer")
+	}
+}

@@ -1,0 +1,52 @@
+package pbuffer
+
+import (
+	"testing"
+
+	"tcor/internal/geom"
+)
+
+func FuzzPMDTCORRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint8(1), uint16(0))
+	f.Add(uint32(65535), uint8(15), uint16(4095))
+	f.Add(uint32(1234), uint8(7), uint16(2047))
+	f.Fuzz(func(t *testing.T, id uint32, attrs uint8, opt uint16) {
+		p := PMD{
+			PrimID:   id % (1 << 16),
+			NumAttrs: attrs%15 + 1,
+			OPTNum:   opt % (1 << 12),
+		}
+		w, err := p.EncodeTCOR()
+		if err != nil {
+			t.Fatalf("encode of in-range PMD failed: %v", err)
+		}
+		if got := DecodeTCOR(w); got != p {
+			t.Fatalf("round trip: %+v -> %#x -> %+v", p, w, got)
+		}
+	})
+}
+
+func FuzzLayoutsInvertible(f *testing.F) {
+	f.Add(uint16(0), uint16(0))
+	f.Add(uint16(1487), uint16(1023))
+	f.Add(uint16(700), uint16(17))
+	const numTiles = 1488
+	base := NewBaselineListLayout(numTiles)
+	inter := NewInterleavedListLayout(numTiles)
+	f.Fuzz(func(t *testing.T, tileRaw, slotRaw uint16) {
+		tile := geom.TileID(tileRaw % numTiles)
+		slot := int(slotRaw % MaxPrimsPerTile)
+		for _, l := range []ListLayout{base, inter} {
+			got, ok := l.TileOfBlock(l.BlockOf(tile, slot))
+			if !ok || got != tile {
+				t.Fatalf("%s: TileOfBlock(BlockOf(%d, %d)) = %d, %v",
+					l.Name(), tile, slot, got, ok)
+			}
+			// PMD addresses within a block stay within the block.
+			addr := l.PMDAddr(tile, slot)
+			if addr/64 != l.BlockOf(tile, slot) {
+				t.Fatalf("%s: PMD address %#x outside its block", l.Name(), addr)
+			}
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package pbuffer
+
+import (
+	"fmt"
+
+	"tcor/internal/geom"
+	"tcor/internal/memmap"
+)
+
+// ListLayout maps a (tile, list slot) pair to the byte address of the PMD in
+// the PB-Lists section.
+type ListLayout interface {
+	// Name identifies the layout in reports.
+	Name() string
+	// PMDAddr returns the byte address of the slot-th PMD of tile t's list.
+	PMDAddr(t geom.TileID, slot int) uint64
+	// BlockOf returns the block index holding the slot-th PMD of tile t.
+	BlockOf(t geom.TileID, slot int) uint64
+	// TileOfBlock inverts the mapping at block granularity: which tile's
+	// list does this PB-Lists block belong to? (The L2 dead-line logic
+	// derives the owning tile from the block address, §III-D1.)
+	TileOfBlock(block uint64) (geom.TileID, bool)
+}
+
+// BaselineListLayout is the contiguous layout of Fig. 3: each tile owns
+// BlocksPerTileBaseline consecutive blocks starting at
+// Base + tile*BlocksPerTileBaseline*64. Consecutive tiles are separated by a
+// large power of two, which is exactly what causes the conflict-miss
+// pathology of §III-B.
+type BaselineListLayout struct {
+	Base     uint64
+	NumTiles int
+}
+
+// NewBaselineListLayout returns the baseline layout rooted at the standard
+// PB-Lists base address.
+func NewBaselineListLayout(numTiles int) BaselineListLayout {
+	return BaselineListLayout{Base: memmap.PBListsBase, NumTiles: numTiles}
+}
+
+// Name implements ListLayout.
+func (BaselineListLayout) Name() string { return "baseline" }
+
+// PMDAddr implements ListLayout.
+func (l BaselineListLayout) PMDAddr(t geom.TileID, slot int) uint64 {
+	return l.Base +
+		uint64(t)*BlocksPerTileBaseline*memmap.BlockBytes +
+		uint64(slot)*PMDBytes
+}
+
+// BlockOf implements ListLayout.
+func (l BaselineListLayout) BlockOf(t geom.TileID, slot int) uint64 {
+	return memmap.Block(l.PMDAddr(t, slot))
+}
+
+// TileOfBlock implements ListLayout.
+func (l BaselineListLayout) TileOfBlock(block uint64) (geom.TileID, bool) {
+	addr := memmap.BlockAddr(block)
+	if addr < l.Base {
+		return 0, false
+	}
+	t := (addr - l.Base) / (BlocksPerTileBaseline * memmap.BlockBytes)
+	if t >= uint64(l.NumTiles) {
+		return 0, false
+	}
+	return geom.TileID(t), true
+}
+
+// InterleavedListLayout is TCOR's layout of Fig. 6: the lists are stored in
+// sections; section s holds the s-th block of every tile's list, one block
+// per tile, so consecutive tiles' data sits in consecutive blocks.
+type InterleavedListLayout struct {
+	Base     uint64
+	NumTiles int
+}
+
+// NewInterleavedListLayout returns the interleaved layout rooted at the
+// standard PB-Lists base address.
+func NewInterleavedListLayout(numTiles int) InterleavedListLayout {
+	return InterleavedListLayout{Base: memmap.PBListsBase, NumTiles: numTiles}
+}
+
+// Name implements ListLayout.
+func (InterleavedListLayout) Name() string { return "interleaved" }
+
+// PMDAddr implements ListLayout.
+func (l InterleavedListLayout) PMDAddr(t geom.TileID, slot int) uint64 {
+	section := uint64(slot / PMDsPerBlock)
+	within := uint64(slot % PMDsPerBlock)
+	block := section*uint64(l.NumTiles) + uint64(t)
+	return l.Base + block*memmap.BlockBytes + within*PMDBytes
+}
+
+// BlockOf implements ListLayout.
+func (l InterleavedListLayout) BlockOf(t geom.TileID, slot int) uint64 {
+	return memmap.Block(l.PMDAddr(t, slot))
+}
+
+// TileOfBlock implements ListLayout. In the interleaved layout the tile ID
+// is simply the block offset modulo the number of tiles (the paper's
+// "extract the least significant bits" observation generalized to non
+// power-of-two tile counts).
+func (l InterleavedListLayout) TileOfBlock(block uint64) (geom.TileID, bool) {
+	addr := memmap.BlockAddr(block)
+	if addr < l.Base {
+		return 0, false
+	}
+	off := (addr - l.Base) / memmap.BlockBytes
+	if off >= uint64(l.NumTiles)*BlocksPerTileBaseline {
+		return 0, false
+	}
+	return geom.TileID(off % uint64(l.NumTiles)), true
+}
+
+// AttrLayout maps attributes into the PB-Attributes section (Fig. 4). Each
+// attribute is 48 bytes, block-aligned, so it occupies one 64-byte block.
+// A primitive's attributes are consecutive; the index of its first
+// attribute (its "attribute base") doubles as the primitive's identity in
+// the address space — the paper uses the address of the first attribute as
+// the Primitive ID.
+type AttrLayout struct {
+	Base uint64
+}
+
+// NewAttrLayout returns the attribute layout rooted at the standard
+// PB-Attributes base address.
+func NewAttrLayout() AttrLayout {
+	return AttrLayout{Base: memmap.PBAttributesBase}
+}
+
+// AttrAddr returns the byte address of attribute i of a primitive whose
+// first attribute has global index attrBase.
+func (l AttrLayout) AttrAddr(attrBase uint32, i int) uint64 {
+	return l.Base + (uint64(attrBase)+uint64(i))*memmap.BlockBytes
+}
+
+// AttrBlock returns the block index of attribute i of the primitive with
+// the given attribute base.
+func (l AttrLayout) AttrBlock(attrBase uint32, i int) uint64 {
+	return memmap.Block(l.AttrAddr(attrBase, i))
+}
+
+// AttrIndexOfBlock inverts AttrBlock: the global attribute index stored in
+// a PB-Attributes block.
+func (l AttrLayout) AttrIndexOfBlock(block uint64) (uint32, error) {
+	addr := memmap.BlockAddr(block)
+	if addr < l.Base {
+		return 0, fmt.Errorf("pbuffer: block %#x below PB-Attributes base", block)
+	}
+	return uint32((addr - l.Base) / memmap.BlockBytes), nil
+}

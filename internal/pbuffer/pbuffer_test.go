@@ -1,0 +1,179 @@
+package pbuffer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tcor/internal/geom"
+	"tcor/internal/memmap"
+)
+
+func TestPMDBaselineRoundTrip(t *testing.T) {
+	p := PMD{PrimID: 123456, NumAttrs: 7}
+	w, err := p.EncodeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DecodeBaseline(w); got != p {
+		t.Errorf("round trip = %+v, want %+v", got, p)
+	}
+}
+
+func TestPMDTCORRoundTrip(t *testing.T) {
+	p := PMD{PrimID: 65535, NumAttrs: 15, OPTNum: 4095}
+	w, err := p.EncodeTCOR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DecodeTCOR(w); got != p {
+		t.Errorf("round trip = %+v, want %+v", got, p)
+	}
+}
+
+func TestPMDEncodeErrors(t *testing.T) {
+	if _, err := (PMD{PrimID: 1 << 26, NumAttrs: 1}).EncodeBaseline(); err == nil {
+		t.Error("baseline: oversized ID should fail")
+	}
+	if _, err := (PMD{PrimID: 1, NumAttrs: 0}).EncodeBaseline(); err == nil {
+		t.Error("baseline: zero attrs should fail")
+	}
+	if _, err := (PMD{PrimID: 1, NumAttrs: 16}).EncodeBaseline(); err == nil {
+		t.Error("baseline: 16 attrs should fail")
+	}
+	if _, err := (PMD{PrimID: 1 << 16, NumAttrs: 1}).EncodeTCOR(); err == nil {
+		t.Error("tcor: oversized ID should fail")
+	}
+	if _, err := (PMD{PrimID: 1, NumAttrs: 1, OPTNum: 1 << 12}).EncodeTCOR(); err == nil {
+		t.Error("tcor: oversized OPT number should fail")
+	}
+}
+
+func TestPMDRoundTripProperty(t *testing.T) {
+	f := func(id uint32, attrs uint8, opt uint16) bool {
+		p := PMD{
+			PrimID:   id % (1 << 16),
+			NumAttrs: attrs%15 + 1,
+			OPTNum:   opt % (1 << 12),
+		}
+		wt, err := p.EncodeTCOR()
+		if err != nil || DecodeTCOR(wt) != p {
+			return false
+		}
+		pb := PMD{PrimID: id % (1 << 26), NumAttrs: p.NumAttrs}
+		wb, err := pb.EncodeBaseline()
+		if err != nil || DecodeBaseline(wb) != pb {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaselineListLayout(t *testing.T) {
+	l := NewBaselineListLayout(1488)
+	if l.Name() != "baseline" {
+		t.Error("name")
+	}
+	// Tile 0 slot 0 at base; slot 16 is one block later.
+	if l.PMDAddr(0, 0) != memmap.PBListsBase {
+		t.Errorf("tile0 slot0 = %#x", l.PMDAddr(0, 0))
+	}
+	if l.BlockOf(0, 16) != l.BlockOf(0, 0)+1 {
+		t.Error("slot 16 should be in the next block")
+	}
+	// Consecutive tiles are 64 blocks apart — the conflict pathology.
+	if l.BlockOf(1, 0)-l.BlockOf(0, 0) != BlocksPerTileBaseline {
+		t.Errorf("tile stride = %d blocks", l.BlockOf(1, 0)-l.BlockOf(0, 0))
+	}
+	// TileOfBlock inverts BlockOf for every slot in the tile.
+	for _, tile := range []geom.TileID{0, 1, 700, 1487} {
+		for _, slot := range []int{0, 15, 16, 1023} {
+			got, ok := l.TileOfBlock(l.BlockOf(tile, slot))
+			if !ok || got != tile {
+				t.Fatalf("TileOfBlock(BlockOf(%d,%d)) = %d,%v", tile, slot, got, ok)
+			}
+		}
+	}
+	if _, ok := l.TileOfBlock(memmap.Block(memmap.PBListsBase) - 1); ok {
+		t.Error("block below base should not classify")
+	}
+	if _, ok := l.TileOfBlock(l.BlockOf(1487, 1023) + 1); ok {
+		t.Error("block past last tile should not classify")
+	}
+}
+
+func TestInterleavedListLayout(t *testing.T) {
+	numTiles := 1488
+	l := NewInterleavedListLayout(numTiles)
+	if l.Name() != "interleaved" {
+		t.Error("name")
+	}
+	// Consecutive tiles' first blocks are adjacent (the whole point).
+	if l.BlockOf(1, 0)-l.BlockOf(0, 0) != 1 {
+		t.Errorf("tile stride = %d blocks, want 1", l.BlockOf(1, 0)-l.BlockOf(0, 0))
+	}
+	// Slot 16 of tile t lives one section later: numTiles blocks away.
+	if l.BlockOf(5, 16)-l.BlockOf(5, 0) != uint64(numTiles) {
+		t.Errorf("section stride = %d", l.BlockOf(5, 16)-l.BlockOf(5, 0))
+	}
+	// PMDs within a block are consecutive words.
+	if l.PMDAddr(3, 1)-l.PMDAddr(3, 0) != PMDBytes {
+		t.Error("PMD stride within block")
+	}
+	for _, tile := range []geom.TileID{0, 1, 700, 1487} {
+		for _, slot := range []int{0, 15, 16, 500, 1023} {
+			got, ok := l.TileOfBlock(l.BlockOf(tile, slot))
+			if !ok || got != tile {
+				t.Fatalf("TileOfBlock(BlockOf(%d,%d)) = %d,%v", tile, slot, got, ok)
+			}
+		}
+	}
+}
+
+// Property: the two layouts are both injective over (tile, block-slot)
+// pairs — no two distinct PMD slots of distinct tiles share a byte address.
+func TestLayoutsInjectiveProperty(t *testing.T) {
+	numTiles := 64
+	layouts := []ListLayout{
+		NewBaselineListLayout(numTiles),
+		NewInterleavedListLayout(numTiles),
+	}
+	for _, l := range layouts {
+		seen := map[uint64]string{}
+		for tile := 0; tile < numTiles; tile++ {
+			for slot := 0; slot < 64; slot++ {
+				a := l.PMDAddr(geom.TileID(tile), slot)
+				if prev, dup := seen[a]; dup {
+					t.Fatalf("%s: address %#x assigned twice (%s and tile %d slot %d)",
+						l.Name(), a, prev, tile, slot)
+				}
+				seen[a] = l.Name()
+			}
+		}
+	}
+}
+
+func TestAttrLayout(t *testing.T) {
+	l := NewAttrLayout()
+	if l.AttrAddr(0, 0) != memmap.PBAttributesBase {
+		t.Errorf("first attr at %#x", l.AttrAddr(0, 0))
+	}
+	// One block per attribute.
+	if l.AttrBlock(10, 2)-l.AttrBlock(10, 0) != 2 {
+		t.Error("attributes must be one block each")
+	}
+	idx, err := l.AttrIndexOfBlock(l.AttrBlock(7, 3))
+	if err != nil || idx != 10 {
+		t.Errorf("AttrIndexOfBlock = %d, %v; want 10", idx, err)
+	}
+	if _, err := l.AttrIndexOfBlock(0); err == nil {
+		t.Error("block below base should error")
+	}
+	// Region classification holds.
+	if memmap.RegionOf(l.AttrAddr(100, 0)) != memmap.RegionPBAttributes {
+		t.Error("attr addresses must classify as PB-Attributes")
+	}
+}

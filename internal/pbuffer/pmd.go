@@ -1,0 +1,95 @@
+// Package pbuffer models the Parameter Buffer: the in-memory data structure
+// the Tiling Engine builds (Polygon List Builder) and consumes (Tile
+// Fetcher). It has two sections — PB-Lists (per-tile lists of Primitive
+// MetaData words) and PB-Attributes (the 48-byte, block-aligned vertex
+// attributes of each primitive) — and two alternative PB-Lists layouts: the
+// baseline contiguous layout (Fig. 3) and TCOR's interleaved layout
+// (Fig. 6).
+package pbuffer
+
+import (
+	"fmt"
+
+	"tcor/internal/geom"
+)
+
+// Hardware encoding constants (Figs. 3, 6).
+const (
+	// PMDBytes is the size of one Primitive MetaData word.
+	PMDBytes = 4
+	// PMDsPerBlock is how many PMDs fit in one 64-byte memory block.
+	PMDsPerBlock = 16
+	// MaxPrimsPerTile is the baseline allotment of primitives per tile list.
+	MaxPrimsPerTile = 1024
+	// BlocksPerTileBaseline is the per-tile list size in blocks in the
+	// baseline layout (1024 PMDs / 16 PMDs per block).
+	BlocksPerTileBaseline = MaxPrimsPerTile / PMDsPerBlock
+
+	// Baseline PMD fields: 26-bit primitive ID + 4-bit attribute count.
+	baseIDBits    = 26
+	attrBits      = 4
+	maxBaselineID = 1<<baseIDBits - 1
+
+	// TCOR PMD fields: 16-bit primitive ID + 4-bit count + 12-bit OPT
+	// Number.
+	tcorIDBits = 16
+	optBits    = 12
+	maxTCORID  = 1<<tcorIDBits - 1
+	// MaxOPTNumber is the largest encodable OPT Number; it doubles as the
+	// "never used again" sentinel (geom.InvalidTile).
+	MaxOPTNumber = 1<<optBits - 1
+)
+
+// PMD is a decoded Primitive MetaData word. In the baseline layout OPTNum is
+// unused; in the TCOR layout the primitive ID field shrinks to 16 bits to
+// make room for the 12-bit OPT Number (Fig. 6).
+type PMD struct {
+	PrimID   uint32
+	NumAttrs uint8
+	OPTNum   uint16
+}
+
+// EncodeBaseline packs the PMD in the baseline format of Fig. 3.
+func (p PMD) EncodeBaseline() (uint32, error) {
+	if p.PrimID > maxBaselineID {
+		return 0, fmt.Errorf("pbuffer: primitive ID %d exceeds %d bits", p.PrimID, baseIDBits)
+	}
+	if p.NumAttrs == 0 || p.NumAttrs > geom.MaxAttributes {
+		return 0, fmt.Errorf("pbuffer: attribute count %d out of range", p.NumAttrs)
+	}
+	return p.PrimID<<attrBits | uint32(p.NumAttrs), nil
+}
+
+// DecodeBaseline unpacks a baseline-format PMD word.
+func DecodeBaseline(w uint32) PMD {
+	return PMD{
+		PrimID:   w >> attrBits & maxBaselineID,
+		NumAttrs: uint8(w & (1<<attrBits - 1)),
+	}
+}
+
+// EncodeTCOR packs the PMD in the TCOR format of Fig. 6
+// (16-bit ID | 4-bit count | 12-bit OPT Number).
+func (p PMD) EncodeTCOR() (uint32, error) {
+	if p.PrimID > maxTCORID {
+		return 0, fmt.Errorf("pbuffer: primitive ID %d exceeds %d bits", p.PrimID, tcorIDBits)
+	}
+	if p.NumAttrs == 0 || p.NumAttrs > geom.MaxAttributes {
+		return 0, fmt.Errorf("pbuffer: attribute count %d out of range", p.NumAttrs)
+	}
+	if p.OPTNum > MaxOPTNumber {
+		return 0, fmt.Errorf("pbuffer: OPT number %d exceeds %d bits", p.OPTNum, optBits)
+	}
+	return p.PrimID<<(attrBits+optBits) |
+		uint32(p.NumAttrs)<<optBits |
+		uint32(p.OPTNum), nil
+}
+
+// DecodeTCOR unpacks a TCOR-format PMD word.
+func DecodeTCOR(w uint32) PMD {
+	return PMD{
+		PrimID:   w >> (attrBits + optBits) & maxTCORID,
+		NumAttrs: uint8(w >> optBits & (1<<attrBits - 1)),
+		OPTNum:   uint16(w & MaxOPTNumber),
+	}
+}

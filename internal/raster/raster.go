@@ -1,0 +1,362 @@
+// Package raster models the Raster Pipeline of the TBR GPU (paper Fig. 2):
+// per-tile rasterization into quads, the on-chip Z-buffer with Early-Z
+// rejection, fragment shading with its texture caches and instruction
+// caches, blending into the on-chip Color Buffer, and the flush of finished
+// tiles to the Frame Buffer in main memory.
+//
+// The pipeline exists in this reproduction for two reasons: it generates the
+// non-Parameter-Buffer memory traffic (textures, instructions, frame buffer)
+// that shares the L2 with the Tile Cache — which is what the TCOR L2
+// replacement policy arbitrates against — and it provides the per-tile cycle
+// counts that dilute the Tiling Engine speedup into the modest FPS gains of
+// §V-B3.
+package raster
+
+import (
+	"fmt"
+	"math"
+
+	"tcor/internal/cache"
+	"tcor/internal/geom"
+	"tcor/internal/mem"
+	"tcor/internal/memmap"
+	"tcor/internal/trace"
+)
+
+// QuadSize is the fragment-quad edge in pixels: fragment processors work on
+// 2x2 pixel quads.
+const QuadSize = 2
+
+// Config describes the Raster Pipeline resources (Table I).
+type Config struct {
+	Screen geom.Screen
+	// NumTexCaches is the number of L1 texture caches (Table I: 4),
+	// partitioned across fragment processors by screen-space interleaving.
+	NumTexCaches  int
+	TexCacheBytes int
+	TexCacheWays  int
+	// TextureBytes is the workload's texture working-set footprint.
+	TextureBytes int64
+	// ShaderInstrPerPixel is the average fragment shader length.
+	ShaderInstrPerPixel int
+	// NumFragmentProcessors sets the shading throughput (instructions per
+	// cycle across the tile).
+	NumFragmentProcessors int
+	// LateZFraction is the share of primitives whose fragment shader
+	// modifies depth: for those the Early Z-Test is disabled and the Late
+	// Z-Test runs after shading (paper §II-A), so occluded quads still pay
+	// full shading and texture cost.
+	LateZFraction float64
+	// TranslucentFraction is the share of primitives drawn with alpha
+	// blending (paper §II-A's Blending unit): translucent quads never
+	// occlude (they do not write depth), always shade, and perform a
+	// read-modify-write on the on-chip Color Buffer.
+	TranslucentFraction float64
+	// Bilinear enables 4-tap bilinear filtering with mip selection: each
+	// shaded quad samples a 2x2 texel footprint at a level of detail
+	// derived from the primitive's screen magnification. Off by default
+	// (one tap per quad), matching the calibrated traffic model; turn on
+	// for texture-system sensitivity studies.
+	Bilinear bool
+}
+
+// DefaultConfig returns the Table I raster configuration for a workload's
+// texture footprint and shader length.
+func DefaultConfig(screen geom.Screen, textureBytes int64, instrPerPixel int) Config {
+	return Config{
+		Screen:                screen,
+		NumTexCaches:          4,
+		TexCacheBytes:         64 * 1024,
+		TexCacheWays:          4,
+		TextureBytes:          textureBytes,
+		ShaderInstrPerPixel:   instrPerPixel,
+		NumFragmentProcessors: 4,
+	}
+}
+
+// Stats accumulates Raster Pipeline counters.
+type Stats struct {
+	Primitives      int64 // primitive-tile pairs rasterized
+	Quads           int64 // quads covered before Early-Z
+	QuadsShaded     int64 // quads surviving Early-Z
+	Fragments       int64 // pixels shaded
+	InstrExecuted   int64
+	TexAccesses     int64
+	TexMisses       int64
+	LateZQuads      int64 // quads shaded despite occlusion risk (Late Z-Test)
+	BlendedQuads    int64 // quads blended into the Color Buffer (read-modify-write)
+	FBBlocksFlushed int64
+	ShadeCycles     int64 // fragment-shading cycles across all tiles
+}
+
+// Pipeline is the Raster Pipeline model.
+type Pipeline struct {
+	cfg   Config
+	tex   []*cache.Cache
+	l2    mem.Sink
+	fb    mem.Sink // Color Buffer flush target (main memory, bypassing L2, Fig. 5)
+	stats Stats
+
+	texW      uint64 // texture width in texels (square working set, 4 B/texel)
+	depth     []float32
+	tileQuads int // quads per full tile edge
+}
+
+// New builds the pipeline. l2 receives texture-cache misses; fb receives
+// Color Buffer flushes (the paper's memory organization sends those straight
+// to main memory).
+func New(cfg Config, l2Sink, fbSink mem.Sink) (*Pipeline, error) {
+	if err := cfg.Screen.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NumTexCaches <= 0 || cfg.NumFragmentProcessors <= 0 {
+		return nil, fmt.Errorf("raster: need at least one texture cache and fragment processor")
+	}
+	if l2Sink == nil || fbSink == nil {
+		return nil, fmt.Errorf("raster: nil sink")
+	}
+	p := &Pipeline{cfg: cfg, l2: l2Sink, fb: fbSink}
+	for i := 0; i < cfg.NumTexCaches; i++ {
+		c, err := cache.New(cache.Config{
+			Lines:         cache.LinesFor(cfg.TexCacheBytes, memmap.BlockBytes),
+			Ways:          cfg.TexCacheWays,
+			WriteAllocate: true,
+		}, cache.NewLRU())
+		if err != nil {
+			return nil, fmt.Errorf("raster: texture cache: %w", err)
+		}
+		p.tex = append(p.tex, c)
+	}
+	texels := cfg.TextureBytes / 4
+	if texels < 64 {
+		texels = 64
+	}
+	p.texW = uint64(math.Sqrt(float64(texels)))
+	ts := cfg.Screen.TileSize
+	p.tileQuads = (ts + QuadSize - 1) / QuadSize
+	p.depth = make([]float32, p.tileQuads*p.tileQuads)
+	return p, nil
+}
+
+// Stats returns a copy of the counters.
+func (p *Pipeline) Stats() Stats { return p.stats }
+
+// TexCacheStats returns the aggregate texture-cache statistics.
+func (p *Pipeline) TexCacheStats() cache.Stats {
+	var agg cache.Stats
+	for _, c := range p.tex {
+		s := c.Stats()
+		agg.Accesses += s.Accesses
+		agg.Hits += s.Hits
+		agg.Misses += s.Misses
+		agg.Writebacks += s.Writebacks
+	}
+	return agg
+}
+
+// TileWork is one primitive scheduled into a tile, in list order.
+type TileWork struct {
+	Prim *geom.Primitive
+}
+
+// RasterTile rasterizes one tile's primitive list (in order) and returns the
+// cycles the Raster Pipeline spent on the tile. It models:
+//   - quad coverage by exact point-in-triangle tests at quad centers,
+//   - Early-Z rejection against the on-chip Z-buffer (opaque geometry,
+//     painter's order),
+//   - one texture access per surviving quad through the screen-interleaved
+//     texture caches (misses go to the L2),
+//   - fragment shading cost (instructions/pixel over the fragment
+//     processors),
+//   - the Color Buffer flush of the finished tile to the Frame Buffer.
+func (p *Pipeline) RasterTile(tile geom.TileID, frame int, work []TileWork) int64 {
+	rect := p.cfg.Screen.TileRect(tile)
+	for i := range p.depth {
+		p.depth[i] = math.MaxFloat32
+	}
+	var quadsShaded int64
+	for _, w := range work {
+		p.stats.Primitives++
+		quadsShaded += p.rasterPrim(w.Prim, rect, frame)
+	}
+	fragments := quadsShaded * QuadSize * QuadSize
+	instr := fragments * int64(p.cfg.ShaderInstrPerPixel)
+	p.stats.QuadsShaded += quadsShaded
+	p.stats.Fragments += fragments
+	p.stats.InstrExecuted += instr
+
+	// Color Buffer flush: the tile's pixels at 4 B each, block-granularity
+	// writes straight to main memory.
+	pixels := int64(rect.Width()) * int64(rect.Height())
+	blocks := (pixels*4 + memmap.BlockBytes - 1) / memmap.BlockBytes
+	base := memmap.FrameBufferBase + uint64(tile)*uint64(p.cfg.Screen.TileSize*p.cfg.Screen.TileSize*4)
+	for b := int64(0); b < blocks; b++ {
+		p.fb.Access(mem.Request{Addr: base + uint64(b)*memmap.BlockBytes, Write: true})
+	}
+	p.stats.FBBlocksFlushed += blocks
+
+	// Shading cycles: the fragment processors sustain one instruction per
+	// cycle each.
+	cycles := instr / int64(p.cfg.NumFragmentProcessors)
+	if cycles == 0 && len(work) > 0 {
+		cycles = 1
+	}
+	p.stats.ShadeCycles += cycles
+	return cycles
+}
+
+// rasterPrim walks the quads of the primitive's bbox inside the tile,
+// testing coverage and Early-Z, issuing texture traffic for surviving quads,
+// and returning the surviving quad count.
+func (p *Pipeline) rasterPrim(pr *geom.Primitive, tile geom.Rect, frame int) int64 {
+	bb := pr.BBox()
+	x0 := maxF(bb.Min.X, tile.Min.X)
+	y0 := maxF(bb.Min.Y, tile.Min.Y)
+	x1 := minF(bb.Max.X, tile.Max.X)
+	y1 := minF(bb.Max.Y, tile.Max.Y)
+	if x0 >= x1 || y0 >= y1 {
+		return 0
+	}
+	// Snap to the tile's quad grid.
+	qx0 := int(x0-tile.Min.X) / QuadSize
+	qy0 := int(y0-tile.Min.Y) / QuadSize
+	qx1 := int(x1-tile.Min.X-0.0001) / QuadSize
+	qy1 := int(y1-tile.Min.Y-0.0001) / QuadSize
+	if qx1 >= p.tileQuads {
+		qx1 = p.tileQuads - 1
+	}
+	if qy1 >= p.tileQuads {
+		qy1 = p.tileQuads - 1
+	}
+	z := (pr.Depth[0] + pr.Depth[1] + pr.Depth[2]) / 3
+	// Depth-writing materials disable the Early Z-Test (§II-A); the choice
+	// is a deterministic per-primitive hash so a given fraction of the
+	// geometry takes the late path.
+	lateZ := p.cfg.LateZFraction > 0 &&
+		float64(pr.ID*2654435761%1000) < p.cfg.LateZFraction*1000
+	// Translucent materials neither occlude nor get occluded by later
+	// translucent layers; they blend over whatever is resident.
+	translucent := p.cfg.TranslucentFraction > 0 &&
+		float64(pr.ID*40503%1000) < p.cfg.TranslucentFraction*1000
+	var survived int64
+	for qy := qy0; qy <= qy1; qy++ {
+		for qx := qx0; qx <= qx1; qx++ {
+			cx := tile.Min.X + float32(qx*QuadSize) + QuadSize/2
+			cy := tile.Min.Y + float32(qy*QuadSize) + QuadSize/2
+			if !geom.PointInTriangle(geom.Vec2{X: cx, Y: cy}, pr.Pos[0], pr.Pos[1], pr.Pos[2]) {
+				continue
+			}
+			p.stats.Quads++
+			di := qy*p.tileQuads + qx
+			if translucent {
+				// Blend: depth-tested against opaque geometry but never
+				// written; the Color Buffer is read and re-written.
+				if z >= p.depth[di] {
+					continue
+				}
+				p.stats.BlendedQuads++
+				survived++
+				p.textureFetch(pr, cx, cy, frame)
+				continue
+			}
+			if !lateZ {
+				// Early-Z: opaque geometry in submission order.
+				if z >= p.depth[di] {
+					continue
+				}
+				p.depth[di] = z
+				survived++
+				p.textureFetch(pr, cx, cy, frame)
+				continue
+			}
+			// Late-Z: shade unconditionally, then depth-test the result.
+			p.stats.LateZQuads++
+			survived++
+			p.textureFetch(pr, cx, cy, frame)
+			if z < p.depth[di] {
+				p.depth[di] = z
+			}
+		}
+	}
+	return survived
+}
+
+// textureFetch issues the texel accesses for a shaded quad. Screen
+// position maps to texture space with per-primitive offsets so that
+// neighboring quads hit neighboring texels while the whole frame sweeps the
+// texture working set. With Bilinear enabled the quad samples a 2x2 texel
+// footprint from the mip level matching the primitive's magnification
+// (small on-screen primitives read coarse, cache-friendly mips).
+func (p *Pipeline) textureFetch(pr *geom.Primitive, x, y float32, frame int) {
+	if p.cfg.TextureBytes <= 0 {
+		return
+	}
+	// Per-primitive deterministic offset spreads objects across the atlas.
+	off := uint64(pr.ID) * 2654435761
+	texW := p.texW
+	var mipBase uint64
+	if p.cfg.Bilinear {
+		// LOD from screen area: primitives smaller than ~1 tile use mip 1+,
+		// tiny ones coarser still. Mip i halves the resolution and lives
+		// after the previous levels.
+		area := pr.Area()
+		lod := 0
+		for threshold := float32(1024); area < threshold && lod < 4; threshold /= 4 {
+			lod++
+		}
+		for i := 0; i < lod; i++ {
+			mipBase += texW * texW * 4
+			texW /= 2
+			if texW < 8 {
+				texW = 8
+			}
+		}
+	}
+	u := (uint64(x) + off) % texW
+	v := (uint64(y) + off>>16 + uint64(frame)*7) % texW
+	cacheIdx := (int(x)/p.cfg.Screen.TileSize + int(y)/p.cfg.Screen.TileSize) % p.cfg.NumTexCaches
+	taps := [][2]uint64{{u, v}}
+	if p.cfg.Bilinear {
+		taps = append(taps,
+			[2]uint64{(u + 1) % texW, v},
+			[2]uint64{u, (v + 1) % texW},
+			[2]uint64{(u + 1) % texW, (v + 1) % texW})
+	}
+	for _, tp := range taps {
+		addr := memmap.TexturesBase + mipBase + (tp[1]*texW+tp[0])*4
+		p.stats.TexAccesses++
+		res := p.tex[cacheIdx].Access(trace.Access{Key: trace.Key(memmap.Block(addr))})
+		if !res.Hit {
+			p.stats.TexMisses++
+			p.l2.Access(mem.Request{Addr: addr &^ (memmap.BlockBytes - 1)})
+		}
+	}
+}
+
+// InstrFootprintBlocks returns the number of instruction blocks the fragment
+// shader program occupies (16 bytes per instruction): the per-frame L2
+// instruction fill cost. Instruction caches hit essentially always after the
+// first iteration, so per-instruction traffic is accounted arithmetically.
+func (p *Pipeline) InstrFootprintBlocks() int64 {
+	bytes := int64(p.cfg.ShaderInstrPerPixel) * 16
+	return (bytes + memmap.BlockBytes - 1) / memmap.BlockBytes
+}
+
+// EndFrame flushes per-frame state. Texture caches persist across frames
+// (textures are read-only and reused); nothing to do currently, but the
+// hook keeps the pipeline symmetric with the cache hierarchy.
+func (p *Pipeline) EndFrame() {}
+
+func minF(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}

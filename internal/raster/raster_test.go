@@ -1,0 +1,264 @@
+package raster
+
+import (
+	"testing"
+
+	"tcor/internal/geom"
+	"tcor/internal/mem"
+	"tcor/internal/memmap"
+)
+
+func newPipeline(t *testing.T) (*Pipeline, *mem.Counter, *mem.Counter) {
+	t.Helper()
+	screen := geom.Screen{Width: 96, Height: 96, TileSize: 32}
+	l2 := mem.NewCounter()
+	fb := mem.NewCounter()
+	p, err := New(DefaultConfig(screen, 1<<20, 8), l2, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, l2, fb
+}
+
+func tri(id uint32, a, b, c geom.Vec2, z float32) *geom.Primitive {
+	return &geom.Primitive{
+		ID:    id,
+		Pos:   [3]geom.Vec2{a, b, c},
+		Depth: [3]float32{z, z, z},
+		Attrs: []geom.Attribute{{}},
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	screen := geom.Screen{Width: 96, Height: 96, TileSize: 32}
+	if _, err := New(DefaultConfig(geom.Screen{}, 0, 1), mem.NewCounter(), mem.NewCounter()); err == nil {
+		t.Error("invalid screen must fail")
+	}
+	cfg := DefaultConfig(screen, 0, 1)
+	cfg.NumTexCaches = 0
+	if _, err := New(cfg, mem.NewCounter(), mem.NewCounter()); err == nil {
+		t.Error("zero texture caches must fail")
+	}
+	if _, err := New(DefaultConfig(screen, 0, 1), nil, mem.NewCounter()); err == nil {
+		t.Error("nil l2 must fail")
+	}
+}
+
+func TestRasterTileCoverageAndFlush(t *testing.T) {
+	p, _, fb := newPipeline(t)
+	// A triangle covering the whole of tile 0 (tile rect [0,32)x[0,32)).
+	full := tri(0, geom.Vec2{X: -10, Y: -10}, geom.Vec2{X: 100, Y: -10}, geom.Vec2{X: -10, Y: 100}, 0.5)
+	cycles := p.RasterTile(0, 0, []TileWork{{Prim: full}})
+	st := p.Stats()
+	// 16x16 quads fully covered.
+	if st.QuadsShaded != 256 {
+		t.Errorf("quads shaded = %d, want 256", st.QuadsShaded)
+	}
+	if st.Fragments != 1024 {
+		t.Errorf("fragments = %d, want 1024", st.Fragments)
+	}
+	if cycles != 1024*8/4 {
+		t.Errorf("cycles = %d", cycles)
+	}
+	// Color buffer flush: 32*32*4/64 = 64 blocks.
+	if st.FBBlocksFlushed != 64 {
+		t.Errorf("FB blocks = %d, want 64", st.FBBlocksFlushed)
+	}
+	if fb.Region(memmap.RegionFrameBuffer).Writes != 64 {
+		t.Errorf("FB writes = %+v", fb.Region(memmap.RegionFrameBuffer))
+	}
+}
+
+func TestEarlyZKillsOccludedQuads(t *testing.T) {
+	p, _, _ := newPipeline(t)
+	near := tri(0, geom.Vec2{X: -10, Y: -10}, geom.Vec2{X: 100, Y: -10}, geom.Vec2{X: -10, Y: 100}, 0.1)
+	far := tri(1, geom.Vec2{X: -10, Y: -10}, geom.Vec2{X: 100, Y: -10}, geom.Vec2{X: -10, Y: 100}, 0.9)
+	p.RasterTile(0, 0, []TileWork{{Prim: near}, {Prim: far}})
+	st := p.Stats()
+	if st.QuadsShaded != 256 {
+		t.Errorf("occluded primitive shaded: %d quads", st.QuadsShaded)
+	}
+	if st.Quads != 512 {
+		t.Errorf("coverage should count both prims: %d", st.Quads)
+	}
+}
+
+func TestPainterOrderOverdraw(t *testing.T) {
+	p, _, _ := newPipeline(t)
+	// Far first, then near: both shade (no reverse-order rejection).
+	far := tri(0, geom.Vec2{X: -10, Y: -10}, geom.Vec2{X: 100, Y: -10}, geom.Vec2{X: -10, Y: 100}, 0.9)
+	near := tri(1, geom.Vec2{X: -10, Y: -10}, geom.Vec2{X: 100, Y: -10}, geom.Vec2{X: -10, Y: 100}, 0.1)
+	p.RasterTile(0, 0, []TileWork{{Prim: far}, {Prim: near}})
+	if p.Stats().QuadsShaded != 512 {
+		t.Errorf("quads shaded = %d, want 512 (overdraw)", p.Stats().QuadsShaded)
+	}
+}
+
+func TestTextureLocality(t *testing.T) {
+	p, l2, _ := newPipeline(t)
+	full := tri(0, geom.Vec2{X: -10, Y: -10}, geom.Vec2{X: 100, Y: -10}, geom.Vec2{X: -10, Y: 100}, 0.5)
+	p.RasterTile(0, 0, []TileWork{{Prim: full}})
+	st := p.Stats()
+	if st.TexAccesses != 256 {
+		t.Fatalf("tex accesses = %d", st.TexAccesses)
+	}
+	// Adjacent quads share texel blocks: misses must be far below accesses.
+	if st.TexMisses*2 > st.TexAccesses {
+		t.Errorf("texture locality broken: %d misses / %d accesses", st.TexMisses, st.TexAccesses)
+	}
+	if l2.Region(memmap.RegionTextures).Reads != st.TexMisses {
+		t.Error("every texture miss must reach the L2")
+	}
+	// Re-rendering the same tile in the same frame hits the texture cache.
+	before := p.Stats().TexMisses
+	p.RasterTile(0, 0, []TileWork{{Prim: full}})
+	if p.Stats().TexMisses != before {
+		t.Error("warm texture cache should not miss")
+	}
+}
+
+func TestPartialTileClipsFlush(t *testing.T) {
+	// Screen 40x40 with 32-tiles: tile 3 is 8x8 pixels.
+	screen := geom.Screen{Width: 40, Height: 40, TileSize: 32}
+	p, err := New(DefaultConfig(screen, 1<<16, 4), mem.NewCounter(), mem.NewCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RasterTile(3, 0, nil)
+	// 8*8*4 = 256 bytes = 4 blocks.
+	if p.Stats().FBBlocksFlushed != 4 {
+		t.Errorf("partial tile flushed %d blocks, want 4", p.Stats().FBBlocksFlushed)
+	}
+}
+
+func TestZeroTextureWorkload(t *testing.T) {
+	screen := geom.Screen{Width: 64, Height: 64, TileSize: 32}
+	p, err := New(DefaultConfig(screen, 0, 4), mem.NewCounter(), mem.NewCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := tri(0, geom.Vec2{X: -10, Y: -10}, geom.Vec2{X: 100, Y: -10}, geom.Vec2{X: -10, Y: 100}, 0.5)
+	p.RasterTile(0, 0, []TileWork{{Prim: full}})
+	if p.Stats().TexAccesses != 0 {
+		t.Error("no texture accesses expected for zero footprint")
+	}
+}
+
+func TestInstrFootprintBlocks(t *testing.T) {
+	p, _, _ := newPipeline(t)
+	// 8 instr * 16 B = 128 B = 2 blocks.
+	if got := p.InstrFootprintBlocks(); got != 2 {
+		t.Errorf("instr blocks = %d", got)
+	}
+}
+
+func TestLateZShadesOccludedQuads(t *testing.T) {
+	screen := geom.Screen{Width: 64, Height: 64, TileSize: 32}
+	cfg := DefaultConfig(screen, 1<<16, 4)
+	cfg.LateZFraction = 1 // every primitive writes depth
+	p, err := New(cfg, mem.NewCounter(), mem.NewCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := tri(0, geom.Vec2{X: -10, Y: -10}, geom.Vec2{X: 100, Y: -10}, geom.Vec2{X: -10, Y: 100}, 0.1)
+	far := tri(1, geom.Vec2{X: -10, Y: -10}, geom.Vec2{X: 100, Y: -10}, geom.Vec2{X: -10, Y: 100}, 0.9)
+	p.RasterTile(0, 0, []TileWork{{Prim: near}, {Prim: far}})
+	st := p.Stats()
+	// With Late-Z both layers shade (256 quads each) even though the far
+	// one is fully occluded; with Early-Z (see TestEarlyZKillsOccludedQuads)
+	// only 256 shade.
+	if st.QuadsShaded != 512 {
+		t.Errorf("late-z shaded %d quads, want 512", st.QuadsShaded)
+	}
+	if st.LateZQuads != 512 {
+		t.Errorf("late-z counter = %d", st.LateZQuads)
+	}
+}
+
+func TestLateZFractionZeroIsEarlyZ(t *testing.T) {
+	screen := geom.Screen{Width: 64, Height: 64, TileSize: 32}
+	p, err := New(DefaultConfig(screen, 1<<16, 4), mem.NewCounter(), mem.NewCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := tri(0, geom.Vec2{X: -10, Y: -10}, geom.Vec2{X: 100, Y: -10}, geom.Vec2{X: -10, Y: 100}, 0.1)
+	far := tri(1, geom.Vec2{X: -10, Y: -10}, geom.Vec2{X: 100, Y: -10}, geom.Vec2{X: -10, Y: 100}, 0.9)
+	p.RasterTile(0, 0, []TileWork{{Prim: near}, {Prim: far}})
+	if p.Stats().LateZQuads != 0 {
+		t.Error("late-z path taken with fraction 0")
+	}
+}
+
+func TestBilinearSamplesFourTaps(t *testing.T) {
+	screen := geom.Screen{Width: 64, Height: 64, TileSize: 32}
+	cfg := DefaultConfig(screen, 1<<20, 4)
+	cfg.Bilinear = true
+	p, err := New(cfg, mem.NewCounter(), mem.NewCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := tri(0, geom.Vec2{X: -10, Y: -10}, geom.Vec2{X: 100, Y: -10}, geom.Vec2{X: -10, Y: 100}, 0.5)
+	p.RasterTile(0, 0, []TileWork{{Prim: full}})
+	st := p.Stats()
+	if st.TexAccesses != 4*st.QuadsShaded {
+		t.Errorf("tex accesses = %d, want 4 per shaded quad (%d)", st.TexAccesses, st.QuadsShaded)
+	}
+	// Neighbouring taps share blocks: locality must remain strong.
+	if st.TexMisses*3 > st.TexAccesses {
+		t.Errorf("bilinear locality broken: %d misses / %d accesses", st.TexMisses, st.TexAccesses)
+	}
+}
+
+func TestBilinearMipSelection(t *testing.T) {
+	screen := geom.Screen{Width: 64, Height: 64, TileSize: 32}
+	cfg := DefaultConfig(screen, 1<<20, 4)
+	cfg.Bilinear = true
+	p, err := New(cfg, mem.NewCounter(), mem.NewCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny primitive (low screen area) must sample from a coarse mip:
+	// its working set is small, so repeated tiny prims at scattered
+	// positions should hit well.
+	for i := 0; i < 200; i++ {
+		x := float32((i * 7) % 28)
+		y := float32((i * 11) % 28)
+		tiny := tri(uint32(i), geom.Vec2{X: x, Y: y}, geom.Vec2{X: x + 2, Y: y}, geom.Vec2{X: x, Y: y + 2}, 0.5)
+		p.RasterTile(0, 0, []TileWork{{Prim: tiny}})
+	}
+	st := p.Stats()
+	if st.TexAccesses == 0 {
+		t.Fatal("no texture accesses")
+	}
+	missRate := float64(st.TexMisses) / float64(st.TexAccesses)
+	if missRate > 0.5 {
+		t.Errorf("coarse-mip miss rate = %.2f; mip selection apparently broken", missRate)
+	}
+}
+
+func TestTranslucentBlending(t *testing.T) {
+	screen := geom.Screen{Width: 64, Height: 64, TileSize: 32}
+	cfg := DefaultConfig(screen, 1<<16, 4)
+	cfg.TranslucentFraction = 1 // everything blends
+	p, err := New(cfg, mem.NewCounter(), mem.NewCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two full layers: both blend (translucents never occlude each other).
+	a := tri(0, geom.Vec2{X: -10, Y: -10}, geom.Vec2{X: 100, Y: -10}, geom.Vec2{X: -10, Y: 100}, 0.3)
+	b := tri(1, geom.Vec2{X: -10, Y: -10}, geom.Vec2{X: 100, Y: -10}, geom.Vec2{X: -10, Y: 100}, 0.6)
+	p.RasterTile(0, 0, []TileWork{{Prim: a}, {Prim: b}})
+	st := p.Stats()
+	if st.BlendedQuads != 512 || st.QuadsShaded != 512 {
+		t.Errorf("blended/shaded = %d/%d, want 512/512", st.BlendedQuads, st.QuadsShaded)
+	}
+	// Translucents still z-test against opaque geometry: an opaque layer in
+	// front kills later translucent quads... but with fraction 1 there is
+	// no opaque geometry in this test; verified indirectly by the depth
+	// buffer remaining untouched (a third farther layer still shades).
+	c := tri(2, geom.Vec2{X: -10, Y: -10}, geom.Vec2{X: 100, Y: -10}, geom.Vec2{X: -10, Y: 100}, 0.9)
+	p.RasterTile(0, 0, []TileWork{{Prim: c}})
+	if p.Stats().BlendedQuads != 768 {
+		t.Errorf("translucent layer occluded by translucent: %d", p.Stats().BlendedQuads)
+	}
+}

@@ -1,0 +1,32 @@
+package tcor_test
+
+import (
+	"fmt"
+
+	"tcor/internal/mem"
+	"tcor/internal/tcor"
+)
+
+// Drive the Attribute Cache by hand through the paper's write-bypass rule
+// (§III-C4): two residents with early first-use, then a write whose
+// primitive is needed later than both — it bypasses to the L2 instead of
+// evicting.
+func ExampleAttributeCache() {
+	l2 := mem.NewCounter()
+	c, _ := tcor.NewAttributeCache(tcor.AttrCacheConfig{
+		AttrEntries: 8, PrimEntries: 2, Ways: 2, WriteBypass: true,
+	}, l2)
+
+	blocks := func(base uint64) []uint64 { return []uint64{0x30000000 + base*64} }
+	c.Write(0, 1, 3, 3, blocks(0)) // first used by tile 3
+	c.Write(1, 1, 4, 4, blocks(1)) // first used by tile 4
+	c.Write(2, 1, 9, 9, blocks(2)) // first used by tile 9: later than both
+
+	st := c.Stats()
+	fmt.Printf("inserted: %d, bypassed: %d, L2 writes: %d\n",
+		st.WriteInserts, st.WriteBypasses, l2.Writes)
+	fmt.Printf("prim 2 resident: %v\n", c.Contains(2))
+	// Output:
+	// inserted: 2, bypassed: 1, L2 writes: 1
+	// prim 2 resident: false
+}

@@ -1,0 +1,67 @@
+package tcor
+
+import (
+	"testing"
+
+	"tcor/internal/mem"
+)
+
+// FuzzAttributeCacheInvariants drives the Attribute Cache with an arbitrary
+// operation stream decoded from the fuzz input and checks the structural
+// invariants (free-list accounting, lookup-map consistency, attribute-chain
+// lengths) after every few operations.
+func FuzzAttributeCacheInvariants(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x87, 0x10, 0xFF, 0x03})
+	f.Add([]byte{0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x00, 0x11, 0x22})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		sink := mem.NewCounter()
+		c, err := NewAttributeCache(AttrCacheConfig{
+			AttrEntries: 24, PrimEntries: 8, Ways: 4,
+			XORIndex: true, WriteBypass: true,
+		}, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var locked []uint32
+		unlockAll := func() {
+			for _, p := range locked {
+				c.Unlock(p)
+			}
+			locked = locked[:0]
+		}
+		for i := 0; i+2 < len(ops); i += 3 {
+			op, a, b := ops[i], ops[i+1], ops[i+2]
+			prim := uint32(a % 32)
+			n := int(b%3) + 1
+			blocks := attrBlocks(prim*4, n)
+			switch op % 8 {
+			case 0, 1:
+				c.Write(prim, uint8(n), uint16(a), uint16(b), blocks)
+			case 7:
+				unlockAll()
+			case 6:
+				if op&0x80 != 0 {
+					c.EndFrame()
+					locked = locked[:0]
+				} else {
+					c.Unlock(prim) // unlocking arbitrary prims must be safe
+				}
+			default:
+				res := c.Read(prim, uint8(n), uint16(a), uint16(b), blocks)
+				if res.Stalled {
+					unlockAll()
+				} else {
+					locked = append(locked, prim)
+				}
+			}
+			if i%15 == 0 {
+				if err := c.CheckInvariants(); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

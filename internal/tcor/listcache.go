@@ -1,0 +1,154 @@
+package tcor
+
+import (
+	"fmt"
+
+	"tcor/internal/cache"
+	"tcor/internal/mem"
+	"tcor/internal/memmap"
+	"tcor/internal/trace"
+)
+
+// ListCacheConfig sizes the Primitive List Cache (§III-C1): a conventional
+// set-associative LRU cache in front of PB-Lists.
+type ListCacheConfig struct {
+	SizeBytes int
+	Ways      int
+	// TagLastUse controls whether requests to the L2 carry the owning
+	// tile's traversal position for the dead-line logic (on in TCOR, off in
+	// ablations without L2 enhancements).
+	TagLastUse bool
+}
+
+// DefaultListCacheConfig returns the paper's 16 KiB, 4-way configuration.
+func DefaultListCacheConfig() ListCacheConfig {
+	return ListCacheConfig{SizeBytes: 16 * 1024, Ways: 4, TagLastUse: true}
+}
+
+// ListStats counts Primitive List Cache events.
+type ListStats struct {
+	Reads, Writes, Hits, Misses int64
+	Writebacks                  int64
+	L2Reads, L2Writes           int64
+}
+
+// PrimitiveListCache caches PB-Lists blocks with LRU replacement. Writes
+// allocate (the PLB appends PMDs one at a time, and 16 PMDs share a block,
+// so write-allocate captures the spatial reuse of list building).
+type PrimitiveListCache struct {
+	cfg     ListCacheConfig
+	c       *cache.Cache
+	next    mem.Sink
+	stats   ListStats
+	lastUse map[trace.Key]uint16 // block -> owning tile traversal position
+}
+
+// NewPrimitiveListCache builds the cache; next receives L2 traffic.
+func NewPrimitiveListCache(cfg ListCacheConfig, next mem.Sink) (*PrimitiveListCache, error) {
+	if next == nil {
+		return nil, fmt.Errorf("tcor: list cache needs a next-level sink")
+	}
+	lines := cache.LinesFor(cfg.SizeBytes, memmap.BlockBytes)
+	c, err := cache.New(cache.Config{
+		Lines:         lines,
+		Ways:          cfg.Ways,
+		WriteAllocate: true,
+	}, cache.NewLRU())
+	if err != nil {
+		return nil, fmt.Errorf("tcor: list cache: %w", err)
+	}
+	return &PrimitiveListCache{
+		cfg:     cfg,
+		c:       c,
+		next:    next,
+		lastUse: make(map[trace.Key]uint16, lines*4),
+	}, nil
+}
+
+// Stats returns a copy of the statistics.
+func (p *PrimitiveListCache) Stats() ListStats { return p.stats }
+
+// Access services one PB-Lists access at byte address addr for the given
+// tile at traversal position tilePos.
+func (p *PrimitiveListCache) Access(addr uint64, write bool, tilePos uint16) {
+	key := trace.Key(memmap.Block(addr))
+	p.lastUse[key] = tilePos
+	if write {
+		p.stats.Writes++
+	} else {
+		p.stats.Reads++
+	}
+	res := p.c.Access(trace.Access{Key: key, Write: write})
+	if res.Hit {
+		p.stats.Hits++
+		return
+	}
+	p.stats.Misses++
+	if res.Evicted && res.VictimDirty {
+		p.stats.Writebacks++
+		p.emit(res.Victim, true)
+	}
+	// Read misses fetch the block. Write misses fetch only when the PMD
+	// lands mid-block: appending to a block that was evicted part-way
+	// through filling must merge with the PMDs already written, whereas the
+	// first PMD of a block (64-byte-aligned address) starts a fresh block
+	// and allocates without a fetch.
+	if !write || addr%memmap.BlockBytes != 0 {
+		p.emit(key, false)
+	}
+}
+
+func (p *PrimitiveListCache) emit(key trace.Key, write bool) {
+	last, ok := p.lastUse[key]
+	r := mem.Request{Addr: memmap.BlockAddr(uint64(key)), Write: write}
+	if p.cfg.TagLastUse && ok {
+		r.LastUse = last
+		r.HasLastUse = true
+	}
+	if write {
+		p.stats.L2Writes++
+	} else {
+		p.stats.L2Reads++
+	}
+	p.next.Access(r)
+}
+
+// EndFrame invalidates the cache without write-back (the PB is recycled).
+func (p *PrimitiveListCache) EndFrame() {
+	for _, k := range p.c.FlushAll() {
+		_ = k // dirty PB-Lists data is dead at frame end: dropped
+	}
+	clear(p.lastUse)
+}
+
+// TileCache bundles the two split L1 caches plus plumbing so the Tiling
+// Engine can drive them through the tiling.Handler interface.
+type TileCache struct {
+	Lists *PrimitiveListCache
+	Attrs *AttributeCache
+}
+
+// NewTileCache builds the split Tile Cache of Fig. 7 from a total byte
+// budget, using the paper's partition: 16 KiB Primitive List Cache and the
+// remainder for the Attribute Cache (48 KiB of 64 KiB; 112 KiB of 128 KiB).
+func NewTileCache(totalBytes int, next mem.Sink) (*TileCache, error) {
+	lcfg := DefaultListCacheConfig()
+	if lcfg.SizeBytes >= totalBytes {
+		return nil, fmt.Errorf("tcor: total tile cache %d bytes below the %d-byte list cache", totalBytes, lcfg.SizeBytes)
+	}
+	lists, err := NewPrimitiveListCache(lcfg, next)
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := NewAttributeCache(DefaultAttrCacheConfig(totalBytes-lcfg.SizeBytes), next)
+	if err != nil {
+		return nil, err
+	}
+	return &TileCache{Lists: lists, Attrs: attrs}, nil
+}
+
+// EndFrame recycles both caches.
+func (t *TileCache) EndFrame() {
+	t.Lists.EndFrame()
+	t.Attrs.EndFrame()
+}

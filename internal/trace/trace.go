@@ -1,0 +1,69 @@
+// Package trace defines memory access traces and the offline annotations
+// (Belady next-use indices) needed to drive optimal replacement.
+//
+// A trace is a slice of Access records. Keys are abstract: depending on the
+// experiment they are 64-byte line addresses (block-granularity studies) or
+// primitive IDs (the Attribute Cache works at primitive granularity, paper
+// §III-C2). The OPT policy needs to know, for every access, when the same
+// key is accessed next; AnnotateNextUse computes that in a single backward
+// pass, which is the classic two-pass formulation of Belady's algorithm.
+package trace
+
+import "math"
+
+// Key identifies a cacheable unit: a line address or a primitive ID.
+type Key uint64
+
+// Never is the next-use index meaning "this key is not accessed again".
+const Never int64 = math.MaxInt64
+
+// Access is one element of a trace.
+type Access struct {
+	Key   Key
+	Write bool
+	// NextUse is the index in the trace of the next access to the same Key,
+	// or Never. Populated by AnnotateNextUse.
+	NextUse int64
+}
+
+// Trace is an ordered memory access stream.
+type Trace []Access
+
+// AnnotateNextUse fills in the NextUse field of every access with the trace
+// index of the following access to the same key (Never if none). It runs in
+// O(n) using a single backward pass.
+func AnnotateNextUse(t Trace) {
+	last := make(map[Key]int64, 1024)
+	for i := len(t) - 1; i >= 0; i-- {
+		k := t[i].Key
+		if j, ok := last[k]; ok {
+			t[i].NextUse = j
+		} else {
+			t[i].NextUse = Never
+		}
+		last[k] = int64(i)
+	}
+}
+
+// UniqueKeys returns the number of distinct keys in the trace.
+func UniqueKeys(t Trace) int {
+	seen := make(map[Key]struct{}, 1024)
+	for _, a := range t {
+		seen[a.Key] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Reads returns the number of read accesses in the trace.
+func Reads(t Trace) int {
+	n := 0
+	for _, a := range t {
+		if !a.Write {
+			n++
+		}
+	}
+	return n
+}
+
+// Writes returns the number of write accesses in the trace.
+func Writes(t Trace) int { return len(t) - Reads(t) }

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ParseSpec decodes a benchmark spec from JSON. Unknown fields are
+// rejected so typos in hand-written profiles fail loudly; missing fields
+// fall back to sensible defaults (3 attributes would overshoot Table II —
+// see spec.go — so the default is the suite's 1.4; one frame; seed 1).
+//
+// Example profile:
+//
+//	{
+//	  "name": "My Game", "alias": "MyG", "genre": "Racing", "threeD": true,
+//	  "pbFootprintMiB": 0.9, "avgPrimReuse": 2.2,
+//	  "textureMiB": 4, "shaderInstrPerPixel": 14, "frames": 2
+//	}
+func ParseSpec(data []byte) (Spec, error) {
+	var raw struct {
+		Name                string   `json:"name"`
+		Alias               string   `json:"alias"`
+		Installs            int      `json:"installsMillions"`
+		Genre               string   `json:"genre"`
+		ThreeD              bool     `json:"threeD"`
+		PBFootprintMiB      float64  `json:"pbFootprintMiB"`
+		AvgPrimReuse        float64  `json:"avgPrimReuse"`
+		TextureMiB          float64  `json:"textureMiB"`
+		ShaderInstrPerPixel int      `json:"shaderInstrPerPixel"`
+		MeanAttrs           *float64 `json:"meanAttrs"`
+		Frames              int      `json:"frames"`
+		Seed                *int64   `json:"seed"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return Spec{}, fmt.Errorf("workload: parsing spec: %w", err)
+	}
+	s := Spec{
+		Name: raw.Name, Alias: raw.Alias, Installs: raw.Installs,
+		Genre: raw.Genre, ThreeD: raw.ThreeD,
+		PBFootprintMiB: raw.PBFootprintMiB, AvgPrimReuse: raw.AvgPrimReuse,
+		TextureMiB: raw.TextureMiB, ShaderInstrPerPixel: raw.ShaderInstrPerPixel,
+		MeanAttrs: 1.4, Frames: raw.Frames, Seed: 1,
+	}
+	if raw.MeanAttrs != nil {
+		s.MeanAttrs = *raw.MeanAttrs
+	}
+	if raw.Seed != nil {
+		s.Seed = *raw.Seed
+	}
+	if s.Frames == 0 {
+		s.Frames = 1
+	}
+	if s.Alias == "" && s.Name != "" {
+		if len(s.Name) >= 3 {
+			s.Alias = s.Name[:3]
+		} else {
+			s.Alias = s.Name
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// LoadSpec reads a spec from a JSON file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	return ParseSpec(data)
+}
+
+// MarshalSpec serializes a spec to JSON (the inverse of ParseSpec, for
+// exporting the built-in suite as editable profiles).
+func MarshalSpec(s Spec) ([]byte, error) {
+	out := map[string]any{
+		"name":                s.Name,
+		"alias":               s.Alias,
+		"installsMillions":    s.Installs,
+		"genre":               s.Genre,
+		"threeD":              s.ThreeD,
+		"pbFootprintMiB":      s.PBFootprintMiB,
+		"avgPrimReuse":        s.AvgPrimReuse,
+		"textureMiB":          s.TextureMiB,
+		"shaderInstrPerPixel": s.ShaderInstrPerPixel,
+		"meanAttrs":           s.MeanAttrs,
+		"frames":              s.Frames,
+		"seed":                s.Seed,
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,126 @@
+// Package tcor is the public facade of the TCOR reproduction: a Tile Cache
+// with Optimal Replacement for mobile tile-based-rendering GPUs (Joseph,
+// Aragón, Parcerisa, González — HPCA 2022), together with the full TBR GPU
+// model, workload suite and experiment harness the paper's evaluation
+// needs.
+//
+// The implementation lives under internal/; this package re-exports the
+// stable entry points a downstream user composes:
+//
+//   - workload synthesis (the Table II suite or custom JSON profiles),
+//   - full-system simulation under the baseline or TCOR hierarchies,
+//   - the trace-driven cache library with the OPT yardstick,
+//   - the per-figure experiment harness.
+//
+// Quick start:
+//
+//	scene, _ := tcor.GenerateWorkload(tcor.BenchmarkSpec("CCS"), tcor.DefaultScreen())
+//	base, _ := tcor.Simulate(scene, tcor.BaselineConfig(64<<10))
+//	opt, _ := tcor.Simulate(scene, tcor.TCORConfig(64<<10))
+//	fmt.Println(base.PPC(), opt.PPC())
+package tcor
+
+import (
+	"tcor/internal/cache"
+	"tcor/internal/experiments"
+	"tcor/internal/geom"
+	"tcor/internal/geometry"
+	"tcor/internal/gpu"
+	"tcor/internal/trace"
+	"tcor/internal/workload"
+)
+
+// Re-exported core types. The aliases keep the full method sets and let
+// callers mix facade calls with the internal packages' documentation.
+type (
+	// Screen is the render target and tile grid (Table I: 1960x768, 32x32).
+	Screen = geom.Screen
+	// Spec is a workload profile (Table II row or custom).
+	Spec = workload.Spec
+	// Scene is a generated multi-frame workload.
+	Scene = workload.Scene
+	// Config is a full-system GPU configuration.
+	Config = gpu.Config
+	// Result carries a simulation's metrics (traffic, energy, throughput).
+	Result = gpu.Result
+	// Trace is a cache access stream.
+	Trace = trace.Trace
+	// CachePolicy is a replacement policy for the trace-driven cache model.
+	CachePolicy = cache.Policy
+	// CacheConfig is the trace-driven cache geometry.
+	CacheConfig = cache.Config
+	// CacheStats is the trace-driven cache statistics.
+	CacheStats = cache.Stats
+	// Runner memoizes scenes and simulations across experiments.
+	Runner = experiments.Runner
+	// Scene3D is a 3D scene for the Geometry Pipeline front end.
+	Scene3D = geometry.Scene
+)
+
+// DefaultScreen returns the paper's Table I screen (1960x768, 32x32 tiles).
+func DefaultScreen() Screen { return geom.DefaultScreen() }
+
+// Benchmarks returns the aliases of the Table II suite in paper order.
+func Benchmarks() []string { return workload.Aliases() }
+
+// BenchmarkSpec returns the Table II spec with the given alias, panicking
+// on unknown aliases (use workload.ByAlias for the error-returning form).
+func BenchmarkSpec(alias string) Spec {
+	s, err := workload.ByAlias(alias)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// LoadSpec reads a workload profile from a JSON file.
+func LoadSpec(path string) (Spec, error) { return workload.LoadSpec(path) }
+
+// GenerateWorkload synthesizes the calibrated scene for a spec.
+func GenerateWorkload(spec Spec, screen Screen) (*Scene, error) {
+	return workload.Generate(spec, screen)
+}
+
+// BaselineConfig returns the paper's baseline GPU with the given Tile Cache
+// size in bytes.
+func BaselineConfig(tileCacheBytes int) Config { return gpu.Baseline(tileCacheBytes) }
+
+// TCORConfig returns the full TCOR configuration.
+func TCORConfig(tileCacheBytes int) Config { return gpu.TCOR(tileCacheBytes) }
+
+// Simulate runs every frame of the scene through the configured GPU.
+func Simulate(scene *Scene, cfg Config) (*Result, error) { return gpu.Simulate(scene, cfg) }
+
+// NewRunner returns an experiment runner over the default screen and full
+// suite; its methods regenerate each of the paper's tables and figures.
+func NewRunner() *Runner { return experiments.NewRunner() }
+
+// AnnotateNextUse fills the Belady next-use indices an OPT simulation needs.
+func AnnotateNextUse(t Trace) { trace.AnnotateNextUse(t) }
+
+// SimulateCache runs a trace through a cache configuration and policy.
+func SimulateCache(cfg CacheConfig, policy CachePolicy, t Trace) (CacheStats, error) {
+	return cache.Simulate(cfg, policy, t)
+}
+
+// Replacement policy constructors, re-exported for SimulateCache.
+var (
+	NewLRU  = cache.NewLRU
+	NewOPT  = cache.NewOPT
+	NewMRU  = cache.NewMRU
+	NewFIFO = cache.NewFIFO
+)
+
+// RenderScene3D pushes a 3D scene through the Geometry Pipeline and wraps
+// the result as a single-frame workload ready for Simulate. The spec
+// supplies the non-geometric parameters (texture footprint, shader length).
+func RenderScene3D(scene *Scene3D, screen Screen, spec Spec) (*Scene, error) {
+	prims, _, err := geometry.Run(scene, geometry.PipelineConfig{
+		Screen:        screen,
+		CullBackfaces: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return workload.NewSceneFromFrames(spec, screen, []workload.Frame{{Prims: prims}})
+}

@@ -1,0 +1,96 @@
+package tcor_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"tcor"
+	"tcor/internal/geom"
+	"tcor/internal/geometry"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	spec := tcor.BenchmarkSpec("GTr")
+	spec.Frames = 1
+	scene, err := tcor.GenerateWorkload(spec, tcor.DefaultScreen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := tcor.Simulate(scene, tcor.BaselineConfig(64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := tcor.Simulate(scene, tcor.TCORConfig(64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.PPC() <= base.PPC() {
+		t.Errorf("TCOR PPC %.3f <= baseline %.3f", opt.PPC(), base.PPC())
+	}
+	if len(tcor.Benchmarks()) != 10 {
+		t.Error("suite size")
+	}
+}
+
+func TestFacadeCacheLibrary(t *testing.T) {
+	tr := tcor.Trace{{Key: 1}, {Key: 2}, {Key: 3}, {Key: 1}, {Key: 2}}
+	tcor.AnnotateNextUse(tr)
+	lru, err := tcor.SimulateCache(tcor.CacheConfig{Lines: 2, WriteAllocate: true}, tcor.NewLRU(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := tcor.SimulateCache(tcor.CacheConfig{Lines: 2, WriteAllocate: true}, tcor.NewOPT(), tr)
+	if opt.Misses >= lru.Misses {
+		t.Errorf("OPT %d >= LRU %d", opt.Misses, lru.Misses)
+	}
+}
+
+func TestFacadePanicsOnUnknownBenchmark(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tcor.BenchmarkSpec("nope")
+}
+
+func TestFacadeRenderScene3D(t *testing.T) {
+	scene3d := &tcor.Scene3D{
+		Camera: geometry.Camera{
+			Eye:    geom.Vec3{X: 3, Y: 2, Z: 6},
+			Target: geom.Vec3{},
+			Up:     geom.Vec3{Y: 1},
+			FovY:   math.Pi / 3,
+			Aspect: 1960.0 / 768.0,
+			Near:   0.1, Far: 100,
+		},
+		Objects: []geometry.Object{
+			{Mesh: geometry.Cube(), Transform: geom.ScaleUniform(2)},
+		},
+	}
+	spec := tcor.BenchmarkSpec("CCS") // texture/shader parameters only
+	scene, err := tcor.RenderScene3D(scene3d, tcor.DefaultScreen(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tcor.Simulate(scene, tcor.TCORConfig(64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrimReads == 0 {
+		t.Error("no primitives flowed through the pipeline")
+	}
+}
+
+// The package-level example from the doc comment.
+func Example() {
+	spec := tcor.BenchmarkSpec("CCS")
+	spec.Frames = 1
+	scene, _ := tcor.GenerateWorkload(spec, tcor.DefaultScreen())
+	base, _ := tcor.Simulate(scene, tcor.BaselineConfig(64<<10))
+	opt, _ := tcor.Simulate(scene, tcor.TCORConfig(64<<10))
+	fmt.Printf("tiling engine speedup: %.1fx\n", opt.PPC()/base.PPC())
+	// Output:
+	// tiling engine speedup: 5.3x
+}
