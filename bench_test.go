@@ -12,6 +12,8 @@
 package tcor
 
 import (
+	"context"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -439,3 +441,42 @@ func BenchmarkHilbertTraversal(b *testing.B) {
 		}
 	}
 }
+
+// --- Sweep engine ---
+
+// BenchmarkSweepOverhead isolates the pool's bookkeeping cost: 64 no-op
+// jobs per sweep, so the time per op is pure scheduling overhead (the
+// figure sweeps amortize this over multi-millisecond simulations).
+func BenchmarkSweepOverhead(b *testing.B) {
+	jobs := make([]func(context.Context) (int, error), 64)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) { return i, nil }
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(ctx, 0, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPrewarm measures a cold suite prewarm (two benchmarks, six
+// configurations each) at a given worker count; a fresh Runner per
+// iteration keeps every simulation a memo miss.
+func benchPrewarm(b *testing.B, par int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner()
+		r.Frames = 1
+		r.Benchmarks = []string{"CCS", "GTr"}
+		r.Parallel = par
+		if err := r.Prewarm(par); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrewarmSequential(b *testing.B) { benchPrewarm(b, 1) }
+func BenchmarkPrewarmParallel(b *testing.B)   { benchPrewarm(b, runtime.GOMAXPROCS(0)) }

@@ -7,10 +7,17 @@
 //	paperfig -table 2           # Table I or II
 //	paperfig -headline          # the abstract-level aggregate numbers
 //	paperfig -all               # everything, in paper order
+//	paperfig -all -parallel 8   # same, bounded to 8 concurrent simulations
 //	paperfig -frames 2 -benchmarks CCS,SoD -fig 20
+//	paperfig -all -timeout 10m  # abort if the full pass exceeds 10 minutes
+//
+// Output is byte-identical at every -parallel level: the sweep engine
+// fans simulations out through a bounded worker pool but aggregates
+// results in deterministic suite order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +33,7 @@ func main() {
 	table := flag.Int("table", 0, "table number to regenerate (1 or 2)")
 	headline := flag.Bool("headline", false, "print the headline aggregate results")
 	ablation := flag.String("ablation", "", "run the design-choice ablation on a benchmark alias (e.g. CCS)")
-	parallel := flag.String("parallel", "", "run the parallel-renderer scaling study on a benchmark alias")
+	renderers := flag.String("renderers", "", "run the parallel-renderer scaling study on a benchmark alias")
 	related := flag.Bool("related", false, "run the related-work policy comparison (extended Fig. 13)")
 	imr := flag.String("imr", "", "compare TBR against immediate-mode rendering on a benchmark alias")
 	sweep := flag.String("sweep", "", "run the Tile Cache size sweep on a benchmark alias")
@@ -38,7 +45,9 @@ func main() {
 	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark aliases (default: all ten)")
 	format := flag.String("format", "text", "output format: text or csv")
 	outDir := flag.String("out", "", "also write each artifact as CSV into this directory")
-	par := flag.Int("par", 4, "parallel simulations during -all prewarm")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	par := flag.Int("par", 0, "deprecated alias for -parallel")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	plot := flag.Bool("plot", false, "render policy figures (1, 11, 13) as terminal charts")
 	report := flag.String("report", "", "write a full markdown results report to this file")
 	flag.Parse()
@@ -66,8 +75,22 @@ func main() {
 		}
 	}
 
+	workers := *parallel
+	if workers == 0 {
+		workers = *par
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	prewarmPar = workers
+
 	r := experiments.NewRunner()
 	r.Frames = *frames
+	r.Parallel = workers
+	r.Ctx = ctx
 	if *benchmarks != "" {
 		r.Benchmarks = strings.Split(*benchmarks, ",")
 	}
@@ -144,8 +167,8 @@ func main() {
 		printTableOut(t)
 		return
 	}
-	if *parallel != "" {
-		p, err := r.ParallelRenderers(*parallel, 64)
+	if *renderers != "" {
+		p, err := r.ParallelRenderers(*renderers, 64)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paperfig:", err)
 			os.Exit(1)
@@ -162,7 +185,6 @@ func main() {
 		printTableOut(a.Table())
 		return
 	}
-	prewarmPar = *par
 	plotFigures = *plot
 	if err := run(r, *fig, *table, *headline, *all); err != nil {
 		fmt.Fprintln(os.Stderr, "paperfig:", err)
@@ -173,8 +195,9 @@ func main() {
 // printTableOut renders a table in the selected output format.
 var printTableOut = func(t *experiments.Table) { fmt.Println(t) }
 
-// prewarmPar is the -par flag value used by the -all prewarm.
-var prewarmPar = 4
+// prewarmPar is the -parallel flag value used by the -all prewarm
+// (0 = GOMAXPROCS).
+var prewarmPar = 0
 
 // plotFigures selects ASCII charts for the policy figures.
 var plotFigures = false

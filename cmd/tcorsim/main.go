@@ -8,14 +8,23 @@
 //	tcorsim -benchmark CCS -config tcor -size 64
 //	tcorsim -benchmark DDS -config baseline -size 128 -frames 3
 //	tcorsim -benchmark SoD -compare        # baseline vs TCOR side by side
+//	tcorsim -benchmark SoD -compare -parallel 2 -timeout 5m
+//
+// With -compare the configurations run concurrently through the bounded
+// sweep pool; reports are buffered per configuration and printed in a
+// fixed order, so the output is byte-identical at every -parallel level.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"tcor/internal/experiments"
 	"tcor/internal/geom"
 	"tcor/internal/gpu"
 	"tcor/internal/memmap"
@@ -30,14 +39,27 @@ func main() {
 	frames := flag.Int("frames", 0, "frames to simulate (0 = benchmark default)")
 	compare := flag.Bool("compare", false, "run baseline and TCOR and print both")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
+	parallel := flag.Int("parallel", 0, "max concurrent -compare simulations (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Parse()
 	emitJSON = *jsonOut
+	parallelN = *parallel
 
-	if err := run(*benchmark, *specPath, *config, *sizeKB, *frames, *compare); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if err := run(ctx, *benchmark, *specPath, *config, *sizeKB, *frames, *compare); err != nil {
 		fmt.Fprintln(os.Stderr, "tcorsim:", err)
 		os.Exit(1)
 	}
 }
+
+// parallelN is the -parallel flag value (0 = GOMAXPROCS).
+var parallelN int
 
 // emitJSON selects the machine-readable output mode.
 var emitJSON bool
@@ -61,7 +83,7 @@ type summary struct {
 	FrameCycles   int64   `json:"frameCycles"`
 }
 
-func run(benchmark, specPath, config string, sizeKB, frames int, compare bool) error {
+func run(ctx context.Context, benchmark, specPath, config string, sizeKB, frames int, compare bool) error {
 	var spec workload.Spec
 	var err error
 	if specPath != "" {
@@ -87,14 +109,25 @@ func run(benchmark, specPath, config string, sizeKB, frames int, compare bool) e
 	}
 
 	if compare {
-		for _, c := range []string{"baseline", "tcor"} {
-			if err := simulate(scene, c, sizeKB); err != nil {
-				return err
-			}
+		// Each configuration renders into its own buffer inside the sweep
+		// pool; printing afterwards in slice order keeps the output stable.
+		reports, err := experiments.SweepSlice(ctx, parallelN, []string{"baseline", "tcor"},
+			func(_ context.Context, c string) (string, error) {
+				var b strings.Builder
+				if err := simulate(&b, scene, c, sizeKB); err != nil {
+					return "", err
+				}
+				return b.String(), nil
+			})
+		if err != nil {
+			return err
+		}
+		for _, rep := range reports {
+			fmt.Print(rep)
 		}
 		return nil
 	}
-	return simulate(scene, config, sizeKB)
+	return simulate(os.Stdout, scene, config, sizeKB)
 }
 
 func configFor(name string, sizeKB int) (gpu.Config, error) {
@@ -111,7 +144,7 @@ func configFor(name string, sizeKB int) (gpu.Config, error) {
 	}
 }
 
-func simulate(scene *workload.Scene, config string, sizeKB int) error {
+func simulate(w io.Writer, scene *workload.Scene, config string, sizeKB int) error {
 	cfg, err := configFor(config, sizeKB)
 	if err != nil {
 		return err
@@ -136,49 +169,49 @@ func simulate(scene *workload.Scene, config string, sizeKB int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(string(out))
+		fmt.Fprintln(w, string(out))
 		return nil
 	}
 
-	fmt.Printf("=== %s, %d KiB Tile Cache ===\n", config, sizeKB)
+	fmt.Fprintf(w, "=== %s, %d KiB Tile Cache ===\n", config, sizeKB)
 	pbL2 := res.L2In.PB()
 	pbMem := res.DRAMIn.PB()
-	fmt.Printf("PB accesses to L2:          %8d reads %8d writes\n", pbL2.Reads, pbL2.Writes)
-	fmt.Printf("PB accesses to main memory: %8d reads %8d writes\n", pbMem.Reads, pbMem.Writes)
-	fmt.Printf("total main memory accesses: %8d reads %8d writes\n", res.DRAM.Reads, res.DRAM.Writes)
+	fmt.Fprintf(w, "PB accesses to L2:          %8d reads %8d writes\n", pbL2.Reads, pbL2.Writes)
+	fmt.Fprintf(w, "PB accesses to main memory: %8d reads %8d writes\n", pbMem.Reads, pbMem.Writes)
+	fmt.Fprintf(w, "total main memory accesses: %8d reads %8d writes\n", res.DRAM.Reads, res.DRAM.Writes)
 	for _, reg := range []memmap.Region{
 		memmap.RegionPBLists, memmap.RegionPBAttributes, memmap.RegionTextures,
 		memmap.RegionInputGeometry, memmap.RegionFrameBuffer,
 	} {
 		rc := res.DRAMIn.Region(reg)
 		if rc.Reads+rc.Writes > 0 {
-			fmt.Printf("  memory %-16s %8d reads %8d writes\n", reg, rc.Reads, rc.Writes)
+			fmt.Fprintf(w, "  memory %-16s %8d reads %8d writes\n", reg, rc.Reads, rc.Writes)
 		}
 	}
 	if res.Kind == gpu.KindTCOR {
 		a := res.AttrStats
-		fmt.Printf("attribute cache: %d reads (%.1f%% hit), %d writes (%d inserted, %d bypassed), %d stalls\n",
+		fmt.Fprintf(w, "attribute cache: %d reads (%.1f%% hit), %d writes (%d inserted, %d bypassed), %d stalls\n",
 			a.Reads, 100*float64(a.ReadHits)/float64(max64(a.Reads, 1)),
 			a.Writes, a.WriteInserts, a.WriteBypasses, a.Stalls)
 		l := res.ListStats
-		fmt.Printf("prim list cache: %d accesses (%.1f%% hit)\n",
+		fmt.Fprintf(w, "prim list cache: %d accesses (%.1f%% hit)\n",
 			l.Reads+l.Writes, 100*float64(l.Hits)/float64(max64(l.Reads+l.Writes, 1)))
 	} else {
 		ts := res.TileStats
-		fmt.Printf("tile cache: %d accesses (%.1f%% hit), %d writebacks\n",
+		fmt.Fprintf(w, "tile cache: %d accesses (%.1f%% hit), %d writebacks\n",
 			ts.Accesses, 100*ts.HitRatio(), ts.Writebacks)
 	}
 	l2 := res.L2Stats
-	fmt.Printf("L2: %d accesses (%.1f%% hit), %d writebacks, %d dropped (dead), %d dead evictions\n",
+	fmt.Fprintf(w, "L2: %d accesses (%.1f%% hit), %d writebacks, %d dropped (dead), %d dead evictions\n",
 		l2.Reads+l2.Writes, 100*float64(l2.Hits)/float64(max64(l2.Reads+l2.Writes, 1)),
 		l2.Writebacks, l2.DroppedWritebacks, l2.DeadEvictions)
-	fmt.Printf("tile fetcher: %.3f primitives/cycle (%d primitives over %d cycles)\n",
+	fmt.Fprintf(w, "tile fetcher: %.3f primitives/cycle (%d primitives over %d cycles)\n",
 		res.PPC(), res.PrimReads, res.TFCycles)
-	fmt.Printf("frame: %d cycles -> %.1f FPS at 600 MHz\n",
+	fmt.Fprintf(w, "frame: %d cycles -> %.1f FPS at 600 MHz\n",
 		res.FrameCycles/int64(res.Frames), res.FPS(600e6))
-	fmt.Printf("energy: memory hierarchy %.3f mJ, total GPU %.3f mJ\n\n",
+	fmt.Fprintf(w, "energy: memory hierarchy %.3f mJ, total GPU %.3f mJ\n\n",
 		res.MemHierarchyPJ/1e9, res.TotalPJ/1e9)
-	fmt.Println(res.Tally.String())
+	fmt.Fprintln(w, res.Tally.String())
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -38,17 +39,18 @@ func TestConfigFor(t *testing.T) {
 
 func TestRunTextAndJSON(t *testing.T) {
 	// Exercise both output paths end to end on the smallest benchmark.
+	ctx := context.Background()
 	for _, js := range []bool{false, true} {
 		emitJSON = js
-		if err := run("GTr", "", "tcor", 64, 1, false); err != nil {
+		if err := run(ctx, "GTr", "", "tcor", 64, 1, false); err != nil {
 			t.Fatalf("json=%v: %v", js, err)
 		}
 	}
 	emitJSON = false
-	if err := run("GTr", "", "bogus", 64, 1, false); err == nil {
+	if err := run(ctx, "GTr", "", "bogus", 64, 1, false); err == nil {
 		t.Error("bogus config must fail")
 	}
-	if err := run("nope", "", "tcor", 64, 1, false); err == nil {
+	if err := run(ctx, "nope", "", "tcor", 64, 1, false); err == nil {
 		t.Error("unknown benchmark must fail")
 	}
 }
@@ -62,10 +64,10 @@ func TestRunWithSpecFile(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", path, "tcor", 64, 1, false); err != nil {
+	if err := run(context.Background(), "", path, "tcor", 64, 1, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", path+".missing", "tcor", 64, 1, false); err == nil {
+	if err := run(context.Background(), "", path+".missing", "tcor", 64, 1, false); err == nil {
 		t.Error("missing spec must fail")
 	}
 }

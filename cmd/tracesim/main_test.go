@@ -1,8 +1,12 @@
 package main
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+
+	"tcor/internal/cache"
+	"tcor/internal/trace"
 )
 
 func TestParseTrace(t *testing.T) {
@@ -77,14 +81,64 @@ func TestRunEndToEnd(t *testing.T) {
 func FuzzParseTrace(f *testing.F) {
 	f.Add("W 0\nR 0 1\n")
 	f.Add("# c\n\nW 12\nR 12 4095\nR 12 0\n")
+	f.Add("W 18446744073709551615\nR 18446744073709551615\n")
+	f.Add("  W   7  \n\t\nR 7 3\n# trailing comment")
+	f.Add("W -1\n")
+	f.Add("X 0\n")
+	f.Add("W\n")
+	f.Add("R 0xff\n")
+	f.Add(strings.Repeat("W 1\nR 1\n", 64))
 	f.Fuzz(func(t *testing.T, src string) {
-		// Must never panic; on success every record is W or R with a key.
+		// Must never panic; on success the accepted records round-trip
+		// through the text format and simulate cleanly under OPT and LRU.
 		tr, err := parse(strings.NewReader(src))
 		if err != nil {
 			return
 		}
+
+		// Round trip: re-serialize the accepted trace and re-parse it.
+		var b strings.Builder
 		for _, a := range tr {
-			_ = a.Key
+			if a.Write {
+				fmt.Fprintf(&b, "W %d\n", uint64(a.Key))
+			} else {
+				fmt.Fprintf(&b, "R %d\n", uint64(a.Key))
+			}
+		}
+		back, err := parse(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("re-parsing serialized trace failed: %v", err)
+		}
+		if len(back) != len(tr) {
+			t.Fatalf("round trip changed length: %d -> %d", len(tr), len(back))
+		}
+		for i := range tr {
+			if back[i].Key != tr[i].Key || back[i].Write != tr[i].Write {
+				t.Fatalf("record %d changed: %+v -> %+v", i, tr[i], back[i])
+			}
+		}
+
+		// Any accepted trace must simulate without error, and Belady must
+		// not lose to LRU on it (bounded to keep the fuzz iteration cheap).
+		if len(tr) == 0 || len(tr) > 4096 {
+			return
+		}
+		trace.AnnotateNextUse(tr)
+		cfg := cache.Config{Lines: 8, WriteAllocate: true}
+		opt, err := cache.Simulate(cfg, cache.NewOPT(), tr)
+		if err != nil {
+			t.Fatalf("OPT simulation rejected a parsed trace: %v", err)
+		}
+		lru, err := cache.Simulate(cfg, cache.NewLRU(), tr)
+		if err != nil {
+			t.Fatalf("LRU simulation rejected a parsed trace: %v", err)
+		}
+		if opt.Misses > lru.Misses {
+			t.Fatalf("OPT misses %d exceed LRU's %d on a parsed trace", opt.Misses, lru.Misses)
+		}
+		if opt.Accesses != int64(len(tr)) || lru.Accesses != int64(len(tr)) {
+			t.Fatalf("access counts diverge from trace length %d: OPT %d, LRU %d",
+				len(tr), opt.Accesses, lru.Accesses)
 		}
 	})
 }

@@ -1,0 +1,115 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcor/internal/trace"
+)
+
+// pbShapedTrace builds a randomized trace with the Parameter Buffer's
+// structure (§V-A): every one of tp primitives is written exactly once, in
+// shuffled program order (the Polygon List Builder), then read back over
+// `passes` shuffled full passes with occasional short re-read bursts (the
+// Tile Fetcher walking tile lists). The shape is what makes the analytic
+// lower bound LB = TP + (TP - CP) applicable.
+func pbShapedTrace(rng *rand.Rand, tp, passes int) trace.Trace {
+	var tr trace.Trace
+	for _, p := range rng.Perm(tp) {
+		tr = append(tr, trace.Access{Key: trace.Key(p), Write: true})
+	}
+	for pass := 0; pass < passes; pass++ {
+		for _, p := range rng.Perm(tp) {
+			for n := 1 + rng.Intn(3); n > 0; n-- {
+				tr = append(tr, trace.Access{Key: trace.Key(p)})
+			}
+		}
+	}
+	trace.AnnotateNextUse(tr)
+	return tr
+}
+
+// TestOPTBeladySandwich is the Belady sandwich on randomized PB-shaped
+// traces: for every seed and capacity, OPT's misses are bounded below by
+// the paper's analytic lower bound and above by every online policy
+// (extending cache_test.go's TestOPTOptimalityProperty to the full policy
+// roster). The model has no bypass (every miss fills), so
+// mandatory-allocation Belady is provably optimal here — any violation is
+// an implementation bug, not a statistical fluke.
+func TestOPTBeladySandwich(t *testing.T) {
+	rivals := []struct {
+		name string
+		make func() Policy
+	}{
+		{"LRU", NewLRU},
+		{"MRU", NewMRU},
+		{"FIFO", NewFIFO},
+		{"Random", func() Policy { return NewRandom(1) }},
+		{"NRU", NewNRU},
+		{"SRRIP", NewSRRIP},
+		{"SHiP", func() Policy { return NewSHiP(nil) }},
+		{"Hawkeye", func() Policy { return NewHawkeye(nil) }},
+		{"Shepherd", func() Policy { return NewShepherd(1) }},
+	}
+
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tp := 40 + rng.Intn(160)
+		passes := 1 + rng.Intn(3)
+		tr := pbShapedTrace(rng, tp, passes)
+
+		for _, cp := range []int{tp / 5, tp / 2, tp - 1, tp, tp + 16} {
+			if cp < 2 {
+				cp = 2
+			}
+			cfg := Config{Lines: cp, WriteAllocate: true} // fully associative
+			optStats, err := Simulate(cfg, NewOPT(), tr)
+			if err != nil {
+				t.Fatalf("seed %d cp %d: %v", seed, cp, err)
+			}
+			if lb := LowerBoundMisses(tp, cp); optStats.Misses < lb {
+				t.Errorf("seed %d tp %d cp %d: OPT misses %d below analytic bound %d",
+					seed, tp, cp, optStats.Misses, lb)
+			}
+			for _, rival := range rivals {
+				st, err := Simulate(cfg, rival.make(), tr)
+				if err != nil {
+					t.Fatalf("seed %d cp %d %s: %v", seed, cp, rival.name, err)
+				}
+				if optStats.Misses > st.Misses {
+					t.Errorf("seed %d tp %d cp %d: OPT misses %d exceed %s's %d",
+						seed, tp, cp, optStats.Misses, rival.name, st.Misses)
+				}
+				if st.Accesses != int64(len(tr)) || optStats.Accesses != st.Accesses {
+					t.Errorf("seed %d cp %d %s: access counts diverge (%d vs %d)",
+						seed, cp, rival.name, optStats.Accesses, st.Accesses)
+				}
+			}
+		}
+	}
+}
+
+// TestOPTMatchesLowerBoundSinglePass checks the tight case the paper draws
+// in Fig. 11: on a single sequential write pass followed by one sequential
+// read pass, OPT achieves the analytic bound exactly.
+func TestOPTMatchesLowerBoundSinglePass(t *testing.T) {
+	const tp = 120
+	var tr trace.Trace
+	for p := 0; p < tp; p++ {
+		tr = append(tr, trace.Access{Key: trace.Key(p), Write: true})
+	}
+	for p := 0; p < tp; p++ {
+		tr = append(tr, trace.Access{Key: trace.Key(p)})
+	}
+	trace.AnnotateNextUse(tr)
+
+	for _, cp := range []int{10, 30, 60, 119, 120, 200} {
+		st, err := Simulate(Config{Lines: cp, WriteAllocate: true}, NewOPT(), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb := LowerBoundMisses(tp, cp); st.Misses != lb {
+			t.Errorf("cp %d: OPT misses %d, analytic bound %d", cp, st.Misses, lb)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"tcor/internal/gpu"
@@ -88,21 +89,27 @@ func (r *Runner) Ablation(alias string, sizeKB int) (*AblationResult, error) {
 		}()},
 		{"baseline", gpu.Baseline(bytes)},
 	}
-	out := &AblationResult{Benchmark: alias, SizeKB: sizeKB}
-	for _, c := range configs {
-		res, err := r.Run(alias, fmt.Sprintf("abl-%s-%d", c.name, sizeKB), c.cfg)
-		if err != nil {
-			return nil, err
-		}
-		pb := res.L2In.PB()
-		pbm := res.DRAMIn.PB()
-		out.Rows = append(out.Rows, AblationRow{
-			Name:   c.name,
-			PBL2:   pb.Reads + pb.Writes,
-			PBMem:  pbm.Reads + pbm.Writes,
-			HierPJ: res.MemHierarchyPJ,
-			PPC:    res.PPC(),
+	rows, err := SweepSlice(r.baseCtx(), r.Parallel, configs,
+		func(_ context.Context, c struct {
+			name string
+			cfg  gpu.Config
+		}) (AblationRow, error) {
+			res, err := r.Run(alias, fmt.Sprintf("abl-%s-%d", c.name, sizeKB), c.cfg)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			pb := res.L2In.PB()
+			pbm := res.DRAMIn.PB()
+			return AblationRow{
+				Name:   c.name,
+				PBL2:   pb.Reads + pb.Writes,
+				PBMem:  pbm.Reads + pbm.Writes,
+				HierPJ: res.MemHierarchyPJ,
+				PPC:    res.PPC(),
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &AblationResult{Benchmark: alias, SizeKB: sizeKB, Rows: rows}, nil
 }

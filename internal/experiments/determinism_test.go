@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// renderSystemFigures renders the Figs. 14-24 tables plus the headline
+// aggregate into one string, in paper order.
+func renderSystemFigures(t *testing.T, r *Runner) string {
+	t.Helper()
+	var b strings.Builder
+	figs := []struct {
+		n     int
+		table func() (*Table, error)
+	}{
+		{14, func() (*Table, error) { f, err := r.Fig14(); return tbl(f, err) }},
+		{15, func() (*Table, error) { f, err := r.Fig15(); return tbl(f, err) }},
+		{16, func() (*Table, error) { f, err := r.Fig16(); return tbl(f, err) }},
+		{17, func() (*Table, error) { f, err := r.Fig17(); return tbl(f, err) }},
+		{18, func() (*Table, error) { f, err := r.Fig18(); return tbl(f, err) }},
+		{19, func() (*Table, error) { f, err := r.Fig19(); return tbl(f, err) }},
+		{20, func() (*Table, error) { f, err := r.Fig20(); return tbl(f, err) }},
+		{21, func() (*Table, error) { f, err := r.Fig21(); return tbl(f, err) }},
+		{22, func() (*Table, error) { f, err := r.Fig22(); return tbl(f, err) }},
+		{23, func() (*Table, error) { f, err := r.Fig23(); return tbl(f, err) }},
+		{24, func() (*Table, error) { f, err := r.Fig24(); return tbl(f, err) }},
+	}
+	for _, fig := range figs {
+		tab, err := fig.table()
+		if err != nil {
+			t.Fatalf("fig %d: %v", fig.n, err)
+		}
+		fmt.Fprintf(&b, "%s\n", tab)
+	}
+	h, err := r.Headline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&b, "%s\n", h.Table())
+	return b.String()
+}
+
+// tbl adapts a figure's (figure, error) pair to (figure.Table(), error).
+func tbl(f interface{ Table() *Table }, err error) (*Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return f.Table(), nil
+}
+
+// TestGoldenParallelDeterminism is the reproducibility contract of the sweep
+// engine: the full Figs. 14-24 pass (plus the headline aggregate) must be
+// byte-identical at -parallel 1, 4 and 8. Each parallelism level uses a
+// fresh Runner so nothing is served from a shared memo.
+func TestGoldenParallelDeterminism(t *testing.T) {
+	render := func(par int) string {
+		r := fastRunner("CCS", "GTr")
+		r.Parallel = par
+		return renderSystemFigures(t, r)
+	}
+	want := render(1)
+	if want == "" {
+		t.Fatal("empty reference rendering")
+	}
+	for _, par := range []int{4, 8} {
+		got := render(par)
+		if got != want {
+			t.Errorf("-parallel %d output differs from -parallel 1:\n%s", par, firstDiff(want, got))
+		}
+	}
+}
+
+// TestGoldenPrewarmDeterminism checks that a prewarmed parallel pass and a
+// cold sequential pass render identical figures: the memo contents must not
+// depend on which goroutine computed them.
+func TestGoldenPrewarmDeterminism(t *testing.T) {
+	cold := fastRunner("GTr")
+	want := renderSystemFigures(t, cold)
+
+	warm := fastRunner("GTr")
+	warm.Parallel = 8
+	if err := warm.Prewarm(8); err != nil {
+		t.Fatal(err)
+	}
+	if got := renderSystemFigures(t, warm); got != want {
+		t.Errorf("prewarmed rendering differs from cold sequential:\n%s", firstDiff(want, got))
+	}
+}
+
+// firstDiff reports the first differing line of two renderings.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  want %q\n  got  %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("length differs: %d vs %d lines", len(wl), len(gl))
+}

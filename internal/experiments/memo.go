@@ -1,0 +1,48 @@
+package experiments
+
+import "sync"
+
+// memo is a per-key, singleflight-style memoization table. The first caller
+// of a key computes the value while holding only that key's cell; every
+// other caller — of the same key or any other — proceeds without touching
+// it. Concurrent callers of the same key block until the first compute
+// finishes and then share its result, so each key is computed exactly once
+// even under contention. Results (including errors, which are deterministic
+// functions of the key here) are cached forever: the Runner's keyspace is
+// the benchmark/configuration grid, which is finite and re-read many times.
+//
+// This replaces the Runner's original single coarse mutex, which serialized
+// scene generation and full-system simulation of *different* benchmarks
+// behind one lock.
+type memo[V any] struct {
+	mu sync.Mutex
+	m  map[string]*memoCell[V]
+}
+
+type memoCell[V any] struct {
+	done chan struct{} // closed once val/err are final
+	val  V
+	err  error
+}
+
+// get returns the memoized value for key, running compute at most once per
+// key. compute runs outside the map lock, so distinct keys compute
+// concurrently.
+func (m *memo[V]) get(key string, compute func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if m.m == nil {
+		m.m = make(map[string]*memoCell[V])
+	}
+	if c, ok := m.m[key]; ok {
+		m.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &memoCell[V]{done: make(chan struct{})}
+	m.m[key] = c
+	m.mu.Unlock()
+
+	c.val, c.err = compute()
+	close(c.done)
+	return c.val, c.err
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tcor/internal/cache"
+	"tcor/internal/workload"
 )
 
 // MissCurve is one series of a policy study: miss ratio (suite average)
@@ -98,43 +99,54 @@ func cacheCfgFor(cp, ways int) cache.Config {
 // one-pass Mattson stack-distance path (exact — the cache tests prove the
 // two agree to the access); everything else is event-driven.
 func (r *Runner) missRatioAvg(ps policySpec, cp, ways int) (float64, error) {
-	var sum float64
-	suite := r.Suite()
-	for _, spec := range suite {
+	ratios, err := forSuite(r, func(spec workload.Spec) (float64, error) {
 		if ps.label == "LRU" && ways <= 0 {
 			p, err := r.LRUProfile(spec.Alias)
 			if err != nil {
 				return 0, err
 			}
-			sum += p.MissRatioAt(cp)
-			continue
+			return p.MissRatioAt(cp), nil
 		}
 		tr, err := r.AttributeTrace(spec.Alias)
 		if err != nil {
 			return 0, err
 		}
+		// ps.make() runs inside the sweep job: every benchmark simulates
+		// against a fresh policy instance, so no state is shared.
 		st, err := cache.Simulate(cacheCfgFor(cp, ways), ps.make(), tr)
 		if err != nil {
 			return 0, err
 		}
-		sum += st.MissRatio()
+		return st.MissRatio(), nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return sum / float64(len(suite)), nil
+	var sum float64
+	for _, mr := range ratios {
+		sum += mr
+	}
+	return sum / float64(len(ratios)), nil
 }
 
 // lowerBoundAvg returns the suite-average lower-bound miss ratio for a
 // capacity of cp primitives (§V-A).
 func (r *Runner) lowerBoundAvg(cp int) (float64, error) {
-	var sum float64
-	suite := r.Suite()
-	for _, spec := range suite {
+	bounds, err := forSuite(r, func(spec workload.Spec) (float64, error) {
 		tr, err := r.AttributeTrace(spec.Alias)
 		if err != nil {
 			return 0, err
 		}
-		sum += cache.TraceLowerBoundMissRatio(tr, cp)
+		return cache.TraceLowerBoundMissRatio(tr, cp), nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return sum / float64(len(suite)), nil
+	var sum float64
+	for _, lb := range bounds {
+		sum += lb
+	}
+	return sum / float64(len(bounds)), nil
 }
 
 // sweep runs one policy/associativity over the given sizes.

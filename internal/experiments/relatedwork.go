@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -36,13 +37,18 @@ func (r *Runner) RelatedWork(sizeKB int) (*Table, error) {
 		name string
 		miss float64
 	}
-	var rows []row
-	for _, ps := range policies {
-		mr, err := r.missRatioAvg(ps, cp, 4)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row{ps.label, mr})
+	// One sweep job per policy; each job fans the suite out through the same
+	// pool via missRatioAvg, and rows come back in declaration order.
+	rows, err := SweepSlice(r.baseCtx(), r.Parallel, policies,
+		func(_ context.Context, ps policySpec) (row, error) {
+			mr, err := r.missRatioAvg(ps, cp, 4)
+			if err != nil {
+				return row{}, err
+			}
+			return row{ps.label, mr}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	lb, err := r.lowerBoundAvg(cp)
 	if err != nil {

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"tcor/internal/cache"
 	"tcor/internal/geom"
@@ -15,6 +15,14 @@ import (
 // Runner generates scenes and runs full-system simulations, memoizing both
 // so that the figures sharing the same underlying runs (Figs. 14–24 all
 // come from six configurations per benchmark) pay for each run once.
+//
+// Every memoized product — scenes, binnings, traces, stack profiles,
+// full-system results — is keyed with per-key singleflight locking (see
+// memo.go), so concurrent requests for different benchmarks or
+// configurations proceed in parallel while duplicate requests for the same
+// key coalesce into one computation. All suite-wide studies fan out through
+// the bounded Sweep pool with deterministic result ordering, so a Runner's
+// figures are byte-identical at every parallelism level.
 type Runner struct {
 	Screen geom.Screen
 	// Frames overrides the per-spec frame count when positive (tests use 1
@@ -22,18 +30,37 @@ type Runner struct {
 	Frames int
 	// Benchmarks restricts the suite (nil = all ten).
 	Benchmarks []string
+	// Parallel bounds the concurrent simulations in suite-wide sweeps
+	// (0 = GOMAXPROCS). Results do not depend on it.
+	Parallel int
+	// Ctx, when non-nil, cancels in-flight suite sweeps (deadline or
+	// cancellation); nil means context.Background(). Configure it once
+	// before use, like the other fields.
+	Ctx context.Context
 
-	mu       sync.Mutex
-	scenes   map[string]*workload.Scene
-	runs     map[string]*gpu.Result
-	traces   map[string]trace.Trace
-	bins     map[string]*tiling.Binning
-	profiles map[string]cache.StackProfile
+	scenes   memo[*workload.Scene]
+	runs     memo[*gpu.Result]
+	traces   memo[trace.Trace]
+	bins     memo[*tiling.Binning]
+	profiles memo[cache.StackProfile]
+
+	// testSceneHook, when set, runs inside the memoized scene computation.
+	// Tests use it to prove that distinct-alias Scene calls overlap in time
+	// (the original coarse-mutex design serialized them).
+	testSceneHook func(alias string)
 }
 
 // NewRunner returns a Runner over the default screen and full suite.
 func NewRunner() *Runner {
 	return &Runner{Screen: geom.DefaultScreen()}
+}
+
+// baseCtx returns the runner's sweep context.
+func (r *Runner) baseCtx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
 }
 
 // Suite returns the benchmark specs this runner covers, in paper order.
@@ -55,129 +82,96 @@ func (r *Runner) Suite() []workload.Spec {
 
 // Scene returns the calibrated scene for a benchmark.
 func (r *Runner) Scene(alias string) (*workload.Scene, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if sc, ok := r.scenes[alias]; ok {
-		return sc, nil
-	}
-	spec, err := workload.ByAlias(alias)
-	if err != nil {
-		return nil, err
-	}
-	if r.Frames > 0 {
-		spec.Frames = r.Frames
-	}
-	sc, err := workload.Generate(spec, r.Screen)
-	if err != nil {
-		return nil, err
-	}
-	if r.scenes == nil {
-		r.scenes = make(map[string]*workload.Scene)
-	}
-	r.scenes[alias] = sc
-	return sc, nil
+	return r.scenes.get(alias, func() (*workload.Scene, error) {
+		if hook := r.testSceneHook; hook != nil {
+			hook(alias)
+		}
+		spec, err := workload.ByAlias(alias)
+		if err != nil {
+			return nil, err
+		}
+		if r.Frames > 0 {
+			spec.Frames = r.Frames
+		}
+		return workload.Generate(spec, r.Screen)
+	})
 }
 
 // Run simulates a benchmark under a configuration, memoized under the given
 // configuration name.
 func (r *Runner) Run(alias, cfgName string, cfg gpu.Config) (*gpu.Result, error) {
-	key := alias + "/" + cfgName
-	r.mu.Lock()
-	if res, ok := r.runs[key]; ok {
-		r.mu.Unlock()
+	return r.runs.get(alias+"/"+cfgName, func() (*gpu.Result, error) {
+		sc, err := r.Scene(alias)
+		if err != nil {
+			return nil, err
+		}
+		res, err := gpu.Simulate(sc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s under %s: %w", alias, cfgName, err)
+		}
 		return res, nil
+	})
+}
+
+// prewarmJob is one (benchmark, configuration) cell of the Figs. 14-24 grid.
+type prewarmJob struct {
+	alias, name string
+	cfg         gpu.Config
+}
+
+// prewarmConfigs returns the six full-system configurations behind
+// Figs. 14-24 for one benchmark.
+func prewarmConfigs(alias string) []prewarmJob {
+	var jobs []prewarmJob
+	for _, sizeKB := range []int{64, 128} {
+		jobs = append(jobs,
+			prewarmJob{alias, fmt.Sprintf("base%d", sizeKB), gpu.Baseline(sizeKB * 1024)},
+			prewarmJob{alias, fmt.Sprintf("tcor%d", sizeKB), gpu.TCOR(sizeKB * 1024)},
+			prewarmJob{alias, fmt.Sprintf("nol2-%d", sizeKB), gpu.TCORNoL2(sizeKB * 1024)})
 	}
-	r.mu.Unlock()
-	sc, err := r.Scene(alias)
-	if err != nil {
-		return nil, err
-	}
-	res, err := gpu.Simulate(sc, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s under %s: %w", alias, cfgName, err)
-	}
-	r.mu.Lock()
-	if r.runs == nil {
-		r.runs = make(map[string]*gpu.Result)
-	}
-	r.runs[key] = res
-	r.mu.Unlock()
-	return res, nil
+	return jobs
 }
 
 // Prewarm runs the six full-system configurations behind Figs. 14-24 for
 // every benchmark of the suite concurrently, bounded by par workers, so a
 // subsequent figure pass is all cache hits. Results are identical to the
-// sequential path (runs are independent and memoized under a mutex).
+// sequential path (runs are independent and memoized per key).
 func (r *Runner) Prewarm(par int) error {
-	if par < 1 {
-		par = 1
-	}
-	type job struct {
-		alias, name string
-		cfg         gpu.Config
-	}
-	var jobs []job
+	return r.PrewarmContext(r.baseCtx(), par)
+}
+
+// PrewarmContext is Prewarm with explicit cancellation: the context aborts
+// simulations between jobs (a started simulation runs to completion, but no
+// new work begins once ctx is done). par <= 0 means GOMAXPROCS.
+func (r *Runner) PrewarmContext(ctx context.Context, par int) error {
+	var jobs []func(context.Context) (struct{}, error)
 	for _, spec := range r.Suite() {
-		for _, sizeKB := range []int{64, 128} {
-			jobs = append(jobs,
-				job{spec.Alias, fmt.Sprintf("base%d", sizeKB), gpu.Baseline(sizeKB * 1024)},
-				job{spec.Alias, fmt.Sprintf("tcor%d", sizeKB), gpu.TCOR(sizeKB * 1024)},
-				job{spec.Alias, fmt.Sprintf("nol2-%d", sizeKB), gpu.TCORNoL2(sizeKB * 1024)})
+		for _, j := range prewarmConfigs(spec.Alias) {
+			j := j
+			jobs = append(jobs, func(context.Context) (struct{}, error) {
+				_, err := r.Run(j.alias, j.name, j.cfg)
+				return struct{}{}, err
+			})
 		}
 	}
-	// Generate scenes first (they are shared by the three configs).
-	for _, spec := range r.Suite() {
-		if _, err := r.Scene(spec.Alias); err != nil {
-			return err
-		}
-	}
-	sem := make(chan struct{}, par)
-	errs := make(chan error, len(jobs))
-	for _, j := range jobs {
-		sem <- struct{}{}
-		go func(j job) {
-			defer func() { <-sem }()
-			_, err := r.Run(j.alias, j.name, j.cfg)
-			errs <- err
-		}(j)
-	}
-	for range jobs {
-		if err := <-errs; err != nil {
-			return err
-		}
-	}
-	return nil
+	_, err := Sweep(ctx, par, jobs)
+	return err
 }
 
 // Binning returns the memoized frame-0 binning of a benchmark under the
 // paper's Z-order traversal.
 func (r *Runner) Binning(alias string) (*tiling.Binning, error) {
-	r.mu.Lock()
-	if b, ok := r.bins[alias]; ok {
-		r.mu.Unlock()
-		return b, nil
-	}
-	r.mu.Unlock()
-	sc, err := r.Scene(alias)
-	if err != nil {
-		return nil, err
-	}
-	trav, err := tiling.NewTraversal(r.Screen, tiling.OrderZ)
-	if err != nil {
-		return nil, err
-	}
-	b, err := tiling.Bin(r.Screen, trav, sc.Frame(0).Prims)
-	if err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	if r.bins == nil {
-		r.bins = make(map[string]*tiling.Binning)
-	}
-	r.bins[alias] = b
-	r.mu.Unlock()
-	return b, nil
+	return r.bins.get(alias, func() (*tiling.Binning, error) {
+		sc, err := r.Scene(alias)
+		if err != nil {
+			return nil, err
+		}
+		trav, err := tiling.NewTraversal(r.Screen, tiling.OrderZ)
+		if err != nil {
+			return nil, err
+		}
+		return tiling.Bin(r.Screen, trav, sc.Frame(0).Prims)
+	})
 }
 
 // AttributeTrace returns the memoized primitive-granularity access trace to
@@ -186,57 +180,36 @@ func (r *Runner) Binning(alias string) (*tiling.Binning, error) {
 // tile by tile in traversal order — the stream behind Figs. 1 and 11–13.
 // The trace is annotated with Belady next-use indices.
 func (r *Runner) AttributeTrace(alias string) (trace.Trace, error) {
-	r.mu.Lock()
-	if tr, ok := r.traces[alias]; ok {
-		r.mu.Unlock()
-		return tr, nil
-	}
-	r.mu.Unlock()
-	b, err := r.Binning(alias)
-	if err != nil {
-		return nil, err
-	}
-	var tr trace.Trace
-	for p := range b.PrimTiles {
-		tr = append(tr, trace.Access{Key: trace.Key(p), Write: true})
-	}
-	for _, tile := range b.Traversal.Seq {
-		for _, e := range b.Lists[tile] {
-			tr = append(tr, trace.Access{Key: trace.Key(e.Prim)})
+	return r.traces.get(alias, func() (trace.Trace, error) {
+		b, err := r.Binning(alias)
+		if err != nil {
+			return nil, err
 		}
-	}
-	trace.AnnotateNextUse(tr)
-	r.mu.Lock()
-	if r.traces == nil {
-		r.traces = make(map[string]trace.Trace)
-	}
-	r.traces[alias] = tr
-	r.mu.Unlock()
-	return tr, nil
+		var tr trace.Trace
+		for p := range b.PrimTiles {
+			tr = append(tr, trace.Access{Key: trace.Key(p), Write: true})
+		}
+		for _, tile := range b.Traversal.Seq {
+			for _, e := range b.Lists[tile] {
+				tr = append(tr, trace.Access{Key: trace.Key(e.Prim)})
+			}
+		}
+		trace.AnnotateNextUse(tr)
+		return tr, nil
+	})
 }
 
 // LRUProfile returns the memoized Mattson stack-distance profile of a
 // benchmark's attribute trace: fully-associative LRU miss ratios at every
 // capacity from one pass (reference [27]'s own technique).
 func (r *Runner) LRUProfile(alias string) (cache.StackProfile, error) {
-	r.mu.Lock()
-	if p, ok := r.profiles[alias]; ok {
-		r.mu.Unlock()
-		return p, nil
-	}
-	r.mu.Unlock()
-	tr, err := r.AttributeTrace(alias)
-	if err != nil {
-		return cache.StackProfile{}, err
-	}
-	p := cache.LRUStackDistances(tr)
-	r.mu.Lock()
-	if r.profiles == nil {
-		r.profiles = make(map[string]cache.StackProfile)
-	}
-	r.profiles[alias] = p
-	r.mu.Unlock()
-	return p, nil
+	return r.profiles.get(alias, func() (cache.StackProfile, error) {
+		tr, err := r.AttributeTrace(alias)
+		if err != nil {
+			return cache.StackProfile{}, err
+		}
+		return cache.LRUStackDistances(tr), nil
+	})
 }
 
 // PrimBytes is the average primitive size used to convert cache byte

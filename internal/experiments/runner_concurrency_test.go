@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tcor/internal/workload"
+)
+
+// TestDistinctSceneCallsOverlap is the regression test for the coarse-mutex
+// design, where one Runner-wide lock serialized every memoized product:
+// two Scene calls for different benchmarks must be in flight at the same
+// time. Under the old design the second caller blocks outside the hook and
+// this test times out.
+func TestDistinctSceneCallsOverlap(t *testing.T) {
+	r := fastRunner("CCS", "GTr")
+	var entered sync.WaitGroup
+	entered.Add(2)
+	release := make(chan struct{})
+	r.testSceneHook = func(string) {
+		entered.Done()
+		<-release
+	}
+
+	done := make(chan error, 2)
+	for _, alias := range []string{"CCS", "GTr"} {
+		alias := alias
+		go func() {
+			_, err := r.Scene(alias)
+			done <- err
+		}()
+	}
+
+	both := make(chan struct{})
+	go func() {
+		entered.Wait()
+		close(both)
+	}()
+	select {
+	case <-both:
+		// Both generations are inside the hook simultaneously: the keys
+		// lock independently.
+	case <-time.After(30 * time.Second):
+		t.Fatal("Scene(CCS) and Scene(GTr) never overlapped: scene generation is serialized")
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSceneSingleflight proves the other half of the memo contract:
+// concurrent requests for the SAME key coalesce into one computation and
+// share its result.
+func TestSceneSingleflight(t *testing.T) {
+	r := fastRunner("GTr")
+	var computes atomic.Int32
+	r.testSceneHook = func(string) {
+		computes.Add(1)
+		// Hold the computation open long enough for the other callers to
+		// arrive and park on the memo cell.
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	const callers = 8
+	scenes := make([]*workload.Scene, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc, err := r.Scene("GTr")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			scenes[i] = sc
+		}()
+	}
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Errorf("scene computed %d times for one key, want 1", n)
+	}
+	for i := 1; i < callers; i++ {
+		if scenes[i] != scenes[0] {
+			t.Errorf("caller %d got a different *Scene than caller 0", i)
+		}
+	}
+}
+
+// TestRunSingleflightDistinctConfigs checks that runs memoize per
+// (benchmark, config) key: the same key coalesces, different keys don't
+// share results.
+func TestRunSingleflightDistinctConfigs(t *testing.T) {
+	r := fastRunner("GTr")
+	cfgA := prewarmConfigs("GTr")[0]
+	cfgB := prewarmConfigs("GTr")[1]
+
+	var wg sync.WaitGroup
+	results := make([]interface{}, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		j := cfgA
+		if i >= 2 {
+			j = cfgB
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := r.Run(j.alias, j.name, j.cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}()
+	}
+	wg.Wait()
+
+	if results[0] != results[1] {
+		t.Error("same-key Run calls returned distinct results")
+	}
+	if results[2] != results[3] {
+		t.Error("same-key Run calls returned distinct results")
+	}
+	if results[0] == results[2] {
+		t.Error("distinct-config Run calls shared one result")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"tcor/internal/gpu"
@@ -24,32 +25,37 @@ func (r *Runner) SizeSweep(alias string) (*Table, []SizeSweepRow, error) {
 		Title:  fmt.Sprintf("Tile Cache size sweep, %s: beyond the paper's 64/128 KiB points", alias),
 		Header: []string{"Size(KiB)", "Base PB->L2", "TCOR PB->L2", "Decrease", "TCOR hier (mJ)", "TF speedup"},
 	}
-	var rows []SizeSweepRow
-	for _, sizeKB := range []int{32, 48, 64, 96, 128, 192, 256} {
-		base, err := r.Run(alias, fmt.Sprintf("sw-base-%d", sizeKB), gpu.Baseline(sizeKB*1024))
-		if err != nil {
-			return nil, nil, err
-		}
-		tc, err := r.Run(alias, fmt.Sprintf("sw-tcor-%d", sizeKB), gpu.TCOR(sizeKB*1024))
-		if err != nil {
-			return nil, nil, err
-		}
-		bPB := base.L2In.PB()
-		tPB := tc.L2In.PB()
-		row := SizeSweepRow{
-			SizeKB:     sizeKB,
-			BasePBL2:   bPB.Reads + bPB.Writes,
-			TCORPBL2:   tPB.Reads + tPB.Writes,
-			TCORHierPJ: tc.MemHierarchyPJ,
-		}
-		if row.BasePBL2 > 0 {
-			row.Decrease = 1 - float64(row.TCORPBL2)/float64(row.BasePBL2)
-		}
-		if b := base.PPC(); b > 0 {
-			row.TCORSpeedup = tc.PPC() / b
-		}
-		rows = append(rows, row)
-		t.AddRow(fmt.Sprintf("%d", sizeKB),
+	rows, err := SweepSlice(r.baseCtx(), r.Parallel, []int{32, 48, 64, 96, 128, 192, 256},
+		func(_ context.Context, sizeKB int) (SizeSweepRow, error) {
+			base, err := r.Run(alias, fmt.Sprintf("sw-base-%d", sizeKB), gpu.Baseline(sizeKB*1024))
+			if err != nil {
+				return SizeSweepRow{}, err
+			}
+			tc, err := r.Run(alias, fmt.Sprintf("sw-tcor-%d", sizeKB), gpu.TCOR(sizeKB*1024))
+			if err != nil {
+				return SizeSweepRow{}, err
+			}
+			bPB := base.L2In.PB()
+			tPB := tc.L2In.PB()
+			row := SizeSweepRow{
+				SizeKB:     sizeKB,
+				BasePBL2:   bPB.Reads + bPB.Writes,
+				TCORPBL2:   tPB.Reads + tPB.Writes,
+				TCORHierPJ: tc.MemHierarchyPJ,
+			}
+			if row.BasePBL2 > 0 {
+				row.Decrease = 1 - float64(row.TCORPBL2)/float64(row.BasePBL2)
+			}
+			if b := base.PPC(); b > 0 {
+				row.TCORSpeedup = tc.PPC() / b
+			}
+			return row, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(fmt.Sprintf("%d", row.SizeKB),
 			fmt.Sprintf("%d", row.BasePBL2), fmt.Sprintf("%d", row.TCORPBL2),
 			pct(row.Decrease), fmt.Sprintf("%.3f", row.TCORHierPJ/1e9),
 			fmt.Sprintf("%.1fx", row.TCORSpeedup))

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSweepPreservesJobOrder(t *testing.T) {
+	// Jobs finish in reverse submission order (later jobs sleep less), yet
+	// results must land at their submission index.
+	const n = 16
+	jobs := make([]func(context.Context) (int, error), n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = func(context.Context) (int, error) {
+			time.Sleep(time.Duration(n-i) * time.Millisecond)
+			return i * i, nil
+		}
+	}
+	got, err := Sweep(context.Background(), 8, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Errorf("results[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestSweepBoundsConcurrency(t *testing.T) {
+	const par, n = 3, 20
+	var inFlight, peak atomic.Int32
+	jobs := make([]func(context.Context) (int, error), n)
+	for i := range jobs {
+		jobs[i] = func(context.Context) (int, error) {
+			cur := inFlight.Add(1)
+			defer inFlight.Add(-1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			return 0, nil
+		}
+	}
+	if _, err := Sweep(context.Background(), par, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > par {
+		t.Errorf("observed %d concurrent jobs, want <= %d", p, par)
+	}
+}
+
+func TestSweepDefaultParallelism(t *testing.T) {
+	// par <= 0 must still run every job (GOMAXPROCS workers).
+	for _, par := range []int{0, -1} {
+		got, err := Sweep(context.Background(), par,
+			[]func(context.Context) (string, error){
+				func(context.Context) (string, error) { return "a", nil },
+				func(context.Context) (string, error) { return "b", nil },
+			})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if got[0] != "a" || got[1] != "b" {
+			t.Fatalf("par=%d: got %v", par, got)
+		}
+	}
+}
+
+func TestSweepFirstErrorCancelsRemainder(t *testing.T) {
+	errBoom := errors.New("boom")
+	var ran atomic.Int32
+	jobs := make([]func(context.Context) (int, error), 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) {
+			ran.Add(1)
+			if i == 1 {
+				return 0, errBoom
+			}
+			return i, nil
+		}
+	}
+	// par=1 makes the schedule deterministic: job 1 fails, jobs 2.. are
+	// skipped by the cancelled context.
+	results, err := Sweep(context.Background(), 1, jobs)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want the job error, not a cancellation", err)
+	}
+	if results[0] != 0 {
+		t.Errorf("results[0] = %d", results[0])
+	}
+	if n := ran.Load(); n != 2 {
+		t.Errorf("%d jobs ran, want 2 (job 0, then the failing job 1)", n)
+	}
+	for i := 2; i < 10; i++ {
+		if results[i] != 0 {
+			t.Errorf("skipped job %d left a non-zero result %d", i, results[i])
+		}
+	}
+}
+
+func TestSweepPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	jobs := []func(context.Context) (int, error){
+		func(context.Context) (int, error) { ran.Add(1); return 1, nil },
+		func(context.Context) (int, error) { ran.Add(1); return 2, nil },
+	}
+	_, err := Sweep(ctx, 2, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d jobs ran under a cancelled context", ran.Load())
+	}
+}
+
+func TestSweepEmptyAndNilContext(t *testing.T) {
+	got, err := Sweep[int](nil, 4, nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty sweep: %v, %v", got, err)
+	}
+	one, err := Sweep(nil, 4, []func(context.Context) (int, error){
+		func(context.Context) (int, error) { return 7, nil },
+	})
+	if err != nil || one[0] != 7 {
+		t.Fatalf("nil-ctx sweep: %v, %v", one, err)
+	}
+}
+
+func TestSweepSliceMapsInOrder(t *testing.T) {
+	items := []int{5, 3, 9, 1}
+	got, err := SweepSlice(context.Background(), 4, items,
+		func(_ context.Context, v int) (string, error) {
+			return fmt.Sprintf("v%d", v), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"v5", "v3", "v9", "v1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSweepResultIndependentOfParallelism(t *testing.T) {
+	// The same job set must produce an identical result slice at every
+	// parallelism level — the property the figure builders rely on.
+	run := func(par int) []int {
+		jobs := make([]func(context.Context) (int, error), 12)
+		for i := range jobs {
+			i := i
+			jobs[i] = func(context.Context) (int, error) { return 3*i + 1, nil }
+		}
+		got, err := Sweep(context.Background(), par, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	want := run(1)
+	for _, par := range []int{2, 4, 8} {
+		got := run(par)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("par=%d: results[%d] = %d, want %d", par, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSweepConcurrentSweepsShareNothing(t *testing.T) {
+	// Two sweeps over the same pool primitive must not interfere.
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			jobs := make([]func(context.Context) (int, error), 8)
+			for i := range jobs {
+				i := i
+				jobs[i] = func(context.Context) (int, error) { return s*100 + i, nil }
+			}
+			got, err := Sweep(context.Background(), 3, jobs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i, v := range got {
+				if v != s*100+i {
+					t.Errorf("sweep %d: results[%d] = %d", s, i, v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -5,6 +5,7 @@ import (
 
 	"tcor/internal/gpu"
 	"tcor/internal/mem"
+	"tcor/internal/workload"
 )
 
 // tileCacheBytes maps the two experiment sizes of §V-B.
@@ -63,19 +64,19 @@ func (f *TrafficFigure) Table() *Table {
 	return t
 }
 
-// trafficFigure builds Figs. 14-19 from a per-result counter extractor.
+// trafficFigure builds Figs. 14-19 from a per-result counter extractor. The
+// per-benchmark rows come back from the sweep pool in suite order, so the
+// aggregation below is identical at every parallelism level.
 func (r *Runner) trafficFigure(fig, sizeKB int, metric string,
 	get func(*gpu.Result) mem.RegionCounts) (*TrafficFigure, error) {
-	f := &TrafficFigure{Fig: fig, SizeKB: sizeKB, Metric: metric}
-	var sum float64
-	for _, spec := range r.Suite() {
+	rows, err := forSuite(r, func(spec workload.Spec) (TrafficRow, error) {
 		base, err := r.baseline(spec.Alias, sizeKB)
 		if err != nil {
-			return nil, err
+			return TrafficRow{}, err
 		}
 		tc, err := r.tcorFull(spec.Alias, sizeKB)
 		if err != nil {
-			return nil, err
+			return TrafficRow{}, err
 		}
 		b, tcc := get(base), get(tc)
 		row := TrafficRow{
@@ -86,11 +87,18 @@ func (r *Runner) trafficFigure(fig, sizeKB int, metric string,
 		if tot := b.Reads + b.Writes; tot > 0 {
 			row.Decrease = 1 - float64(tcc.Reads+tcc.Writes)/float64(tot)
 		}
-		sum += row.Decrease
-		f.Rows = append(f.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if len(f.Rows) > 0 {
-		f.Average = sum / float64(len(f.Rows))
+	f := &TrafficFigure{Fig: fig, SizeKB: sizeKB, Metric: metric, Rows: rows}
+	var sum float64
+	for _, row := range rows {
+		sum += row.Decrease
+	}
+	if len(rows) > 0 {
+		f.Average = sum / float64(len(rows))
 	}
 	return f, nil
 }
@@ -174,20 +182,18 @@ func (r *Runner) Fig20() (*EnergyFigure, error) { return r.figEnergy(20, 64) }
 func (r *Runner) Fig21() (*EnergyFigure, error) { return r.figEnergy(21, 128) }
 
 func (r *Runner) figEnergy(fig, sizeKB int) (*EnergyFigure, error) {
-	f := &EnergyFigure{Fig: fig, SizeKB: sizeKB}
-	var sumN, sumT float64
-	for _, spec := range r.Suite() {
+	rows, err := forSuite(r, func(spec workload.Spec) (EnergyRow, error) {
 		base, err := r.baseline(spec.Alias, sizeKB)
 		if err != nil {
-			return nil, err
+			return EnergyRow{}, err
 		}
 		noL2, err := r.tcorNoL2(spec.Alias, sizeKB)
 		if err != nil {
-			return nil, err
+			return EnergyRow{}, err
 		}
 		tc, err := r.tcorFull(spec.Alias, sizeKB)
 		if err != nil {
-			return nil, err
+			return EnergyRow{}, err
 		}
 		row := EnergyRow{
 			Alias:  spec.Alias,
@@ -197,13 +203,20 @@ func (r *Runner) figEnergy(fig, sizeKB int) (*EnergyFigure, error) {
 		}
 		row.DecreaseNoL2 = 1 - row.NoL2PJ/row.BasePJ
 		row.DecreaseTCOR = 1 - row.TCORPJ/row.BasePJ
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	f := &EnergyFigure{Fig: fig, SizeKB: sizeKB, Rows: rows}
+	var sumN, sumT float64
+	for _, row := range rows {
 		sumN += row.DecreaseNoL2
 		sumT += row.DecreaseTCOR
-		f.Rows = append(f.Rows, row)
 	}
-	if len(f.Rows) > 0 {
-		f.AvgNoL2 = sumN / float64(len(f.Rows))
-		f.AvgTCOR = sumT / float64(len(f.Rows))
+	if len(rows) > 0 {
+		f.AvgNoL2 = sumN / float64(len(rows))
+		f.AvgTCOR = sumT / float64(len(rows))
 	}
 	return f, nil
 }
@@ -237,18 +250,16 @@ func (f *GPUEnergyFigure) Table() *Table {
 // Fig22 reproduces Figure 22: per-benchmark decrease in total GPU energy
 // for both Tile Cache sizes.
 func (r *Runner) Fig22() (*GPUEnergyFigure, error) {
-	f := &GPUEnergyFigure{}
-	var s64, s128 float64
-	for _, spec := range r.Suite() {
+	rows, err := forSuite(r, func(spec workload.Spec) (GPUEnergyRow, error) {
 		row := GPUEnergyRow{Alias: spec.Alias}
 		for _, sizeKB := range []int{64, 128} {
 			base, err := r.baseline(spec.Alias, sizeKB)
 			if err != nil {
-				return nil, err
+				return row, err
 			}
 			tc, err := r.tcorFull(spec.Alias, sizeKB)
 			if err != nil {
-				return nil, err
+				return row, err
 			}
 			dec := 1 - tc.TotalPJ/base.TotalPJ
 			if sizeKB == 64 {
@@ -257,11 +268,18 @@ func (r *Runner) Fig22() (*GPUEnergyFigure, error) {
 				row.Decrease128 = dec
 			}
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	f := &GPUEnergyFigure{Rows: rows}
+	var s64, s128 float64
+	for _, row := range rows {
 		s64 += row.Decrease64
 		s128 += row.Decrease128
-		f.Rows = append(f.Rows, row)
 	}
-	if n := float64(len(f.Rows)); n > 0 {
+	if n := float64(len(rows)); n > 0 {
 		f.Avg64, f.Avg128 = s64/n, s128/n
 	}
 	return f, nil
@@ -305,26 +323,31 @@ func (r *Runner) Fig23() (*ThroughputFigure, error) { return r.figThroughput(23,
 func (r *Runner) Fig24() (*ThroughputFigure, error) { return r.figThroughput(24, 128) }
 
 func (r *Runner) figThroughput(fig, sizeKB int) (*ThroughputFigure, error) {
-	f := &ThroughputFigure{Fig: fig, SizeKB: sizeKB}
-	var sum float64
-	for _, spec := range r.Suite() {
+	rows, err := forSuite(r, func(spec workload.Spec) (ThroughputRow, error) {
 		base, err := r.baseline(spec.Alias, sizeKB)
 		if err != nil {
-			return nil, err
+			return ThroughputRow{}, err
 		}
 		tc, err := r.tcorFull(spec.Alias, sizeKB)
 		if err != nil {
-			return nil, err
+			return ThroughputRow{}, err
 		}
 		row := ThroughputRow{Alias: spec.Alias, BasePPC: base.PPC(), TCORPPC: tc.PPC()}
 		if row.BasePPC > 0 {
 			row.Speedup = row.TCORPPC / row.BasePPC
 		}
-		sum += row.Speedup
-		f.Rows = append(f.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if len(f.Rows) > 0 {
-		f.AvgSpeedup = sum / float64(len(f.Rows))
+	f := &ThroughputFigure{Fig: fig, SizeKB: sizeKB, Rows: rows}
+	var sum float64
+	for _, row := range rows {
+		sum += row.Speedup
+	}
+	if len(rows) > 0 {
+		f.AvgSpeedup = sum / float64(len(rows))
 	}
 	return f, nil
 }
@@ -354,31 +377,43 @@ func (h Headline) Table() *Table {
 
 // Headline computes the abstract-level aggregate over the suite at 64 KiB.
 func (r *Runner) Headline() (Headline, error) {
-	var h Headline
-	n := 0
 	const clock = 600e6
-	for _, spec := range r.Suite() {
+	parts, err := forSuite(r, func(spec workload.Spec) (Headline, error) {
 		base, err := r.baseline(spec.Alias, 64)
 		if err != nil {
-			return h, err
+			return Headline{}, err
 		}
 		tc, err := r.tcorFull(spec.Alias, 64)
 		if err != nil {
-			return h, err
+			return Headline{}, err
 		}
-		h.MemHierarchyDecrease += 1 - tc.MemHierarchyPJ/base.MemHierarchyPJ
-		h.GPUEnergyDecrease += 1 - tc.TotalPJ/base.TotalPJ
-		h.FPSIncrease += tc.FPS(clock)/base.FPS(clock) - 1
+		p := Headline{
+			MemHierarchyDecrease: 1 - tc.MemHierarchyPJ/base.MemHierarchyPJ,
+			GPUEnergyDecrease:    1 - tc.TotalPJ/base.TotalPJ,
+			FPSIncrease:          tc.FPS(clock)/base.FPS(clock) - 1,
+		}
 		if base.PPC() > 0 {
-			h.TilingSpeedup += tc.PPC() / base.PPC()
+			p.TilingSpeedup = tc.PPC() / base.PPC()
 		}
-		n++
+		return p, nil
+	})
+	if err != nil {
+		return Headline{}, err
 	}
-	if n > 0 {
-		h.MemHierarchyDecrease /= float64(n)
-		h.GPUEnergyDecrease /= float64(n)
-		h.FPSIncrease /= float64(n)
-		h.TilingSpeedup /= float64(n)
+	// Sum the per-benchmark partials in suite order — float addition is not
+	// associative, so a fixed order keeps the averages bit-identical.
+	var h Headline
+	for _, p := range parts {
+		h.MemHierarchyDecrease += p.MemHierarchyDecrease
+		h.GPUEnergyDecrease += p.GPUEnergyDecrease
+		h.FPSIncrease += p.FPSIncrease
+		h.TilingSpeedup += p.TilingSpeedup
+	}
+	if n := float64(len(parts)); n > 0 {
+		h.MemHierarchyDecrease /= n
+		h.GPUEnergyDecrease /= n
+		h.FPSIncrease /= n
+		h.TilingSpeedup /= n
 	}
 	return h, nil
 }
@@ -410,7 +445,7 @@ func (r *Runner) TableII() (*Table, error) {
 		Header: []string{"Benchmark", "Alias", "Installs(M)", "Genre", "Type",
 			"PB MiB (target)", "PB MiB (measured)", "Reuse (target)", "Reuse (measured)", "Prims", "Prims/Tile"},
 	}
-	for _, spec := range r.Suite() {
+	rows, err := forSuite(r, func(spec workload.Spec) ([]string, error) {
 		sc, err := r.Scene(spec.Alias)
 		if err != nil {
 			return nil, err
@@ -420,13 +455,19 @@ func (r *Runner) TableII() (*Table, error) {
 		if spec.ThreeD {
 			typ = "3D"
 		}
-		t.AddRow(spec.Name, spec.Alias, fmt.Sprintf("%d", spec.Installs), spec.Genre, typ,
+		return []string{spec.Name, spec.Alias, fmt.Sprintf("%d", spec.Installs), spec.Genre, typ,
 			fmt.Sprintf("%.2f", spec.PBFootprintMiB),
 			fmt.Sprintf("%.2f", float64(st.PBFootprint)/(1024*1024)),
 			fmt.Sprintf("%.2f", spec.AvgPrimReuse),
 			fmt.Sprintf("%.2f", st.AvgPrimReuse),
 			fmt.Sprintf("%d", st.Primitives),
-			fmt.Sprintf("%.1f", st.AvgPrimsTile))
+			fmt.Sprintf("%.1f", st.AvgPrimsTile)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }

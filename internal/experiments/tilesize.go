@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"tcor/internal/geom"
@@ -57,45 +58,50 @@ func (r *Runner) TileSizeSweep(alias string) (*Table, []TileSizeRow, error) {
 	// 16-pixel tiles would need 5,904 tile IDs at this resolution —
 	// beyond the 12-bit OPT Number/last-tile fields the paper's hardware
 	// encodes (Figs. 6, 8) — so the sweep's lower end is 24 pixels.
-	var rows []TileSizeRow
-	for _, ts := range []int{24, 32, 48, 64} {
-		screen := geom.Screen{Width: r.Screen.Width, Height: r.Screen.Height, TileSize: ts}
-		if err := screen.Validate(); err != nil {
-			return nil, nil, err
-		}
-		scene, err := workload.NewSceneFromFrames(spec, screen, frames)
-		if err != nil {
-			return nil, nil, err
-		}
-		mk := func(c gpu.Config) gpu.Config {
-			c.Screen = screen
-			return c
-		}
-		base, err := gpu.Simulate(scene, mk(gpu.Baseline(64*1024)))
-		if err != nil {
-			return nil, nil, err
-		}
-		tc, err := gpu.Simulate(scene, mk(gpu.TCOR(64*1024)))
-		if err != nil {
-			return nil, nil, err
-		}
-		bPB, tPB := base.L2In.PB(), tc.L2In.PB()
-		row := TileSizeRow{
-			TileSize:   ts,
-			Tiles:      screen.NumTiles(),
-			AvgReuse:   scene.Stats().AvgPrimReuse,
-			BasePBL2:   bPB.Reads + bPB.Writes,
-			TCORPBL2:   tPB.Reads + tPB.Writes,
-			TCORHierPJ: tc.MemHierarchyPJ,
-		}
-		if row.BasePBL2 > 0 {
-			row.Decrease = 1 - float64(row.TCORPBL2)/float64(row.BasePBL2)
-		}
-		if b := base.PPC(); b > 0 {
-			row.TCORSpeedup = tc.PPC() / b
-		}
-		rows = append(rows, row)
-		t.AddRow(fmt.Sprintf("%dx%d", ts, ts), fmt.Sprintf("%d", row.Tiles),
+	rows, err := SweepSlice(r.baseCtx(), r.Parallel, []int{24, 32, 48, 64},
+		func(_ context.Context, ts int) (TileSizeRow, error) {
+			screen := geom.Screen{Width: r.Screen.Width, Height: r.Screen.Height, TileSize: ts}
+			if err := screen.Validate(); err != nil {
+				return TileSizeRow{}, err
+			}
+			scene, err := workload.NewSceneFromFrames(spec, screen, frames)
+			if err != nil {
+				return TileSizeRow{}, err
+			}
+			mk := func(c gpu.Config) gpu.Config {
+				c.Screen = screen
+				return c
+			}
+			base, err := gpu.Simulate(scene, mk(gpu.Baseline(64*1024)))
+			if err != nil {
+				return TileSizeRow{}, err
+			}
+			tc, err := gpu.Simulate(scene, mk(gpu.TCOR(64*1024)))
+			if err != nil {
+				return TileSizeRow{}, err
+			}
+			bPB, tPB := base.L2In.PB(), tc.L2In.PB()
+			row := TileSizeRow{
+				TileSize:   ts,
+				Tiles:      screen.NumTiles(),
+				AvgReuse:   scene.Stats().AvgPrimReuse,
+				BasePBL2:   bPB.Reads + bPB.Writes,
+				TCORPBL2:   tPB.Reads + tPB.Writes,
+				TCORHierPJ: tc.MemHierarchyPJ,
+			}
+			if row.BasePBL2 > 0 {
+				row.Decrease = 1 - float64(row.TCORPBL2)/float64(row.BasePBL2)
+			}
+			if b := base.PPC(); b > 0 {
+				row.TCORSpeedup = tc.PPC() / b
+			}
+			return row, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(fmt.Sprintf("%dx%d", row.TileSize, row.TileSize), fmt.Sprintf("%d", row.Tiles),
 			fmt.Sprintf("%.2f", row.AvgReuse),
 			fmt.Sprintf("%d", row.BasePBL2), fmt.Sprintf("%d", row.TCORPBL2),
 			pct(row.Decrease), fmt.Sprintf("%.1fx", row.TCORSpeedup))

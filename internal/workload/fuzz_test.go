@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"testing"
+)
+
+// FuzzLoadSpec feeds arbitrary bytes through the JSON profile parser (the
+// same path LoadSpec takes after reading a file) and checks the parser's
+// contract: it never panics, every spec it accepts passes Validate, and
+// accepted specs survive a MarshalSpec/ParseSpec round trip unchanged.
+func FuzzLoadSpec(f *testing.F) {
+	// The documented example profile, a minimal one, and the kinds of
+	// malformed input hand-edited profiles produce.
+	f.Add([]byte(`{"name":"My Game","alias":"MyG","genre":"Racing","threeD":true,
+	  "pbFootprintMiB":0.9,"avgPrimReuse":2.2,"textureMiB":4,
+	  "shaderInstrPerPixel":14,"frames":2}`))
+	f.Add([]byte(`{"name":"Tiny","pbFootprintMiB":0.1,"avgPrimReuse":1.5}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"unknownField":1}`))
+	f.Add([]byte(`{"pbFootprintMiB":-3}`))
+	f.Add([]byte(`{"frames":999999999999999999999}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`[]`))
+	for _, s := range Suite() {
+		if data, err := MarshalSpec(s); err == nil {
+			f.Add(data)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("ParseSpec accepted a spec Validate rejects: %v\ninput: %q", err, data)
+		}
+		out, err := MarshalSpec(spec)
+		if err != nil {
+			t.Fatalf("MarshalSpec failed on an accepted spec %+v: %v", spec, err)
+		}
+		back, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("round trip rejected MarshalSpec output: %v\njson: %s", err, out)
+		}
+		if back != spec {
+			t.Fatalf("round trip changed the spec:\n before %+v\n after  %+v", spec, back)
+		}
+	})
+}

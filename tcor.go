@@ -21,6 +21,8 @@
 package tcor
 
 import (
+	"context"
+
 	"tcor/internal/cache"
 	"tcor/internal/experiments"
 	"tcor/internal/geom"
@@ -93,7 +95,24 @@ func Simulate(scene *Scene, cfg Config) (*Result, error) { return gpu.Simulate(s
 
 // NewRunner returns an experiment runner over the default screen and full
 // suite; its methods regenerate each of the paper's tables and figures.
+// Set Runner.Parallel to bound concurrent simulations (0 = GOMAXPROCS)
+// and Runner.Ctx to cancel in-flight sweeps.
 func NewRunner() *Runner { return experiments.NewRunner() }
+
+// Sweep runs jobs through a bounded worker pool of at most par goroutines
+// (par <= 0 means GOMAXPROCS) and returns their results in job order,
+// regardless of completion order. The first failure cancels the jobs that
+// have not started yet; the returned error is the lowest-index job error.
+// All of the Runner's multi-benchmark studies are built on this primitive.
+func Sweep[T any](ctx context.Context, par int, jobs []func(context.Context) (T, error)) ([]T, error) {
+	return experiments.Sweep(ctx, par, jobs)
+}
+
+// SweepSlice maps fn over items through the same bounded pool as Sweep,
+// preserving item order in the result slice.
+func SweepSlice[In, Out any](ctx context.Context, par int, items []In, fn func(context.Context, In) (Out, error)) ([]Out, error) {
+	return experiments.SweepSlice(ctx, par, items, fn)
+}
 
 // AnnotateNextUse fills the Belady next-use indices an OPT simulation needs.
 func AnnotateNextUse(t Trace) { trace.AnnotateNextUse(t) }

@@ -1,6 +1,7 @@
 package tcor_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -9,6 +10,40 @@ import (
 	"tcor/internal/geom"
 	"tcor/internal/geometry"
 )
+
+// TestFacadeSweep drives the re-exported worker pool end to end: two
+// benchmarks simulated concurrently with results in job order.
+func TestFacadeSweep(t *testing.T) {
+	ppcs, err := tcor.SweepSlice(context.Background(), 2, []string{"CCS", "GTr"},
+		func(_ context.Context, alias string) (float64, error) {
+			spec := tcor.BenchmarkSpec(alias)
+			spec.Frames = 1
+			scene, err := tcor.GenerateWorkload(spec, tcor.DefaultScreen())
+			if err != nil {
+				return 0, err
+			}
+			res, err := tcor.Simulate(scene, tcor.TCORConfig(64<<10))
+			if err != nil {
+				return 0, err
+			}
+			return res.PPC(), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ppcs) != 2 || ppcs[0] <= 0 || ppcs[1] <= 0 {
+		t.Fatalf("bad sweep results: %v", ppcs)
+	}
+
+	jobs := []func(context.Context) (int, error){
+		func(context.Context) (int, error) { return 1, nil },
+		func(context.Context) (int, error) { return 2, nil },
+	}
+	got, err := tcor.Sweep(context.Background(), 0, jobs)
+	if err != nil || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Sweep: %v, %v", got, err)
+	}
+}
 
 func TestFacadeEndToEnd(t *testing.T) {
 	spec := tcor.BenchmarkSpec("GTr")
