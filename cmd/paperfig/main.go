@@ -10,6 +10,8 @@
 //	paperfig -all -parallel 8   # same, bounded to 8 concurrent simulations
 //	paperfig -frames 2 -benchmarks CCS,SoD -fig 20
 //	paperfig -all -timeout 10m  # abort if the full pass exceeds 10 minutes
+//	paperfig -all -http :0      # expvar + pprof while the sweep runs
+//	paperfig -fig 14 -stats m.json  # dump the runner's memo metrics
 //
 // Output is byte-identical at every -parallel level: the sweep engine
 // fans simulations out through a bounded worker pool but aggregates
@@ -18,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +29,63 @@ import (
 	"time"
 
 	"tcor/internal/experiments"
+	"tcor/internal/stats"
+	"tcor/internal/workload"
 )
+
+// modes is the list of mutually exclusive output-mode flags that are set.
+type modes []string
+
+func (m *modes) add(name string, on bool) {
+	if on {
+		*m = append(*m, name)
+	}
+}
+
+// conflict rejects combinations of output modes: each run does one thing,
+// so "-all -fig 14" is a contradiction, not a precedence puzzle.
+func (m modes) conflict() error {
+	if len(m) > 1 {
+		return fmt.Errorf("conflicting modes -%s: pass exactly one", strings.Join(m, ", -"))
+	}
+	return nil
+}
+
+// parseBenchmarks splits and validates a -benchmarks list against the
+// suite, so a typo fails loudly instead of silently vanishing from every
+// sweep (Runner.Suite drops aliases it does not know).
+func parseBenchmarks(csv string) ([]string, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	aliases := strings.Split(csv, ",")
+	for i, a := range aliases {
+		a = strings.TrimSpace(a)
+		if _, err := workload.ByAlias(a); err != nil {
+			return nil, fmt.Errorf("unknown benchmark %q in -benchmarks (see paperfig -table 2)", a)
+		}
+		aliases[i] = a
+	}
+	return aliases, nil
+}
+
+// validateNumbers rejects out-of-range numeric flags with a clear error
+// instead of clamping or misbehaving downstream.
+func validateNumbers(frames, parallel, par int, timeout time.Duration) error {
+	if frames < 0 {
+		return fmt.Errorf("-frames must be non-negative, got %d", frames)
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be non-negative, got %d", parallel)
+	}
+	if par < 0 {
+		return fmt.Errorf("-par must be non-negative, got %d", par)
+	}
+	if timeout < 0 {
+		return fmt.Errorf("-timeout must be non-negative, got %v", timeout)
+	}
+	return nil
+}
 
 func main() {
 	fig := flag.Int("fig", 0, "figure number to regenerate (1, 9, 11-24)")
@@ -50,20 +109,52 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	plot := flag.Bool("plot", false, "render policy figures (1, 11, 13) as terminal charts")
 	report := flag.String("report", "", "write a full markdown results report to this file")
+	statsPath := flag.String("stats", "", "write the runner's memoization/sweep metrics as JSON to this file")
+	httpAddr := flag.String("http", "", "serve expvar and pprof on this address while running (e.g. :0)")
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "paperfig:", err)
+		os.Exit(1)
+	}
+	if flag.NArg() > 0 {
+		fail(fmt.Errorf("unexpected arguments: %s", strings.Join(flag.Args(), " ")))
+	}
+	if err := validateNumbers(*frames, *parallel, *par, *timeout); err != nil {
+		fail(err)
+	}
+	var m modes
+	m.add("fig", *fig != 0)
+	m.add("table", *table != 0)
+	m.add("headline", *headline)
+	m.add("all", *all)
+	m.add("ablation", *ablation != "")
+	m.add("renderers", *renderers != "")
+	m.add("related", *related)
+	m.add("imr", *imr != "")
+	m.add("sweep", *sweep != "")
+	m.add("falseoverlap", *falseOverlap != "")
+	m.add("tilesize", *tileSize != "")
+	m.add("reuse", *reuse != "")
+	m.add("report", *report != "")
+	if err := m.conflict(); err != nil {
+		fail(err)
+	}
+	aliases, err := parseBenchmarks(*benchmarks)
+	if err != nil {
+		fail(err)
+	}
 
 	switch *format {
 	case "text":
 	case "csv":
 		printTableOut = func(t *experiments.Table) { fmt.Print(t.CSV()) }
 	default:
-		fmt.Fprintf(os.Stderr, "paperfig: unknown format %q\n", *format)
-		os.Exit(1)
+		fail(fmt.Errorf("unknown format %q (text, csv)", *format))
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "paperfig:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		inner := printTableOut
 		printTableOut = func(t *experiments.Table) {
@@ -91,105 +182,133 @@ func main() {
 	r.Frames = *frames
 	r.Parallel = workers
 	r.Ctx = ctx
-	if *benchmarks != "" {
-		r.Benchmarks = strings.Split(*benchmarks, ",")
+	r.Benchmarks = aliases
+
+	if *httpAddr != "" {
+		// The metrics registry is live: publishing before the work starts
+		// lets /debug/vars show memo hits/misses accumulate mid-sweep.
+		stats.PublishExpvar("paperfig", r.Metrics())
+		addr, stop, err := stats.ServeDebug(*httpAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "paperfig: debug server on http://%s/debug/vars\n", addr)
 	}
 
-	if *report != "" {
-		if err := r.Prewarm(prewarmPar); err != nil {
-			fmt.Fprintln(os.Stderr, "paperfig:", err)
-			os.Exit(1)
+	plotFigures = *plot
+	if err := execute(r, execOpts{
+		fig: *fig, table: *table, headline: *headline, all: *all,
+		ablation: *ablation, renderers: *renderers, related: *related,
+		imr: *imr, sweep: *sweep, falseOverlap: *falseOverlap,
+		tileSize: *tileSize, reuse: *reuse, report: *report,
+	}); err != nil {
+		fail(err)
+	}
+	if *statsPath != "" {
+		if err := writeStats(r, *statsPath); err != nil {
+			fail(err)
 		}
-		f, err := os.Create(*report)
+	}
+}
+
+// execOpts selects what one paperfig invocation produces.
+type execOpts struct {
+	fig, table                            int
+	headline, all, related                bool
+	ablation, renderers, imr, sweep       string
+	falseOverlap, tileSize, reuse, report string
+}
+
+// execute dispatches the single selected mode.
+func execute(r *experiments.Runner, o execOpts) error {
+	switch {
+	case o.report != "":
+		if err := r.Prewarm(prewarmPar); err != nil {
+			return err
+		}
+		f, err := os.Create(o.report)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "paperfig:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		if err := r.WriteReport(f, time.Now()); err != nil {
-			fmt.Fprintln(os.Stderr, "paperfig:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Println("wrote", *report)
-		return
-	}
-	if *tileSize != "" {
-		t, _, err := r.TileSizeSweep(*tileSize)
+		fmt.Println("wrote", o.report)
+		return nil
+	case o.tileSize != "":
+		t, _, err := r.TileSizeSweep(o.tileSize)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "paperfig:", err)
-			os.Exit(1)
+			return err
 		}
 		printTableOut(t)
-		return
-	}
-	if *falseOverlap != "" {
-		t, err := r.FalseOverlap(*falseOverlap)
+		return nil
+	case o.falseOverlap != "":
+		t, err := r.FalseOverlap(o.falseOverlap)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "paperfig:", err)
-			os.Exit(1)
+			return err
 		}
 		printTableOut(t)
-		return
-	}
-	if *sweep != "" {
-		t, _, err := r.SizeSweep(*sweep)
+		return nil
+	case o.sweep != "":
+		t, _, err := r.SizeSweep(o.sweep)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "paperfig:", err)
-			os.Exit(1)
+			return err
 		}
 		printTableOut(t)
-		return
-	}
-	if *imr != "" {
-		t, err := r.TBRvsIMR(*imr)
+		return nil
+	case o.imr != "":
+		t, err := r.TBRvsIMR(o.imr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "paperfig:", err)
-			os.Exit(1)
+			return err
 		}
 		printTableOut(t)
-		return
-	}
-	if *related {
+		return nil
+	case o.related:
 		t, err := r.RelatedWork(48)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "paperfig:", err)
-			os.Exit(1)
+			return err
 		}
 		printTableOut(t)
-		return
-	}
-	if *reuse != "" {
-		t, err := r.ReuseProfile(*reuse)
+		return nil
+	case o.reuse != "":
+		t, err := r.ReuseProfile(o.reuse)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "paperfig:", err)
-			os.Exit(1)
+			return err
 		}
 		printTableOut(t)
-		return
-	}
-	if *renderers != "" {
-		p, err := r.ParallelRenderers(*renderers, 64)
+		return nil
+	case o.renderers != "":
+		p, err := r.ParallelRenderers(o.renderers, 64)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "paperfig:", err)
-			os.Exit(1)
+			return err
 		}
 		printTableOut(p.Table())
-		return
-	}
-	if *ablation != "" {
-		a, err := r.Ablation(*ablation, 64)
+		return nil
+	case o.ablation != "":
+		a, err := r.Ablation(o.ablation, 64)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "paperfig:", err)
-			os.Exit(1)
+			return err
 		}
 		printTableOut(a.Table())
-		return
+		return nil
 	}
-	plotFigures = *plot
-	if err := run(r, *fig, *table, *headline, *all); err != nil {
-		fmt.Fprintln(os.Stderr, "paperfig:", err)
-		os.Exit(1)
+	return run(r, o.fig, o.table, o.headline, o.all)
+}
+
+// writeStats dumps the runner's live metrics registry (memo hits/misses per
+// table) as JSON.
+func writeStats(r *experiments.Runner, path string) error {
+	blob, err := json.MarshalIndent(r.Metrics().Snapshot(), "", "  ")
+	if err != nil {
+		return err
 	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote stats to", path)
+	return nil
 }
 
 // printTableOut renders a table in the selected output format.

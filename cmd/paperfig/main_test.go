@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"tcor/internal/experiments"
+)
 
 func TestSlugify(t *testing.T) {
 	cases := map[string]string{
@@ -12,5 +20,115 @@ func TestSlugify(t *testing.T) {
 		if got := slugify(in); got != want {
 			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestParseBenchmarks(t *testing.T) {
+	if got, err := parseBenchmarks(""); err != nil || got != nil {
+		t.Errorf("empty list: %v, %v", got, err)
+	}
+	got, err := parseBenchmarks("CCS, SoD,GTr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "CCS" || got[1] != "SoD" || got[2] != "GTr" {
+		t.Errorf("aliases = %v", got)
+	}
+	// A typo must fail loudly, not silently run an empty sweep.
+	if _, err := parseBenchmarks("CCS,nope"); err == nil {
+		t.Fatal("unknown alias must fail")
+	} else if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error %q does not name the bad alias", err)
+	}
+}
+
+func TestValidateNumbers(t *testing.T) {
+	if err := validateNumbers(0, 0, 0, 0); err != nil {
+		t.Errorf("defaults: %v", err)
+	}
+	if err := validateNumbers(2, 4, 0, time.Minute); err != nil {
+		t.Errorf("valid values: %v", err)
+	}
+	cases := []struct {
+		frames, parallel, par int
+		timeout               time.Duration
+		wantIn                string
+	}{
+		{-1, 0, 0, 0, "-frames"},
+		{0, -1, 0, 0, "-parallel"},
+		{0, 0, -1, 0, "-par"},
+		{0, 0, 0, -time.Second, "-timeout"},
+	}
+	for _, tc := range cases {
+		err := validateNumbers(tc.frames, tc.parallel, tc.par, tc.timeout)
+		if err == nil {
+			t.Errorf("%+v must fail", tc)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantIn) {
+			t.Errorf("error %q does not mention %s", err, tc.wantIn)
+		}
+	}
+}
+
+func TestModeConflict(t *testing.T) {
+	var m modes
+	m.add("fig", true)
+	m.add("table", false)
+	if err := m.conflict(); err != nil {
+		t.Errorf("single mode: %v", err)
+	}
+	m.add("all", true)
+	err := m.conflict()
+	if err == nil {
+		t.Fatal("two modes must conflict")
+	}
+	if !strings.Contains(err.Error(), "-fig") || !strings.Contains(err.Error(), "-all") {
+		t.Errorf("error %q does not name both modes", err)
+	}
+	if err := (modes{}).conflict(); err != nil {
+		t.Errorf("no modes: %v", err)
+	}
+}
+
+func TestExecuteAndWriteStats(t *testing.T) {
+	// One small figure end to end, then the metrics dump.
+	old := printTableOut
+	printTableOut = func(*experiments.Table) {}
+	defer func() { printTableOut = old }()
+
+	r := experiments.NewRunner()
+	r.Frames = 1
+	r.Benchmarks = []string{"GTr"}
+	if err := execute(r, execOpts{fig: 14}); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/metrics.json"
+	if err := writeStats(r, path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]int64
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatalf("metrics dump is not JSON: %v", err)
+	}
+	if snap["memo.runs.misses"] == 0 {
+		t.Errorf("no simulations metered: %v", snap)
+	}
+	if snap["memo.scenes.misses"] != 1 {
+		t.Errorf("scene misses = %d, want 1 (one benchmark)", snap["memo.scenes.misses"])
+	}
+}
+
+func TestExecuteUnknownFigure(t *testing.T) {
+	r := experiments.NewRunner()
+	if err := execute(r, execOpts{fig: 99}); err == nil {
+		t.Error("unknown figure must fail")
+	}
+	if err := execute(r, execOpts{table: 7}); err == nil {
+		t.Error("unknown table must fail")
 	}
 }

@@ -9,10 +9,20 @@
 //	tcorsim -benchmark DDS -config baseline -size 128 -frames 3
 //	tcorsim -benchmark SoD -compare        # baseline vs TCOR side by side
 //	tcorsim -benchmark SoD -compare -parallel 2 -timeout 5m
+//	tcorsim -benchmark CCS -stats out.json # full hierarchy counter dump
+//	tcorsim -benchmark CCS -check          # verify cross-level invariants
+//	tcorsim -benchmark CCS -evtrace 32 -stats out.json  # last 32 L2 evictions
+//	tcorsim -benchmark GoW -http :0        # expvar + pprof while running
 //
 // With -compare the configurations run concurrently through the bounded
 // sweep pool; reports are buffered per configuration and printed in a
 // fixed order, so the output is byte-identical at every -parallel level.
+//
+// -stats writes a schema-stable JSON document: one entry per simulated
+// configuration, each with the full counter map of every hierarchy level
+// (L1 list/attribute/tile/vertex caches, L2, DRAM, per-region traffic).
+// Counter names are identical across configurations — the organization a
+// run did not use appears as zeros — so downstream tooling can diff runs.
 package main
 
 import (
@@ -22,99 +32,200 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"tcor/internal/experiments"
 	"tcor/internal/geom"
 	"tcor/internal/gpu"
 	"tcor/internal/memmap"
+	"tcor/internal/stats"
 	"tcor/internal/workload"
 )
 
 func main() {
-	benchmark := flag.String("benchmark", "CCS", "benchmark alias (see paperfig -table 2)")
-	specPath := flag.String("spec", "", "JSON workload profile (overrides -benchmark; see internal/workload.ParseSpec)")
-	config := flag.String("config", "tcor", "configuration: baseline, tcor, tcor-nol2")
-	sizeKB := flag.Int("size", 64, "total Tile Cache size in KiB (paper: 64 or 128)")
-	frames := flag.Int("frames", 0, "frames to simulate (0 = benchmark default)")
-	compare := flag.Bool("compare", false, "run baseline and TCOR and print both")
-	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
-	parallel := flag.Int("parallel", 0, "max concurrent -compare simulations (0 = GOMAXPROCS)")
-	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
-	flag.Parse()
-	emitJSON = *jsonOut
-	parallelN = *parallel
+	opts, err := parseOptions(os.Args[1:], os.Stderr)
+	if err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "tcorsim:", err)
+		}
+		os.Exit(2)
+	}
 
 	ctx := context.Background()
-	if *timeout > 0 {
+	if opts.timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(ctx, opts.timeout)
 		defer cancel()
 	}
 
-	if err := run(ctx, *benchmark, *specPath, *config, *sizeKB, *frames, *compare); err != nil {
+	if opts.httpAddr != "" {
+		addr, stop, err := stats.ServeDebug(opts.httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcorsim:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "tcorsim: debug server on http://%s/debug/vars\n", addr)
+	}
+
+	if err := run(ctx, os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "tcorsim:", err)
 		os.Exit(1)
 	}
 }
 
-// parallelN is the -parallel flag value (0 = GOMAXPROCS).
-var parallelN int
-
-// emitJSON selects the machine-readable output mode.
-var emitJSON bool
-
-// summary is the JSON shape of one simulation.
-type summary struct {
-	Benchmark     string  `json:"benchmark"`
-	Config        string  `json:"config"`
-	TileCacheKB   int     `json:"tileCacheKB"`
-	Frames        int     `json:"frames"`
-	PBL2Reads     int64   `json:"pbL2Reads"`
-	PBL2Writes    int64   `json:"pbL2Writes"`
-	PBMemReads    int64   `json:"pbMemReads"`
-	PBMemWrites   int64   `json:"pbMemWrites"`
-	MemReads      int64   `json:"memReads"`
-	MemWrites     int64   `json:"memWrites"`
-	PPC           float64 `json:"primitivesPerCycle"`
-	FPS           float64 `json:"fps"`
-	HierEnergyMJ  float64 `json:"memHierarchyEnergyMJ"`
-	TotalEnergyMJ float64 `json:"totalGPUEnergyMJ"`
-	FrameCycles   int64   `json:"frameCycles"`
+// options is the parsed and validated command line.
+type options struct {
+	benchmark string
+	specPath  string
+	config    string
+	sizeKB    int
+	frames    int
+	compare   bool
+	jsonOut   bool
+	parallel  int
+	timeout   time.Duration
+	statsPath string
+	check     bool
+	evtrace   int
+	httpAddr  string
 }
 
-func run(ctx context.Context, benchmark, specPath, config string, sizeKB, frames int, compare bool) error {
+// parseOptions parses args into options and enforces the cross-flag rules.
+// Every rejection is a clear error (and a non-zero exit in main) rather
+// than a silently ignored or clamped value.
+func parseOptions(args []string, errOut io.Writer) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("tcorsim", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	fs.StringVar(&o.benchmark, "benchmark", "CCS", "benchmark alias (see paperfig -table 2)")
+	fs.StringVar(&o.specPath, "spec", "", "JSON workload profile (overrides -benchmark; see internal/workload.ParseSpec)")
+	fs.StringVar(&o.config, "config", "tcor", "configuration: baseline, tcor, tcor-nol2")
+	fs.IntVar(&o.sizeKB, "size", 64, "total Tile Cache size in KiB (paper: 64 or 128)")
+	fs.IntVar(&o.frames, "frames", 0, "frames to simulate (0 = benchmark default)")
+	fs.BoolVar(&o.compare, "compare", false, "run baseline and TCOR and print both")
+	fs.BoolVar(&o.jsonOut, "json", false, "emit a machine-readable JSON summary instead of text")
+	fs.IntVar(&o.parallel, "parallel", 0, "max concurrent -compare simulations (0 = GOMAXPROCS)")
+	fs.DurationVar(&o.timeout, "timeout", 0, "abort the run after this duration (0 = no limit)")
+	fs.StringVar(&o.statsPath, "stats", "", "write the full hierarchy counter dump as JSON to this file")
+	fs.BoolVar(&o.check, "check", false, "verify the cross-level stats invariants after each run (violations fail the command)")
+	fs.IntVar(&o.evtrace, "evtrace", 0, "record the last N L2 evictions into the -stats dump (0 = off)")
+	fs.StringVar(&o.httpAddr, "http", "", "serve expvar and pprof on this address while running (e.g. :0)")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+
+	if o.timeout < 0 {
+		return options{}, fmt.Errorf("-timeout must be non-negative, got %v", o.timeout)
+	}
+	if o.frames < 0 {
+		return options{}, fmt.Errorf("-frames must be non-negative, got %d", o.frames)
+	}
+	if o.sizeKB <= 0 {
+		return options{}, fmt.Errorf("-size must be positive KiB, got %d", o.sizeKB)
+	}
+	if o.parallel < 0 {
+		return options{}, fmt.Errorf("-parallel must be non-negative, got %d", o.parallel)
+	}
+	if o.evtrace < 0 {
+		return options{}, fmt.Errorf("-evtrace must be non-negative, got %d", o.evtrace)
+	}
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if o.compare && set["config"] {
+		return options{}, fmt.Errorf("-compare runs baseline and tcor; it conflicts with -config %s", o.config)
+	}
+	if set["spec"] && set["benchmark"] {
+		return options{}, fmt.Errorf("-spec overrides the workload; it conflicts with -benchmark %s", o.benchmark)
+	}
+	if o.evtrace > 0 && o.statsPath == "" {
+		return options{}, fmt.Errorf("-evtrace records into the -stats dump; pass -stats too")
+	}
+	return o, nil
+}
+
+// statsRun is one configuration's slice of the -stats JSON document.
+type statsRun struct {
+	Benchmark   string         `json:"benchmark"`
+	Config      string         `json:"config"`
+	TileCacheKB int            `json:"tileCacheKB"`
+	Counters    stats.Snapshot `json:"counters"`
+	L2Trace     []stats.Event  `json:"l2Trace,omitempty"`
+}
+
+// statsDoc is the top-level -stats JSON shape.
+type statsDoc struct {
+	Runs []statsRun `json:"runs"`
+}
+
+// collector gathers per-run registries across the (possibly concurrent)
+// -compare sweep.
+type collector struct {
+	mu   sync.Mutex
+	runs []statsRun
+}
+
+func (c *collector) add(r statsRun) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runs = append(c.runs, r)
+}
+
+// sorted returns the runs in deterministic (benchmark, config) order, so
+// the -stats file does not depend on -parallel scheduling.
+func (c *collector) sorted() []statsRun {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]statsRun, len(c.runs))
+	copy(out, c.runs)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Benchmark != out[j].Benchmark {
+			return out[i].Benchmark < out[j].Benchmark
+		}
+		return out[i].Config < out[j].Config
+	})
+	return out
+}
+
+func run(ctx context.Context, w io.Writer, o options) error {
 	var spec workload.Spec
 	var err error
-	if specPath != "" {
-		spec, err = workload.LoadSpec(specPath)
+	if o.specPath != "" {
+		spec, err = workload.LoadSpec(o.specPath)
 	} else {
-		spec, err = workload.ByAlias(benchmark)
+		spec, err = workload.ByAlias(o.benchmark)
 	}
 	if err != nil {
 		return err
 	}
-	if frames > 0 {
-		spec.Frames = frames
+	if o.frames > 0 {
+		spec.Frames = o.frames
 	}
 	scene, err := workload.Generate(spec, geom.DefaultScreen())
 	if err != nil {
 		return err
 	}
 	st := scene.Stats()
-	if !emitJSON {
-		fmt.Printf("benchmark %s (%s): %d primitives, %.2f MiB Parameter Buffer, re-use %.2f, %d frame(s)\n\n",
+	if !o.jsonOut {
+		fmt.Fprintf(w, "benchmark %s (%s): %d primitives, %.2f MiB Parameter Buffer, re-use %.2f, %d frame(s)\n\n",
 			spec.Alias, spec.Name, st.Primitives,
 			float64(st.PBFootprint)/(1024*1024), st.AvgPrimReuse, scene.NumFrames())
 	}
 
-	if compare {
+	col := &collector{}
+	if o.compare {
 		// Each configuration renders into its own buffer inside the sweep
 		// pool; printing afterwards in slice order keeps the output stable.
-		reports, err := experiments.SweepSlice(ctx, parallelN, []string{"baseline", "tcor"},
+		reports, err := experiments.SweepSlice(ctx, o.parallel, []string{"baseline", "tcor"},
 			func(_ context.Context, c string) (string, error) {
 				var b strings.Builder
-				if err := simulate(&b, scene, c, sizeKB); err != nil {
+				if err := simulate(&b, scene, c, o, col); err != nil {
 					return "", err
 				}
 				return b.String(), nil
@@ -123,11 +234,25 @@ func run(ctx context.Context, benchmark, specPath, config string, sizeKB, frames
 			return err
 		}
 		for _, rep := range reports {
-			fmt.Print(rep)
+			fmt.Fprint(w, rep)
 		}
-		return nil
+	} else if err := simulate(w, scene, o.config, o, col); err != nil {
+		return err
 	}
-	return simulate(os.Stdout, scene, config, sizeKB)
+
+	if o.statsPath != "" {
+		blob, err := json.MarshalIndent(statsDoc{Runs: col.sorted()}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.statsPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		if !o.jsonOut {
+			fmt.Fprintln(w, "wrote stats to", o.statsPath)
+		}
+	}
+	return nil
 }
 
 func configFor(name string, sizeKB int) (gpu.Config, error) {
@@ -144,19 +269,39 @@ func configFor(name string, sizeKB int) (gpu.Config, error) {
 	}
 }
 
-func simulate(w io.Writer, scene *workload.Scene, config string, sizeKB int) error {
-	cfg, err := configFor(config, sizeKB)
+func simulate(w io.Writer, scene *workload.Scene, config string, o options, col *collector) error {
+	cfg, err := configFor(config, o.sizeKB)
 	if err != nil {
 		return err
 	}
+	cfg.L2TraceDepth = o.evtrace
 	res, err := gpu.Simulate(scene, cfg)
 	if err != nil {
 		return err
 	}
-	if emitJSON {
+	reg := res.StatsRegistry()
+	if o.check {
+		if err := reg.Check(); err != nil {
+			return fmt.Errorf("%s: invariant check failed:\n%w", config, err)
+		}
+	}
+	if o.statsPath != "" || o.httpAddr != "" {
+		sr := statsRun{
+			Benchmark: res.Benchmark, Config: config, TileCacheKB: o.sizeKB,
+			Counters: reg.Snapshot(),
+		}
+		if res.L2Trace != nil {
+			sr.L2Trace = res.L2Trace.Events()
+		}
+		col.add(sr)
+		if o.httpAddr != "" {
+			stats.PublishExpvar("tcorsim."+res.Benchmark+"."+config, reg)
+		}
+	}
+	if o.jsonOut {
 		pbL2, pbMem := res.L2In.PB(), res.DRAMIn.PB()
 		out, err := json.MarshalIndent(summary{
-			Benchmark: res.Benchmark, Config: config, TileCacheKB: sizeKB,
+			Benchmark: res.Benchmark, Config: config, TileCacheKB: o.sizeKB,
 			Frames:    res.Frames,
 			PBL2Reads: pbL2.Reads, PBL2Writes: pbL2.Writes,
 			PBMemReads: pbMem.Reads, PBMemWrites: pbMem.Writes,
@@ -173,7 +318,7 @@ func simulate(w io.Writer, scene *workload.Scene, config string, sizeKB int) err
 		return nil
 	}
 
-	fmt.Fprintf(w, "=== %s, %d KiB Tile Cache ===\n", config, sizeKB)
+	fmt.Fprintf(w, "=== %s, %d KiB Tile Cache ===\n", config, o.sizeKB)
 	pbL2 := res.L2In.PB()
 	pbMem := res.DRAMIn.PB()
 	fmt.Fprintf(w, "PB accesses to L2:          %8d reads %8d writes\n", pbL2.Reads, pbL2.Writes)
@@ -212,7 +357,29 @@ func simulate(w io.Writer, scene *workload.Scene, config string, sizeKB int) err
 	fmt.Fprintf(w, "energy: memory hierarchy %.3f mJ, total GPU %.3f mJ\n\n",
 		res.MemHierarchyPJ/1e9, res.TotalPJ/1e9)
 	fmt.Fprintln(w, res.Tally.String())
+	if o.check {
+		fmt.Fprintf(w, "invariants: ok (%d checked)\n\n", len(reg.InvariantNames()))
+	}
 	return nil
+}
+
+// summary is the JSON shape of one simulation under -json.
+type summary struct {
+	Benchmark     string  `json:"benchmark"`
+	Config        string  `json:"config"`
+	TileCacheKB   int     `json:"tileCacheKB"`
+	Frames        int     `json:"frames"`
+	PBL2Reads     int64   `json:"pbL2Reads"`
+	PBL2Writes    int64   `json:"pbL2Writes"`
+	PBMemReads    int64   `json:"pbMemReads"`
+	PBMemWrites   int64   `json:"pbMemWrites"`
+	MemReads      int64   `json:"memReads"`
+	MemWrites     int64   `json:"memWrites"`
+	PPC           float64 `json:"primitivesPerCycle"`
+	FPS           float64 `json:"fps"`
+	HierEnergyMJ  float64 `json:"memHierarchyEnergyMJ"`
+	TotalEnergyMJ float64 `json:"totalGPUEnergyMJ"`
+	FrameCycles   int64   `json:"frameCycles"`
 }
 
 func max64(a, b int64) int64 {

@@ -2,7 +2,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"io"
 	"os"
+	"strings"
 	"testing"
 
 	"tcor/internal/gpu"
@@ -37,20 +40,66 @@ func TestConfigFor(t *testing.T) {
 	}
 }
 
+func TestParseOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring; empty = must succeed
+	}{
+		{"defaults", nil, ""},
+		{"explicit run", []string{"-benchmark", "SoD", "-config", "baseline", "-size", "128"}, ""},
+		{"compare alone", []string{"-compare"}, ""},
+		{"stats and check", []string{"-stats", "out.json", "-check"}, ""},
+		{"evtrace with stats", []string{"-evtrace", "8", "-stats", "out.json"}, ""},
+		{"negative timeout", []string{"-timeout", "-1s"}, "-timeout"},
+		{"negative frames", []string{"-frames", "-1"}, "-frames"},
+		{"zero size", []string{"-size", "0"}, "-size"},
+		{"negative size", []string{"-size", "-64"}, "-size"},
+		{"negative parallel", []string{"-parallel", "-2"}, "-parallel"},
+		{"negative evtrace", []string{"-evtrace", "-1"}, "-evtrace"},
+		{"evtrace without stats", []string{"-evtrace", "8"}, "-stats"},
+		{"compare with config", []string{"-compare", "-config", "tcor"}, "conflicts"},
+		{"spec with benchmark", []string{"-spec", "x.json", "-benchmark", "CCS"}, "conflicts"},
+		{"stray positional args", []string{"CCS"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseOptions(tc.args, io.Discard)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("args %v must fail", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
 func TestRunTextAndJSON(t *testing.T) {
 	// Exercise both output paths end to end on the smallest benchmark.
 	ctx := context.Background()
+	base := options{benchmark: "GTr", config: "tcor", sizeKB: 64, frames: 1}
 	for _, js := range []bool{false, true} {
-		emitJSON = js
-		if err := run(ctx, "GTr", "", "tcor", 64, 1, false); err != nil {
+		o := base
+		o.jsonOut = js
+		if err := run(ctx, io.Discard, o); err != nil {
 			t.Fatalf("json=%v: %v", js, err)
 		}
 	}
-	emitJSON = false
-	if err := run(ctx, "GTr", "", "bogus", 64, 1, false); err == nil {
+	o := base
+	o.config = "bogus"
+	if err := run(ctx, io.Discard, o); err == nil {
 		t.Error("bogus config must fail")
 	}
-	if err := run(ctx, "nope", "", "tcor", 64, 1, false); err == nil {
+	o = base
+	o.benchmark = "nope"
+	if err := run(ctx, io.Discard, o); err == nil {
 		t.Error("unknown benchmark must fail")
 	}
 }
@@ -64,10 +113,87 @@ func TestRunWithSpecFile(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), "", path, "tcor", 64, 1, false); err != nil {
+	o := options{specPath: path, config: "tcor", sizeKB: 64, frames: 1}
+	if err := run(context.Background(), io.Discard, o); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), "", path+".missing", "tcor", 64, 1, false); err == nil {
+	o.specPath = path + ".missing"
+	if err := run(context.Background(), io.Discard, o); err == nil {
 		t.Error("missing spec must fail")
+	}
+}
+
+func TestRunStatsCheckAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/stats.json"
+	o := options{
+		benchmark: "GTr", config: "tcor", sizeKB: 64, frames: 1,
+		statsPath: path, check: true, evtrace: 8,
+	}
+	if err := run(context.Background(), io.Discard, o); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc statsDoc
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("stats file is not JSON: %v", err)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("stats runs = %d, want 1", len(doc.Runs))
+	}
+	r := doc.Runs[0]
+	if r.Benchmark != "GTr" || r.Config != "tcor" || r.TileCacheKB != 64 {
+		t.Errorf("run metadata wrong: %+v", r)
+	}
+	// Every hierarchy level must be covered by the schema.
+	for _, want := range []string{
+		"l1.list.hits", "l1.attr.reads", "l1.tile.accesses", "l1.vertex.accesses",
+		"l2.reads", "l2.in.region.PB-Lists.reads", "dram.reads", "raster.fragments",
+	} {
+		if _, ok := r.Counters[want]; !ok {
+			t.Errorf("counter %q missing from -stats output", want)
+		}
+	}
+	if len(r.L2Trace) == 0 || len(r.L2Trace) > 8 {
+		t.Errorf("L2 trace has %d events, want 1..8", len(r.L2Trace))
+	}
+}
+
+func TestRunCompareStatsDeterministic(t *testing.T) {
+	// The -stats file must not depend on -parallel scheduling.
+	dir := t.TempDir()
+	var dumps [][]byte
+	for i, par := range []int{1, 2} {
+		path := dir + "/" + string(rune('a'+i)) + ".json"
+		o := options{
+			benchmark: "GTr", config: "tcor", sizeKB: 64, frames: 1,
+			compare: true, parallel: par, statsPath: path, check: true,
+		}
+		if err := run(context.Background(), io.Discard, o); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dumps = append(dumps, blob)
+	}
+	if string(dumps[0]) != string(dumps[1]) {
+		t.Error("-stats output differs across -parallel levels")
+	}
+	var doc statsDoc
+	if err := json.Unmarshal(dumps[0], &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 2 || doc.Runs[0].Config != "baseline" || doc.Runs[1].Config != "tcor" {
+		t.Fatalf("compare runs wrong: %+v", doc.Runs)
+	}
+	// Schema stability: both configurations publish the same counter names.
+	if len(doc.Runs[0].Counters) != len(doc.Runs[1].Counters) {
+		t.Errorf("schema differs: %d vs %d counters",
+			len(doc.Runs[0].Counters), len(doc.Runs[1].Counters))
 	}
 }

@@ -17,6 +17,7 @@ package cache
 import (
 	"fmt"
 
+	"tcor/internal/stats"
 	"tcor/internal/trace"
 )
 
@@ -45,7 +46,11 @@ func LinesFor(sizeBytes, lineBytes int) int {
 }
 
 // Validate checks the geometry and returns a normalized copy with defaults
-// applied.
+// applied. Invalid geometries are hard errors, never silent adjustments:
+// Ways > Lines describes a set wider than the cache (historically this
+// clamped to fully associative, masking sizing bugs in sweep code), and an
+// XOR-based index with a non-power-of-two set count silently degrades to a
+// different hash than the one asked for.
 func (c Config) Validate() (Config, error) {
 	if c.Lines <= 0 {
 		return c, fmt.Errorf("cache: config needs at least one line, got %d", c.Lines)
@@ -53,11 +58,17 @@ func (c Config) Validate() (Config, error) {
 	if c.Ways < 0 {
 		return c, fmt.Errorf("cache: negative associativity %d", c.Ways)
 	}
-	if c.Ways == 0 || c.Ways > c.Lines {
+	if c.Ways > c.Lines {
+		return c, fmt.Errorf("cache: %d ways exceed %d lines (use Ways=0 or Ways=Lines for fully associative)", c.Ways, c.Lines)
+	}
+	if c.Ways == 0 {
 		c.Ways = c.Lines // fully associative
 	}
 	if c.Lines%c.Ways != 0 {
 		return c, fmt.Errorf("cache: %d lines not divisible by %d ways", c.Lines, c.Ways)
+	}
+	if sets := c.Lines / c.Ways; isXORIndex(c.Index) && sets&(sets-1) != 0 {
+		return c, fmt.Errorf("cache: XOR index needs a power-of-two set count, got %d sets (%d lines / %d ways)", sets, c.Lines, c.Ways)
 	}
 	if c.Index == nil {
 		c.Index = ModuloIndex
@@ -124,6 +135,51 @@ func (s Stats) HitRatio() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Publish stores the counters into a stats registry under prefix (e.g.
+// "l1.vertex" yields "l1.vertex.hits").
+func (s Stats) Publish(r *stats.Registry, prefix string) {
+	r.Counter(prefix + ".accesses").Store(s.Accesses)
+	r.Counter(prefix + ".hits").Store(s.Hits)
+	r.Counter(prefix + ".misses").Store(s.Misses)
+	r.Counter(prefix + ".readMisses").Store(s.ReadMisses)
+	r.Counter(prefix + ".writeMisses").Store(s.WriteMisses)
+	r.Counter(prefix + ".compulsory").Store(s.Compulsory)
+	r.Counter(prefix + ".writebacks").Store(s.Writebacks)
+	r.Counter(prefix + ".bypasses").Store(s.Bypasses)
+	r.Counter(prefix + ".fills").Store(s.Fills)
+}
+
+// RegisterStatsInvariants registers the self-consistency checks every cache
+// published under prefix must satisfy: every access is a hit or a miss,
+// every miss is a read or a write miss, and every miss either fills a line
+// or bypasses.
+func RegisterStatsInvariants(r *stats.Registry, prefix string) {
+	r.RegisterInvariant(prefix+".hits+misses==accesses", func(s stats.Snapshot) error {
+		if h, m, a := s.Get(prefix+".hits"), s.Get(prefix+".misses"), s.Get(prefix+".accesses"); h+m != a {
+			return fmt.Errorf("%d hits + %d misses != %d accesses", h, m, a)
+		}
+		return nil
+	})
+	r.RegisterInvariant(prefix+".readMisses+writeMisses==misses", func(s stats.Snapshot) error {
+		if rm, wm, m := s.Get(prefix+".readMisses"), s.Get(prefix+".writeMisses"), s.Get(prefix+".misses"); rm+wm != m {
+			return fmt.Errorf("%d read + %d write misses != %d misses", rm, wm, m)
+		}
+		return nil
+	})
+	r.RegisterInvariant(prefix+".fills+bypasses==misses", func(s stats.Snapshot) error {
+		if f, b, m := s.Get(prefix+".fills"), s.Get(prefix+".bypasses"), s.Get(prefix+".misses"); f+b != m {
+			return fmt.Errorf("%d fills + %d bypasses != %d misses", f, b, m)
+		}
+		return nil
+	})
+	r.RegisterInvariant(prefix+".compulsory<=misses", func(s stats.Snapshot) error {
+		if c, m := s.Get(prefix+".compulsory"), s.Get(prefix+".misses"); c > m {
+			return fmt.Errorf("%d compulsory misses exceed %d total misses", c, m)
+		}
+		return nil
+	})
 }
 
 // Cache is a set-associative cache with a replacement policy.

@@ -4,7 +4,9 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
+	"tcor/internal/stats"
 	"tcor/internal/trace"
 )
 
@@ -37,9 +39,92 @@ func TestConfigValidate(t *testing.T) {
 	if err != nil || c.Ways != 8 {
 		t.Errorf("fully associative default: ways=%d err=%v", c.Ways, err)
 	}
-	c, err = Config{Lines: 8, Ways: 16}.Validate()
-	if err != nil || c.Ways != 8 {
-		t.Errorf("ways>lines should clamp to fully associative: ways=%d err=%v", c.Ways, err)
+	_, err = Config{Lines: 8, Ways: 16}.Validate()
+	if err == nil {
+		t.Error("ways>lines must be a hard error, not clamp to fully associative")
+	}
+}
+
+func TestConfigValidateGeometryBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"ways==lines is fully associative", Config{Lines: 8, Ways: 8}, true},
+		{"ways one above lines", Config{Lines: 8, Ways: 9}, false},
+		{"direct mapped", Config{Lines: 8, Ways: 1}, true},
+		{"single line", Config{Lines: 1}, true},
+		{"single line, one way", Config{Lines: 1, Ways: 1}, true},
+		{"single line, two ways", Config{Lines: 1, Ways: 2}, false},
+		{"xor index, pow2 sets", Config{Lines: 64, Ways: 4, Index: XORIndex}, true},
+		{"xor index, non-pow2 sets", Config{Lines: 24, Ways: 2, Index: XORIndex}, false},
+		{"xor index, single set", Config{Lines: 4, Ways: 4, Index: XORIndex}, true},
+		{"modulo index, non-pow2 sets", Config{Lines: 24, Ways: 2, Index: ModuloIndex}, true},
+		{"custom index, non-pow2 sets", Config{Lines: 24, Ways: 2,
+			Index: func(k trace.Key, sets int) int { return 0 }}, true},
+	}
+	for _, tc := range cases {
+		_, err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid geometry must be a hard error", tc.name)
+		}
+	}
+}
+
+func TestXORIndexDegenerateSetCounts(t *testing.T) {
+	// sets == 1 historically looped forever (zero shift); it must return 0
+	// for every key.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, k := range []trace.Key{0, 1, 0xdeadbeef, 1 << 40} {
+			if got := XORIndex(k, 1); got != 0 {
+				t.Errorf("XORIndex(%d, 1) = %d, want 0", k, got)
+			}
+			if got := XORIndex(k, 0); got != 0 {
+				t.Errorf("XORIndex(%d, 0) = %d, want 0", k, got)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("XORIndex with a single set did not terminate")
+	}
+	// Direct calls with a non-power-of-two count stay in range.
+	for k := trace.Key(0); k < 1000; k++ {
+		if got := XORIndex(k*2654435761+k, 24); got < 0 || got >= 24 {
+			t.Fatalf("XORIndex out of range: %d", got)
+		}
+	}
+}
+
+func TestStatsPublishAndInvariants(t *testing.T) {
+	c := MustNew(Config{Lines: 4, Ways: 2, WriteAllocate: true}, NewLRU())
+	for _, a := range reads(1, 2, 1, 3, 2, 5, 6, 7) {
+		c.Access(a)
+	}
+	reg := stats.NewRegistry()
+	c.Stats().Publish(reg, "l1.test")
+	RegisterStatsInvariants(reg, "l1.test")
+	if err := reg.Check(); err != nil {
+		t.Fatalf("published cache stats violate invariants: %v", err)
+	}
+	snap := reg.Snapshot()
+	if snap.Get("l1.test.accesses") != 8 {
+		t.Errorf("accesses = %d, want 8", snap.Get("l1.test.accesses"))
+	}
+	if snap.Get("l1.test.hits")+snap.Get("l1.test.misses") != 8 {
+		t.Error("hit/miss split does not cover all accesses")
+	}
+	// Corrupt one counter: the named invariant must trip.
+	reg.Counter("l1.test.hits").Add(1)
+	if err := reg.Check(); err == nil {
+		t.Error("corrupted counters must fail the invariant check")
 	}
 }
 

@@ -1,6 +1,10 @@
 package cache
 
-import "tcor/internal/trace"
+import (
+	"reflect"
+
+	"tcor/internal/trace"
+)
 
 // IndexFunc maps a key to a set index in [0, sets).
 type IndexFunc func(key trace.Key, sets int) int
@@ -16,7 +20,16 @@ func ModuloIndex(key trace.Key, sets int) int {
 // the key. Folding several tag fields into the index spreads
 // power-of-two-strided data across all sets, which is exactly the conflict
 // pattern the baseline PB-Lists layout suffers from (paper §III-B).
+//
+// Bit folding only works for power-of-two set counts; Config.Validate
+// rejects XOR-indexed geometries whose set count is not. Called directly
+// with a non-power-of-two count, it degrades to a multiplicative hash.
 func XORIndex(key trace.Key, sets int) int {
+	if sets <= 1 {
+		// A single set leaves no index bits to fold (the shift below would
+		// be zero and the fold loop would never terminate).
+		return 0
+	}
 	if sets&(sets-1) != 0 {
 		// Bit folding needs a power-of-two set count; degrade to a
 		// multiplicative hash otherwise.
@@ -32,4 +45,12 @@ func XORIndex(key trace.Key, sets int) int {
 		x ^= k & mask
 	}
 	return int(x)
+}
+
+// isXORIndex reports whether f is the package's XORIndex function, so
+// Config.Validate can reject geometries whose set count defeats the bit
+// folding. Function values are not comparable in Go; identity via the code
+// pointer is the standard workaround.
+func isXORIndex(f IndexFunc) bool {
+	return f != nil && reflect.ValueOf(f).Pointer() == reflect.ValueOf(XORIndex).Pointer()
 }

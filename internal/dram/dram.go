@@ -10,6 +10,7 @@ import (
 	"tcor/internal/geom"
 	"tcor/internal/mem"
 	"tcor/internal/memmap"
+	"tcor/internal/stats"
 )
 
 // Config describes the DRAM geometry and timing.
@@ -42,6 +43,35 @@ type Stats struct {
 	// BusyCycles is the data-bus occupancy: accesses x (64 B / bandwidth).
 	// A frame can never finish faster than the DRAM is busy.
 	BusyCycles int64
+}
+
+// Publish stores the counters into a stats registry under prefix.
+func (s Stats) Publish(r *stats.Registry, prefix string) {
+	r.Counter(prefix + ".reads").Store(s.Reads)
+	r.Counter(prefix + ".writes").Store(s.Writes)
+	r.Counter(prefix + ".rowHits").Store(s.RowHits)
+	r.Counter(prefix + ".rowMisses").Store(s.RowMisses)
+	r.Counter(prefix + ".totalCycles").Store(s.TotalCycles)
+	r.Counter(prefix + ".readCycles").Store(s.ReadCycles)
+	r.Counter(prefix + ".busyCycles").Store(s.BusyCycles)
+}
+
+// RegisterStatsInvariants registers the DRAM consistency checks: every
+// access resolves to a row hit or a row miss, and read latency is part of
+// total latency.
+func RegisterStatsInvariants(r *stats.Registry, prefix string) {
+	r.RegisterInvariant(prefix+".rowHits+rowMisses==accesses", func(s stats.Snapshot) error {
+		if h, m, a := s.Get(prefix+".rowHits"), s.Get(prefix+".rowMisses"), s.Get(prefix+".reads")+s.Get(prefix+".writes"); h+m != a {
+			return fmt.Errorf("%d row hits + %d row misses != %d accesses", h, m, a)
+		}
+		return nil
+	})
+	r.RegisterInvariant(prefix+".readCycles<=totalCycles", func(s stats.Snapshot) error {
+		if rc, tc := s.Get(prefix+".readCycles"), s.Get(prefix+".totalCycles"); rc > tc {
+			return fmt.Errorf("%d read cycles exceed %d total cycles", rc, tc)
+		}
+		return nil
+	})
 }
 
 // DRAM is the main-memory model. It is the terminal mem.Sink of the

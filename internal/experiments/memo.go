@@ -1,6 +1,10 @@
 package experiments
 
-import "sync"
+import (
+	"sync"
+
+	"tcor/internal/stats"
+)
 
 // memo is a per-key, singleflight-style memoization table. The first caller
 // of a key computes the value while holding only that key's cell; every
@@ -27,20 +31,24 @@ type memoCell[V any] struct {
 
 // get returns the memoized value for key, running compute at most once per
 // key. compute runs outside the map lock, so distinct keys compute
-// concurrently.
-func (m *memo[V]) get(key string, compute func() (V, error)) (V, error) {
+// concurrently. hits/misses, when non-nil, meter the table: a miss is the
+// one call that computes; coalesced waiters count as hits (they reuse the
+// result).
+func (m *memo[V]) get(key string, hits, misses *stats.Counter, compute func() (V, error)) (V, error) {
 	m.mu.Lock()
 	if m.m == nil {
 		m.m = make(map[string]*memoCell[V])
 	}
 	if c, ok := m.m[key]; ok {
 		m.mu.Unlock()
+		hits.Inc()
 		<-c.done
 		return c.val, c.err
 	}
 	c := &memoCell[V]{done: make(chan struct{})}
 	m.m[key] = c
 	m.mu.Unlock()
+	misses.Inc()
 
 	c.val, c.err = compute()
 	close(c.done)

@@ -3,10 +3,12 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"tcor/internal/cache"
 	"tcor/internal/geom"
 	"tcor/internal/gpu"
+	"tcor/internal/stats"
 	"tcor/internal/tiling"
 	"tcor/internal/trace"
 	"tcor/internal/workload"
@@ -44,6 +46,11 @@ type Runner struct {
 	bins     memo[*tiling.Binning]
 	profiles memo[cache.StackProfile]
 
+	// metrics meters the runner itself: memo hit/miss counts per table and
+	// simulations completed. Lazily created so the zero-value Runner works.
+	metricsOnce sync.Once
+	metrics     *stats.Registry
+
 	// testSceneHook, when set, runs inside the memoized scene computation.
 	// Tests use it to prove that distinct-alias Scene calls overlap in time
 	// (the original coarse-mutex design serialized them).
@@ -53,6 +60,20 @@ type Runner struct {
 // NewRunner returns a Runner over the default screen and full suite.
 func NewRunner() *Runner {
 	return &Runner{Screen: geom.DefaultScreen()}
+}
+
+// Metrics returns the runner's observability registry: memo-table hit/miss
+// counters ("memo.<table>.hits"/".misses") and completed-simulation counts.
+// Race-clean; sweeps running through the Runner publish into it live.
+func (r *Runner) Metrics() *stats.Registry {
+	r.metricsOnce.Do(func() { r.metrics = stats.NewRegistry() })
+	return r.metrics
+}
+
+// meter returns the hit/miss counter pair for one memo table.
+func (r *Runner) meter(table string) (hits, misses *stats.Counter) {
+	m := r.Metrics()
+	return m.Counter("memo." + table + ".hits"), m.Counter("memo." + table + ".misses")
 }
 
 // baseCtx returns the runner's sweep context.
@@ -82,7 +103,8 @@ func (r *Runner) Suite() []workload.Spec {
 
 // Scene returns the calibrated scene for a benchmark.
 func (r *Runner) Scene(alias string) (*workload.Scene, error) {
-	return r.scenes.get(alias, func() (*workload.Scene, error) {
+	hits, misses := r.meter("scenes")
+	return r.scenes.get(alias, hits, misses, func() (*workload.Scene, error) {
 		if hook := r.testSceneHook; hook != nil {
 			hook(alias)
 		}
@@ -100,7 +122,8 @@ func (r *Runner) Scene(alias string) (*workload.Scene, error) {
 // Run simulates a benchmark under a configuration, memoized under the given
 // configuration name.
 func (r *Runner) Run(alias, cfgName string, cfg gpu.Config) (*gpu.Result, error) {
-	return r.runs.get(alias+"/"+cfgName, func() (*gpu.Result, error) {
+	hits, misses := r.meter("runs")
+	return r.runs.get(alias+"/"+cfgName, hits, misses, func() (*gpu.Result, error) {
 		sc, err := r.Scene(alias)
 		if err != nil {
 			return nil, err
@@ -161,7 +184,8 @@ func (r *Runner) PrewarmContext(ctx context.Context, par int) error {
 // Binning returns the memoized frame-0 binning of a benchmark under the
 // paper's Z-order traversal.
 func (r *Runner) Binning(alias string) (*tiling.Binning, error) {
-	return r.bins.get(alias, func() (*tiling.Binning, error) {
+	hits, misses := r.meter("bins")
+	return r.bins.get(alias, hits, misses, func() (*tiling.Binning, error) {
 		sc, err := r.Scene(alias)
 		if err != nil {
 			return nil, err
@@ -180,7 +204,8 @@ func (r *Runner) Binning(alias string) (*tiling.Binning, error) {
 // tile by tile in traversal order — the stream behind Figs. 1 and 11–13.
 // The trace is annotated with Belady next-use indices.
 func (r *Runner) AttributeTrace(alias string) (trace.Trace, error) {
-	return r.traces.get(alias, func() (trace.Trace, error) {
+	hits, misses := r.meter("traces")
+	return r.traces.get(alias, hits, misses, func() (trace.Trace, error) {
 		b, err := r.Binning(alias)
 		if err != nil {
 			return nil, err
@@ -203,7 +228,8 @@ func (r *Runner) AttributeTrace(alias string) (trace.Trace, error) {
 // benchmark's attribute trace: fully-associative LRU miss ratios at every
 // capacity from one pass (reference [27]'s own technique).
 func (r *Runner) LRUProfile(alias string) (cache.StackProfile, error) {
-	return r.profiles.get(alias, func() (cache.StackProfile, error) {
+	hits, misses := r.meter("profiles")
+	return r.profiles.get(alias, hits, misses, func() (cache.StackProfile, error) {
 		tr, err := r.AttributeTrace(alias)
 		if err != nil {
 			return cache.StackProfile{}, err

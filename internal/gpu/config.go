@@ -84,6 +84,11 @@ type Config struct {
 	// L2Enhanced turns on the dead-line L2 replacement (§III-D); "TCOR
 	// without L2 enhancements" in Figs. 20/21 runs with this off.
 	L2Enhanced bool
+	// L2TraceDepth, when positive, attaches a bounded eviction trace to the
+	// L2: the last N evictions with their replacement class, set, tile and
+	// write-back disposition land in Result.L2Trace. Zero disables tracing
+	// (no overhead on the hot path beyond one nil check).
+	L2TraceDepth int
 	// IncludeLeakage adds per-structure static energy (leakage x frame
 	// cycles) to the tallies. Off by default: the paper-matching
 	// calibration is dynamic-energy based, and leakage rewards the faster

@@ -12,6 +12,7 @@ import (
 	"tcor/internal/memmap"
 	"tcor/internal/pbuffer"
 	"tcor/internal/raster"
+	"tcor/internal/stats"
 	"tcor/internal/tcor"
 	"tcor/internal/tiling"
 	"tcor/internal/trace"
@@ -42,6 +43,15 @@ type Result struct {
 	// VertexL2Reads counts the Vertex Cache's fill requests to the L2.
 	VertexL2Reads int64
 	RasterStats   raster.Stats
+	// InstrL2Reads counts the per-frame shader-program streaming fills into
+	// the instruction caches (the only L2 ingress not owned by a counted L1).
+	InstrL2Reads int64
+	// L2Enhanced records whether the run used the dead-line L2 replacement,
+	// so invariant checks on a bare Result know which identities apply.
+	L2Enhanced bool
+	// L2Trace holds the last Config.L2TraceDepth L2 evictions (nil when the
+	// trace is off).
+	L2Trace *stats.Ring
 
 	// Tiling Engine throughput (Figs. 23/24): primitive reads issued by
 	// the Tile Fetcher over the cycles it spent, with an unlimited output
@@ -132,7 +142,8 @@ type sim struct {
 
 	dramDev *dram.DRAM
 	l2c     *l2.Cache
-	l2in    *teeSink // in front of the L2: counts all L1->L2 traffic
+	l2in    *teeSink    // in front of the L2: counts all L1->L2 traffic
+	l2trace *stats.Ring // bounded L2 eviction trace (nil when off)
 
 	// Tiling Engine L1s: exactly one of (tile) or (lists, attrs) is set.
 	tile      *cache.Cache // baseline unified Tile Cache
@@ -172,6 +183,10 @@ func newSim(scene *workload.Scene, cfg Config) (*sim, error) {
 		return nil, err
 	}
 	s.l2in = newTee(s.l2c)
+	if cfg.L2TraceDepth > 0 {
+		s.l2trace = stats.NewRing(cfg.L2TraceDepth)
+		s.l2c.SetEvictionTrace(s.l2trace)
+	}
 
 	switch cfg.Kind {
 	case KindBaseline:
@@ -336,10 +351,12 @@ func (s *sim) geometry(prims []geom.Primitive) int64 {
 // instruction caches from the L2.
 func (s *sim) instrFills() {
 	for b := int64(0); b < s.rasterPipe.InstrFootprintBlocks(); b++ {
+		s.res.InstrL2Reads++
 		s.l2in.Access(mem.Request{Addr: memmap.FragShaderInstrBase + uint64(b)*memmap.BlockBytes})
 	}
 	vblocks := int64(s.cfg.Timing.VertexInstr) * 16 / memmap.BlockBytes
 	for b := int64(0); b <= vblocks; b++ {
+		s.res.InstrL2Reads++
 		s.l2in.Access(mem.Request{Addr: memmap.VertexShaderInstrBase + uint64(b)*memmap.BlockBytes})
 	}
 }
@@ -500,6 +517,8 @@ func (s *sim) finish() (*Result, error) {
 	r := &s.res
 	r.L2In = s.l2in.Counter
 	r.L2Stats = s.l2c.Stats()
+	r.L2Enhanced = s.cfg.L2Enhanced
+	r.L2Trace = s.l2trace
 	r.DRAM = s.dramDev.Stats()
 	r.DRAMIn = s.dramDev.Counter
 	r.VertexStats = s.vertex.Stats()

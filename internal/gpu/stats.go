@@ -1,0 +1,141 @@
+package gpu
+
+import (
+	"fmt"
+
+	"tcor/internal/cache"
+	"tcor/internal/dram"
+	"tcor/internal/l2"
+	"tcor/internal/mem"
+	"tcor/internal/raster"
+	"tcor/internal/stats"
+	"tcor/internal/tcor"
+)
+
+// Hierarchy-wide observability: a Result knows how to publish every level's
+// counters into one stats.Registry under stable prefixes, and how to
+// register the cross-level traffic-conservation identities on top of each
+// level's self-consistency checks. The registry is built from the final
+// Result, never threaded through the hot simulation path, so enabling stats
+// cannot perturb a run: golden figure output is byte-identical either way.
+//
+// Prefixes (stable — the -stats JSON schema of cmd/tcorsim depends on them):
+//
+//	l1.list    Primitive List Cache (TCOR; zero under baseline)
+//	l1.attr    Attribute Cache (TCOR; zero under baseline)
+//	l1.tile    unified Tile Cache (baseline; zero under TCOR)
+//	l1.vertex  Vertex Cache
+//	instr      shader-program streaming fills
+//	raster     Raster Pipeline
+//	l2         the shared L2
+//	l2.in      L2 ingress tee (per-region request counts)
+//	dram       DRAM device
+//	dram.in    DRAM ingress (per-region request counts)
+//	sim        whole-run scalars (frames, primReads, cycles)
+
+// PublishStats stores every level's counters into reg. Counters for the L1
+// organization the run did not use are published as zeros, so the schema is
+// identical across baseline and TCOR runs.
+func (r *Result) PublishStats(reg *stats.Registry) {
+	r.ListStats.Publish(reg, "l1.list")
+	r.AttrStats.Publish(reg, "l1.attr")
+	r.TileStats.Publish(reg, "l1.tile")
+	reg.Counter("l1.tile.l2Reads").Store(r.TileL2Reads)
+	reg.Counter("l1.tile.l2Writes").Store(r.TileL2Writes)
+	r.VertexStats.Publish(reg, "l1.vertex")
+	reg.Counter("l1.vertex.l2Reads").Store(r.VertexL2Reads)
+	reg.Counter("instr.l2Reads").Store(r.InstrL2Reads)
+	r.RasterStats.Publish(reg, "raster")
+	r.L2Stats.Publish(reg, "l2")
+	if r.L2In != nil {
+		r.L2In.Publish(reg, "l2.in")
+	}
+	r.DRAM.Publish(reg, "dram")
+	if r.DRAMIn != nil {
+		r.DRAMIn.Publish(reg, "dram.in")
+	}
+	reg.Counter("sim.frames").Store(int64(r.Frames))
+	reg.Counter("sim.primReads").Store(r.PrimReads)
+	reg.Counter("sim.tfCycles").Store(r.TFCycles)
+	reg.Counter("sim.frameCycles").Store(r.FrameCycles)
+}
+
+// RegisterInvariants registers every per-level self-consistency check plus
+// the cross-level traffic-conservation identities (requests cannot appear
+// or vanish between hierarchy levels). The identities are written against
+// the published counter names, so they hold for both L1 organizations: the
+// unused organization's counters are all zero and drop out of the sums.
+func (r *Result) RegisterInvariants(reg *stats.Registry) {
+	tcor.RegisterListStatsInvariants(reg, "l1.list")
+	tcor.RegisterAttrStatsInvariants(reg, "l1.attr")
+	cache.RegisterStatsInvariants(reg, "l1.tile")
+	cache.RegisterStatsInvariants(reg, "l1.vertex")
+	raster.RegisterStatsInvariants(reg, "raster")
+	l2.RegisterStatsInvariants(reg, "l2", r.L2Enhanced)
+	if r.L2In != nil {
+		mem.RegisterStatsInvariants(reg, "l2.in")
+	}
+	dram.RegisterStatsInvariants(reg, "dram")
+	if r.DRAMIn != nil {
+		mem.RegisterStatsInvariants(reg, "dram.in")
+	}
+
+	// L2 ingress reads == the sum of every L1's fill/fetch requests.
+	reg.RegisterInvariant("gpu.l2IngressReadsConserved", func(s stats.Snapshot) error {
+		want := s.Get("l1.list.l2Reads") + s.Get("l1.attr.l2AttrReads") +
+			s.Get("l1.tile.l2Reads") + s.Get("l1.vertex.l2Reads") +
+			s.Get("raster.texMisses") + s.Get("instr.l2Reads")
+		if got := s.Get("l2.in.reads"); got != want {
+			return fmt.Errorf("L2 ingress reads %d != sum of L1 fill requests %d", got, want)
+		}
+		return nil
+	})
+	// L2 ingress writes == the sum of every L1's write-backs/bypasses.
+	reg.RegisterInvariant("gpu.l2IngressWritesConserved", func(s stats.Snapshot) error {
+		want := s.Get("l1.list.l2Writes") + s.Get("l1.attr.l2AttrWrites") +
+			s.Get("l1.tile.l2Writes")
+		if got := s.Get("l2.in.writes"); got != want {
+			return fmt.Errorf("L2 ingress writes %d != sum of L1 write-backs %d", got, want)
+		}
+		return nil
+	})
+	// The L2 services exactly the ingress stream.
+	reg.RegisterInvariant("gpu.l2SeesIngress", func(s stats.Snapshot) error {
+		if s.Get("l2.reads") != s.Get("l2.in.reads") || s.Get("l2.writes") != s.Get("l2.in.writes") {
+			return fmt.Errorf("L2 accesses (%d/%d) != ingress (%d/%d)",
+				s.Get("l2.reads"), s.Get("l2.writes"), s.Get("l2.in.reads"), s.Get("l2.in.writes"))
+		}
+		return nil
+	})
+	// DRAM reads are exactly the L2's fills.
+	reg.RegisterInvariant("gpu.dramReadsConserved", func(s stats.Snapshot) error {
+		if dr, mr := s.Get("dram.reads"), s.Get("l2.memReads"); dr != mr {
+			return fmt.Errorf("DRAM reads %d != L2 memory fills %d", dr, mr)
+		}
+		return nil
+	})
+	// DRAM writes are L2 write-backs plus the Color Buffer flush, which
+	// bypasses the L2 (§II-A: the flush streams whole tiles).
+	reg.RegisterInvariant("gpu.dramWritesConserved", func(s stats.Snapshot) error {
+		want := s.Get("l2.writebacks") + s.Get("raster.fbBlocksFlushed")
+		if got := s.Get("dram.writes"); got != want {
+			return fmt.Errorf("DRAM writes %d != L2 writebacks + FB flush %d", got, want)
+		}
+		return nil
+	})
+}
+
+// StatsRegistry builds a fresh registry holding this run's counters and
+// invariants — the unit behind `tcorsim -stats` and `-check`.
+func (r *Result) StatsRegistry() *stats.Registry {
+	reg := stats.NewRegistry()
+	r.PublishStats(reg)
+	r.RegisterInvariants(reg)
+	return reg
+}
+
+// CheckInvariants verifies every per-level and cross-level identity against
+// this run's counters, returning all violations joined (nil when clean).
+func (r *Result) CheckInvariants() error {
+	return r.StatsRegistry().Check()
+}

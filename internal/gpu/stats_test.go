@@ -1,0 +1,135 @@
+package gpu
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCheckInvariantsAllConfigs runs every full-system configuration and
+// demands that all per-level and cross-level identities hold — the
+// programmatic form of the conservation tests, exercised through the
+// public stats surface that cmd/tcorsim's -check flag uses.
+func TestCheckInvariantsAllConfigs(t *testing.T) {
+	sc := smallScene(t, "CCS", 2)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"baseline64", Baseline(64 * 1024)},
+		{"tcor64", TCOR(64 * 1024)},
+		{"nol2-64", TCORNoL2(64 * 1024)},
+	} {
+		res, err := Simulate(sc, tc.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := res.CheckInvariants(); err != nil {
+			t.Errorf("%s: invariants violated:\n%v", tc.name, err)
+		}
+	}
+}
+
+// TestCheckInvariantsDetectsCorruption proves the checks have teeth: a
+// corrupted counter must fail the cross-level conservation identity.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	sc := smallScene(t, "CCS", 1)
+	res, err := Simulate(sc, TCOR(64*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.VertexL2Reads++ // phantom request: appears at no other level
+	err = res.CheckInvariants()
+	if err == nil {
+		t.Fatal("corrupted counter passed the invariant check")
+	}
+	if !strings.Contains(err.Error(), "l2IngressReadsConserved") {
+		t.Errorf("wrong violation reported: %v", err)
+	}
+}
+
+// TestStatsSchemaStableAcrossKinds checks that baseline and TCOR runs
+// publish the identical counter-name set (the unused L1 organization shows
+// up as zeros), so -stats JSON is schema-stable across configurations.
+func TestStatsSchemaStableAcrossKinds(t *testing.T) {
+	sc := smallScene(t, "CCS", 1)
+	names := make(map[string][]string)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"baseline", Baseline(64 * 1024)},
+		{"tcor", TCOR(64 * 1024)},
+	} {
+		res, err := Simulate(sc, tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(res.StatsRegistry().Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]int64
+		if err := json.Unmarshal(blob, &m); err != nil {
+			t.Fatal(err)
+		}
+		for k := range m {
+			names[tc.name] = append(names[tc.name], k)
+		}
+		for _, want := range []string{"l1.list.hits", "l1.attr.reads", "l1.tile.accesses",
+			"l1.vertex.accesses", "l2.reads", "dram.reads", "raster.fragments"} {
+			if _, ok := m[want]; !ok {
+				t.Errorf("%s: counter %q missing from snapshot", tc.name, want)
+			}
+		}
+	}
+	if len(names["baseline"]) != len(names["tcor"]) {
+		t.Errorf("schema differs: baseline has %d counters, tcor %d",
+			len(names["baseline"]), len(names["tcor"]))
+	}
+}
+
+// TestL2TraceRing wires the bounded eviction trace through a full run and
+// checks depth bounding plus event plausibility.
+func TestL2TraceRing(t *testing.T) {
+	sc := smallScene(t, "CCS", 1)
+	cfg := TCOR(64 * 1024)
+	cfg.L2TraceDepth = 16
+	res, err := Simulate(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L2Trace == nil {
+		t.Fatal("L2TraceDepth set but Result.L2Trace is nil")
+	}
+	evs := res.L2Trace.Events()
+	if len(evs) > 16 {
+		t.Fatalf("ring returned %d events, depth is 16", len(evs))
+	}
+	if res.L2Stats.Evictions > 0 && len(evs) == 0 {
+		t.Fatal("L2 evicted lines but the trace recorded nothing")
+	}
+	if res.L2Trace.Total() != res.L2Stats.Evictions {
+		t.Errorf("trace total %d != L2 evictions %d", res.L2Trace.Total(), res.L2Stats.Evictions)
+	}
+	for _, e := range evs {
+		if e.Kind != "evict" {
+			t.Errorf("unexpected event kind %q", e.Kind)
+		}
+		if e.Class != "dead" && e.Class != "non-PB" && e.Class != "live-PB" {
+			t.Errorf("unexpected class %q", e.Class)
+		}
+		if e.Dropped && !e.Dirty {
+			t.Errorf("clean line reported a dropped write-back: %+v", e)
+		}
+	}
+
+	// Tracing must not perturb the simulation.
+	plain, err := Simulate(sc, TCOR(64*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.L2Stats != res.L2Stats || plain.FrameCycles != res.FrameCycles {
+		t.Error("enabling the L2 trace changed simulation results")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"tcor/internal/geom"
 	"tcor/internal/mem"
 	"tcor/internal/memmap"
+	"tcor/internal/stats"
 )
 
 // Config describes the L2.
@@ -31,14 +32,85 @@ func DefaultConfig(enhanced bool) Config {
 	return Config{SizeBytes: 1 << 20, Ways: 8, Enhanced: enhanced}
 }
 
-// Stats counts L2 events.
+// Stats counts L2 events. The counters satisfy, by construction:
+//
+//	Hits + Misses == Reads + Writes
+//	MemReads <= Misses                 (write misses allocate without fetch)
+//	DeadEvictions + LiveEvictions == Evictions
+//	DroppedWritebacks <= DeadEvictions (only dead lines drop write-backs)
+//	Writebacks + DroppedWritebacks <= Evictions
+//	Enhanced == false => DeadEvictions == DroppedWritebacks == 0
+//
+// RegisterStatsInvariants enforces these on a published registry.
 type Stats struct {
 	Reads, Writes     int64
 	Hits, Misses      int64
+	Evictions         int64 // valid lines displaced by fills (not frame-end invalidations)
 	Writebacks        int64 // dirty evictions written to memory
 	DroppedWritebacks int64 // dirty dead lines evicted without write-back
 	DeadEvictions     int64 // evictions that found a dead line
 	MemReads          int64 // fills requested from memory
+}
+
+// LiveEvictions returns the evictions that displaced a line still alive.
+func (s Stats) LiveEvictions() int64 { return s.Evictions - s.DeadEvictions }
+
+// Publish stores the counters into a stats registry under prefix.
+func (s Stats) Publish(r *stats.Registry, prefix string) {
+	r.Counter(prefix + ".reads").Store(s.Reads)
+	r.Counter(prefix + ".writes").Store(s.Writes)
+	r.Counter(prefix + ".hits").Store(s.Hits)
+	r.Counter(prefix + ".misses").Store(s.Misses)
+	r.Counter(prefix + ".evictions").Store(s.Evictions)
+	r.Counter(prefix + ".writebacks").Store(s.Writebacks)
+	r.Counter(prefix + ".droppedWritebacks").Store(s.DroppedWritebacks)
+	r.Counter(prefix + ".deadEvictions").Store(s.DeadEvictions)
+	r.Counter(prefix + ".memReads").Store(s.MemReads)
+}
+
+// RegisterStatsInvariants registers the Stats consistency identities listed
+// on the type. enhanced mirrors Config.Enhanced: the baseline L2 must never
+// report dead-line activity.
+func RegisterStatsInvariants(r *stats.Registry, prefix string, enhanced bool) {
+	r.RegisterInvariant(prefix+".hits+misses==accesses", func(s stats.Snapshot) error {
+		if h, m, a := s.Get(prefix+".hits"), s.Get(prefix+".misses"), s.Get(prefix+".reads")+s.Get(prefix+".writes"); h+m != a {
+			return fmt.Errorf("%d hits + %d misses != %d reads+writes", h, m, a)
+		}
+		return nil
+	})
+	r.RegisterInvariant(prefix+".memReads<=misses", func(s stats.Snapshot) error {
+		if mr, m := s.Get(prefix+".memReads"), s.Get(prefix+".misses"); mr > m {
+			return fmt.Errorf("%d memory fills exceed %d misses", mr, m)
+		}
+		return nil
+	})
+	r.RegisterInvariant(prefix+".droppedWritebacks<=deadEvictions", func(s stats.Snapshot) error {
+		if d, de := s.Get(prefix+".droppedWritebacks"), s.Get(prefix+".deadEvictions"); d > de {
+			return fmt.Errorf("%d dropped write-backs exceed %d dead evictions", d, de)
+		}
+		return nil
+	})
+	r.RegisterInvariant(prefix+".deadEvictions<=evictions", func(s stats.Snapshot) error {
+		if de, e := s.Get(prefix+".deadEvictions"), s.Get(prefix+".evictions"); de > e {
+			return fmt.Errorf("%d dead evictions exceed %d total evictions", de, e)
+		}
+		return nil
+	})
+	r.RegisterInvariant(prefix+".writebacks+dropped<=evictions", func(s stats.Snapshot) error {
+		if wb, d, e := s.Get(prefix+".writebacks"), s.Get(prefix+".droppedWritebacks"), s.Get(prefix+".evictions"); wb+d > e {
+			return fmt.Errorf("%d write-backs + %d dropped exceed %d evictions", wb, d, e)
+		}
+		return nil
+	})
+	r.RegisterInvariant(prefix+".baselineNeverDropsWritebacks", func(s stats.Snapshot) error {
+		if enhanced {
+			return nil
+		}
+		if d, de := s.Get(prefix+".droppedWritebacks"), s.Get(prefix+".deadEvictions"); d != 0 || de != 0 {
+			return fmt.Errorf("baseline L2 reported %d dropped write-backs, %d dead evictions", d, de)
+		}
+		return nil
+	})
 }
 
 type line struct {
@@ -64,6 +136,9 @@ type Cache struct {
 	// retired is the traversal position of the last tile the Tile Fetcher
 	// finished; -1 before any tile retires.
 	retired int
+	// trace, when non-nil, records every eviction decision (nil = off; a
+	// nil Ring is a no-op recorder, so the hot path pays one nil check).
+	trace *stats.Ring
 }
 
 // New builds the L2; next receives main-memory traffic.
@@ -98,6 +173,24 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // Config returns the configuration.
 func (c *Cache) Config() Config { return c.cfg }
+
+// SetEvictionTrace attaches a bounded event ring that records the last N
+// eviction decisions (priority class, set, victim key, last-use tile tag,
+// dropped-write-back flag). Pass nil to disable. For debugging replacement
+// behaviour; it does not affect simulation results.
+func (c *Cache) SetEvictionTrace(r *stats.Ring) { c.trace = r }
+
+// className names a replacement priority class for the event trace.
+func className(cl int) string {
+	switch cl {
+	case 0:
+		return "dead"
+	case 1:
+		return "non-PB"
+	default:
+		return "live-PB"
+	}
+}
 
 // isDead reports whether a line's data can never be read again: it belongs
 // to the Parameter Buffer, its last-use tile is known, and that tile has
@@ -142,7 +235,7 @@ func (c *Cache) Access(r mem.Request) {
 	}
 	w := c.victim(set)
 	if set[w].valid {
-		c.evict(&set[w])
+		c.evict(int(key&c.setMask), &set[w])
 	}
 	set[w] = line{
 		key:      key,
@@ -203,8 +296,21 @@ func lruVictim(set []line) int {
 // evict writes a dirty victim back to memory — unless it is dead, in which
 // case the write-back is dropped (§III-D2: "it does not have to be written
 // back to Main Memory even if it is dirty").
-func (c *Cache) evict(l *line) {
-	if c.isDead(l) {
+func (c *Cache) evict(set int, l *line) {
+	c.stats.Evictions++
+	dead := c.isDead(l)
+	if c.trace != nil {
+		c.trace.Record(stats.Event{
+			Kind:    "evict",
+			Class:   className(c.class(l)),
+			Set:     set,
+			Key:     l.key,
+			Tile:    int(l.lastTile),
+			Dirty:   l.dirty,
+			Dropped: dead && l.dirty,
+		})
+	}
+	if dead {
 		c.stats.DeadEvictions++
 		if l.dirty {
 			c.stats.DroppedWritebacks++

@@ -1,0 +1,206 @@
+package l2
+
+import (
+	"testing"
+
+	"tcor/internal/mem"
+	"tcor/internal/memmap"
+	"tcor/internal/stats"
+)
+
+// These tests pin the §III-D2 replacement policy step by step: victims are
+// chosen dead-first, then non-PB, then live PB, with LRU inside each class,
+// and a dirty dead victim drops its write-back. The eviction trace ring
+// records every decision, so each test asserts the exact victim sequence.
+
+// step is one stimulus to the L2 under test.
+type step struct {
+	addr    uint64
+	write   bool
+	last    uint16 // LastUse tag (tagged when hasLast)
+	hasLast bool
+	retire  int // when >= 0, retire this traversal position instead of accessing
+}
+
+func access(addr uint64) step { return step{addr: addr, retire: -1} }
+func pbWrite(addr uint64, last uint16) step {
+	return step{addr: addr, write: true, last: last, hasLast: true, retire: -1}
+}
+func retire(pos int) step { return step{retire: pos} }
+
+// wantEvict is one expected entry of the eviction trace.
+type wantEvict struct {
+	addr    uint64
+	class   string
+	dirty   bool
+	dropped bool
+}
+
+func TestEvictionPrioritySequences(t *testing.T) {
+	const (
+		pba = memmap.PBAttributesBase
+		tex = memmap.TexturesBase
+		blk = memmap.BlockBytes
+	)
+	cases := []struct {
+		name      string
+		enhanced  bool
+		steps     []step
+		want      []wantEvict
+		wantDrops int64 // expected Stats.DroppedWritebacks
+		wantMemWB int64 // expected write-backs reaching memory
+	}{
+		{
+			// Class dominates recency: the dead line goes first even though
+			// newer lines exist, then non-PB lines in LRU order; the live PB
+			// line outlives them all and finally drops its own write-back
+			// once its tile retires.
+			name:     "dead then non-PB in LRU order, live PB last",
+			enhanced: true,
+			steps: []step{
+				pbWrite(pba, 1),     // A: PB, dirty, last tile 1
+				pbWrite(pba+blk, 5), // B: PB, dirty, last tile 5
+				access(tex),         // C: non-PB
+				access(tex + blk),   // D: non-PB
+				retire(1),           // A is now dead
+				access(tex + 2*blk), // evicts A (dead beats non-PB LRU)
+				access(tex + 3*blk), // evicts C (non-PB LRU)
+				access(tex + 4*blk), // evicts D
+				access(tex + 5*blk), // evicts the tex+2*blk line
+				retire(5),           // B is now dead
+				access(tex + 6*blk), // evicts B, dropping its write-back
+			},
+			want: []wantEvict{
+				{pba, "dead", true, true},
+				{tex, "non-PB", false, false},
+				{tex + blk, "non-PB", false, false},
+				{tex + 2*blk, "non-PB", false, false},
+				{pba + blk, "dead", true, true},
+			},
+			wantDrops: 2,
+			wantMemWB: 0,
+		},
+		{
+			// With no dead lines, non-PB beats live PB even when the non-PB
+			// line is the most recently used; once the set is all live PB,
+			// the LRU live line is evicted with a real write-back.
+			name:     "live PB evicted only when nothing else remains",
+			enhanced: true,
+			steps: []step{
+				pbWrite(pba, 7),        // A: live PB, dirty
+				pbWrite(pba+blk, 8),    // B
+				access(tex),            // C: non-PB
+				pbWrite(pba+2*blk, 9),  // D
+				access(tex + blk),      // evicts C (only non-PB, despite MRU-adjacent)
+				pbWrite(pba+3*blk, 10), // evicts tex+blk (again the only non-PB)
+				access(tex + 2*blk),    // all live PB: evicts A (LRU), write-back
+			},
+			want: []wantEvict{
+				{tex, "non-PB", false, false},
+				{tex + blk, "non-PB", false, false},
+				{pba, "live-PB", true, false},
+			},
+			wantDrops: 0,
+			wantMemWB: 1,
+		},
+		{
+			// LRU breaks ties inside the dead class too.
+			name:     "LRU within the dead class",
+			enhanced: true,
+			steps: []step{
+				pbWrite(pba, 1),     // A
+				pbWrite(pba+blk, 2), // B
+				access(tex),
+				access(tex + blk),
+				retire(2),           // A and B both dead; A is older
+				access(tex + 2*blk), // evicts A
+				access(tex + 3*blk), // evicts B
+			},
+			want: []wantEvict{
+				{pba, "dead", true, true},
+				{pba + blk, "dead", true, true},
+			},
+			wantDrops: 2,
+			wantMemWB: 0,
+		},
+		{
+			// Regression: the baseline (Enhanced=false) must never invoke the
+			// dead-line machinery — the same stimulus that drops write-backs
+			// under TCOR writes every dirty victim back under plain LRU.
+			name:     "baseline never drops write-backs",
+			enhanced: false,
+			steps: []step{
+				pbWrite(pba, 1),
+				pbWrite(pba+blk, 5),
+				access(tex),
+				access(tex + blk),
+				retire(1),
+				access(tex + 2*blk), // plain LRU: evicts A, writes it back
+				access(tex + 3*blk), // evicts B, writes it back
+			},
+			want: []wantEvict{
+				{pba, "non-PB", true, false}, // baseline classes are reported non-PB/live-PB by region only
+				{pba + blk, "non-PB", true, false},
+			},
+			wantDrops: 0,
+			wantMemWB: 2,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// 256 bytes / 4 ways = 4 lines, 1 set: every access contends.
+			c, sink := newL2(t, 256, 4, tc.enhanced)
+			ring := stats.NewRing(64)
+			c.SetEvictionTrace(ring)
+			for _, s := range tc.steps {
+				if s.retire >= 0 {
+					c.TileRetired(uint16(s.retire), 0)
+					continue
+				}
+				c.Access(mem.Request{Addr: s.addr, Write: s.write, LastUse: s.last, HasLastUse: s.hasLast})
+			}
+
+			evs := ring.Events()
+			if len(evs) != len(tc.want) {
+				t.Fatalf("eviction count = %d, want %d: %+v", len(evs), len(tc.want), evs)
+			}
+			for i, w := range tc.want {
+				e := evs[i]
+				if e.Key != memmap.Block(w.addr) {
+					t.Errorf("eviction %d: victim block %#x, want %#x", i, e.Key, memmap.Block(w.addr))
+				}
+				if tc.enhanced && e.Class != w.class {
+					t.Errorf("eviction %d: class %q, want %q", i, e.Class, w.class)
+				}
+				if e.Dirty != w.dirty || e.Dropped != w.dropped {
+					t.Errorf("eviction %d: dirty/dropped = %v/%v, want %v/%v",
+						i, e.Dirty, e.Dropped, w.dirty, w.dropped)
+				}
+			}
+
+			st := c.Stats()
+			if st.DroppedWritebacks != tc.wantDrops {
+				t.Errorf("DroppedWritebacks = %d, want %d", st.DroppedWritebacks, tc.wantDrops)
+			}
+			if st.Writebacks != tc.wantMemWB || sink.Writes != tc.wantMemWB {
+				t.Errorf("write-backs = %d (stats) / %d (memory), want %d",
+					st.Writebacks, sink.Writes, tc.wantMemWB)
+			}
+			if !tc.enhanced && (st.DeadEvictions != 0 || st.DroppedWritebacks != 0) {
+				t.Errorf("baseline used dead-line machinery: %+v", st)
+			}
+			if st.Evictions != int64(len(tc.want)) {
+				t.Errorf("Evictions = %d, want %d", st.Evictions, len(tc.want))
+			}
+
+			// The published registry must satisfy every Stats identity.
+			reg := stats.NewRegistry()
+			st.Publish(reg, "l2")
+			RegisterStatsInvariants(reg, "l2", tc.enhanced)
+			if err := reg.Check(); err != nil {
+				t.Errorf("invariants violated: %v", err)
+			}
+		})
+	}
+}

@@ -5,8 +5,11 @@
 package mem
 
 import (
+	"fmt"
+
 	"tcor/internal/geom"
 	"tcor/internal/memmap"
+	"tcor/internal/stats"
 )
 
 // Request is one block-granularity access travelling down the hierarchy.
@@ -101,4 +104,35 @@ func (c *Counter) PB() RegionCounts {
 	l := c.Region(memmap.RegionPBLists)
 	a := c.Region(memmap.RegionPBAttributes)
 	return RegionCounts{Reads: l.Reads + a.Reads, Writes: l.Writes + a.Writes}
+}
+
+// Publish stores the counter's totals and per-region tallies into a stats
+// registry under prefix (e.g. "l2.in.region.PB-Lists.reads"). Every region
+// is published — touched or not — so the JSON schema is stable across runs.
+func (c *Counter) Publish(r *stats.Registry, prefix string) {
+	r.Counter(prefix + ".reads").Store(c.Reads)
+	r.Counter(prefix + ".writes").Store(c.Writes)
+	r.Counter(prefix + ".tileRetirements").Store(int64(c.TileRetirements))
+	r.Counter(prefix + ".frames").Store(int64(c.Frames))
+	for reg := memmap.RegionOther; reg <= memmap.RegionFragShaderInstr; reg++ {
+		rc := c.Region(reg)
+		r.Counter(prefix + ".region." + reg.String() + ".reads").Store(rc.Reads)
+		r.Counter(prefix + ".region." + reg.String() + ".writes").Store(rc.Writes)
+	}
+}
+
+// RegisterStatsInvariants registers the counter's consistency check: the
+// per-region tallies partition the totals exactly.
+func RegisterStatsInvariants(r *stats.Registry, prefix string) {
+	r.RegisterInvariant(prefix+".regionsPartitionTotals", func(s stats.Snapshot) error {
+		var reads, writes int64
+		for reg := memmap.RegionOther; reg <= memmap.RegionFragShaderInstr; reg++ {
+			reads += s.Get(prefix + ".region." + reg.String() + ".reads")
+			writes += s.Get(prefix + ".region." + reg.String() + ".writes")
+		}
+		if tr, tw := s.Get(prefix+".reads"), s.Get(prefix+".writes"); reads != tr || writes != tw {
+			return fmt.Errorf("region sums %d/%d != totals %d/%d", reads, writes, tr, tw)
+		}
+		return nil
+	})
 }

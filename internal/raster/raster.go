@@ -20,6 +20,7 @@ import (
 	"tcor/internal/geom"
 	"tcor/internal/mem"
 	"tcor/internal/memmap"
+	"tcor/internal/stats"
 	"tcor/internal/trace"
 )
 
@@ -87,6 +88,38 @@ type Stats struct {
 	BlendedQuads    int64 // quads blended into the Color Buffer (read-modify-write)
 	FBBlocksFlushed int64
 	ShadeCycles     int64 // fragment-shading cycles across all tiles
+}
+
+// Publish stores the counters into a stats registry under prefix.
+func (s Stats) Publish(r *stats.Registry, prefix string) {
+	r.Counter(prefix + ".primitives").Store(s.Primitives)
+	r.Counter(prefix + ".quads").Store(s.Quads)
+	r.Counter(prefix + ".quadsShaded").Store(s.QuadsShaded)
+	r.Counter(prefix + ".fragments").Store(s.Fragments)
+	r.Counter(prefix + ".instrExecuted").Store(s.InstrExecuted)
+	r.Counter(prefix + ".texAccesses").Store(s.TexAccesses)
+	r.Counter(prefix + ".texMisses").Store(s.TexMisses)
+	r.Counter(prefix + ".lateZQuads").Store(s.LateZQuads)
+	r.Counter(prefix + ".blendedQuads").Store(s.BlendedQuads)
+	r.Counter(prefix + ".fbBlocksFlushed").Store(s.FBBlocksFlushed)
+	r.Counter(prefix + ".shadeCycles").Store(s.ShadeCycles)
+}
+
+// RegisterStatsInvariants registers the Raster Pipeline consistency checks:
+// Early-Z can only cull quads, and texture misses are a subset of accesses.
+func RegisterStatsInvariants(r *stats.Registry, prefix string) {
+	r.RegisterInvariant(prefix+".quadsShaded<=quads", func(s stats.Snapshot) error {
+		if qs, q := s.Get(prefix+".quadsShaded"), s.Get(prefix+".quads"); qs > q {
+			return fmt.Errorf("%d shaded quads exceed %d covered quads", qs, q)
+		}
+		return nil
+	})
+	r.RegisterInvariant(prefix+".texMisses<=texAccesses", func(s stats.Snapshot) error {
+		if m, a := s.Get(prefix+".texMisses"), s.Get(prefix+".texAccesses"); m > a {
+			return fmt.Errorf("%d texture misses exceed %d accesses", m, a)
+		}
+		return nil
+	})
 }
 
 // Pipeline is the Raster Pipeline model.

@@ -1,0 +1,40 @@
+package stats
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+// published maps expvar names to the swappable registry pointer behind
+// them. expvar.Publish panics on duplicate names, so each name is published
+// exactly once and later calls swap the pointer instead.
+var published struct {
+	mu sync.Mutex
+	m  map[string]*atomic.Pointer[Registry]
+}
+
+// PublishExpvar exports r's live snapshot under name on the process-wide
+// expvar page (served by any net/http server at /debug/vars). Calling it
+// again with the same name atomically swaps in the new registry — batch
+// CLIs publish a fresh registry per run without tripping expvar's
+// duplicate-name panic.
+func PublishExpvar(name string, r *Registry) {
+	published.mu.Lock()
+	defer published.mu.Unlock()
+	if published.m == nil {
+		published.m = make(map[string]*atomic.Pointer[Registry])
+	}
+	p, ok := published.m[name]
+	if !ok {
+		p = &atomic.Pointer[Registry]{}
+		published.m[name] = p
+		expvar.Publish(name, expvar.Func(func() any {
+			if reg := p.Load(); reg != nil {
+				return reg.Snapshot()
+			}
+			return Snapshot{}
+		}))
+	}
+	p.Store(r)
+}

@@ -10,6 +10,7 @@ import (
 
 	"tcor/internal/cache"
 	"tcor/internal/mem"
+	"tcor/internal/stats"
 	"tcor/internal/trace"
 )
 
@@ -128,6 +129,51 @@ type AttrStats struct {
 	// ProbeAccesses counts Primitive Buffer lookups (tag probes), for the
 	// energy model.
 	ProbeAccesses int64
+}
+
+// Publish stores the counters into a stats registry under prefix.
+func (s AttrStats) Publish(r *stats.Registry, prefix string) {
+	r.Counter(prefix + ".reads").Store(s.Reads)
+	r.Counter(prefix + ".readHits").Store(s.ReadHits)
+	r.Counter(prefix + ".readMisses").Store(s.ReadMisses)
+	r.Counter(prefix + ".writes").Store(s.Writes)
+	r.Counter(prefix + ".writeInserts").Store(s.WriteInserts)
+	r.Counter(prefix + ".writeBypasses").Store(s.WriteBypasses)
+	r.Counter(prefix + ".evictions").Store(s.Evictions)
+	r.Counter(prefix + ".dirtyEvictions").Store(s.DirtyEvictions)
+	r.Counter(prefix + ".l2AttrReads").Store(s.L2AttrReads)
+	r.Counter(prefix + ".l2AttrWrites").Store(s.L2AttrWrites)
+	r.Counter(prefix + ".stalls").Store(s.Stalls)
+	r.Counter(prefix + ".bufReads").Store(s.BufReads)
+	r.Counter(prefix + ".bufWrites").Store(s.BufWrites)
+	r.Counter(prefix + ".probeAccesses").Store(s.ProbeAccesses)
+}
+
+// RegisterAttrStatsInvariants registers the Attribute Cache consistency
+// checks: the read hit/miss split covers every read, and every counted
+// write either inserted or bypassed (in-place refreshes of a resident
+// primitive touch neither, so the sum is an upper bound only in theory — a
+// well-formed frame writes each primitive once, but the model tolerates
+// re-writes).
+func RegisterAttrStatsInvariants(r *stats.Registry, prefix string) {
+	r.RegisterInvariant(prefix+".readHits+readMisses==reads", func(s stats.Snapshot) error {
+		if h, m, a := s.Get(prefix+".readHits"), s.Get(prefix+".readMisses"), s.Get(prefix+".reads"); h+m != a {
+			return fmt.Errorf("%d read hits + %d read misses != %d reads", h, m, a)
+		}
+		return nil
+	})
+	r.RegisterInvariant(prefix+".writeInserts+writeBypasses<=writes", func(s stats.Snapshot) error {
+		if i, b, w := s.Get(prefix+".writeInserts"), s.Get(prefix+".writeBypasses"), s.Get(prefix+".writes"); i+b > w {
+			return fmt.Errorf("%d inserts + %d bypasses exceed %d writes", i, b, w)
+		}
+		return nil
+	})
+	r.RegisterInvariant(prefix+".dirtyEvictions<=evictions", func(s stats.Snapshot) error {
+		if d, e := s.Get(prefix+".dirtyEvictions"), s.Get(prefix+".evictions"); d > e {
+			return fmt.Errorf("%d dirty evictions exceed %d evictions", d, e)
+		}
+		return nil
+	})
 }
 
 // AttributeCache is the primitive-granularity PB-Attributes cache of

@@ -6,6 +6,7 @@ import (
 	"tcor/internal/cache"
 	"tcor/internal/mem"
 	"tcor/internal/memmap"
+	"tcor/internal/stats"
 	"tcor/internal/trace"
 )
 
@@ -30,6 +31,41 @@ type ListStats struct {
 	Reads, Writes, Hits, Misses int64
 	Writebacks                  int64
 	L2Reads, L2Writes           int64
+}
+
+// Publish stores the counters into a stats registry under prefix.
+func (s ListStats) Publish(r *stats.Registry, prefix string) {
+	r.Counter(prefix + ".reads").Store(s.Reads)
+	r.Counter(prefix + ".writes").Store(s.Writes)
+	r.Counter(prefix + ".hits").Store(s.Hits)
+	r.Counter(prefix + ".misses").Store(s.Misses)
+	r.Counter(prefix + ".writebacks").Store(s.Writebacks)
+	r.Counter(prefix + ".l2Reads").Store(s.L2Reads)
+	r.Counter(prefix + ".l2Writes").Store(s.L2Writes)
+}
+
+// RegisterListStatsInvariants registers the Primitive List Cache
+// consistency checks: every access is a hit or a miss, and L2 traffic is
+// bounded by misses (fetches) plus write-backs.
+func RegisterListStatsInvariants(r *stats.Registry, prefix string) {
+	r.RegisterInvariant(prefix+".hits+misses==accesses", func(s stats.Snapshot) error {
+		if h, m, a := s.Get(prefix+".hits"), s.Get(prefix+".misses"), s.Get(prefix+".reads")+s.Get(prefix+".writes"); h+m != a {
+			return fmt.Errorf("%d hits + %d misses != %d accesses", h, m, a)
+		}
+		return nil
+	})
+	r.RegisterInvariant(prefix+".l2Reads<=misses", func(s stats.Snapshot) error {
+		if lr, m := s.Get(prefix+".l2Reads"), s.Get(prefix+".misses"); lr > m {
+			return fmt.Errorf("%d L2 fetches exceed %d misses", lr, m)
+		}
+		return nil
+	})
+	r.RegisterInvariant(prefix+".l2Writes==writebacks", func(s stats.Snapshot) error {
+		if lw, wb := s.Get(prefix+".l2Writes"), s.Get(prefix+".writebacks"); lw != wb {
+			return fmt.Errorf("%d L2 writes != %d write-backs", lw, wb)
+		}
+		return nil
+	})
 }
 
 // PrimitiveListCache caches PB-Lists blocks with LRU replacement. Writes
