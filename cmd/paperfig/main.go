@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"tcor/internal/buildinfo"
 	"tcor/internal/experiments"
 	"tcor/internal/stats"
 	"tcor/internal/workload"
@@ -111,8 +112,13 @@ func main() {
 	report := flag.String("report", "", "write a full markdown results report to this file")
 	statsPath := flag.String("stats", "", "write the runner's memoization/sweep metrics as JSON to this file")
 	httpAddr := flag.String("http", "", "serve expvar and pprof on this address while running (e.g. :0)")
+	version := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "paperfig:", err)
 		os.Exit(1)

@@ -1,0 +1,167 @@
+// Command tcord is the simulation daemon: it serves the TBR GPU model over
+// a versioned JSON HTTP API so repeated studies share one process, one
+// result cache and one admission policy instead of shelling into tcorsim
+// per run.
+//
+// Usage:
+//
+//	tcord                                  # serve on :8344
+//	tcord -addr 127.0.0.1:9000 -workers 4 -queue 16
+//	tcord -debug :8345                     # expvar + pprof alongside the API
+//	tcord -version
+//
+// Endpoints:
+//
+//	POST /v1/simulate   run (or fetch from cache) one simulation
+//	POST /v1/sweep      run a batch through the bounded worker pool
+//	GET  /v1/benchmarks list the built-in Table II suite
+//	GET  /v1/version    build identity (module version, VCS revision)
+//	GET  /v1/stats      serving-layer metrics snapshot
+//	GET  /healthz       liveness        GET /readyz  readiness (503 draining)
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: readiness flips to 503,
+// queued and in-flight simulations finish (bounded by -drain), then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tcor/internal/buildinfo"
+	"tcor/internal/serve"
+	"tcor/internal/stats"
+)
+
+func main() {
+	opts, err := parseOptions(os.Args[1:], os.Stderr)
+	if err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "tcord:", err)
+		}
+		os.Exit(2)
+	}
+	if opts.version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
+	if err := run(opts); err != nil {
+		fmt.Fprintln(os.Stderr, "tcord:", err)
+		os.Exit(1)
+	}
+}
+
+// options is the parsed and validated command line.
+type options struct {
+	addr      string
+	debugAddr string
+	workers   int
+	queue     int
+	cache     int
+	timeout   time.Duration
+	drain     time.Duration
+	version   bool
+}
+
+// parseOptions parses args into options and enforces the flag rules; every
+// rejection is a clear error rather than a silently clamped value.
+func parseOptions(args []string, errOut io.Writer) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("tcord", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	fs.StringVar(&o.addr, "addr", ":8344", "API listen address (host:port; :0 picks a free port)")
+	fs.StringVar(&o.debugAddr, "debug", "", "serve expvar and pprof on this address (e.g. :8345; empty = off)")
+	fs.IntVar(&o.workers, "workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	fs.IntVar(&o.queue, "queue", 64, "max requests waiting for a worker before 429s (0 = reject when all workers busy)")
+	fs.IntVar(&o.cache, "cache", 256, "result cache capacity in entries, LRU-evicted (0 = unbounded)")
+	fs.DurationVar(&o.timeout, "timeout", time.Minute, "default per-request deadline")
+	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown drain budget")
+	fs.BoolVar(&o.version, "version", false, "print the build identity and exit")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	if o.workers < 0 {
+		return options{}, fmt.Errorf("-workers must be non-negative, got %d", o.workers)
+	}
+	if o.queue < 0 {
+		return options{}, fmt.Errorf("-queue must be non-negative, got %d", o.queue)
+	}
+	if o.cache < 0 {
+		return options{}, fmt.Errorf("-cache must be non-negative, got %d", o.cache)
+	}
+	if o.timeout <= 0 {
+		return options{}, fmt.Errorf("-timeout must be positive, got %v", o.timeout)
+	}
+	if o.drain <= 0 {
+		return options{}, fmt.Errorf("-drain must be positive, got %v", o.drain)
+	}
+	return o, nil
+}
+
+// serveOptions maps the command line onto the server configuration.
+// QueueDepth/CacheEntries use -1 for "explicitly zero" because the Options
+// zero value means "default".
+func serveOptions(o options) serve.Options {
+	so := serve.Options{
+		Workers:        o.workers,
+		QueueDepth:     o.queue,
+		CacheEntries:   o.cache,
+		DefaultTimeout: o.timeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "tcord: "+format+"\n", args...)
+		},
+	}
+	if o.queue == 0 {
+		so.QueueDepth = -1
+	}
+	if o.cache == 0 {
+		so.CacheEntries = -1
+	}
+	return so
+}
+
+func run(o options) error {
+	srv := serve.NewServer(serveOptions(o))
+
+	if o.debugAddr != "" {
+		stats.PublishExpvar("tcord", srv.Registry())
+		addr, stop, err := stats.ServeDebug(o.debugAddr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "tcord: debug server on http://%s/debug/vars\n", addr)
+	}
+
+	addr, err := srv.Start(o.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tcord: %s\n", buildinfo.Get())
+	fmt.Fprintf(os.Stderr, "tcord: serving on http://%s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "tcord: received %v, draining (budget %v)\n", got, o.drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	if err := srv.CheckInvariants(); err != nil {
+		return fmt.Errorf("serving-layer invariants violated at shutdown: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"tcor/internal/serve"
+	"tcor/internal/serve/client"
+)
+
+func TestParseOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		bad  bool
+	}{
+		{"defaults", nil, false},
+		{"full", []string{"-addr", ":0", "-debug", ":0", "-workers", "2",
+			"-queue", "4", "-cache", "8", "-timeout", "5s", "-drain", "1s"}, false},
+		{"version", []string{"-version"}, false},
+		{"zero queue ok", []string{"-queue", "0"}, false},
+		{"negative workers", []string{"-workers", "-1"}, true},
+		{"negative queue", []string{"-queue", "-1"}, true},
+		{"negative cache", []string{"-cache", "-1"}, true},
+		{"zero timeout", []string{"-timeout", "0"}, true},
+		{"zero drain", []string{"-drain", "0"}, true},
+		{"positional args", []string{"extra"}, true},
+		{"unknown flag", []string{"-nope"}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseOptions(tc.args, io.Discard)
+			if tc.bad && err == nil {
+				t.Fatalf("parseOptions(%v) accepted, want an error", tc.args)
+			}
+			if !tc.bad && err != nil {
+				t.Fatalf("parseOptions(%v) = %v, want success", tc.args, err)
+			}
+		})
+	}
+}
+
+func TestServeOptionsMapping(t *testing.T) {
+	o, err := parseOptions([]string{"-queue", "0", "-cache", "0"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := serveOptions(o)
+	if so.QueueDepth != -1 {
+		t.Fatalf("QueueDepth = %d for -queue 0, want -1 (explicit no-queue)", so.QueueDepth)
+	}
+	if so.CacheEntries != -1 {
+		t.Fatalf("CacheEntries = %d for -cache 0, want -1 (unbounded)", so.CacheEntries)
+	}
+}
+
+// TestDaemonEndToEnd exercises the daemon's serving stack in process: start
+// on a free port, simulate through the typed client, drain.
+func TestDaemonEndToEnd(t *testing.T) {
+	o, err := parseOptions([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(serveOptions(o))
+	addr, err := srv.Start(o.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := client.New("http://"+addr, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Ready(ctx); err != nil {
+		t.Fatalf("Ready: %v", err)
+	}
+	rr, _, err := c.Simulate(ctx, serve.SimulateRequest{Benchmark: "GTr", Frames: 1, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Benchmark != "GTr" {
+		t.Fatalf("served benchmark = %q, want GTr", rr.Benchmark)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := srv.CheckInvariants(); err != nil {
+		t.Fatalf("serving-layer invariants at shutdown: %v", err)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"tcor/internal/buildinfo"
 	"tcor/internal/experiments"
 	"tcor/internal/geom"
 	"tcor/internal/gpu"
@@ -52,6 +53,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tcorsim:", err)
 		}
 		os.Exit(2)
+	}
+	if opts.version {
+		fmt.Println(buildinfo.Get())
+		return
 	}
 
 	ctx := context.Background()
@@ -92,6 +97,7 @@ type options struct {
 	check     bool
 	evtrace   int
 	httpAddr  string
+	version   bool
 }
 
 // parseOptions parses args into options and enforces the cross-flag rules.
@@ -114,6 +120,7 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	fs.BoolVar(&o.check, "check", false, "verify the cross-level stats invariants after each run (violations fail the command)")
 	fs.IntVar(&o.evtrace, "evtrace", 0, "record the last N L2 evictions into the -stats dump (0 = off)")
 	fs.StringVar(&o.httpAddr, "http", "", "serve expvar and pprof on this address while running (e.g. :0)")
+	fs.BoolVar(&o.version, "version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"tcor/internal/buildinfo"
 	"tcor/internal/geom"
 	"tcor/internal/memmap"
 	"tcor/internal/pbuffer"
@@ -36,8 +37,13 @@ func main() {
 	kind := flag.String("kind", "prim", "trace kind: prim or block")
 	layout := flag.String("layout", "interleaved", "PB-Lists layout for block traces: baseline or interleaved")
 	order := flag.String("order", "z", "tile traversal order: z or scanline")
+	version := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 	if err := run(*benchmark, *kind, *layout, *order); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)

@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"tcor/internal/buildinfo"
 	"tcor/internal/cache"
 	"tcor/internal/trace"
 )
@@ -29,8 +30,13 @@ func main() {
 	ways := flag.Int("ways", 0, "associativity (0 = fully associative)")
 	policies := flag.String("policies", "LRU,MRU,FIFO,SRRIP,DRRIP,Shepherd,Hawkeye,OPT",
 		"comma-separated policies to simulate")
+	version := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 	if err := run(*tracePath, *sizeKB, *ways, strings.Split(*policies, ",")); err != nil {
 		fmt.Fprintln(os.Stderr, "tracesim:", err)
 		os.Exit(1)

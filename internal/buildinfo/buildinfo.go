@@ -1,0 +1,79 @@
+// Package buildinfo exposes one identity for every binary in the module:
+// the module version, the VCS revision the binary was built from, and the
+// Go toolchain, all read from the build metadata the linker already embeds
+// (debug.ReadBuildInfo). Every CLI's -version flag and the service's
+// GET /v1/version endpoint render the same Info, so a served response can
+// always be traced back to the exact build that produced it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version can be overridden at link time
+// (go build -ldflags "-X tcor/internal/buildinfo.Version=v1.2.3"); when
+// empty, the module version recorded by the toolchain is used.
+var Version string
+
+// Info identifies one build of the module.
+type Info struct {
+	// Version is the release version: the -ldflags override when set,
+	// otherwise the module version ("(devel)" for plain `go build`).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"goVersion"`
+	// Revision is the VCS commit hash, when the build had VCS metadata.
+	Revision string `json:"revision,omitempty"`
+	// Time is the VCS commit time (RFC 3339), when available.
+	Time string `json:"time,omitempty"`
+	// Modified reports a dirty working tree at build time.
+	Modified bool `json:"modified,omitempty"`
+}
+
+// Get assembles the build identity of the running binary. It never fails:
+// binaries built without module support fall back to "unknown".
+func Get() Info {
+	info := Info{Version: Version, GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		if info.Version == "" {
+			info.Version = "unknown"
+		}
+		return info
+	}
+	if info.Version == "" {
+		info.Version = bi.Main.Version
+	}
+	if info.Version == "" {
+		info.Version = "unknown"
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity on one line, the shape every CLI's -version
+// flag prints: "tcor <version> (<rev>[+dirty]) <go version>".
+func (i Info) String() string {
+	rev := i.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev == "" {
+		rev = "no vcs"
+	}
+	if i.Modified {
+		rev += "+dirty"
+	}
+	return fmt.Sprintf("tcor %s (%s) %s", i.Version, rev, i.GoVersion)
+}

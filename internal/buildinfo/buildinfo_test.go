@@ -1,0 +1,46 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetNeverEmpty(t *testing.T) {
+	i := Get()
+	if i.Version == "" {
+		t.Fatal("Get returned an empty version")
+	}
+	if i.GoVersion == "" {
+		t.Fatal("Get returned an empty Go version")
+	}
+}
+
+func TestStringShape(t *testing.T) {
+	i := Info{Version: "v1.2.3", GoVersion: "go1.22.0",
+		Revision: "0123456789abcdef0123", Modified: true}
+	s := i.String()
+	for _, want := range []string{"tcor v1.2.3", "0123456789ab+dirty", "go1.22.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "0123456789abc") {
+		t.Errorf("String() = %q: revision not truncated to 12 chars", s)
+	}
+}
+
+func TestStringNoVCS(t *testing.T) {
+	s := Info{Version: "unknown", GoVersion: "go1.22.0"}.String()
+	if !strings.Contains(s, "no vcs") {
+		t.Errorf("String() = %q, want a 'no vcs' marker", s)
+	}
+}
+
+func TestLdflagsOverride(t *testing.T) {
+	old := Version
+	defer func() { Version = old }()
+	Version = "v9.9.9-test"
+	if got := Get().Version; got != "v9.9.9-test" {
+		t.Fatalf("Get().Version = %q, want the ldflags override", got)
+	}
+}

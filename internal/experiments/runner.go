@@ -39,6 +39,13 @@ type Runner struct {
 	// cancellation); nil means context.Background(). Configure it once
 	// before use, like the other fields.
 	Ctx context.Context
+	// MemoCap, when positive, bounds each memo table (scenes, runs, traces,
+	// binnings, profiles) to that many completed entries with LRU eviction,
+	// metered as "memo.<table>.evictions". Zero keeps the figure-harness
+	// default: cache forever (the paper grid is finite). Long-running hosts
+	// set it — or call PurgeMemo between batches — so an open-ended request
+	// stream cannot grow the tables without bound.
+	MemoCap int
 
 	scenes   memo[*workload.Scene]
 	runs     memo[*gpu.Result]
@@ -62,18 +69,41 @@ func NewRunner() *Runner {
 	return &Runner{Screen: geom.DefaultScreen()}
 }
 
-// Metrics returns the runner's observability registry: memo-table hit/miss
-// counters ("memo.<table>.hits"/".misses") and completed-simulation counts.
-// Race-clean; sweeps running through the Runner publish into it live.
+// Metrics returns the runner's observability registry: memo-table
+// hit/miss/eviction counters ("memo.<table>.hits"/".misses"/".evictions")
+// and completed-simulation counts. Race-clean; sweeps running through the
+// Runner publish into it live.
 func (r *Runner) Metrics() *stats.Registry {
 	r.metricsOnce.Do(func() { r.metrics = stats.NewRegistry() })
 	return r.metrics
 }
 
-// meter returns the hit/miss counter pair for one memo table.
-func (r *Runner) meter(table string) (hits, misses *stats.Counter) {
+// meter returns the counters for one memo table.
+func (r *Runner) meter(table string) (hits, misses, evictions *stats.Counter) {
 	m := r.Metrics()
-	return m.Counter("memo." + table + ".hits"), m.Counter("memo." + table + ".misses")
+	return m.Counter("memo." + table + ".hits"),
+		m.Counter("memo." + table + ".misses"),
+		m.Counter("memo." + table + ".evictions")
+}
+
+// PurgeMemo drops every completed entry from every memo table and returns
+// the number dropped, metering them as evictions. In-flight computations
+// are untouched: their waiters still resolve, and they stay usable until a
+// later purge or capacity eviction. Long-running hosts call it between
+// batches; combined with MemoCap it keeps a daemon's Runner at a bounded
+// footprint over an unbounded request stream.
+func (r *Runner) PurgeMemo() int {
+	n := 0
+	ev := func(table string) *stats.Counter {
+		_, _, e := r.meter(table)
+		return e
+	}
+	n += r.scenes.purge(ev("scenes"))
+	n += r.runs.purge(ev("runs"))
+	n += r.traces.purge(ev("traces"))
+	n += r.bins.purge(ev("bins"))
+	n += r.profiles.purge(ev("profiles"))
+	return n
 }
 
 // baseCtx returns the runner's sweep context.
@@ -103,8 +133,8 @@ func (r *Runner) Suite() []workload.Spec {
 
 // Scene returns the calibrated scene for a benchmark.
 func (r *Runner) Scene(alias string) (*workload.Scene, error) {
-	hits, misses := r.meter("scenes")
-	return r.scenes.get(alias, hits, misses, func() (*workload.Scene, error) {
+	hits, misses, evictions := r.meter("scenes")
+	return r.scenes.get(alias, r.MemoCap, hits, misses, evictions, func() (*workload.Scene, error) {
 		if hook := r.testSceneHook; hook != nil {
 			hook(alias)
 		}
@@ -122,8 +152,8 @@ func (r *Runner) Scene(alias string) (*workload.Scene, error) {
 // Run simulates a benchmark under a configuration, memoized under the given
 // configuration name.
 func (r *Runner) Run(alias, cfgName string, cfg gpu.Config) (*gpu.Result, error) {
-	hits, misses := r.meter("runs")
-	return r.runs.get(alias+"/"+cfgName, hits, misses, func() (*gpu.Result, error) {
+	hits, misses, evictions := r.meter("runs")
+	return r.runs.get(alias+"/"+cfgName, r.MemoCap, hits, misses, evictions, func() (*gpu.Result, error) {
 		sc, err := r.Scene(alias)
 		if err != nil {
 			return nil, err
@@ -184,8 +214,8 @@ func (r *Runner) PrewarmContext(ctx context.Context, par int) error {
 // Binning returns the memoized frame-0 binning of a benchmark under the
 // paper's Z-order traversal.
 func (r *Runner) Binning(alias string) (*tiling.Binning, error) {
-	hits, misses := r.meter("bins")
-	return r.bins.get(alias, hits, misses, func() (*tiling.Binning, error) {
+	hits, misses, evictions := r.meter("bins")
+	return r.bins.get(alias, r.MemoCap, hits, misses, evictions, func() (*tiling.Binning, error) {
 		sc, err := r.Scene(alias)
 		if err != nil {
 			return nil, err
@@ -204,8 +234,8 @@ func (r *Runner) Binning(alias string) (*tiling.Binning, error) {
 // tile by tile in traversal order — the stream behind Figs. 1 and 11–13.
 // The trace is annotated with Belady next-use indices.
 func (r *Runner) AttributeTrace(alias string) (trace.Trace, error) {
-	hits, misses := r.meter("traces")
-	return r.traces.get(alias, hits, misses, func() (trace.Trace, error) {
+	hits, misses, evictions := r.meter("traces")
+	return r.traces.get(alias, r.MemoCap, hits, misses, evictions, func() (trace.Trace, error) {
 		b, err := r.Binning(alias)
 		if err != nil {
 			return nil, err
@@ -228,8 +258,8 @@ func (r *Runner) AttributeTrace(alias string) (trace.Trace, error) {
 // benchmark's attribute trace: fully-associative LRU miss ratios at every
 // capacity from one pass (reference [27]'s own technique).
 func (r *Runner) LRUProfile(alias string) (cache.StackProfile, error) {
-	hits, misses := r.meter("profiles")
-	return r.profiles.get(alias, hits, misses, func() (cache.StackProfile, error) {
+	hits, misses, evictions := r.meter("profiles")
+	return r.profiles.get(alias, r.MemoCap, hits, misses, evictions, func() (cache.StackProfile, error) {
 		tr, err := r.AttributeTrace(alias)
 		if err != nil {
 			return cache.StackProfile{}, err

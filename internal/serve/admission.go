@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+
+	"tcor/internal/stats"
+)
+
+// gate is the admission controller: a semaphore of worker slots fronted by
+// a bounded wait queue. Every simulation — whether it arrived through
+// /v1/simulate or as one item of a sweep — must hold a slot while it runs,
+// so the server never executes more than Workers simulations at once and
+// never queues more than QueueDepth callers behind them; the excess is
+// rejected immediately with errQueueFull (HTTP 429 + Retry-After) instead
+// of accumulating latency.
+type gate struct {
+	slots  chan struct{}
+	queued atomic.Int64
+	depth  int64
+
+	queueGauge    *stats.Gauge
+	inflight      *stats.Gauge
+	admitted      *stats.Counter
+	rejectedFull  *stats.Counter
+	canceledWaits *stats.Counter
+}
+
+// newGate builds a gate with workers slots and a wait queue of depth,
+// metering into reg under the "serve." prefix.
+func newGate(workers, depth int, reg *stats.Registry) *gate {
+	g := &gate{
+		slots:         make(chan struct{}, workers),
+		depth:         int64(depth),
+		queueGauge:    reg.Gauge("serve.queue.depth"),
+		inflight:      reg.Gauge("serve.inflight"),
+		admitted:      reg.Counter("serve.admitted"),
+		rejectedFull:  reg.Counter("serve.rejected.queueFull"),
+		canceledWaits: reg.Counter("serve.rejected.canceledInQueue"),
+	}
+	return g
+}
+
+// acquire claims a worker slot, waiting in the bounded queue if none is
+// free. It returns errQueueFull without waiting when the queue is already
+// at depth, and the context error if the caller gives up while queued.
+// On success the caller must release().
+func (g *gate) acquire(ctx context.Context) error {
+	// Fast path: a free slot admits without queueing.
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Inc()
+		g.inflight.Add(1)
+		return nil
+	default:
+	}
+	// Slow path: join the bounded queue. The increment reserves a queue
+	// position atomically; over-subscribers back out before waiting.
+	if g.queued.Add(1) > g.depth {
+		g.queued.Add(-1)
+		g.rejectedFull.Inc()
+		return errQueueFull
+	}
+	// The gauge moves only for callers that actually wait, after the bound
+	// check admitted them, so a snapshot never reads more than depth.
+	g.queueGauge.Add(1)
+	defer func() {
+		g.queueGauge.Add(-1)
+		g.queued.Add(-1)
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Inc()
+		g.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		g.canceledWaits.Inc()
+		return ctx.Err()
+	}
+}
+
+// release returns a worker slot.
+func (g *gate) release() {
+	g.inflight.Add(-1)
+	<-g.slots
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"tcor/internal/gpu"
+	"tcor/internal/stats"
+)
+
+// cached is one finished simulation as the cache stores it: the result
+// itself (so a later request can re-verify invariants without re-running)
+// and its canonical encoding (so hits, coalesced waiters and fresh runs all
+// serve the identical bytes).
+type cached struct {
+	res  *gpu.Result
+	body []byte
+}
+
+// resultCache is the serving-layer mirror of the paper's replacement-policy
+// theme: a content-addressed store of finished simulations (spec+config
+// hash -> gpu.Result) with a bounded LRU eviction policy, fused with a
+// singleflight table so concurrent identical requests collapse into one
+// simulation. The design mirrors experiments/memo.go — an in-flight entry
+// is a cell with a done channel; waiters block on the cell, not on a lock —
+// but completed entries are bounded and recency-ordered instead of cached
+// forever: a daemon's keyspace is open-ended where the Runner's grid is
+// finite.
+//
+// Error results are never cached: a failure (queue-full, deadline, a
+// panicking simulation) is not a deterministic function of the key, so the
+// entry is dropped and the next request retries.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // completed entries, front = most recently used
+	m   map[string]*cacheEntry
+
+	hits, misses, coalesced, evictions *stats.Counter
+	size                               *stats.Gauge
+}
+
+// cacheEntry is one key's cell. done is closed exactly once, after which
+// val/err are immutable; elem is non-nil only while the completed entry
+// sits in the LRU list (both guarded by resultCache.mu).
+type cacheEntry struct {
+	key  string
+	elem *list.Element
+	done chan struct{}
+	val  cached
+	err  error
+}
+
+// newResultCache builds a cache bounded to capacity entries (capacity <= 0
+// means unbounded) metering into reg under the "serve.cache." prefix.
+func newResultCache(capacity int, reg *stats.Registry) *resultCache {
+	return &resultCache{
+		cap:       capacity,
+		ll:        list.New(),
+		m:         make(map[string]*cacheEntry),
+		hits:      reg.Counter("serve.cache.hits"),
+		misses:    reg.Counter("serve.cache.misses"),
+		coalesced: reg.Counter("serve.cache.coalesced"),
+		evictions: reg.Counter("serve.cache.evictions"),
+		size:      reg.Gauge("serve.cache.size"),
+	}
+}
+
+// outcome classifies how a get was served, for the X-Tcord-Cache header.
+type outcome string
+
+const (
+	outcomeHit       outcome = "hit"
+	outcomeMiss      outcome = "miss"
+	outcomeCoalesced outcome = "coalesced"
+)
+
+// get returns the cached value for key, computing it at most once across
+// concurrent callers. The first caller of an absent key becomes the leader
+// and runs compute; everyone else waits for the leader's outcome (or their
+// own context, whichever ends first). compute runs outside the cache lock.
+func (c *resultCache) get(ctx context.Context, key string, compute func() (cached, error)) (cached, outcome, error) {
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		select {
+		case <-e.done: // completed: a pure cache hit
+			c.ll.MoveToFront(e.elem)
+			c.mu.Unlock()
+			c.hits.Inc()
+			return e.val, outcomeHit, e.err
+		default: // in flight: collapse onto the leader
+			c.mu.Unlock()
+			c.coalesced.Inc()
+			select {
+			case <-e.done:
+				return e.val, outcomeCoalesced, e.err
+			case <-ctx.Done():
+				return cached{}, outcomeCoalesced, ctx.Err()
+			}
+		}
+	}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
+	c.m[key] = e
+	c.mu.Unlock()
+	c.misses.Inc()
+
+	// If compute panics, the panic keeps unwinding (the handler middleware
+	// counts and answers it) but the cell must still resolve: waiters get
+	// the error and the key is dropped so a retry recomputes instead of
+	// hanging on a cell that will never close.
+	completed := false
+	defer func() {
+		if !completed {
+			e.err = errComputePanicked
+			c.complete(e)
+		}
+	}()
+	e.val, e.err = compute()
+	completed = true
+	c.complete(e)
+	return e.val, outcomeMiss, e.err
+}
+
+// errComputePanicked is what coalesced waiters observe when the leader's
+// simulation panicked out from under them.
+var errComputePanicked = &apiError{status: 500, code: "internal_panic",
+	msg: "simulation panicked"}
+
+// complete publishes the leader's outcome: successes enter the LRU (evicting
+// the least recently used completed entries beyond capacity), failures are
+// forgotten so later requests retry. Waiters already holding the entry still
+// observe val/err through the closed channel either way.
+func (c *resultCache) complete(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	close(e.done)
+	if e.err != nil {
+		delete(c.m, e.key)
+		return
+	}
+	e.elem = c.ll.PushFront(e)
+	for c.cap > 0 && c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		victim := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.m, victim.key)
+		c.evictions.Inc()
+	}
+	c.size.Set(int64(c.ll.Len()))
+}
+
+// len returns the number of completed entries (tests).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

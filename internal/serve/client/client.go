@@ -1,0 +1,194 @@
+// Package client is the typed Go client of the tcord simulation service.
+// It speaks the same request/response types the server defines in
+// internal/serve, so a program can move a workload between a direct library
+// call, an in-process serve.Server and a remote daemon without changing
+// shapes. The facade re-exports it as tcor.ServiceClient.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tcor/internal/buildinfo"
+	"tcor/internal/serve"
+)
+
+// Client talks to one tcord server. The zero value is not usable; call New.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the server at baseURL (e.g. "http://127.0.0.1:8344").
+// httpClient may be nil for http.DefaultClient; pass a client with a Timeout
+// (or use per-call contexts) in production.
+func New(baseURL string, httpClient *http.Client) *Client {
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: baseURL, http: httpClient}
+}
+
+// APIError is a non-2xx response, carrying the server's machine-readable
+// code and, for 429s, the parsed Retry-After hint.
+type APIError struct {
+	Status     int
+	Code       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("tcord: %s (HTTP %d, %s)", e.Message, e.Status, e.Code)
+}
+
+// IsRetryable reports whether the request can be retried as-is after
+// waiting (admission rejections and drain refusals are; 4xx are not).
+func (e *APIError) IsRetryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// do issues one request and decodes error envelopes.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, http.Header, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.Header, err
+	}
+	if resp.StatusCode/100 != 2 {
+		ae := &APIError{Status: resp.StatusCode}
+		var envelope serve.ErrorBody
+		if json.Unmarshal(data, &envelope) == nil && envelope.Error.Code != "" {
+			ae.Code = envelope.Error.Code
+			ae.Message = envelope.Error.Message
+		} else {
+			ae.Code = "http_error"
+			ae.Message = http.StatusText(resp.StatusCode)
+		}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return nil, resp.Header, ae
+	}
+	return data, resp.Header, nil
+}
+
+// Healthy reports whether the server process answers at all.
+func (c *Client) Healthy(ctx context.Context) error {
+	_, _, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	return err
+}
+
+// Ready reports whether the server accepts new simulations (false while
+// draining).
+func (c *Client) Ready(ctx context.Context) error {
+	_, _, err := c.do(ctx, http.MethodGet, "/readyz", nil)
+	return err
+}
+
+// Version fetches the server's build identity.
+func (c *Client) Version(ctx context.Context) (buildinfo.Info, error) {
+	data, _, err := c.do(ctx, http.MethodGet, "/v1/version", nil)
+	if err != nil {
+		return buildinfo.Info{}, err
+	}
+	var info buildinfo.Info
+	return info, json.Unmarshal(data, &info)
+}
+
+// Benchmarks lists the server's built-in suite in paper order.
+func (c *Client) Benchmarks(ctx context.Context) ([]serve.BenchmarkInfo, error) {
+	data, _, err := c.do(ctx, http.MethodGet, "/v1/benchmarks", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []serve.BenchmarkInfo
+	return out, json.Unmarshal(data, &out)
+}
+
+// Stats fetches the serving-layer metrics snapshot (queue depth, cache
+// hit/miss/eviction counts, in-flight gauge, rejections).
+func (c *Client) Stats(ctx context.Context) (map[string]int64, error) {
+	data, _, err := c.do(ctx, http.MethodGet, "/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]int64
+	return out, json.Unmarshal(data, &out)
+}
+
+// CacheOutcome says how a simulation was served: "hit" (result cache),
+// "coalesced" (collapsed onto a concurrent identical request) or "miss"
+// (freshly simulated).
+type CacheOutcome string
+
+// Simulate runs one simulation, returning the decoded result and how the
+// cache served it. The raw response body is available via SimulateRaw.
+func (c *Client) Simulate(ctx context.Context, req serve.SimulateRequest) (serve.RunResult, CacheOutcome, error) {
+	data, how, err := c.SimulateRaw(ctx, req)
+	if err != nil {
+		return serve.RunResult{}, how, err
+	}
+	var rr serve.RunResult
+	return rr, how, json.Unmarshal(data, &rr)
+}
+
+// SimulateRaw is Simulate returning the exact served bytes — the form the
+// golden tests compare against a direct library call.
+func (c *Client) SimulateRaw(ctx context.Context, req serve.SimulateRequest) ([]byte, CacheOutcome, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, "", err
+	}
+	data, hdr, err := c.do(ctx, http.MethodPost, "/v1/simulate", body)
+	return data, CacheOutcome(hdr.Get("X-Tcord-Cache")), err
+}
+
+// Sweep runs a batch of simulations through the server's worker pool and
+// returns the decoded results in item order.
+func (c *Client) Sweep(ctx context.Context, req serve.SweepRequest) ([]serve.RunResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	data, _, err := c.do(ctx, http.MethodPost, "/v1/sweep", body)
+	if err != nil {
+		return nil, err
+	}
+	var resp serve.SweepResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, err
+	}
+	out := make([]serve.RunResult, len(resp.Runs))
+	for i, raw := range resp.Runs {
+		if err := json.Unmarshal(raw, &out[i]); err != nil {
+			return nil, fmt.Errorf("tcord: decoding run %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

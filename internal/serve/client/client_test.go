@@ -1,0 +1,184 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tcor/internal/geom"
+	"tcor/internal/gpu"
+	"tcor/internal/serve"
+	"tcor/internal/workload"
+)
+
+// newTestServer starts a real serving stack (default simulator, full
+// middleware) and a client pointed at it.
+func newTestServer(t *testing.T, opts serve.Options) (*serve.Server, *Client) {
+	t.Helper()
+	s := serve.NewServer(opts)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return s, New(srv.URL, srv.Client())
+}
+
+// TestGoldenServedEqualsDirect is the serving layer's fidelity contract:
+// the body of a /v1/simulate response — through admission, the worker pool
+// and the result cache — is byte-identical to encoding a direct library
+// call with the same spec and configuration.
+func TestGoldenServedEqualsDirect(t *testing.T) {
+	_, c := newTestServer(t, serve.Options{})
+	req := serve.SimulateRequest{Benchmark: "GTr", Config: "tcor", TileCacheKB: 64, Frames: 1}
+	served, how, err := c.SimulateRaw(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if how != "miss" {
+		t.Fatalf("first request served as %q, want miss", how)
+	}
+
+	spec, err := workload.ByAlias("GTr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Frames = 1
+	scene, err := workload.Generate(spec, geom.DefaultScreen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gpu.Simulate(scene, gpu.TCOR(64*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := serve.EncodeRunResult(serve.BuildRunResult("GTr", "tcor", 64, res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, direct) {
+		t.Fatalf("served body differs from the direct library encoding:\nserved: %s\ndirect: %s",
+			served, direct)
+	}
+
+	// The cached replay serves the same bytes.
+	cachedBody, how, err := c.SimulateRaw(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if how != "hit" {
+		t.Fatalf("second identical request served as %q, want hit", how)
+	}
+	if !bytes.Equal(cachedBody, direct) {
+		t.Fatal("cache hit served different bytes than the direct encoding")
+	}
+}
+
+func TestSimulateWithInvariantCheck(t *testing.T) {
+	_, c := newTestServer(t, serve.Options{})
+	rr, _, err := c.Simulate(context.Background(),
+		serve.SimulateRequest{Benchmark: "GTr", Frames: 1, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Benchmark != "GTr" || rr.Config != "tcor" || rr.Frames != 1 {
+		t.Fatalf("result header = %s/%s/%d frames, want GTr/tcor/1", rr.Benchmark, rr.Config, rr.Frames)
+	}
+	if len(rr.Counters) == 0 {
+		t.Fatal("result carries no hierarchy counters")
+	}
+	if rr.Counters["sim.frames"] != 1 {
+		t.Fatalf("sim.frames counter = %d, want 1", rr.Counters["sim.frames"])
+	}
+}
+
+func TestSimulateInlineSpec(t *testing.T) {
+	_, c := newTestServer(t, serve.Options{})
+	rr, _, err := c.Simulate(context.Background(), serve.SimulateRequest{
+		Spec: []byte(`{"name":"My Game","alias":"MyG","pbFootprintMiB":0.2,
+			"avgPrimReuse":4.0,"textureMiB":1.0,"shaderInstrPerPixel":5,"frames":1}`),
+		Config: "baseline",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Benchmark != "MyG" || rr.Config != "baseline" {
+		t.Fatalf("result header = %s/%s, want MyG/baseline", rr.Benchmark, rr.Config)
+	}
+}
+
+func TestSweepMatchesSimulate(t *testing.T) {
+	_, c := newTestServer(t, serve.Options{})
+	items := []serve.SimulateRequest{
+		{Benchmark: "GTr", Config: "baseline", Frames: 1},
+		{Benchmark: "GTr", Config: "tcor", Frames: 1},
+	}
+	runs, err := c.Sweep(context.Background(), serve.SweepRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("sweep returned %d runs, want 2", len(runs))
+	}
+	for i, item := range items {
+		single, _, err := c.Simulate(context.Background(), item)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if runs[i].Config != item.Config {
+			t.Fatalf("run %d is %s, want item order preserved (%s)", i, runs[i].Config, item.Config)
+		}
+		if runs[i].MemReads != single.MemReads || runs[i].PPC != single.PPC {
+			t.Fatalf("sweep run %d differs from the equivalent simulate call", i)
+		}
+	}
+}
+
+func TestClientPlumbing(t *testing.T) {
+	_, c := newTestServer(t, serve.Options{})
+	ctx := context.Background()
+	if err := c.Healthy(ctx); err != nil {
+		t.Fatalf("Healthy: %v", err)
+	}
+	if err := c.Ready(ctx); err != nil {
+		t.Fatalf("Ready: %v", err)
+	}
+	info, err := c.Version(ctx)
+	if err != nil {
+		t.Fatalf("Version: %v", err)
+	}
+	if info.Version == "" || info.GoVersion == "" {
+		t.Fatalf("Version returned an incomplete identity: %+v", info)
+	}
+	bms, err := c.Benchmarks(ctx)
+	if err != nil {
+		t.Fatalf("Benchmarks: %v", err)
+	}
+	if len(bms) != 10 || bms[0].Alias != "CCS" {
+		t.Fatalf("Benchmarks returned %d entries starting with %q, want the Table II suite", len(bms), bms[0].Alias)
+	}
+	if _, _, err := c.Simulate(ctx, serve.SimulateRequest{Benchmark: "GTr", Frames: 1}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if snap["serve.cache.misses"] != 1 {
+		t.Fatalf("serve.cache.misses = %d, want 1", snap["serve.cache.misses"])
+	}
+}
+
+func TestClientErrorMapping(t *testing.T) {
+	_, c := newTestServer(t, serve.Options{})
+	_, _, err := c.Simulate(context.Background(), serve.SimulateRequest{Benchmark: "nope"})
+	ae, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("error = %T %v, want *APIError", err, err)
+	}
+	if ae.Status != http.StatusBadRequest || ae.Code != "invalid_request" {
+		t.Fatalf("APIError = %+v, want 400 invalid_request", ae)
+	}
+	if ae.IsRetryable() {
+		t.Fatal("a validation error must not be retryable")
+	}
+}

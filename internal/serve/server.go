@@ -1,0 +1,544 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"tcor/internal/buildinfo"
+	"tcor/internal/experiments"
+	"tcor/internal/geom"
+	"tcor/internal/gpu"
+	"tcor/internal/stats"
+	"tcor/internal/workload"
+)
+
+// Options configures a Server. The zero value is production-usable: every
+// limit falls back to the default documented on its field.
+type Options struct {
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker slot; the excess is
+	// rejected with 429 + Retry-After (0 = 64, negative = no queue).
+	QueueDepth int
+	// CacheEntries bounds the result cache in entries, evicted LRU
+	// (0 = 256, negative = unbounded).
+	CacheEntries int
+	// DefaultTimeout is the per-request deadline when the request does not
+	// carry one (0 = 60s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied deadlines (0 = 10m).
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds request bodies; larger ones get 413 (0 = 1 MiB).
+	MaxBodyBytes int64
+	// MaxFrames bounds the frames one simulation may run (0 = 32).
+	MaxFrames int
+	// MaxSweepItems bounds the items of one /v1/sweep (0 = 64).
+	MaxSweepItems int
+	// Registry receives every serving-layer metric (queue depth, in-flight
+	// gauge, cache hit/miss/eviction counts, rejections, panics); nil means
+	// a private registry, readable via Server.Registry. Pass it to
+	// stats.PublishExpvar to surface the daemon on the debug server.
+	Registry *stats.Registry
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults resolves the zero values.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case o.QueueDepth == 0:
+		o.QueueDepth = 64
+	case o.QueueDepth < 0:
+		o.QueueDepth = 0
+	}
+	switch {
+	case o.CacheEntries == 0:
+		o.CacheEntries = 256
+	case o.CacheEntries < 0:
+		o.CacheEntries = 0 // unbounded
+	}
+	if o.DefaultTimeout == 0 {
+		o.DefaultTimeout = 60 * time.Second
+	}
+	if o.MaxTimeout == 0 {
+		o.MaxTimeout = 10 * time.Minute
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.MaxFrames == 0 {
+		o.MaxFrames = 32
+	}
+	if o.MaxSweepItems == 0 {
+		o.MaxSweepItems = 64
+	}
+	if o.Registry == nil {
+		o.Registry = stats.NewRegistry()
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Server is the simulation service: an http.Handler plus the admission
+// gate, result cache and lifecycle state behind it. Create with NewServer;
+// either mount Handler on an existing server or call Start/Shutdown.
+type Server struct {
+	opts  Options
+	reg   *stats.Registry
+	gate  *gate
+	cache *resultCache
+	mux   *http.ServeMux
+
+	draining atomic.Bool
+	httpSrv  *http.Server
+
+	requests  *stats.Counter
+	responses map[int]*stats.Counter // status class -> counter (2,4,5)
+	panics    *stats.Counter
+	simOK     *stats.Counter
+	simFailed *stats.Counter
+
+	// simulate is the compute the worker pool runs; tests swap it to make
+	// duration and cancellation observable. The default is gpu.Simulate,
+	// which is ctx-blind: cancellation takes effect in the queue and
+	// between sweep items, never mid-frame.
+	simulate func(ctx context.Context, scene *workload.Scene, cfg gpu.Config) (*gpu.Result, error)
+}
+
+// NewServer builds a Server from opts.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	reg := opts.Registry
+	s := &Server{
+		opts:  opts,
+		reg:   reg,
+		gate:  newGate(opts.Workers, opts.QueueDepth, reg),
+		cache: newResultCache(opts.CacheEntries, reg),
+
+		requests: reg.Counter("serve.http.requests"),
+		responses: map[int]*stats.Counter{
+			2: reg.Counter("serve.http.responses.2xx"),
+			4: reg.Counter("serve.http.responses.4xx"),
+			5: reg.Counter("serve.http.responses.5xx"),
+		},
+		panics:    reg.Counter("serve.panics"),
+		simOK:     reg.Counter("serve.simulations.completed"),
+		simFailed: reg.Counter("serve.simulations.failed"),
+		simulate: func(_ context.Context, scene *workload.Scene, cfg gpu.Config) (*gpu.Result, error) {
+			return gpu.Simulate(scene, cfg)
+		},
+	}
+	s.registerInvariants()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/v1/version", s.handleVersion)
+	mux.HandleFunc("/v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux = mux
+	return s
+}
+
+// registerInvariants wires the serving-layer accounting identities into the
+// registry. They are all inequalities over single atomic words, so a
+// snapshot taken mid-request cannot trip them spuriously.
+func (s *Server) registerInvariants() {
+	workers, queue, cacheCap := int64(s.opts.Workers), int64(s.opts.QueueDepth), int64(s.opts.CacheEntries)
+	s.reg.RegisterInvariant("serve.inflightBounded", func(snap stats.Snapshot) error {
+		if got := snap.Get("serve.inflight"); got < 0 || got > workers {
+			return fmt.Errorf("in-flight simulations %d outside [0,%d]", got, workers)
+		}
+		return nil
+	})
+	s.reg.RegisterInvariant("serve.queueBounded", func(snap stats.Snapshot) error {
+		if got := snap.Get("serve.queue.depth"); got < 0 || got > queue {
+			return fmt.Errorf("queue depth %d outside [0,%d]", got, queue)
+		}
+		return nil
+	})
+	s.reg.RegisterInvariant("serve.cacheBounded", func(snap stats.Snapshot) error {
+		if got := snap.Get("serve.cache.size"); got < 0 || (cacheCap > 0 && got > cacheCap) {
+			return fmt.Errorf("cache size %d outside [0,%d]", got, cacheCap)
+		}
+		return nil
+	})
+	s.reg.RegisterInvariant("serve.cacheEvictionsBounded", func(snap stats.Snapshot) error {
+		// Every eviction displaced an entry some miss inserted.
+		if ev, miss := snap.Get("serve.cache.evictions"), snap.Get("serve.cache.misses"); ev > miss {
+			return fmt.Errorf("cache evictions %d exceed misses %d", ev, miss)
+		}
+		return nil
+	})
+	s.reg.RegisterInvariant("serve.simulationsBounded", func(snap stats.Snapshot) error {
+		// Completions and failures are subsets of admissions (admitted is
+		// incremented before either outcome).
+		done := snap.Get("serve.simulations.completed") + snap.Get("serve.simulations.failed")
+		if adm := snap.Get("serve.admitted"); done > adm {
+			return fmt.Errorf("simulation outcomes %d exceed admissions %d", done, adm)
+		}
+		return nil
+	})
+}
+
+// Registry returns the serving-layer metrics registry.
+func (s *Server) Registry() *stats.Registry { return s.reg }
+
+// CheckInvariants verifies the serving-layer accounting identities.
+func (s *Server) CheckInvariants() error { return s.reg.Check() }
+
+// Handler returns the service's root handler with the panic-isolation and
+// metering middleware applied. Mount it anywhere an http.Handler goes
+// (httptest servers, an existing mux) — lifecycle then belongs to the host.
+func (s *Server) Handler() http.Handler { return s.middleware(s.mux) }
+
+// Start listens on addr (host:port; ":0" picks a free port) and serves in
+// the background, returning the bound address. Pair with Shutdown.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go s.httpSrv.Serve(ln) //nolint:errcheck // Serve always returns ErrServerClosed after Shutdown
+	s.opts.Logf("serve: listening on %s", ln.Addr())
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains the server gracefully: readiness flips to 503, new
+// simulations are refused, and in-flight requests (including queued ones)
+// run to completion before Shutdown returns. ctx bounds the drain; its
+// expiry abandons the stragglers and returns their error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.opts.Logf("serve: draining")
+	if s.httpSrv == nil {
+		return nil
+	}
+	err := s.httpSrv.Shutdown(ctx)
+	s.opts.Logf("serve: drained")
+	return err
+}
+
+// statusRecorder captures the response status for the metering middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// middleware isolates handler panics (a panicking request answers 500 and
+// increments serve.panics; the daemon keeps serving) and meters every
+// request and response class.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Inc()
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Inc()
+				s.opts.Logf("serve: panic in %s %s: %v", r.Method, r.URL.Path, p)
+				if rec.status == 0 {
+					s.writeError(rec, &apiError{status: http.StatusInternalServerError,
+						code: "internal_panic", msg: "internal error"})
+				}
+			}
+			if c := s.responses[rec.status/100]; c != nil {
+				c.Inc()
+			}
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// --- plumbing endpoints ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, methodNotAllowed(http.MethodGet))
+		return
+	}
+	s.writeJSON(w, buildinfo.Get())
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, methodNotAllowed(http.MethodGet))
+		return
+	}
+	suite := workload.Suite()
+	out := make([]BenchmarkInfo, len(suite))
+	for i, spec := range suite {
+		out[i] = BenchmarkInfo{
+			Alias: spec.Alias, Name: spec.Name, Genre: spec.Genre,
+			ThreeD: spec.ThreeD, PBFootprintMiB: spec.PBFootprintMiB,
+			AvgPrimReuse: spec.AvgPrimReuse, Frames: spec.Frames,
+		}
+	}
+	s.writeJSON(w, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, methodNotAllowed(http.MethodGet))
+		return
+	}
+	s.writeJSON(w, s.reg.Snapshot())
+}
+
+// --- simulation endpoints ---
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !s.beginSim(w, r, &req) {
+		return
+	}
+
+	j, err := s.resolve(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	val, how, err := s.runJob(ctx, j)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if j.check {
+		if err := val.res.CheckInvariants(); err != nil {
+			s.writeError(w, &apiError{status: http.StatusInternalServerError,
+				code: "invariant_violation", msg: err.Error()})
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Tcord-Cache", string(how))
+	w.Write(val.body)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.beginSim(w, r, &req) {
+		return
+	}
+
+	if len(req.Items) == 0 {
+		s.writeError(w, badRequest("sweep needs at least one item"))
+		return
+	}
+	if len(req.Items) > s.opts.MaxSweepItems {
+		s.writeError(w, badRequest("sweep has %d items; the server limit is %d",
+			len(req.Items), s.opts.MaxSweepItems))
+		return
+	}
+	jobs := make([]job, len(req.Items))
+	var timeoutMs int
+	for i, item := range req.Items {
+		j, err := s.resolve(item)
+		if err != nil {
+			s.writeError(w, badRequest("item %d: %v", i, err))
+			return
+		}
+		jobs[i] = j
+		if item.TimeoutMs > timeoutMs {
+			timeoutMs = item.TimeoutMs
+		}
+	}
+	ctx, cancel := s.requestContext(r, timeoutMs)
+	defer cancel()
+
+	// The items fan out through the same bounded pool the experiment
+	// harness uses; each one still passes the admission gate and the
+	// result cache, so a sweep is exactly N simulate calls with shared
+	// scheduling and deterministic (item-order) results.
+	runs, err := experiments.SweepSlice(ctx, s.opts.Workers, jobs,
+		func(ctx context.Context, j job) (json.RawMessage, error) {
+			val, _, err := s.runJob(ctx, j)
+			if err != nil {
+				return nil, err
+			}
+			if j.check {
+				if err := val.res.CheckInvariants(); err != nil {
+					return nil, &apiError{status: http.StatusInternalServerError,
+						code: "invariant_violation", msg: err.Error()}
+				}
+			}
+			// Trim the canonical trailing newline: the bodies embed into
+			// the runs array, where encoding/json would compact it anyway.
+			return json.RawMessage(string(val.body[:len(val.body)-1])), nil
+		})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, SweepResponse{Runs: runs})
+}
+
+// beginSim is the shared front door of the simulation endpoints: method
+// check, drain check, bounded body read, strict decode. It returns false
+// after writing the error response itself.
+func (s *Server) beginSim(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		s.writeError(w, methodNotAllowed(http.MethodPost))
+		return false
+	}
+	if s.draining.Load() {
+		s.writeError(w, errDraining)
+		return false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, &apiError{status: http.StatusRequestEntityTooLarge,
+				code: "body_too_large",
+				msg:  fmt.Sprintf("request body exceeds %d bytes", s.opts.MaxBodyBytes)})
+		} else {
+			s.writeError(w, badRequest("reading request body: %v", err))
+		}
+		return false
+	}
+	if err := decodeStrict(body, into); err != nil {
+		s.writeError(w, err)
+		return false
+	}
+	return true
+}
+
+// requestContext derives the per-request deadline: the request-supplied
+// timeout clamped to MaxTimeout, falling back to DefaultTimeout.
+func (s *Server) requestContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	d := s.opts.DefaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if d > s.opts.MaxTimeout {
+		d = s.opts.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// runJob serves one resolved simulation through the cache, the singleflight
+// table and the admission gate, in that order: a cached result costs no
+// worker slot, a coalesced waiter rides the leader's slot, and only a true
+// miss enters the queue.
+func (s *Server) runJob(ctx context.Context, j job) (cached, outcome, error) {
+	return s.cache.get(ctx, j.key, func() (cached, error) {
+		if err := s.gate.acquire(ctx); err != nil {
+			return cached{}, err
+		}
+		defer s.gate.release()
+		if err := ctx.Err(); err != nil {
+			// The deadline or the client beat the queue; don't start.
+			return cached{}, err
+		}
+		scene, err := workload.Generate(j.spec, geom.DefaultScreen())
+		if err != nil {
+			s.simFailed.Inc()
+			return cached{}, badRequest("generating workload: %v", err)
+		}
+		res, err := s.simulate(ctx, scene, j.cfg)
+		if err != nil {
+			s.simFailed.Inc()
+			return cached{}, err
+		}
+		body, err := EncodeRunResult(BuildRunResult(j.spec.Alias, j.cfgName, j.cfg.TileCacheBytes/1024, res))
+		if err != nil {
+			s.simFailed.Inc()
+			return cached{}, err
+		}
+		s.simOK.Inc()
+		return cached{res: res, body: body}, nil
+	})
+}
+
+// --- response helpers ---
+
+func methodNotAllowed(allow string) *apiError {
+	return &apiError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
+		msg: "use " + allow}
+}
+
+// writeError renders any error as the JSON error envelope. Context errors
+// map to timeout/cancellation statuses; unknown errors are opaque 500s.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+	case errors.Is(err, context.DeadlineExceeded):
+		ae = &apiError{status: http.StatusGatewayTimeout, code: "deadline_exceeded",
+			msg: "request deadline exceeded"}
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the status is for the log/metrics only.
+		ae = &apiError{status: 499, code: "canceled", msg: "request canceled"}
+	default:
+		ae = &apiError{status: http.StatusInternalServerError, code: "internal",
+			msg: err.Error()}
+	}
+	if ae.status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(ae.status)
+	json.NewEncoder(w).Encode(ErrorBody{Error: ErrorDetail{Code: ae.code, Message: ae.msg}}) //nolint:errcheck
+}
+
+// retryAfterSeconds is the hint sent with every 429. One second is long
+// enough for a worker slot to turn over on the suite's small benchmarks and
+// short enough that clients retry before their own deadlines.
+const retryAfterSeconds = 1
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		s.opts.Logf("serve: encoding response: %v", err)
+	}
+}

@@ -22,12 +22,15 @@ package tcor
 
 import (
 	"context"
+	"net/http"
 
 	"tcor/internal/cache"
 	"tcor/internal/experiments"
 	"tcor/internal/geom"
 	"tcor/internal/geometry"
 	"tcor/internal/gpu"
+	"tcor/internal/serve"
+	"tcor/internal/serve/client"
 	"tcor/internal/trace"
 	"tcor/internal/workload"
 )
@@ -57,6 +60,22 @@ type (
 	Runner = experiments.Runner
 	// Scene3D is a 3D scene for the Geometry Pipeline front end.
 	Scene3D = geometry.Scene
+	// Server is the production simulation service behind cmd/tcord: the
+	// versioned HTTP API with admission control, a content-addressed
+	// result cache and graceful lifecycle.
+	Server = serve.Server
+	// ServeOptions configures a Server (workers, queue depth, cache size,
+	// deadlines, request limits).
+	ServeOptions = serve.Options
+	// ServiceClient is the typed HTTP client for a running tcord daemon.
+	ServiceClient = client.Client
+	// SimulateRequest is one simulation request against a Server.
+	SimulateRequest = serve.SimulateRequest
+	// SweepRequest batches simulation requests through the Server's pool.
+	SweepRequest = serve.SweepRequest
+	// RunResult is the served form of a simulation's metrics; it encodes
+	// byte-identically to a direct Simulate call's summary.
+	RunResult = serve.RunResult
 )
 
 // DefaultScreen returns the paper's Table I screen (1960x768, 32x32 tiles).
@@ -129,6 +148,17 @@ var (
 	NewMRU  = cache.NewMRU
 	NewFIFO = cache.NewFIFO
 )
+
+// NewServer builds the simulation service. Start it with Server.Start, or
+// mount Server.Handler on an existing mux; Server.Shutdown drains in-flight
+// simulations before returning.
+func NewServer(opts ServeOptions) *Server { return serve.NewServer(opts) }
+
+// NewServiceClient returns a typed client for a tcord daemon at baseURL
+// (e.g. "http://localhost:8344"). A nil httpClient uses http.DefaultClient.
+func NewServiceClient(baseURL string, httpClient *http.Client) *ServiceClient {
+	return client.New(baseURL, httpClient)
+}
 
 // RenderScene3D pushes a 3D scene through the Geometry Pipeline and wraps
 // the result as a single-frame workload ready for Simulate. The spec
