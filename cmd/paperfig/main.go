@@ -111,6 +111,7 @@ func main() {
 	plot := flag.Bool("plot", false, "render policy figures (1, 11, 13) as terminal charts")
 	report := flag.String("report", "", "write a full markdown results report to this file")
 	statsPath := flag.String("stats", "", "write the runner's memoization/sweep metrics as JSON to this file")
+	tracePath := flag.String("trace", "", "write the sweep schedule as Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
 	httpAddr := flag.String("http", "", "serve expvar and pprof on this address while running (e.g. :0)")
 	version := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
@@ -182,6 +183,14 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var tracer *stats.Tracer
+	if *tracePath != "" {
+		// Every sweep job wraps itself in a span when the runner's context
+		// carries a tracer, so the export shows how the schedule packed onto
+		// the worker pool.
+		tracer = stats.NewTracer(1 << 16)
+		ctx = stats.ContextWithTracer(ctx, tracer)
+	}
 	prewarmPar = workers
 
 	r := experiments.NewRunner()
@@ -216,6 +225,28 @@ func main() {
 			fail(err)
 		}
 	}
+	if *tracePath != "" {
+		if err := writeTrace(tracer, *tracePath); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// writeTrace exports the recorded sweep spans as Chrome trace_event JSON.
+func writeTrace(tracer *stats.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
 }
 
 // execOpts selects what one paperfig invocation produces.

@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -67,6 +68,8 @@ type options struct {
 	cache     int
 	timeout   time.Duration
 	drain     time.Duration
+	logFormat string
+	traceCap  int
 	version   bool
 }
 
@@ -83,6 +86,8 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	fs.IntVar(&o.cache, "cache", 256, "result cache capacity in entries, LRU-evicted (0 = unbounded)")
 	fs.DurationVar(&o.timeout, "timeout", time.Minute, "default per-request deadline")
 	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown drain budget")
+	fs.StringVar(&o.logFormat, "log", "text", "access/lifecycle log format: text, json or off")
+	fs.IntVar(&o.traceCap, "trace-spans", 4096, "span capacity of GET /debug/trace (0 = tracing off)")
 	fs.BoolVar(&o.version, "version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -105,27 +110,49 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	if o.drain <= 0 {
 		return options{}, fmt.Errorf("-drain must be positive, got %v", o.drain)
 	}
+	switch o.logFormat {
+	case "text", "json", "off":
+	default:
+		return options{}, fmt.Errorf("-log must be text, json or off, got %q", o.logFormat)
+	}
+	if o.traceCap < 0 {
+		return options{}, fmt.Errorf("-trace-spans must be non-negative, got %d", o.traceCap)
+	}
 	return o, nil
 }
 
+// newLogger builds the daemon's structured logger from the -log flag.
+func newLogger(format string) *slog.Logger {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "off":
+		return slog.New(slog.DiscardHandler)
+	default:
+		return slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+}
+
 // serveOptions maps the command line onto the server configuration.
-// QueueDepth/CacheEntries use -1 for "explicitly zero" because the Options
-// zero value means "default".
+// QueueDepth/CacheEntries/TraceCapacity use -1 for "explicitly zero"
+// because the Options zero value means "default".
 func serveOptions(o options) serve.Options {
 	so := serve.Options{
 		Workers:        o.workers,
 		QueueDepth:     o.queue,
 		CacheEntries:   o.cache,
 		DefaultTimeout: o.timeout,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "tcord: "+format+"\n", args...)
-		},
+		TraceCapacity:  o.traceCap,
+		Logger:         newLogger(o.logFormat),
 	}
 	if o.queue == 0 {
 		so.QueueDepth = -1
 	}
 	if o.cache == 0 {
 		so.CacheEntries = -1
+	}
+	if o.traceCap == 0 {
+		so.TraceCapacity = -1
 	}
 	return so
 }
@@ -135,6 +162,7 @@ func run(o options) error {
 
 	if o.debugAddr != "" {
 		stats.PublishExpvar("tcord", srv.Registry())
+		stats.PublishTrace("tcord", srv.Tracer())
 		addr, stop, err := stats.ServeDebug(o.debugAddr)
 		if err != nil {
 			return err

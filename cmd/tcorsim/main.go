@@ -12,6 +12,7 @@
 //	tcorsim -benchmark CCS -stats out.json # full hierarchy counter dump
 //	tcorsim -benchmark CCS -check          # verify cross-level invariants
 //	tcorsim -benchmark CCS -evtrace 32 -stats out.json  # last 32 L2 evictions
+//	tcorsim -benchmark CCS -trace out.json # span trace for chrome://tracing
 //	tcorsim -benchmark GoW -http :0        # expvar + pprof while running
 //
 // With -compare the configurations run concurrently through the bounded
@@ -94,11 +95,18 @@ type options struct {
 	parallel  int
 	timeout   time.Duration
 	statsPath string
+	tracePath string
 	check     bool
 	evtrace   int
 	httpAddr  string
 	version   bool
 }
+
+// traceCapacity bounds the in-memory span trace behind -trace. At roughly
+// one span per tile plus a handful per frame, 64Ki spans hold several
+// frames of the largest suite benchmarks; once full, later spans are
+// dropped and counted rather than growing without bound.
+const traceCapacity = 1 << 16
 
 // parseOptions parses args into options and enforces the cross-flag rules.
 // Every rejection is a clear error (and a non-zero exit in main) rather
@@ -117,6 +125,7 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	fs.IntVar(&o.parallel, "parallel", 0, "max concurrent -compare simulations (0 = GOMAXPROCS)")
 	fs.DurationVar(&o.timeout, "timeout", 0, "abort the run after this duration (0 = no limit)")
 	fs.StringVar(&o.statsPath, "stats", "", "write the full hierarchy counter dump as JSON to this file")
+	fs.StringVar(&o.tracePath, "trace", "", "write a Chrome trace_event JSON span trace (chrome://tracing, Perfetto) to this file")
 	fs.BoolVar(&o.check, "check", false, "verify the cross-level stats invariants after each run (violations fail the command)")
 	fs.IntVar(&o.evtrace, "evtrace", 0, "record the last N L2 evictions into the -stats dump (0 = off)")
 	fs.StringVar(&o.httpAddr, "http", "", "serve expvar and pprof on this address while running (e.g. :0)")
@@ -225,6 +234,17 @@ func run(ctx context.Context, w io.Writer, o options) error {
 			float64(st.PBFootprint)/(1024*1024), st.AvgPrimReuse, scene.NumFrames())
 	}
 
+	var tracer *stats.Tracer
+	if o.tracePath != "" {
+		tracer = stats.NewTracer(traceCapacity)
+		// Sweep jobs (under -compare) pick the tracer up from the context
+		// and wrap each configuration in a sweep.job span.
+		ctx = stats.ContextWithTracer(ctx, tracer)
+		if o.httpAddr != "" {
+			stats.PublishTrace("tcorsim", tracer)
+		}
+	}
+
 	col := &collector{}
 	if o.compare {
 		// Each configuration renders into its own buffer inside the sweep
@@ -232,7 +252,7 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		reports, err := experiments.SweepSlice(ctx, o.parallel, []string{"baseline", "tcor"},
 			func(_ context.Context, c string) (string, error) {
 				var b strings.Builder
-				if err := simulate(&b, scene, c, o, col); err != nil {
+				if err := simulate(&b, scene, c, o, col, tracer); err != nil {
 					return "", err
 				}
 				return b.String(), nil
@@ -243,7 +263,7 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		for _, rep := range reports {
 			fmt.Fprint(w, rep)
 		}
-	} else if err := simulate(w, scene, o.config, o, col); err != nil {
+	} else if err := simulate(w, scene, o.config, o, col, tracer); err != nil {
 		return err
 	}
 
@@ -259,7 +279,31 @@ func run(ctx context.Context, w io.Writer, o options) error {
 			fmt.Fprintln(w, "wrote stats to", o.statsPath)
 		}
 	}
+	if o.tracePath != "" {
+		if err := writeTrace(o.tracePath, tracer); err != nil {
+			return err
+		}
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "tcorsim: trace full, dropped %d spans\n", d)
+		}
+		if !o.jsonOut {
+			fmt.Fprintln(w, "wrote trace to", o.tracePath)
+		}
+	}
 	return nil
+}
+
+// writeTrace exports the recorded spans as Chrome trace_event JSON.
+func writeTrace(path string, tracer *stats.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func configFor(name string, sizeKB int) (gpu.Config, error) {
@@ -276,12 +320,13 @@ func configFor(name string, sizeKB int) (gpu.Config, error) {
 	}
 }
 
-func simulate(w io.Writer, scene *workload.Scene, config string, o options, col *collector) error {
+func simulate(w io.Writer, scene *workload.Scene, config string, o options, col *collector, tracer *stats.Tracer) error {
 	cfg, err := configFor(config, o.sizeKB)
 	if err != nil {
 		return err
 	}
 	cfg.L2TraceDepth = o.evtrace
+	cfg.Tracer = tracer
 	res, err := gpu.Simulate(scene, cfg)
 	if err != nil {
 		return err
@@ -303,6 +348,10 @@ func simulate(w io.Writer, scene *workload.Scene, config string, o options, col 
 		col.add(sr)
 		if o.httpAddr != "" {
 			stats.PublishExpvar("tcorsim."+res.Benchmark+"."+config, reg)
+			if res.L2Trace != nil {
+				// Surfaces the eviction ring at GET /debug/events.
+				stats.PublishEvents("tcorsim."+res.Benchmark+"."+config, res.L2Trace)
+			}
 		}
 	}
 	if o.jsonOut {

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"strconv"
 	"sync"
 
+	"tcor/internal/stats"
 	"tcor/internal/workload"
 )
 
@@ -48,19 +50,29 @@ func Sweep[T any](ctx context.Context, par int, jobs []func(context.Context) (T,
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
 				if err := ctx.Err(); err != nil {
 					errs[i] = err
 					continue
 				}
-				results[i], errs[i] = jobs[i](ctx)
+				// When the caller's context carries a stats.Tracer (or a
+				// parent span), each job gets a span attributing its wall
+				// time to its slot — how `paperfig -trace` shows where a
+				// sweep spends its schedule. With no tracer this is two
+				// context lookups per job, each of which is a simulation.
+				sp, jctx := stats.StartSpan(ctx, "sweep.job", "experiments")
+				sp.SetAttr("index", strconv.Itoa(i))
+				sp.SetAttr("worker", strconv.Itoa(worker))
+				results[i], errs[i] = jobs[i](jctx)
 				if errs[i] != nil {
+					sp.SetAttr("error", errs[i].Error())
 					cancel()
 				}
+				sp.End()
 			}
-		}()
+		}(w)
 	}
 	// Workers drain the channel even after cancellation (recording ctx.Err
 	// for the skipped indices), so this feed loop never blocks forever.

@@ -15,6 +15,7 @@ import (
 	"tcor/internal/dram"
 	"tcor/internal/geom"
 	"tcor/internal/l2"
+	"tcor/internal/stats"
 	"tcor/internal/tiling"
 )
 
@@ -89,6 +90,13 @@ type Config struct {
 	// write-back disposition land in Result.L2Trace. Zero disables tracing
 	// (no overhead on the hot path beyond one nil check).
 	L2TraceDepth int
+	// Tracer, when non-nil, records frame/phase/tile spans of the run into a
+	// bounded in-memory trace (export with stats.Tracer.WriteChromeTrace —
+	// `tcorsim -trace out.json` on the CLI). Nil disables tracing at the cost
+	// of one branch per phase; it never affects simulation results. Excluded
+	// from JSON so the serving layer's content-addressed result cache ignores
+	// it.
+	Tracer *stats.Tracer `json:"-"`
 	// IncludeLeakage adds per-structure static energy (leakage x frame
 	// cycles) to the tallies. Off by default: the paper-matching
 	// calibration is dynamic-energy based, and leakage rewards the faster

@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"fmt"
+	"strconv"
 
 	"tcor/internal/cache"
 	"tcor/internal/dram"
@@ -136,9 +137,10 @@ func (t *teeSink) EndFrame()                                { t.next.EndFrame() 
 
 // sim is the wired-up machine.
 type sim struct {
-	cfg   Config
-	scene *workload.Scene
-	trav  *tiling.Traversal
+	cfg    Config
+	scene  *workload.Scene
+	trav   *tiling.Traversal
+	tracer *stats.Tracer // nil when span tracing is off
 
 	dramDev *dram.DRAM
 	l2c     *l2.Cache
@@ -168,7 +170,7 @@ type sim struct {
 }
 
 func newSim(scene *workload.Scene, cfg Config) (*sim, error) {
-	s := &sim{cfg: cfg, scene: scene}
+	s := &sim{cfg: cfg, scene: scene, tracer: cfg.Tracer}
 	var err error
 	s.trav, err = tiling.NewTraversal(cfg.Screen, cfg.Order)
 	if err != nil {
@@ -268,23 +270,37 @@ func (s *sim) penaltySince(p penaltyProbe) int64 {
 	return (l2 + dr) / int64(s.cfg.Timing.MSHROverlap)
 }
 
-// runFrame pushes one frame through the whole pipeline.
+// runFrame pushes one frame through the whole pipeline. When a tracer is
+// configured the frame emits a span tree — frame > {geometry, binning,
+// tiles > tile...} — whose wall-clock durations attribute simulator time to
+// pipeline phases (the trace never feeds back into simulated cycles).
 func (s *sim) runFrame(f int) error {
+	fsp := s.tracer.Begin("frame", "gpu")
+	fsp.SetAttr("frame", strconv.Itoa(f))
+	defer fsp.End()
+
 	dramBefore := s.dramDev.Stats()
 	frame := s.scene.Frame(f)
 	prims := frame.Prims
 
 	// --- Geometry Pipeline: vertex fetch + vertex shading. ---
+	gsp := fsp.Child("geometry", "gpu")
 	s.res.GeomCycles += s.geometry(prims)
+	gsp.SetAttr("prims", strconv.Itoa(len(prims)))
+	gsp.End()
 
 	// --- Tiling Engine, phase 1: Polygon List Builder. ---
+	bsp := fsp.Child("binning", "gpu")
 	binning, err := tiling.Bin(s.cfg.Screen, s.trav, prims)
+	bsp.End()
 	if err != nil {
 		return err
 	}
-	h := &frameHandler{sim: s, binning: binning, frame: f, prims: prims}
+	tsp := fsp.Child("tiles", "gpu")
+	h := &frameHandler{sim: s, binning: binning, frame: f, prims: prims, tilesSpan: tsp}
 	tiling.Replay(binning, s.listLayout, s.attrLayout, h)
 	h.drainQueue()
+	tsp.End()
 
 	// Per-tile overlap of Tile Fetcher and Raster Pipeline: the stages are
 	// decoupled by the output queue, so the frame pays the slower of the
@@ -375,6 +391,12 @@ type frameHandler struct {
 	tileRaster []int64
 	curTF      int64
 
+	// tilesSpan parents the per-tile spans; tileSpan is the span of the tile
+	// currently streaming through the Tile Fetcher (begun lazily at its first
+	// fetch event, ended in TileDone). Both nil when tracing is off.
+	tilesSpan *stats.Span
+	tileSpan  *stats.Span
+
 	// TCOR output queue: primitives locked until the Rasterizer consumes
 	// them.
 	queue []uint32
@@ -443,14 +465,24 @@ func (h *frameHandler) AttrWrite(prim uint32, numAttrs uint8, firstUse, lastUse 
 	}
 }
 
+// beginTileSpan lazily opens the current tile's span at its first Tile
+// Fetcher event. The tracer-nil check keeps the disabled path to one branch.
+func (h *frameHandler) beginTileSpan() {
+	if h.sim.tracer != nil && h.tileSpan == nil {
+		h.tileSpan = h.tilesSpan.Child("tile", "gpu")
+	}
+}
+
 // ListRead implements tiling.Handler.
 func (h *frameHandler) ListRead(addr uint64, tile geom.TileID) {
+	h.beginTileSpan()
 	pos := h.binning.Traversal.Pos[tile]
 	h.curTF += h.tileAccess(addr, false, pos)
 }
 
 // PrimRead implements tiling.Handler.
 func (h *frameHandler) PrimRead(prim uint32, numAttrs uint8, optNum, lastUse uint16, blocks []uint64, tile geom.TileID) {
+	h.beginTileSpan()
 	s := h.sim
 	s.res.PrimReads++
 	pos := h.binning.Traversal.Pos[tile]
@@ -486,6 +518,7 @@ func (h *frameHandler) PrimRead(prim uint32, numAttrs uint8, optNum, lastUse uin
 // TileDone implements tiling.Handler: close out the tile's Tile Fetcher
 // cycle count, rasterize the tile, and signal retirement to the L2.
 func (h *frameHandler) TileDone(tile geom.TileID, pos uint16) {
+	h.beginTileSpan() // an empty tile still gets a (zero-fetch) span
 	s := h.sim
 	work := make([]raster.TileWork, 0, len(h.binning.Lists[tile]))
 	for _, e := range h.binning.Lists[tile] {
@@ -495,6 +528,14 @@ func (h *frameHandler) TileDone(tile geom.TileID, pos uint16) {
 	h.tileTF = append(h.tileTF, h.curTF)
 	h.tileRaster = append(h.tileRaster, rc)
 	s.res.TFCycles += h.curTF
+	if sp := h.tileSpan; sp != nil {
+		sp.SetAttr("tile", strconv.Itoa(int(tile)))
+		sp.SetAttr("prims", strconv.Itoa(len(work)))
+		sp.SetAttr("tfCycles", strconv.FormatInt(h.curTF, 10))
+		sp.SetAttr("rasterCycles", strconv.FormatInt(rc, 10))
+		sp.End()
+		h.tileSpan = nil
+	}
 	h.curTF = 0
 	s.l2in.TileRetired(pos, tile)
 }

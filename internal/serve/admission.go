@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"sync/atomic"
+	"time"
 
 	"tcor/internal/stats"
 )
@@ -24,6 +25,9 @@ type gate struct {
 	admitted      *stats.Counter
 	rejectedFull  *stats.Counter
 	canceledWaits *stats.Counter
+	// waitHist is the queue-wait latency distribution in nanoseconds;
+	// instant admissions observe 0 so the count matches admissions.
+	waitHist *stats.Histogram
 }
 
 // newGate builds a gate with workers slots and a wait queue of depth,
@@ -37,6 +41,7 @@ func newGate(workers, depth int, reg *stats.Registry) *gate {
 		admitted:      reg.Counter("serve.admitted"),
 		rejectedFull:  reg.Counter("serve.rejected.queueFull"),
 		canceledWaits: reg.Counter("serve.rejected.canceledInQueue"),
+		waitHist:      reg.Histogram("serve.queue.wait"),
 	}
 	return g
 }
@@ -45,12 +50,17 @@ func newGate(workers, depth int, reg *stats.Registry) *gate {
 // free. It returns errQueueFull without waiting when the queue is already
 // at depth, and the context error if the caller gives up while queued.
 // On success the caller must release().
+//
+// Wait time is telemetered three ways: the serve.queue.wait histogram, the
+// request's meta (for the access-log queueWait field) and, when the context
+// carries a span, a child queue.wait span in the trace.
 func (g *gate) acquire(ctx context.Context) error {
 	// Fast path: a free slot admits without queueing.
 	select {
 	case g.slots <- struct{}{}:
 		g.admitted.Inc()
 		g.inflight.Add(1)
+		g.waitHist.Observe(0)
 		return nil
 	default:
 	}
@@ -61,12 +71,18 @@ func (g *gate) acquire(ctx context.Context) error {
 		g.rejectedFull.Inc()
 		return errQueueFull
 	}
+	t0 := time.Now()
+	sp, _ := stats.StartSpan(ctx, "queue.wait", "serve")
 	// The gauge moves only for callers that actually wait, after the bound
 	// check admitted them, so a snapshot never reads more than depth.
 	g.queueGauge.Add(1)
 	defer func() {
 		g.queueGauge.Add(-1)
 		g.queued.Add(-1)
+		wait := time.Since(t0)
+		g.waitHist.Observe(int64(wait))
+		metaFrom(ctx).addQueueWait(wait)
+		sp.End()
 	}()
 	select {
 	case g.slots <- struct{}{}:

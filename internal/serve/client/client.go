@@ -39,16 +39,21 @@ func New(baseURL string, httpClient *http.Client) *Client {
 }
 
 // APIError is a non-2xx response, carrying the server's machine-readable
-// code and, for 429s, the parsed Retry-After hint.
+// code, the correlation ID echoed in X-Request-Id (greppable in the
+// daemon's access log) and, for 429s, the parsed Retry-After hint.
 type APIError struct {
 	Status     int
 	Code       string
 	Message    string
+	RequestID  string
 	RetryAfter time.Duration
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("tcord: %s (HTTP %d, %s, request %s)", e.Message, e.Status, e.Code, e.RequestID)
+	}
 	return fmt.Sprintf("tcord: %s (HTTP %d, %s)", e.Message, e.Status, e.Code)
 }
 
@@ -81,7 +86,8 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 		return nil, resp.Header, err
 	}
 	if resp.StatusCode/100 != 2 {
-		ae := &APIError{Status: resp.StatusCode}
+		ae := &APIError{Status: resp.StatusCode,
+			RequestID: resp.Header.Get(serve.RequestIDHeader)}
 		var envelope serve.ErrorBody
 		if json.Unmarshal(data, &envelope) == nil && envelope.Error.Code != "" {
 			ae.Code = envelope.Error.Code

@@ -5,6 +5,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"tcor/internal/geom"
@@ -180,5 +181,22 @@ func TestClientErrorMapping(t *testing.T) {
 	}
 	if ae.IsRetryable() {
 		t.Fatal("a validation error must not be retryable")
+	}
+}
+
+func TestAPIErrorCarriesRequestID(t *testing.T) {
+	// The server mints an X-Request-Id for every response; a failed call
+	// must surface it so the client's error is greppable in the daemon log.
+	_, c := newTestServer(t, serve.Options{})
+	_, _, err := c.Simulate(context.Background(), serve.SimulateRequest{Benchmark: "nope"})
+	ae, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("error = %T %v, want *APIError", err, err)
+	}
+	if ae.RequestID == "" {
+		t.Fatal("APIError.RequestID is empty")
+	}
+	if !strings.Contains(ae.Error(), ae.RequestID) {
+		t.Fatalf("Error() %q does not mention request ID %q", ae.Error(), ae.RequestID)
 	}
 }

@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -44,12 +46,23 @@ type Options struct {
 	// MaxSweepItems bounds the items of one /v1/sweep (0 = 64).
 	MaxSweepItems int
 	// Registry receives every serving-layer metric (queue depth, in-flight
-	// gauge, cache hit/miss/eviction counts, rejections, panics); nil means
-	// a private registry, readable via Server.Registry. Pass it to
-	// stats.PublishExpvar to surface the daemon on the debug server.
+	// gauge, cache hit/miss/eviction counts, rejections, panics, latency
+	// histograms); nil means a private registry, readable via
+	// Server.Registry. Pass it to stats.PublishExpvar to surface the daemon
+	// on the debug server; GET /metrics always serves it as Prometheus text.
 	Registry *stats.Registry
-	// Logf, when non-nil, receives one line per lifecycle event.
+	// Logger receives the structured access log (one line per request with
+	// request ID, queue wait, cache disposition, status and duration) and
+	// lifecycle events. Nil falls back to a bridge over Logf when that is
+	// set, else logs are discarded.
+	Logger *slog.Logger
+	// Logf, when non-nil, receives one line per lifecycle event. Deprecated
+	// in favor of Logger; kept so existing callers keep their output.
 	Logf func(format string, args ...any)
+	// TraceCapacity bounds the in-memory span trace behind GET /debug/trace
+	// (0 = 4096 spans, negative = tracing disabled). Once full, further
+	// spans are dropped, never blocking a request.
+	TraceCapacity int
 }
 
 // withDefaults resolves the zero values.
@@ -87,21 +100,54 @@ func (o Options) withDefaults() Options {
 	if o.Registry == nil {
 		o.Registry = stats.NewRegistry()
 	}
-	if o.Logf == nil {
-		o.Logf = func(string, ...any) {}
+	if o.Logger == nil {
+		if o.Logf != nil {
+			o.Logger = slog.New(logfHandler{logf: o.Logf})
+		} else {
+			o.Logger = slog.New(slog.DiscardHandler)
+		}
+	}
+	switch {
+	case o.TraceCapacity == 0:
+		o.TraceCapacity = 4096
+	case o.TraceCapacity < 0:
+		o.TraceCapacity = 0 // disabled; NewTracer returns the nil no-op
 	}
 	return o
 }
+
+// logfHandler adapts a legacy Logf sink into a slog.Handler: message first,
+// then space-separated key=value attrs. It keeps pre-slog callers readable
+// without duplicating log paths.
+type logfHandler struct{ logf func(format string, args ...any) }
+
+func (h logfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Message)
+	r.Attrs(func(a slog.Attr) bool {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+		return true
+	})
+	h.logf("%s", b.String())
+	return nil
+}
+
+func (h logfHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h logfHandler) WithGroup(string) slog.Handler      { return h }
 
 // Server is the simulation service: an http.Handler plus the admission
 // gate, result cache and lifecycle state behind it. Create with NewServer;
 // either mount Handler on an existing server or call Start/Shutdown.
 type Server struct {
-	opts  Options
-	reg   *stats.Registry
-	gate  *gate
-	cache *resultCache
-	mux   *http.ServeMux
+	opts   Options
+	reg    *stats.Registry
+	gate   *gate
+	cache  *resultCache
+	mux    *http.ServeMux
+	logger *slog.Logger
+	tracer *stats.Tracer // nil when TraceCapacity < 0
 
 	draining atomic.Bool
 	httpSrv  *http.Server
@@ -111,6 +157,9 @@ type Server struct {
 	panics    *stats.Counter
 	simOK     *stats.Counter
 	simFailed *stats.Counter
+	latency   *stats.Histogram // whole-request wall time, ns
+	simDur    *stats.Histogram // simulation compute time, ns
+	encodeDur *stats.Histogram // result-encoding time, ns
 
 	// simulate is the compute the worker pool runs; tests swap it to make
 	// duration and cancellation observable. The default is gpu.Simulate,
@@ -124,10 +173,12 @@ func NewServer(opts Options) *Server {
 	opts = opts.withDefaults()
 	reg := opts.Registry
 	s := &Server{
-		opts:  opts,
-		reg:   reg,
-		gate:  newGate(opts.Workers, opts.QueueDepth, reg),
-		cache: newResultCache(opts.CacheEntries, reg),
+		opts:   opts,
+		reg:    reg,
+		gate:   newGate(opts.Workers, opts.QueueDepth, reg),
+		cache:  newResultCache(opts.CacheEntries, reg),
+		logger: opts.Logger,
+		tracer: stats.NewTracer(opts.TraceCapacity),
 
 		requests: reg.Counter("serve.http.requests"),
 		responses: map[int]*stats.Counter{
@@ -138,6 +189,9 @@ func NewServer(opts Options) *Server {
 		panics:    reg.Counter("serve.panics"),
 		simOK:     reg.Counter("serve.simulations.completed"),
 		simFailed: reg.Counter("serve.simulations.failed"),
+		latency:   reg.Histogram("serve.http.latency"),
+		simDur:    reg.Histogram("serve.sim.duration"),
+		encodeDur: reg.Histogram("serve.encode.duration"),
 		simulate: func(_ context.Context, scene *workload.Scene, cfg gpu.Config) (*gpu.Result, error) {
 			return gpu.Simulate(scene, cfg)
 		},
@@ -152,6 +206,8 @@ func NewServer(opts Options) *Server {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.Handle("/metrics", stats.MetricsHandler("tcord", reg))
+	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
 	s.mux = mux
 	return s
 }
@@ -195,6 +251,15 @@ func (s *Server) registerInvariants() {
 		}
 		return nil
 	})
+	s.reg.RegisterInvariant("serve.latencyObservations", func(snap stats.Snapshot) error {
+		// Every finished request observes the latency histogram exactly
+		// once, after the request counter moved; a mid-request snapshot can
+		// only see fewer observations than requests.
+		if obs, req := snap.Get("serve.http.latency.count"), snap.Get("serve.http.requests"); obs > req {
+			return fmt.Errorf("latency observations %d exceed requests %d", obs, req)
+		}
+		return nil
+	})
 }
 
 // Registry returns the serving-layer metrics registry.
@@ -217,7 +282,7 @@ func (s *Server) Start(addr string) (string, error) {
 	}
 	s.httpSrv = &http.Server{Handler: s.Handler()}
 	go s.httpSrv.Serve(ln) //nolint:errcheck // Serve always returns ErrServerClosed after Shutdown
-	s.opts.Logf("serve: listening on %s", ln.Addr())
+	s.logger.Info("listening", "addr", ln.Addr().String())
 	return ln.Addr().String(), nil
 }
 
@@ -227,12 +292,12 @@ func (s *Server) Start(addr string) (string, error) {
 // expiry abandons the stragglers and returns their error.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	s.opts.Logf("serve: draining")
+	s.logger.Info("draining")
 	if s.httpSrv == nil {
 		return nil
 	}
 	err := s.httpSrv.Shutdown(ctx)
-	s.opts.Logf("serve: drained")
+	s.logger.Info("drained")
 	return err
 }
 
@@ -256,29 +321,90 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
-// middleware isolates handler panics (a panicking request answers 500 and
-// increments serve.panics; the daemon keeps serving) and meters every
-// request and response class.
+// middleware is the telemetry and safety shell around every request: it
+// isolates handler panics (a panicking request answers 500 and increments
+// serve.panics; the daemon keeps serving), meters request and response
+// class counters plus the latency histogram, mints or honors the
+// X-Request-Id header (echoed on the response and propagated through the
+// request context into spans and the admission gate), records a root span
+// per request, and emits one structured access-log line carrying request
+// ID, method, path, status, duration, queue wait and cache disposition.
 func (s *Server) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
 		s.requests.Inc()
+
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" || len(id) > maxRequestIDLen {
+			id = mintRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+
+		meta := &requestMeta{}
+		sp := s.tracer.Begin("http.request", "serve")
+		sp.SetAttr("method", r.Method)
+		sp.SetAttr("path", r.URL.Path)
+		sp.SetAttr("requestId", id)
+
+		ctx := contextWithRequestID(r.Context(), id)
+		ctx = contextWithMeta(ctx, meta)
+		ctx = stats.ContextWithTracer(ctx, s.tracer)
+		ctx = stats.ContextWithSpan(ctx, sp)
+		r = r.WithContext(ctx)
+
 		rec := &statusRecorder{ResponseWriter: w}
 		defer func() {
 			if p := recover(); p != nil {
 				s.panics.Inc()
-				s.opts.Logf("serve: panic in %s %s: %v", r.Method, r.URL.Path, p)
+				s.logger.Error("panic", "id", id, "method", r.Method,
+					"path", r.URL.Path, "panic", fmt.Sprint(p))
 				if rec.status == 0 {
 					s.writeError(rec, &apiError{status: http.StatusInternalServerError,
 						code: "internal_panic", msg: "internal error"})
 				}
 			}
+			if rec.status == 0 {
+				// The handler wrote nothing (e.g. a body-less 200).
+				rec.status = http.StatusOK
+			}
 			if c := s.responses[rec.status/100]; c != nil {
 				c.Inc()
 			}
+			dur := time.Since(t0)
+			s.latency.Observe(int64(dur))
+			wait, disposition := meta.snapshot()
+			sp.SetAttr("status", strconv.Itoa(rec.status))
+			sp.SetAttr("cache", disposition)
+			sp.End()
+			s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.String("id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Duration("dur", dur),
+				slog.Duration("queueWait", wait),
+				slog.String("cache", disposition))
 		}()
 		next.ServeHTTP(rec, r)
 	})
 }
+
+// handleDebugTrace serves the daemon's span trace as Chrome trace_event
+// JSON (chrome://tracing, Perfetto). With tracing disabled it serves an
+// empty trace rather than erroring, so scrapers need no config knowledge.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, methodNotAllowed(http.MethodGet))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.tracer.WriteChromeTrace(w); err != nil {
+		s.logger.Error("trace export", "err", err)
+	}
+}
+
+// Tracer returns the server's span tracer (nil when tracing is disabled).
+func (s *Server) Tracer() *stats.Tracer { return s.tracer }
 
 // --- plumbing endpoints ---
 
@@ -468,9 +594,12 @@ func (s *Server) requestContext(r *http.Request, timeoutMs int) (context.Context
 // runJob serves one resolved simulation through the cache, the singleflight
 // table and the admission gate, in that order: a cached result costs no
 // worker slot, a coalesced waiter rides the leader's slot, and only a true
-// miss enters the queue.
+// miss enters the queue. The cache disposition is noted on the request's
+// meta for the access log, and the compute path is split into sim and
+// encode spans feeding the serve.sim.duration and serve.encode.duration
+// histograms.
 func (s *Server) runJob(ctx context.Context, j job) (cached, outcome, error) {
-	return s.cache.get(ctx, j.key, func() (cached, error) {
+	val, how, err := s.cache.get(ctx, j.key, func() (cached, error) {
 		if err := s.gate.acquire(ctx); err != nil {
 			return cached{}, err
 		}
@@ -484,12 +613,24 @@ func (s *Server) runJob(ctx context.Context, j job) (cached, outcome, error) {
 			s.simFailed.Inc()
 			return cached{}, badRequest("generating workload: %v", err)
 		}
-		res, err := s.simulate(ctx, scene, j.cfg)
+		simT0 := time.Now()
+		sp, sctx := stats.StartSpan(ctx, "simulate", "serve")
+		sp.SetAttr("benchmark", j.spec.Alias)
+		sp.SetAttr("config", j.cfgName)
+		cfg := j.cfg
+		cfg.Tracer = s.tracer // json:"-", so the cache key is unaffected
+		res, err := s.simulate(sctx, scene, cfg)
+		sp.End()
+		s.simDur.ObserveSince(simT0)
 		if err != nil {
 			s.simFailed.Inc()
 			return cached{}, err
 		}
+		encT0 := time.Now()
+		esp, _ := stats.StartSpan(ctx, "encode", "serve")
 		body, err := EncodeRunResult(BuildRunResult(j.spec.Alias, j.cfgName, j.cfg.TileCacheBytes/1024, res))
+		esp.End()
+		s.encodeDur.ObserveSince(encT0)
 		if err != nil {
 			s.simFailed.Inc()
 			return cached{}, err
@@ -497,6 +638,10 @@ func (s *Server) runJob(ctx context.Context, j job) (cached, outcome, error) {
 		s.simOK.Inc()
 		return cached{res: res, body: body}, nil
 	})
+	if err == nil {
+		metaFrom(ctx).noteOutcome(how)
+	}
+	return val, how, err
 }
 
 // --- response helpers ---
@@ -539,6 +684,6 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(v); err != nil {
-		s.opts.Logf("serve: encoding response: %v", err)
+		s.logger.Error("encoding response", "err", err)
 	}
 }

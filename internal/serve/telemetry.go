@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RequestIDHeader is the request-correlation header: honored when the client
+// sends one, minted otherwise, echoed on every response, and attached to the
+// access-log line and the request's spans — so a failed call reported by
+// ServiceClient is greppable in the daemon's log.
+const RequestIDHeader = "X-Request-Id"
+
+// maxRequestIDLen bounds an inbound request ID so a hostile client cannot
+// inflate logs; longer values are replaced with a minted one.
+const maxRequestIDLen = 128
+
+// mintRequestID returns a fresh 16-hex-char random ID.
+func mintRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a constant at least
+		// keeps requests flowing.
+		return "00000000deadbeef"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// requestIDKey carries the request ID in the request context.
+type requestIDKey struct{}
+
+// contextWithRequestID returns ctx carrying the ID.
+func contextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request's correlation ID ("" outside a request).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// requestMeta accumulates the telemetry a request gathers below the handler
+// (queue wait in the admission gate, cache dispositions in the result cache)
+// so the access-log line at the top of the middleware can report it. Sweep
+// items run in worker goroutines, so the fields are mutex-guarded.
+type requestMeta struct {
+	mu        sync.Mutex
+	queueWait time.Duration
+	outcomes  map[outcome]int
+}
+
+// metaKey carries the *requestMeta in the request context.
+type metaKey struct{}
+
+func contextWithMeta(ctx context.Context, m *requestMeta) context.Context {
+	return context.WithValue(ctx, metaKey{}, m)
+}
+
+// metaFrom returns the request's meta, or nil outside a request (every
+// method on a nil *requestMeta no-ops).
+func metaFrom(ctx context.Context) *requestMeta {
+	m, _ := ctx.Value(metaKey{}).(*requestMeta)
+	return m
+}
+
+// addQueueWait accumulates admission-gate wait time (a sweep sums its
+// items' waits).
+func (m *requestMeta) addQueueWait(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.queueWait += d
+	m.mu.Unlock()
+}
+
+// noteOutcome counts one cache disposition.
+func (m *requestMeta) noteOutcome(o outcome) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.outcomes == nil {
+		m.outcomes = make(map[outcome]int, 3)
+	}
+	m.outcomes[o]++
+	m.mu.Unlock()
+}
+
+// snapshot returns the accumulated queue wait and the rendered cache
+// disposition: "-" when the request never touched the cache, the bare
+// outcome for a single simulation ("hit", "miss", "coalesced"), and a
+// sorted "hit:2,miss:3" breakdown for sweeps.
+func (m *requestMeta) snapshot() (time.Duration, string) {
+	if m == nil {
+		return 0, "-"
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.outcomes) == 0 {
+		return m.queueWait, "-"
+	}
+	if len(m.outcomes) == 1 {
+		for o, n := range m.outcomes {
+			if n == 1 {
+				return m.queueWait, string(o)
+			}
+		}
+	}
+	parts := make([]string, 0, len(m.outcomes))
+	for o, n := range m.outcomes {
+		parts = append(parts, string(o)+":"+strconv.Itoa(n))
+	}
+	sort.Strings(parts)
+	return m.queueWait, strings.Join(parts, ",")
+}

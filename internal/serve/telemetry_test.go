@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"tcor/internal/gpu"
+	"tcor/internal/workload"
+)
+
+// fastSim is an instant simulate hook, so telemetry tests exercise the full
+// request path without paying for a real simulation.
+func fastSim(ctx context.Context, scene *workload.Scene, cfg gpu.Config) (*gpu.Result, error) {
+	return &gpu.Result{Benchmark: scene.Spec.Alias, Frames: 1}, nil
+}
+
+// syncBuffer is a goroutine-safe log sink (slog handlers may be driven from
+// concurrent requests).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestRequestIDMintedAndEchoed(t *testing.T) {
+	s := NewServer(Options{})
+	h := s.Handler()
+
+	// No inbound ID: the server mints a 16-hex-char one.
+	rec := getPath(h, "/healthz")
+	minted := rec.Header().Get(RequestIDHeader)
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(minted) {
+		t.Errorf("minted ID %q is not 16 hex chars", minted)
+	}
+
+	// A client-supplied ID is honored and echoed verbatim.
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req.Header.Set(RequestIDHeader, "my-correlation-id")
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req)
+	if got := rec2.Header().Get(RequestIDHeader); got != "my-correlation-id" {
+		t.Errorf("echoed ID = %q, want the inbound one", got)
+	}
+
+	// An oversized ID is replaced, not reflected.
+	req3 := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	long := strings.Repeat("x", maxRequestIDLen+1)
+	req3.Header.Set(RequestIDHeader, long)
+	rec3 := httptest.NewRecorder()
+	h.ServeHTTP(rec3, req3)
+	if got := rec3.Header().Get(RequestIDHeader); got == long || got == "" {
+		t.Errorf("oversized inbound ID must be replaced with a minted one, got %q", got)
+	}
+}
+
+func TestAccessLogCarriesTelemetry(t *testing.T) {
+	var buf syncBuffer
+	s := NewServer(Options{Logger: slog.New(slog.NewJSONHandler(&buf, nil))})
+	s.simulate = fastSim
+	h := s.Handler()
+
+	rec := postJSON(h, "/v1/simulate", `{"benchmark":"CCS","frames":1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("simulate status = %d: %s", rec.Code, rec.Body)
+	}
+	id := rec.Header().Get(RequestIDHeader)
+
+	var line map[string]any
+	for _, raw := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var l map[string]any
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("log line is not JSON: %q", raw)
+		}
+		if l["msg"] == "request" {
+			line = l
+		}
+	}
+	if line == nil {
+		t.Fatalf("no access-log line in %q", buf.String())
+	}
+	if line["id"] != id {
+		t.Errorf("log id = %v, want the echoed header %q", line["id"], id)
+	}
+	if line["method"] != "POST" || line["path"] != "/v1/simulate" {
+		t.Errorf("log method/path = %v/%v", line["method"], line["path"])
+	}
+	if line["status"] != float64(http.StatusOK) {
+		t.Errorf("log status = %v, want 200", line["status"])
+	}
+	if line["cache"] != "miss" {
+		t.Errorf("log cache = %v, want miss", line["cache"])
+	}
+	if _, ok := line["queueWait"]; !ok {
+		t.Error("log line is missing queueWait")
+	}
+	if dur, ok := line["dur"].(float64); !ok || dur <= 0 {
+		t.Errorf("log dur = %v, want a positive duration", line["dur"])
+	}
+
+	// A repeat of the same request logs the cache hit.
+	postJSON(h, "/v1/simulate", `{"benchmark":"CCS","frames":1}`)
+	if !strings.Contains(buf.String(), `"cache":"hit"`) {
+		t.Errorf("second request did not log a cache hit: %s", buf.String())
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := NewServer(Options{})
+	s.simulate = fastSim
+	h := s.Handler()
+	if rec := postJSON(h, "/v1/simulate", `{"benchmark":"CCS","frames":1}`); rec.Code != http.StatusOK {
+		t.Fatalf("simulate status = %d: %s", rec.Code, rec.Body)
+	}
+
+	rec := getPath(h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE tcord_serve_http_latency histogram",
+		"tcord_serve_http_latency_bucket{le=",
+		"tcord_serve_http_latency_count",
+		"tcord_serve_queue_wait_count",
+		"tcord_serve_sim_duration_count 1",
+		"tcord_serve_admitted 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	s := NewServer(Options{})
+	s.simulate = fastSim
+	h := s.Handler()
+	if rec := postJSON(h, "/v1/simulate", `{"benchmark":"CCS","frames":1}`); rec.Code != http.StatusOK {
+		t.Fatalf("simulate status = %d: %s", rec.Code, rec.Body)
+	}
+
+	rec := getPath(h, "/debug/trace")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/trace status = %d", rec.Code)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/debug/trace is not JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		seen[e.Name] = true
+		if e.Name == "http.request" && e.Args["requestId"] == "" {
+			t.Error("http.request span is missing the requestId attr")
+		}
+	}
+	for _, want := range []string{"http.request", "simulate", "encode"} {
+		if !seen[want] {
+			t.Errorf("trace is missing a %q span (have %v)", want, seen)
+		}
+	}
+}
+
+func TestTracingDisabled(t *testing.T) {
+	s := NewServer(Options{TraceCapacity: -1})
+	s.simulate = fastSim
+	h := s.Handler()
+	if s.Tracer() != nil {
+		t.Fatal("TraceCapacity<0 must disable the tracer")
+	}
+	if rec := postJSON(h, "/v1/simulate", `{"benchmark":"CCS","frames":1}`); rec.Code != http.StatusOK {
+		t.Fatalf("simulate status = %d: %s", rec.Code, rec.Body)
+	}
+	rec := getPath(h, "/debug/trace")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/trace status = %d", rec.Code)
+	}
+	if strings.TrimSpace(rec.Body.String()) != `{"traceEvents":[]}` {
+		t.Errorf("disabled trace = %q, want the empty document", rec.Body.String())
+	}
+}

@@ -38,3 +38,86 @@ func PublishExpvar(name string, r *Registry) {
 	}
 	p.Store(r)
 }
+
+// publishedRegistries returns the current name -> registry view of every
+// PublishExpvar name (nil registries omitted). The /metrics handler of
+// ServeDebug renders all of them, so publishing once surfaces a registry on
+// both expvar and Prometheus.
+func publishedRegistries() map[string]*Registry {
+	published.mu.Lock()
+	defer published.mu.Unlock()
+	out := make(map[string]*Registry, len(published.m))
+	for name, p := range published.m {
+		if reg := p.Load(); reg != nil {
+			out[name] = reg
+		}
+	}
+	return out
+}
+
+// publishedRings mirrors the registry table for event rings: PublishEvents
+// makes a ring reachable over HTTP at /debug/events on any ServeDebug
+// server, so -evtrace data is inspectable on a live process rather than
+// only in batch -stats dumps.
+var publishedRings struct {
+	mu sync.Mutex
+	m  map[string]*Ring
+}
+
+// PublishEvents exposes r's retained events under name on /debug/events.
+// Re-publishing a name swaps the ring; a nil ring removes it.
+func PublishEvents(name string, r *Ring) {
+	publishedRings.mu.Lock()
+	defer publishedRings.mu.Unlock()
+	if publishedRings.m == nil {
+		publishedRings.m = make(map[string]*Ring)
+	}
+	if r == nil {
+		delete(publishedRings.m, name)
+		return
+	}
+	publishedRings.m[name] = r
+}
+
+// publishedRingsView snapshots the published ring table.
+func publishedRingsView() map[string]*Ring {
+	publishedRings.mu.Lock()
+	defer publishedRings.mu.Unlock()
+	out := make(map[string]*Ring, len(publishedRings.m))
+	for name, r := range publishedRings.m {
+		out[name] = r
+	}
+	return out
+}
+
+// publishedTracers is the same table for span tracers, behind /debug/trace.
+var publishedTracers struct {
+	mu sync.Mutex
+	m  map[string]*Tracer
+}
+
+// PublishTrace exposes t's spans as Chrome trace_event JSON under name on
+// /debug/trace. Re-publishing a name swaps the tracer; nil removes it.
+func PublishTrace(name string, t *Tracer) {
+	publishedTracers.mu.Lock()
+	defer publishedTracers.mu.Unlock()
+	if publishedTracers.m == nil {
+		publishedTracers.m = make(map[string]*Tracer)
+	}
+	if t == nil {
+		delete(publishedTracers.m, name)
+		return
+	}
+	publishedTracers.m[name] = t
+}
+
+// publishedTracersView snapshots the published tracer table.
+func publishedTracersView() map[string]*Tracer {
+	publishedTracers.mu.Lock()
+	defer publishedTracers.mu.Unlock()
+	out := make(map[string]*Tracer, len(publishedTracers.m))
+	for name, t := range publishedTracers.m {
+		out[name] = t
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistogramBuckets is the fixed bucket count of every Histogram: one bucket
+// per power of two over the non-negative int64 range. Bucket 0 holds values
+// <= 0, bucket i (1 <= i < 63) holds [2^(i-1), 2^i - 1], and the last bucket
+// absorbs everything larger. A fixed log-2 scheme keeps Observe to a handful
+// of instructions (bits.Len64 + one atomic add) with no configuration to
+// mismatch when histograms merge.
+const HistogramBuckets = 64
+
+// Histogram is a lock-free latency/size distribution: log-2 scaled buckets
+// of atomic counters plus an atomic running sum. The zero value is ready to
+// use and all methods are nil-safe, so instrumentation points can stay
+// unconditional while the wiring remains optional — a nil histogram costs
+// one branch.
+//
+// Concurrent Observe calls never block each other; Snapshot reads the
+// buckets without stopping writers, so a snapshot taken mid-storm is
+// per-bucket consistent rather than globally instantaneous (counts can be
+// off by the handful of observations that landed mid-copy). That is the
+// usual Prometheus trade and is fine for percentiles.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [HistogramBuckets]atomic.Int64
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	idx := bits.Len64(uint64(v))
+	if idx >= HistogramBuckets {
+		idx = HistogramBuckets - 1
+	}
+	return idx
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i
+// (math.MaxInt64 for the last bucket).
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= HistogramBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// ObserveSince records the elapsed time since t0 in nanoseconds. The
+// convention of the repo's latency histograms is nanosecond values; the
+// Prometheus encoder converts to seconds at the edge.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(int64(time.Since(t0)))
+}
+
+// Merge folds a snapshot of other into h (both sides keep running). Sweep
+// workers aggregate per-worker histograms into a shared one with this.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	s := other.Snapshot()
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	for i, n := range s.Buckets {
+		if n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram; quantiles are
+// computed from it so repeated reads agree with each other.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets [HistogramBuckets]int64
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// inside the bucket that crosses the target rank. With log-2 buckets the
+// estimate is within a factor of two of the true order statistic, which is
+// the usual resolution for latency percentiles. Returns 0 on an empty
+// snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if seen+float64(n) >= rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(int64(1) << uint(i-1))
+			}
+			hi := float64(BucketUpper(i))
+			if i == HistogramBuckets-1 {
+				hi = lo * 2 // the overflow bucket has no finite top; clamp
+			}
+			frac := (rank - seen) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+		seen += float64(n)
+	}
+	return float64(BucketUpper(HistogramBuckets - 1))
+}
+
+// Mean returns the arithmetic mean of observations (exact, from the running
+// sum). 0 on an empty snapshot.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for Registry contents.
+// The encoder is deliberately dependency-free: counters and gauges emit one
+// sample each, histograms emit the classic _bucket/_sum/_count family with
+// cumulative le bounds. Output is deterministic — metric names sort, bucket
+// bounds ascend — so tests can pin it byte for byte.
+
+// promName converts a dotted registry name into a Prometheus metric name:
+// dots and dashes become underscores and an optional namespace prefixes the
+// result ("tcord" + "serve.http.latency" -> "tcord_serve_http_latency").
+func promName(namespace, name string) string {
+	r := strings.NewReplacer(".", "_", "-", "_", " ", "_")
+	if namespace == "" {
+		return r.Replace(name)
+	}
+	return r.Replace(namespace) + "_" + r.Replace(name)
+}
+
+// WritePrometheus writes every metric of r in Prometheus text exposition
+// format, metric names prefixed with namespace. Counters and gauges carry
+// their registered kind; histogram values are emitted verbatim (the repo
+// convention is nanoseconds for latency histograms, and the unit is part of
+// the metric's documentation rather than rescaled here).
+func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
+	r.mu.RLock()
+	counters := make(map[string]int64, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c.Load()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for n, g := range r.gauges {
+		// The counter wins name collisions, matching Snapshot.
+		if _, taken := r.counters[n]; !taken {
+			gauges[n] = g.Load()
+		}
+	}
+	hists := make(map[string]HistogramSnapshot, len(r.histograms))
+	for n, h := range r.histograms {
+		hists[n] = h.Snapshot()
+	}
+	r.mu.RUnlock()
+
+	names := make([]string, 0, len(counters)+len(gauges)+len(hists))
+	for n := range counters {
+		names = append(names, n)
+	}
+	for n := range gauges {
+		names = append(names, n)
+	}
+	for n := range hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, n := range names {
+		pn := promName(namespace, n)
+		if v, ok := counters[n]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, v); err != nil {
+				return err
+			}
+			continue
+		}
+		if v, ok := gauges[n]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, v); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := writePromHistogram(w, pn, hists[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits one histogram family with cumulative buckets.
+// Only buckets up to the highest non-empty one are listed (plus +Inf), so an
+// idle histogram is three lines, not sixty-seven.
+func writePromHistogram(w io.Writer, pn string, s HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	last := -1
+	for i, n := range s.Buckets {
+		if n != 0 {
+			last = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= last && i < HistogramBuckets-1; i++ {
+		cum += s.Buckets[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, BucketUpper(i), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, s.Sum, pn, s.Count); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MetricsHandler serves r in Prometheus text exposition format under the
+// given namespace — mount it at /metrics.
+func MetricsHandler(namespace string, r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w, namespace) //nolint:errcheck // best-effort over HTTP
+	})
+}

@@ -1,8 +1,9 @@
 // Package stats is the simulator's observability layer: a typed, atomic
-// counter/gauge registry shared by every level of the memory hierarchy, a
-// named-invariant checker that cross-validates the counters, a bounded
-// event-trace ring for debugging replacement decisions, and JSON/expvar
-// export for long-running sweeps.
+// counter/gauge/histogram registry shared by every level of the memory
+// hierarchy, a named-invariant checker that cross-validates the counters, a
+// bounded event-trace ring for debugging replacement decisions, a bounded
+// span tracer with Chrome trace_event export, and JSON/expvar/Prometheus
+// export for long-running sweeps and the tcord daemon.
 //
 // The registry is race-clean by construction — counters and gauges are
 // single atomic words, and the name table is mutex-protected — so
@@ -126,6 +127,7 @@ type Registry struct {
 	mu         sync.RWMutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 	invariants map[string]func(Snapshot) error
 }
 
@@ -134,6 +136,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
 		invariants: make(map[string]func(Snapshot) error),
 	}
 }
@@ -174,6 +177,38 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the histogram registered under name, creating it on
+// first use. Like Counter/Gauge, the same *Histogram is returned to every
+// caller of the same name.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Histograms snapshots every registered histogram, keyed by name. The
+// Prometheus encoder reads buckets through this; Snapshot only carries the
+// derived scalars.
+func (r *Registry) Histograms() map[string]HistogramSnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]HistogramSnapshot, len(r.histograms))
+	for n, h := range r.histograms {
+		out[n] = h.Snapshot()
+	}
+	return out
+}
+
 // RegisterInvariant registers (or replaces) a named invariant. Re-publishing
 // a level into the same registry therefore does not duplicate its checks.
 func (r *Registry) RegisterInvariant(name string, check func(Snapshot) error) {
@@ -196,16 +231,28 @@ func (r *Registry) InvariantNames() []string {
 
 // Snapshot copies every metric into a Snapshot. Gauges and counters share
 // the namespace; registering both kinds under one name is a programming
-// error and the counter wins deterministically.
+// error and the counter wins deterministically. Histograms contribute their
+// derived scalars — "<name>.count", "<name>.sum", "<name>.p50"/".p90"/".p99"
+// (quantiles rounded to int64) — so the flat int64 view stays schema-stable
+// while full buckets remain reachable via Histograms and the Prometheus
+// encoder.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	s := make(Snapshot, len(r.counters)+len(r.gauges))
+	s := make(Snapshot, len(r.counters)+len(r.gauges)+5*len(r.histograms))
 	for n, g := range r.gauges {
 		s[n] = g.Load()
 	}
 	for n, c := range r.counters {
 		s[n] = c.Load()
+	}
+	for n, h := range r.histograms {
+		hs := h.Snapshot()
+		s[n+".count"] = hs.Count
+		s[n+".sum"] = hs.Sum
+		s[n+".p50"] = int64(hs.Quantile(0.50))
+		s[n+".p90"] = int64(hs.Quantile(0.90))
+		s[n+".p99"] = int64(hs.Quantile(0.99))
 	}
 	return s
 }

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+// The disabled (nil) telemetry paths are the cost every simulation pays when
+// tracing and histograms are off, so they are pinned by benchmark alongside
+// the live paths: compare BenchmarkNil* against their enabled counterparts
+// to see the overhead gap.
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkNilHistogramObserve(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(1000)
+		}
+	})
+}
+
+func BenchmarkTracerSpan(b *testing.B) {
+	tr := NewTracer(b.N + 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin("op", "bench")
+		sp.End()
+	}
+}
+
+func BenchmarkNilTracerSpan(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin("op", "bench")
+		sp.SetAttr("k", "v")
+		sp.End()
+	}
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	var h Histogram
+	for i := int64(0); i < 10000; i++ {
+		h.Observe(i * 37)
+	}
+	s := h.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Quantile(0.99)
+	}
+}
+
+func BenchmarkObserveSince(b *testing.B) {
+	var h Histogram
+	t0 := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(t0)
+	}
+}

@@ -1,0 +1,275 @@
+package stats
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records a bounded in-memory trace of Spans for one process or one
+// simulation run. A nil *Tracer is the disabled recorder: Begin returns a
+// nil *Span and every Span method no-ops, so instrumentation points stay
+// unconditional and cost one branch when tracing is off — the same
+// convention as Counter, Gauge, Histogram and Ring.
+//
+// Completed spans land in a bounded buffer; once full, further spans are
+// dropped and counted, never blocking the instrumented path. The buffer
+// exports as Chrome trace_event JSON (WriteChromeTrace), loadable in
+// chrome://tracing and Perfetto.
+type Tracer struct {
+	mu      sync.Mutex
+	cap     int
+	spans   []SpanRecord
+	dropped int64
+
+	nextID atomic.Int64
+	epoch  time.Time
+}
+
+// NewTracer returns a tracer retaining up to capacity completed spans;
+// capacity <= 0 returns nil (the disabled recorder).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Tracer{cap: capacity, epoch: time.Now()}
+}
+
+// SpanRecord is one completed span as the tracer retains it.
+type SpanRecord struct {
+	Name   string
+	Cat    string
+	ID     int64
+	Parent int64 // 0 = root
+	Root   int64 // the root ancestor's ID; trace viewers use it as the track
+	Start  time.Time
+	Dur    time.Duration
+	Attrs  map[string]string
+}
+
+// Span is one in-flight timed operation. Begin/Child start it, SetAttr
+// annotates it, End records it. A Span belongs to one goroutine between
+// Begin and End (the tracer itself is concurrency-safe; a single span's
+// attrs are not).
+type Span struct {
+	t      *Tracer
+	name   string
+	cat    string
+	id     int64
+	parent int64
+	root   int64
+	start  time.Time
+	attrs  map[string]string
+}
+
+// Begin starts a root span. Nil-safe: a nil tracer returns a nil span.
+func (t *Tracer) Begin(name, cat string) *Span {
+	if t == nil {
+		return nil
+	}
+	id := t.nextID.Add(1)
+	return &Span{t: t, name: name, cat: cat, id: id, root: id, start: time.Now()}
+}
+
+// Child starts a span parented under s (same tracer, same track). Nil-safe:
+// a nil span returns a nil span.
+func (s *Span) Child(name, cat string) *Span {
+	if s == nil {
+		return nil
+	}
+	id := s.t.nextID.Add(1)
+	return &Span{t: s.t, name: name, cat: cat, id: id, parent: s.id, root: s.root,
+		start: time.Now()}
+}
+
+// SetAttr attaches a key/value annotation (exported into the trace's args).
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[k] = v
+}
+
+// End completes the span and hands it to the tracer. Ending a span twice
+// records it twice; don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	rec := SpanRecord{
+		Name: s.name, Cat: s.cat, ID: s.id, Parent: s.parent, Root: s.root,
+		Start: s.start, Dur: time.Since(s.start), Attrs: s.attrs,
+	}
+	t := s.t
+	t.mu.Lock()
+	if len(t.spans) < t.cap {
+		t.spans = append(t.spans, rec)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained spans (0 for nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped returns how many spans were discarded because the buffer was full.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Spans returns a copy of the retained spans in start order.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Reset drops every retained span and the dropped count, keeping the buffer
+// capacity. Long-lived daemons reset between inspections so /debug/trace
+// shows recent activity instead of startup.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = t.spans[:0]
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// chromeEvent is one trace_event entry ("ph":"X" complete events; ts/dur in
+// microseconds). Pid is constant; tid is the span's root ID, which puts each
+// request/frame on its own track so concurrent spans don't interleave.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int64             `json:"pid"`
+	Tid  int64             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object trace container ({"traceEvents": [...]}),
+// which both chrome://tracing and Perfetto load.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace exports the retained spans as Chrome trace_event JSON.
+// Timestamps are microseconds since the tracer's creation.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	doc := chromeTrace{TraceEvents: []chromeEvent{}}
+	if t != nil {
+		spans := t.Spans()
+		doc.TraceEvents = make([]chromeEvent, 0, len(spans))
+		for _, s := range spans {
+			args := s.Attrs
+			if s.Parent != 0 {
+				if args == nil {
+					args = make(map[string]string, 1)
+				} else {
+					// Copy so the retained record's attrs stay untouched.
+					cp := make(map[string]string, len(args)+1)
+					for k, v := range args {
+						cp[k] = v
+					}
+					args = cp
+				}
+				args["parent"] = strconv.FormatInt(s.Parent, 10)
+			}
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: s.Name, Cat: s.Cat, Ph: "X",
+				Ts:   float64(s.Start.Sub(t.epoch)) / float64(time.Microsecond),
+				Dur:  float64(s.Dur) / float64(time.Microsecond),
+				Pid:  1, Tid: s.Root, Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// tracerKey and spanKey thread telemetry through context without forcing
+// every layer to grow parameters.
+type tracerKey struct{}
+type spanKey struct{}
+
+// ContextWithTracer returns a context carrying t.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context's tracer, or nil (the disabled recorder).
+func TracerFrom(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// ContextWithSpan returns a context carrying s as the current span, so
+// deeper layers can parent their spans correctly.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFrom returns the context's current span, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan begins a span as a child of the context's current span when one
+// exists, else as a root span of the context's tracer. It returns the span
+// and a derived context carrying it. With no tracer in ctx both returns are
+// the inputs' no-op forms.
+func StartSpan(ctx context.Context, name, cat string) (*Span, context.Context) {
+	if parent := SpanFrom(ctx); parent != nil {
+		s := parent.Child(name, cat)
+		return s, ContextWithSpan(ctx, s)
+	}
+	s := TracerFrom(ctx).Begin(name, cat)
+	if s == nil {
+		return nil, ctx
+	}
+	return s, ContextWithSpan(ctx, s)
+}
