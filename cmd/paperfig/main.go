@@ -12,6 +12,7 @@
 //	paperfig -all -timeout 10m  # abort if the full pass exceeds 10 minutes
 //	paperfig -all -http :0      # expvar + pprof while the sweep runs
 //	paperfig -fig 14 -stats m.json  # dump the runner's memo metrics
+//	paperfig -all -checkpoint runs.ckpt  # journal runs; resume after a crash
 //
 // Output is byte-identical at every -parallel level: the sweep engine
 // fans simulations out through a bounded worker pool but aggregates
@@ -113,6 +114,7 @@ func main() {
 	statsPath := flag.String("stats", "", "write the runner's memoization/sweep metrics as JSON to this file")
 	tracePath := flag.String("trace", "", "write the sweep schedule as Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
 	httpAddr := flag.String("http", "", "serve expvar and pprof on this address while running (e.g. :0)")
+	checkpoint := flag.String("checkpoint", "", "journal completed runs to this file and resume from it after a crash")
 	version := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
 
@@ -198,6 +200,16 @@ func main() {
 	r.Parallel = workers
 	r.Ctx = ctx
 	r.Benchmarks = aliases
+	if *checkpoint != "" {
+		restored, err := r.OpenCheckpoint(*checkpoint)
+		if err != nil {
+			fail(err)
+		}
+		defer r.Checkpoint.Close()
+		if restored > 0 {
+			fmt.Fprintf(os.Stderr, "paperfig: resumed %d completed runs from %s\n", restored, *checkpoint)
+		}
+	}
 
 	if *httpAddr != "" {
 		// The metrics registry is live: publishing before the work starts

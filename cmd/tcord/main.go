@@ -8,6 +8,7 @@
 //	tcord                                  # serve on :8344
 //	tcord -addr 127.0.0.1:9000 -workers 4 -queue 16
 //	tcord -debug :8345                     # expvar + pprof alongside the API
+//	tcord -chaos "rate=0.1,lat=50ms,codes=500|503,seed=7"  # fault injection
 //	tcord -version
 //
 // Endpoints:
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	"tcor/internal/buildinfo"
+	"tcor/internal/resilience"
 	"tcor/internal/serve"
 	"tcor/internal/stats"
 )
@@ -71,6 +73,13 @@ type options struct {
 	logFormat string
 	traceCap  int
 	version   bool
+
+	chaos     string
+	chaosPlan resilience.FaultPlan
+	chaosSeed int64
+	breaker   bool
+	cacheTTL  time.Duration
+	maxStale  time.Duration
 }
 
 // parseOptions parses args into options and enforces the flag rules; every
@@ -88,6 +97,10 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown drain budget")
 	fs.StringVar(&o.logFormat, "log", "text", "access/lifecycle log format: text, json or off")
 	fs.IntVar(&o.traceCap, "trace-spans", 4096, "span capacity of GET /debug/trace (0 = tracing off)")
+	fs.StringVar(&o.chaos, "chaos", "", `inject faults into requests, e.g. "rate=0.1,lat=50ms,codes=500|503,seed=7" (empty = off)`)
+	fs.BoolVar(&o.breaker, "breaker", true, "guard the simulation path with a circuit breaker (503 + stale cache when open)")
+	fs.DurationVar(&o.cacheTTL, "cache-ttl", 0, "result-cache entry freshness bound (0 = fresh forever)")
+	fs.DurationVar(&o.maxStale, "max-stale", time.Hour, "how far past -cache-ttl an entry may be served while the breaker is open (0 = never)")
 	fs.BoolVar(&o.version, "version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -118,6 +131,19 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	if o.traceCap < 0 {
 		return options{}, fmt.Errorf("-trace-spans must be non-negative, got %d", o.traceCap)
 	}
+	if o.chaos != "" {
+		plan, seed, err := resilience.ParsePlan(o.chaos)
+		if err != nil {
+			return options{}, err
+		}
+		o.chaosPlan, o.chaosSeed = plan, seed
+	}
+	if o.cacheTTL < 0 {
+		return options{}, fmt.Errorf("-cache-ttl must be non-negative, got %v", o.cacheTTL)
+	}
+	if o.maxStale < 0 {
+		return options{}, fmt.Errorf("-max-stale must be non-negative, got %v", o.maxStale)
+	}
 	return o, nil
 }
 
@@ -144,6 +170,8 @@ func serveOptions(o options) serve.Options {
 		DefaultTimeout: o.timeout,
 		TraceCapacity:  o.traceCap,
 		Logger:         newLogger(o.logFormat),
+		CacheTTL:       o.cacheTTL,
+		MaxStale:       o.maxStale,
 	}
 	if o.queue == 0 {
 		so.QueueDepth = -1
@@ -153,6 +181,19 @@ func serveOptions(o options) serve.Options {
 	}
 	if o.traceCap == 0 {
 		so.TraceCapacity = -1
+	}
+	if o.chaos != "" {
+		// The daemon registry meters the injector, so chaos.* counters show
+		// up in /v1/stats and /metrics next to what they perturb. Only the
+		// HTTP site is armed from the flag; the simulate/sweep sites are
+		// test hooks.
+		so.Registry = stats.NewRegistry()
+		inj := resilience.NewInjector(o.chaosSeed).Meter(so.Registry)
+		inj.Arm(resilience.SiteHTTP, o.chaosPlan)
+		so.Chaos = inj
+	}
+	if o.breaker {
+		so.Breaker = &resilience.BreakerConfig{}
 	}
 	return so
 }
@@ -177,6 +218,9 @@ func run(o options) error {
 	}
 	fmt.Fprintf(os.Stderr, "tcord: %s\n", buildinfo.Get())
 	fmt.Fprintf(os.Stderr, "tcord: serving on http://%s\n", addr)
+	if o.chaos != "" {
+		fmt.Fprintf(os.Stderr, "tcord: CHAOS MODE armed (%s) — responses include injected faults\n", o.chaos)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -21,6 +21,14 @@ func TestParseOptionsValidation(t *testing.T) {
 			"-queue", "4", "-cache", "8", "-timeout", "5s", "-drain", "1s"}, false},
 		{"version", []string{"-version"}, false},
 		{"zero queue ok", []string{"-queue", "0"}, false},
+		{"chaos plan", []string{"-chaos", "rate=0.2,lat=5ms,codes=500|503,seed=7"}, false},
+		{"chaos bad rate", []string{"-chaos", "rate=1.5"}, true},
+		{"chaos bad key", []string{"-chaos", "turbo=1"}, true},
+		{"chaos bad code", []string{"-chaos", "codes=99"}, true},
+		{"breaker off", []string{"-breaker=false"}, false},
+		{"cache ttl", []string{"-cache-ttl", "1m", "-max-stale", "1h"}, false},
+		{"negative cache ttl", []string{"-cache-ttl", "-1s"}, true},
+		{"negative max stale", []string{"-max-stale", "-1s"}, true},
 		{"negative workers", []string{"-workers", "-1"}, true},
 		{"negative queue", []string{"-queue", "-1"}, true},
 		{"negative cache", []string{"-cache", "-1"}, true},
@@ -53,6 +61,31 @@ func TestServeOptionsMapping(t *testing.T) {
 	}
 	if so.CacheEntries != -1 {
 		t.Fatalf("CacheEntries = %d for -cache 0, want -1 (unbounded)", so.CacheEntries)
+	}
+	if so.Chaos != nil {
+		t.Fatal("Chaos armed without -chaos")
+	}
+	if so.Breaker == nil {
+		t.Fatal("Breaker off by default; -breaker defaults to true")
+	}
+
+	o, err = parseOptions([]string{"-chaos", "rate=0.1,seed=3", "-breaker=false",
+		"-cache-ttl", "90s", "-max-stale", "2h"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so = serveOptions(o)
+	if so.Chaos == nil {
+		t.Fatal("-chaos did not arm an injector")
+	}
+	if so.Registry == nil {
+		t.Fatal("-chaos must supply a registry so chaos counters surface in /v1/stats")
+	}
+	if so.Breaker != nil {
+		t.Fatal("-breaker=false still configured a breaker")
+	}
+	if so.CacheTTL != 90*time.Second || so.MaxStale != 2*time.Hour {
+		t.Fatalf("cache freshness mapped as (%v, %v), want (90s, 2h)", so.CacheTTL, so.MaxStale)
 	}
 }
 

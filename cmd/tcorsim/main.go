@@ -14,6 +14,7 @@
 //	tcorsim -benchmark CCS -evtrace 32 -stats out.json  # last 32 L2 evictions
 //	tcorsim -benchmark CCS -trace out.json # span trace for chrome://tracing
 //	tcorsim -benchmark GoW -http :0        # expvar + pprof while running
+//	tcorsim -benchmark SoD -compare -chaos "rate=0.5,lat=100ms"  # fault drill
 //
 // With -compare the configurations run concurrently through the bounded
 // sweep pool; reports are buffered per configuration and printed in a
@@ -43,6 +44,7 @@ import (
 	"tcor/internal/geom"
 	"tcor/internal/gpu"
 	"tcor/internal/memmap"
+	"tcor/internal/resilience"
 	"tcor/internal/stats"
 	"tcor/internal/workload"
 )
@@ -99,6 +101,9 @@ type options struct {
 	check     bool
 	evtrace   int
 	httpAddr  string
+	chaos     string
+	chaosPlan resilience.FaultPlan
+	chaosSeed int64
 	version   bool
 }
 
@@ -129,6 +134,7 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	fs.BoolVar(&o.check, "check", false, "verify the cross-level stats invariants after each run (violations fail the command)")
 	fs.IntVar(&o.evtrace, "evtrace", 0, "record the last N L2 evictions into the -stats dump (0 = off)")
 	fs.StringVar(&o.httpAddr, "http", "", "serve expvar and pprof on this address while running (e.g. :0)")
+	fs.StringVar(&o.chaos, "chaos", "", `inject faults into -compare sweep jobs, e.g. "rate=0.5,lat=100ms,seed=3" (empty = off)`)
 	fs.BoolVar(&o.version, "version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -162,6 +168,16 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	}
 	if o.evtrace > 0 && o.statsPath == "" {
 		return options{}, fmt.Errorf("-evtrace records into the -stats dump; pass -stats too")
+	}
+	if o.chaos != "" {
+		if !o.compare {
+			return options{}, fmt.Errorf("-chaos injects faults into the -compare sweep pool; pass -compare too")
+		}
+		plan, seed, err := resilience.ParsePlan(o.chaos)
+		if err != nil {
+			return options{}, err
+		}
+		o.chaosPlan, o.chaosSeed = plan, seed
 	}
 	return o, nil
 }
@@ -243,6 +259,17 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		if o.httpAddr != "" {
 			stats.PublishTrace("tcorsim", tracer)
 		}
+	}
+
+	if o.chaos != "" {
+		// The injector rides the context into the sweep pool, where each job
+		// consults the experiments.sweep site before simulating. With a
+		// latency-only plan this is a live demo of fault scheduling; with an
+		// error rate, some configurations fail and -compare reports it.
+		inj := resilience.NewInjector(o.chaosSeed)
+		inj.Arm(resilience.SiteSweep, o.chaosPlan)
+		ctx = resilience.ContextWithInjector(ctx, inj)
+		fmt.Fprintf(os.Stderr, "tcorsim: CHAOS MODE armed (%s) on the sweep pool\n", o.chaos)
 	}
 
 	col := &collector{}

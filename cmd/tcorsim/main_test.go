@@ -58,6 +58,9 @@ func TestParseOptionsValidation(t *testing.T) {
 		{"negative parallel", []string{"-parallel", "-2"}, "-parallel"},
 		{"negative evtrace", []string{"-evtrace", "-1"}, "-evtrace"},
 		{"evtrace without stats", []string{"-evtrace", "8"}, "-stats"},
+		{"chaos with compare", []string{"-compare", "-chaos", "rate=0.5,lat=10ms"}, ""},
+		{"chaos without compare", []string{"-chaos", "rate=0.5"}, "-compare"},
+		{"chaos bad plan", []string{"-compare", "-chaos", "rate=nope"}, "probability"},
 		{"compare with config", []string{"-compare", "-config", "tcor"}, "conflicts"},
 		{"spec with benchmark", []string{"-spec", "x.json", "-benchmark", "CCS"}, "conflicts"},
 		{"stray positional args", []string{"CCS"}, "unexpected arguments"},

@@ -1,15 +1,24 @@
-// Serve runs the serving layer end to end in one process: it starts a
-// tcord server on a loopback port, talks to it through the typed client,
-// shows the content-addressed result cache collapsing a repeated request,
-// fans a baseline-vs-TCOR comparison through /v1/sweep, and drains.
+// Serve runs the serving layer end to end: it starts a tcord server (in
+// process by default, or points at a running daemon with -addr), talks to
+// it through the typed retrying client, shows the content-addressed result
+// cache collapsing a repeated request, fans a baseline-vs-TCOR comparison
+// through /v1/sweep, and drains.
 //
-// The same flow works against a real daemon — replace the in-process
-// server with `go run ./cmd/tcord -addr :8344` and point the client at
-// "http://localhost:8344".
+// It doubles as a resilience drill. With -n it drives that many sequential
+// simulate calls and exits non-zero if any of them surfaces an error — run
+// it against `tcord -chaos "rate=0.2,lat=5ms,codes=500|503"` to prove the
+// retrying client rides out injected faults:
+//
+//	go run ./cmd/tcord -addr :8344 -chaos "rate=0.2,codes=500|503" &
+//	go run ./examples/serve -addr http://localhost:8344 -n 200
+//
+// -retry=false turns the retry layer off, which against a chaos daemon
+// makes the drill fail — the difference is the point.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 	"time"
@@ -18,28 +27,83 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	addr := flag.String("addr", "", "base URL of a running tcord daemon (empty = start one in process)")
+	n := flag.Int("n", 0, "drive this many sequential simulate calls and report; 0 = demo flow")
+	retry := flag.Bool("retry", true, "retry transient failures (5xx, 429, transport errors)")
+	flag.Parse()
+	if err := run(*addr, *n, *retry); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	srv := tcor.NewServer(tcor.ServeOptions{Workers: 2, CacheEntries: 16})
-	addr, err := srv.Start("127.0.0.1:0")
-	if err != nil {
-		return err
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+func run(addr string, n int, retry bool) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
-	c := tcor.NewServiceClient("http://"+addr, nil)
+	var srv *tcor.Server
+	baseURL := addr
+	if baseURL == "" {
+		srv = tcor.NewServer(tcor.ServeOptions{Workers: 2, CacheEntries: 16})
+		started, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		baseURL = "http://" + started
+	}
+
+	// The retry policy is generous on attempts but tight on delay: against
+	// a chaos daemon injecting faults at rate 0.2, ten attempts push the
+	// per-call failure probability below 1e-6, so a 200-call drill passes.
+	var opts []tcor.ClientOption
+	if retry {
+		opts = append(opts, tcor.WithClientRetry(tcor.RetryPolicy{
+			MaxAttempts: 10,
+			BaseDelay:   20 * time.Millisecond,
+			MaxDelay:    500 * time.Millisecond,
+		}))
+	}
+	c := tcor.NewServiceClient(baseURL, nil, opts...)
+
 	v, err := c.Version(ctx)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving on %s (%s, %s)\n\n", addr, v.Version, v.GoVersion)
+	fmt.Printf("talking to %s (%s, %s)\n\n", baseURL, v.Version, v.GoVersion)
 
+	if n > 0 {
+		if err := drill(ctx, c, n); err != nil {
+			return err
+		}
+	} else if err := demo(ctx, c); err != nil {
+		return err
+	}
+
+	if srv != nil {
+		return srv.Shutdown(ctx)
+	}
+	return nil
+}
+
+// drill issues n sequential simulate calls and fails on the first surfaced
+// error. Alternating the frame count between two values keeps the server's
+// cache from absorbing everything while staying cheap.
+func drill(ctx context.Context, c *tcor.ServiceClient, n int) error {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		req := tcor.SimulateRequest{
+			Benchmark: "CCS", Config: "tcor", TileCacheKB: 64, Frames: 1 + i%2,
+		}
+		if _, _, err := c.Simulate(ctx, req); err != nil {
+			return fmt.Errorf("call %d/%d failed: %w", i+1, n, err)
+		}
+	}
+	fmt.Printf("drill: %d/%d simulate calls succeeded in %v\n", n, n, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// demo walks the serving features: cache coalescing, sweeps, metrics.
+func demo(ctx context.Context, c *tcor.ServiceClient) error {
 	// The same request twice: the first simulates, the second is served
 	// from the content-addressed cache, byte-identical.
 	req := tcor.SimulateRequest{Benchmark: "CCS", Config: "tcor", TileCacheKB: 64, Frames: 1, Check: true}
@@ -73,6 +137,5 @@ func run() error {
 	}
 	fmt.Printf("\nserver metrics: %d simulations, %d cache hits, %d misses\n",
 		st["serve.simulations.completed"], st["serve.cache.hits"], st["serve.cache.misses"])
-
-	return srv.Shutdown(ctx)
+	return nil
 }

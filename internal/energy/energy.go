@@ -11,6 +11,7 @@
 package energy
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -153,6 +154,24 @@ func (t *Tally) Components() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// MarshalJSON encodes the tally as a plain component→entry object.
+// encoding/json sorts object keys, so the encoding is deterministic; the
+// sweep checkpoint journal relies on that to make record hashes stable.
+func (t *Tally) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.entries)
+}
+
+// UnmarshalJSON restores a tally encoded by MarshalJSON. The receiver's
+// previous contents are discarded.
+func (t *Tally) UnmarshalJSON(b []byte) error {
+	m := make(map[string]*Entry)
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	t.entries = m
+	return nil
 }
 
 // Merge adds the other tally into t.

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"tcor/internal/gpu"
+	"tcor/internal/stats"
+)
+
+// checkpointFormat versions the journal's on-disk shape. Bump it whenever a
+// record field changes meaning; an old-format file is a hard error, never a
+// silent misread.
+const checkpointFormat = "tcor-checkpoint/1"
+
+// checkpointHeader is the journal's first line: the format version plus the
+// run fingerprint (screen geometry and frame override). A journal written
+// under one fingerprint must never seed a run under another — the restored
+// results would be answers to a different question.
+type checkpointHeader struct {
+	Format string `json:"format"`
+	Screen string `json:"screen"` // canonical JSON of the geom.Screen
+	Frames int    `json:"frames"`
+}
+
+// checkpointRecord is one completed run: the memo key, a hash of the full
+// configuration (the memo key alone names but does not pin the config), the
+// result, and a hash of the result bytes so a corrupted line is detected
+// rather than restored.
+type checkpointRecord struct {
+	Key    string          `json:"key"`
+	CfgSHA string          `json:"cfgSHA"`
+	SHA    string          `json:"sha"`
+	Result json.RawMessage `json:"result"`
+}
+
+// Checkpoint is an append-only journal of completed full-system runs:
+// one JSON line per (benchmark, configuration) cell, each self-verifying
+// via a content hash. A Runner with a checkpoint attached restores
+// journaled cells instead of re-simulating them, so a sweep killed at any
+// point — SIGKILL included — resumes by re-executing only the missing
+// cells, with byte-identical final output (results are restored from their
+// canonical JSON, which round-trips exactly).
+//
+// Crash safety comes from the format, not fsync discipline: a torn final
+// line (the process died mid-write) fails its hash or parse and is
+// truncated away on open, sacrificing at most that one cell.
+//
+// A nil *Checkpoint is a valid no-op, so the Runner's hot path stays
+// unconditional.
+type Checkpoint struct {
+	mu       sync.Mutex
+	f        *os.File
+	restored map[string]*gpu.Result // key+"\x00"+cfgSHA -> restored result
+
+	restoredC  *stats.Counter // cells served from the journal
+	journaledC *stats.Counter // cells appended this session
+}
+
+// OpenCheckpoint attaches a journal at path to the runner, creating it (with
+// a fingerprint header) if absent and otherwise replaying it: valid records
+// become restorable cells, and everything from the first torn or corrupt
+// line onward is truncated. It returns the number of restorable cells.
+//
+// The journal is fingerprinted by the runner's Screen and Frames — open it
+// after configuring those, and opening a journal written under a different
+// fingerprint is an error. Restores and appends are metered in the runner's
+// registry as "checkpoint.restored" and "checkpoint.journaled".
+func (r *Runner) OpenCheckpoint(path string) (int, error) {
+	screenJSON, err := json.Marshal(r.Screen)
+	if err != nil {
+		return 0, err
+	}
+	want := checkpointHeader{Format: checkpointFormat, Screen: string(screenJSON), Frames: r.Frames}
+
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return 0, err
+	}
+
+	cp := &Checkpoint{restored: make(map[string]*gpu.Result)}
+	m := r.Metrics()
+	cp.restoredC = m.Counter("checkpoint.restored")
+	cp.journaledC = m.Counter("checkpoint.journaled")
+
+	valid := 0 // byte offset just past the last intact line
+	if len(data) > 0 {
+		line, rest, _ := bytes.Cut(data, []byte("\n"))
+		var hdr checkpointHeader
+		if err := json.Unmarshal(line, &hdr); err != nil || hdr.Format != checkpointFormat {
+			return 0, fmt.Errorf("experiments: %s is not a %s journal", path, checkpointFormat)
+		}
+		if hdr.Screen != want.Screen || hdr.Frames != want.Frames {
+			return 0, fmt.Errorf("experiments: checkpoint %s was written for screen=%s frames=%d; this runner is screen=%s frames=%d",
+				path, hdr.Screen, hdr.Frames, want.Screen, want.Frames)
+		}
+		valid = len(line) + 1
+		for len(rest) > 0 {
+			line, next, full := bytes.Cut(rest, []byte("\n"))
+			if !full {
+				break // torn tail: no newline means the write never finished
+			}
+			var rec checkpointRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				break
+			}
+			sum := sha256.Sum256(rec.Result)
+			if hex.EncodeToString(sum[:]) != rec.SHA {
+				break
+			}
+			res := new(gpu.Result)
+			if err := json.Unmarshal(rec.Result, res); err != nil {
+				break
+			}
+			cp.restored[rec.Key+"\x00"+rec.CfgSHA] = res
+			valid += len(line) + 1
+			rest = next
+		}
+	}
+	if valid < len(data) {
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return 0, err
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if valid == 0 {
+		hdrLine, err := json.Marshal(want)
+		if err != nil {
+			f.Close()
+			return 0, err
+		}
+		if _, err := f.Write(append(hdrLine, '\n')); err != nil {
+			f.Close()
+			return 0, err
+		}
+	}
+	cp.f = f
+	r.Checkpoint = cp
+	return len(cp.restored), nil
+}
+
+// lookup returns the restored result for a cell, if the journal holds one
+// under the exact configuration hash.
+func (cp *Checkpoint) lookup(key, cfgSHA string) (*gpu.Result, bool) {
+	if cp == nil {
+		return nil, false
+	}
+	cp.mu.Lock()
+	res, ok := cp.restored[key+"\x00"+cfgSHA]
+	cp.mu.Unlock()
+	if ok {
+		cp.restoredC.Inc()
+	}
+	return res, ok
+}
+
+// journal appends one completed cell. The record is a single write of a
+// single line, so a crash leaves at most one torn tail for the next open to
+// truncate.
+func (cp *Checkpoint) journal(key, cfgSHA string, res *gpu.Result) error {
+	if cp == nil {
+		return nil
+	}
+	body, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(body)
+	line, err := json.Marshal(checkpointRecord{
+		Key: key, CfgSHA: cfgSHA, SHA: hex.EncodeToString(sum[:]), Result: body,
+	})
+	if err != nil {
+		return err
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if _, err := cp.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	cp.journaledC.Inc()
+	return nil
+}
+
+// Close closes the journal file. The Runner keeps serving already-restored
+// cells; further completions fail to journal.
+func (cp *Checkpoint) Close() error {
+	if cp == nil || cp.f == nil {
+		return nil
+	}
+	return cp.f.Close()
+}
+
+// cfgFingerprint hashes a full configuration. The memo key (alias/cfgName)
+// names a cell; this pins what the name meant, so a journal written under
+// one tile-cache size can never satisfy a resume under another that reused
+// the name.
+func cfgFingerprint(cfg gpu.Config) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		// gpu.Config is plain data; Marshal cannot fail. Guard anyway so a
+		// future unmarshalable field poisons the fingerprint, not the run.
+		return "unfingerprintable:" + err.Error()
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -46,6 +46,11 @@ type Runner struct {
 	// set it — or call PurgeMemo between batches — so an open-ended request
 	// stream cannot grow the tables without bound.
 	MemoCap int
+	// Checkpoint, when non-nil (attach one with OpenCheckpoint), journals
+	// every completed Run cell to an append-only file and restores journaled
+	// cells instead of re-simulating, so a killed sweep resumes where it
+	// died with byte-identical results.
+	Checkpoint *Checkpoint
 
 	scenes   memo[*workload.Scene]
 	runs     memo[*gpu.Result]
@@ -153,7 +158,16 @@ func (r *Runner) Scene(alias string) (*workload.Scene, error) {
 // configuration name.
 func (r *Runner) Run(alias, cfgName string, cfg gpu.Config) (*gpu.Result, error) {
 	hits, misses, evictions := r.meter("runs")
-	return r.runs.get(alias+"/"+cfgName, r.MemoCap, hits, misses, evictions, func() (*gpu.Result, error) {
+	key := alias + "/" + cfgName
+	return r.runs.get(key, r.MemoCap, hits, misses, evictions, func() (*gpu.Result, error) {
+		cp := r.Checkpoint
+		var fp string
+		if cp != nil {
+			fp = cfgFingerprint(cfg)
+			if res, ok := cp.lookup(key, fp); ok {
+				return res, nil
+			}
+		}
 		sc, err := r.Scene(alias)
 		if err != nil {
 			return nil, err
@@ -161,6 +175,9 @@ func (r *Runner) Run(alias, cfgName string, cfg gpu.Config) (*gpu.Result, error)
 		res, err := gpu.Simulate(sc, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s under %s: %w", alias, cfgName, err)
+		}
+		if err := cp.journal(key, fp, res); err != nil {
+			return nil, fmt.Errorf("experiments: journaling %s: %w", key, err)
 		}
 		return res, nil
 	})

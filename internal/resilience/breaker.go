@@ -1,0 +1,248 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// Closed passes every call through, recording outcomes in the window.
+	Closed BreakerState = iota
+	// Open fails every call fast until the cooldown elapses.
+	Open
+	// HalfOpen admits one probe at a time; enough consecutive probe
+	// successes close the breaker, any probe failure reopens it.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// BreakerConfig configures a Breaker. The zero value is usable; every
+// field falls back to the default documented on it.
+type BreakerConfig struct {
+	// Window is the sliding outcome window: the last Window recorded
+	// outcomes decide the failure ratio (default 20).
+	Window int
+	// MinSamples is the minimum number of outcomes in the window before
+	// the breaker may trip (default 5).
+	MinSamples int
+	// FailureRatio trips the breaker when failures/outcomes reaches it
+	// (default 0.5).
+	FailureRatio float64
+	// Cooldown is how long an open breaker rejects before probing
+	// (default 5s).
+	Cooldown time.Duration
+	// ProbeSuccesses is how many consecutive half-open probe successes
+	// close the breaker (default 2).
+	ProbeSuccesses int
+	// Clock is the time source (nil = wall clock).
+	Clock Clock
+	// OnTransition observes every state change (nil = none). Called
+	// under the breaker lock; keep it non-blocking.
+	OnTransition func(from, to BreakerState)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 5
+	}
+	if c.FailureRatio <= 0 {
+		c.FailureRatio = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.ProbeSuccesses <= 0 {
+		c.ProbeSuccesses = 2
+	}
+	if c.Clock == nil {
+		c.Clock = Wall()
+	}
+	return c
+}
+
+// ErrOpen is the sentinel every breaker rejection matches via errors.Is.
+var ErrOpen = errors.New("resilience: circuit breaker is open")
+
+// OpenError is a breaker rejection carrying how long until the next probe
+// window. errors.Is(err, ErrOpen) matches it.
+type OpenError struct{ RetryIn time.Duration }
+
+func (e *OpenError) Error() string {
+	if e.RetryIn > 0 {
+		return fmt.Sprintf("resilience: circuit breaker is open (retry in %v)", e.RetryIn)
+	}
+	return "resilience: circuit breaker is open"
+}
+
+func (e *OpenError) Is(target error) bool { return target == ErrOpen }
+
+// Ignore, passed to a breaker done callback, releases the call without
+// counting it as a success or a failure — for outcomes that say nothing
+// about dependency health (cancellations, admission rejections).
+var Ignore = errors.New("resilience: ignore outcome")
+
+// Breaker is a three-state circuit breaker over a sliding window of the
+// last N outcomes. A nil *Breaker is a valid no-op that admits everything.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu            sync.Mutex
+	state         BreakerState
+	window        []bool // ring of outcomes, true = failure
+	count, head   int
+	failures      int
+	openedAt      time.Time
+	probeInFlight bool
+	probeOK       int
+}
+
+// NewBreaker builds a breaker from cfg.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, window: make([]bool, cfg.Window)}
+}
+
+// State returns the breaker's current position. An open breaker whose
+// cooldown has elapsed still reports Open until the next Allow probes it.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow asks to run one call. A nil error admits it, and the returned done
+// callback must then be called exactly once with the call's outcome (nil =
+// success, Ignore = don't count, anything else = failure); calling it more
+// than once is a no-op. A non-nil error (an *OpenError matching ErrOpen)
+// means the call must not run.
+func (b *Breaker) Allow() (done func(error), err error) {
+	if b == nil {
+		return func(error) {}, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	probe := false
+	switch b.state {
+	case Open:
+		rem := b.cfg.Cooldown - b.cfg.Clock.Now().Sub(b.openedAt)
+		if rem > 0 {
+			return nil, &OpenError{RetryIn: rem}
+		}
+		b.transition(HalfOpen)
+		b.probeOK = 0
+		b.probeInFlight = false
+		fallthrough
+	case HalfOpen:
+		if b.probeInFlight {
+			// One probe at a time; others back off a fraction of the
+			// cooldown rather than piling onto the recovering dependency.
+			return nil, &OpenError{RetryIn: b.cfg.Cooldown / 4}
+		}
+		b.probeInFlight = true
+		probe = true
+	}
+	var once sync.Once
+	return func(outcome error) {
+		once.Do(func() { b.record(probe, outcome) })
+	}, nil
+}
+
+// record files one admitted call's outcome.
+func (b *Breaker) record(probe bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ignore := errors.Is(err, Ignore)
+	if probe {
+		if b.state != HalfOpen {
+			return
+		}
+		b.probeInFlight = false
+		switch {
+		case ignore:
+			// The probe said nothing; the next Allow probes again.
+		case err != nil:
+			b.trip()
+		default:
+			b.probeOK++
+			if b.probeOK >= b.cfg.ProbeSuccesses {
+				b.transition(Closed)
+				b.reset()
+			}
+		}
+		return
+	}
+	if b.state != Closed || ignore {
+		// A straggler admitted before a trip, or a neutral outcome:
+		// neither says anything the window should remember.
+		return
+	}
+	b.push(err != nil)
+	if b.count >= b.cfg.MinSamples &&
+		float64(b.failures) >= b.cfg.FailureRatio*float64(b.count) {
+		b.trip()
+	}
+}
+
+// push files one outcome into the sliding window (b.mu held).
+func (b *Breaker) push(fail bool) {
+	if b.count == len(b.window) {
+		if b.window[b.head] {
+			b.failures--
+		}
+	} else {
+		b.count++
+	}
+	b.window[b.head] = fail
+	if fail {
+		b.failures++
+	}
+	b.head = (b.head + 1) % len(b.window)
+}
+
+// trip opens the breaker and starts the cooldown (b.mu held).
+func (b *Breaker) trip() {
+	b.transition(Open)
+	b.openedAt = b.cfg.Clock.Now()
+}
+
+// reset clears the window after a close (b.mu held).
+func (b *Breaker) reset() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.count, b.head, b.failures = 0, 0, 0
+}
+
+// transition moves state, notifying the observer (b.mu held).
+func (b *Breaker) transition(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(from, to)
+	}
+}

@@ -1,0 +1,137 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"math/rand/v2"
+)
+
+// RetryPolicy configures Do/Retry: capped exponential backoff with full
+// jitter, an optional Retry-After hint, and per-call attempt and time
+// budgets. The zero value is usable; every field falls back to the default
+// documented on it.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, the first included
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: attempt k sleeps a uniform
+	// random duration in [0, min(MaxDelay, BaseDelay*2^(k-1))] — "full
+	// jitter" (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (default 5s).
+	MaxDelay time.Duration
+	// MaxElapsed bounds the whole call, sleeps included: a retry whose
+	// sleep would cross the budget is abandoned (0 = no time budget).
+	MaxElapsed time.Duration
+	// Seed fixes the jitter stream so retry schedules are reproducible
+	// (default 1).
+	Seed int64
+	// Clock is the time source (nil = wall clock).
+	Clock Clock
+	// Retryable classifies errors; a false verdict stops immediately
+	// (nil = every non-context error retries).
+	Retryable func(error) bool
+	// RetryAfter extracts a server backoff hint from an error (a parsed
+	// Retry-After header); when present and larger than the jittered
+	// delay, the hint wins (nil = no hints).
+	RetryAfter func(error) (time.Duration, bool)
+	// OnRetry observes each scheduled retry: the attempt that just
+	// failed (1-based), the sleep about to happen and the error. Metrics
+	// hooks go here (nil = none).
+	OnRetry func(attempt int, delay time.Duration, err error)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Clock == nil {
+		p.Clock = Wall()
+	}
+	return p
+}
+
+// Do runs fn until it succeeds, the policy's attempt or time budget runs
+// out, the error is classified non-retryable, or ctx ends. Context errors
+// never retry; when the context dies during a backoff sleep, the returned
+// error joins the last fn error with the context error, so callers can
+// errors.Is against either.
+func Do[T any](ctx context.Context, p RetryPolicy, fn func(ctx context.Context) (T, error)) (T, error) {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewPCG(uint64(p.Seed), 0x9e3779b97f4a7c15))
+	start := p.Clock.Now()
+	var zero T
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return zero, errors.Join(lastErr, err)
+			}
+			return zero, err
+		}
+		v, err := fn(ctx)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return zero, lastErr
+		}
+		if p.Retryable != nil && !p.Retryable(err) {
+			return zero, lastErr
+		}
+		if attempt >= p.MaxAttempts {
+			return zero, fmt.Errorf("resilience: %d attempts exhausted: %w", attempt, lastErr)
+		}
+
+		// Full jitter over the exponential cap; a server hint, when
+		// present and longer, wins.
+		cap := p.BaseDelay << (attempt - 1)
+		if cap <= 0 || cap > p.MaxDelay {
+			cap = p.MaxDelay
+		}
+		delay := time.Duration(rng.Int64N(int64(cap) + 1))
+		if p.RetryAfter != nil {
+			if hint, ok := p.RetryAfter(err); ok && hint > delay {
+				delay = hint
+			}
+		}
+		// Never start a sleep the budgets cannot cover: the per-call time
+		// budget and the context deadline both bound the schedule.
+		now := p.Clock.Now()
+		if p.MaxElapsed > 0 && now.Add(delay).Sub(start) > p.MaxElapsed {
+			return zero, fmt.Errorf("resilience: retry time budget %v exhausted after %d attempts: %w",
+				p.MaxElapsed, attempt, lastErr)
+		}
+		if dl, ok := ctx.Deadline(); ok && now.Add(delay).After(dl) {
+			return zero, fmt.Errorf("resilience: context deadline precedes next retry (attempt %d): %w",
+				attempt, lastErr)
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, delay, err)
+		}
+		if err := p.Clock.Sleep(ctx, delay); err != nil {
+			return zero, errors.Join(lastErr, err)
+		}
+	}
+}
+
+// Retry is Do for functions without a value.
+func Retry(ctx context.Context, p RetryPolicy, fn func(ctx context.Context) error) error {
+	_, err := Do(ctx, p, func(ctx context.Context) (struct{}, error) {
+		return struct{}{}, fn(ctx)
+	})
+	return err
+}

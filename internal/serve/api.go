@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"tcor/internal/gpu"
 	"tcor/internal/stats"
@@ -117,6 +118,10 @@ type apiError struct {
 	status int
 	code   string
 	msg    string
+	// retryAfter, when positive, becomes the response's Retry-After header
+	// (rounded up to whole seconds). 429s without one get the server's
+	// load-derived estimate.
+	retryAfter time.Duration
 }
 
 func (e *apiError) Error() string { return e.msg }

@@ -4,8 +4,10 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"time"
 
 	"tcor/internal/gpu"
+	"tcor/internal/resilience"
 	"tcor/internal/stats"
 )
 
@@ -37,33 +39,51 @@ type resultCache struct {
 	ll  *list.List // completed entries, front = most recently used
 	m   map[string]*cacheEntry
 
+	// ttl bounds an entry's freshness (0 = fresh forever); maxStale bounds
+	// how far past the TTL an entry may still be served when the caller asks
+	// for graceful degradation (0 = never). clock makes expiry testable.
+	ttl, maxStale time.Duration
+	clock         resilience.Clock
+
 	hits, misses, coalesced, evictions *stats.Counter
+	expired, staleServes               *stats.Counter
 	size                               *stats.Gauge
 }
 
 // cacheEntry is one key's cell. done is closed exactly once, after which
-// val/err are immutable; elem is non-nil only while the completed entry
-// sits in the LRU list (both guarded by resultCache.mu).
+// val/err/completedAt are immutable; elem is non-nil only while the
+// completed entry sits in the LRU list (both guarded by resultCache.mu).
 type cacheEntry struct {
-	key  string
-	elem *list.Element
-	done chan struct{}
-	val  cached
-	err  error
+	key         string
+	elem        *list.Element
+	done        chan struct{}
+	val         cached
+	err         error
+	completedAt time.Time
 }
 
 // newResultCache builds a cache bounded to capacity entries (capacity <= 0
-// means unbounded) metering into reg under the "serve.cache." prefix.
-func newResultCache(capacity int, reg *stats.Registry) *resultCache {
+// means unbounded) whose entries stay fresh for ttl (0 = forever) and may be
+// served up to maxStale past that on request, metering into reg under the
+// "serve.cache." prefix.
+func newResultCache(capacity int, ttl, maxStale time.Duration, clock resilience.Clock, reg *stats.Registry) *resultCache {
+	if clock == nil {
+		clock = resilience.Wall()
+	}
 	return &resultCache{
-		cap:       capacity,
-		ll:        list.New(),
-		m:         make(map[string]*cacheEntry),
-		hits:      reg.Counter("serve.cache.hits"),
-		misses:    reg.Counter("serve.cache.misses"),
-		coalesced: reg.Counter("serve.cache.coalesced"),
-		evictions: reg.Counter("serve.cache.evictions"),
-		size:      reg.Gauge("serve.cache.size"),
+		cap:         capacity,
+		ttl:         ttl,
+		maxStale:    maxStale,
+		clock:       clock,
+		ll:          list.New(),
+		m:           make(map[string]*cacheEntry),
+		hits:        reg.Counter("serve.cache.hits"),
+		misses:      reg.Counter("serve.cache.misses"),
+		coalesced:   reg.Counter("serve.cache.coalesced"),
+		evictions:   reg.Counter("serve.cache.evictions"),
+		expired:     reg.Counter("serve.cache.expired"),
+		staleServes: reg.Counter("serve.cache.staleServes"),
+		size:        reg.Gauge("serve.cache.size"),
 	}
 }
 
@@ -74,21 +94,46 @@ const (
 	outcomeHit       outcome = "hit"
 	outcomeMiss      outcome = "miss"
 	outcomeCoalesced outcome = "coalesced"
+	// outcomeStale marks an expired entry served anyway because the caller
+	// allowed degradation (the simulate path's circuit breaker is open) and
+	// the entry is within the maxStale bound. Responses carry a Warning
+	// header alongside it.
+	outcomeStale outcome = "stale"
 )
 
 // get returns the cached value for key, computing it at most once across
 // concurrent callers. The first caller of an absent key becomes the leader
 // and runs compute; everyone else waits for the leader's outcome (or their
 // own context, whichever ends first). compute runs outside the cache lock.
-func (c *resultCache) get(ctx context.Context, key string, compute func() (cached, error)) (cached, outcome, error) {
+//
+// With a TTL set, a completed entry older than it is normally dropped and
+// recomputed — unless allowStale (nil = never) says the caller prefers
+// degradation and the entry is within maxStale past the TTL, in which case
+// the expired bytes are served as outcomeStale.
+func (c *resultCache) get(ctx context.Context, key string, allowStale func() bool, compute func() (cached, error)) (cached, outcome, error) {
 	c.mu.Lock()
 	if e, ok := c.m[key]; ok {
 		select {
-		case <-e.done: // completed: a pure cache hit
-			c.ll.MoveToFront(e.elem)
-			c.mu.Unlock()
-			c.hits.Inc()
-			return e.val, outcomeHit, e.err
+		case <-e.done: // completed
+			age := c.clock.Now().Sub(e.completedAt)
+			switch {
+			case c.ttl <= 0 || age <= c.ttl: // fresh: a pure cache hit
+				c.ll.MoveToFront(e.elem)
+				c.mu.Unlock()
+				c.hits.Inc()
+				return e.val, outcomeHit, e.err
+			case allowStale != nil && allowStale() && age <= c.ttl+c.maxStale:
+				// Expired, but a degraded answer beats none. Keep the LRU
+				// position: stale serving must not pin a dying entry hot.
+				c.mu.Unlock()
+				c.staleServes.Inc()
+				return e.val, outcomeStale, e.err
+			default: // expired: drop it and recompute as the leader below
+				c.ll.Remove(e.elem)
+				delete(c.m, e.key)
+				c.size.Set(int64(c.ll.Len()))
+				c.expired.Inc()
+			}
 		default: // in flight: collapse onto the leader
 			c.mu.Unlock()
 			c.coalesced.Inc()
@@ -134,6 +179,7 @@ var errComputePanicked = &apiError{status: 500, code: "internal_panic",
 func (c *resultCache) complete(e *cacheEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	e.completedAt = c.clock.Now()
 	close(e.done)
 	if e.err != nil {
 		delete(c.m, e.key)

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,37 +17,90 @@ import (
 	"time"
 
 	"tcor/internal/buildinfo"
+	"tcor/internal/resilience"
 	"tcor/internal/serve"
+	"tcor/internal/stats"
 )
 
 // Client talks to one tcord server. The zero value is not usable; call New.
 type Client struct {
 	base string
 	http *http.Client
+
+	retry   *resilience.RetryPolicy // nil = single attempt (the default)
+	breaker *resilience.Breaker     // nil = no client-side breaker
+
+	attempts *stats.Counter   // requests issued, retries included
+	retries  *stats.Counter   // re-issues after a retryable failure
+	giveups  *stats.Counter   // calls that exhausted their retry budget
+	delay    *stats.Histogram // backoff slept per scheduled retry, ns
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithRetry makes every idempotent call retry transient failures (transport
+// errors, 429s, 5xxs) under p: capped exponential backoff with full jitter,
+// honoring the server's Retry-After hint and the call's context deadline.
+// The policy's Retryable and RetryAfter classifiers are supplied by the
+// client; setting them on p has no effect. Retries are off without this
+// option — the historical single-attempt behavior.
+func WithRetry(p resilience.RetryPolicy) Option {
+	return func(c *Client) { c.retry = &p }
+}
+
+// WithBreaker adds a client-side circuit breaker: repeated transport
+// failures or 5xxs open it, and while open, calls fail fast with an error
+// matching resilience.ErrOpen instead of hammering a down server. Combined
+// with WithRetry, an open-breaker rejection is itself retryable — the retry
+// loop waits out the cooldown.
+func WithBreaker(cfg resilience.BreakerConfig) Option {
+	return func(c *Client) { c.breaker = resilience.NewBreaker(cfg) }
+}
+
+// WithMetrics meters the client's retry behavior into reg:
+// client.attempts, client.retries, client.giveups and the
+// client.retry.delay histogram.
+func WithMetrics(reg *stats.Registry) Option {
+	return func(c *Client) {
+		c.attempts = reg.Counter("client.attempts")
+		c.retries = reg.Counter("client.retries")
+		c.giveups = reg.Counter("client.giveups")
+		c.delay = reg.Histogram("client.retry.delay")
+	}
 }
 
 // New returns a client for the server at baseURL (e.g. "http://127.0.0.1:8344").
 // httpClient may be nil for http.DefaultClient; pass a client with a Timeout
 // (or use per-call contexts) in production.
-func New(baseURL string, httpClient *http.Client) *Client {
+func New(baseURL string, httpClient *http.Client, opts ...Option) *Client {
 	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
 		baseURL = baseURL[:len(baseURL)-1]
 	}
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: baseURL, http: httpClient}
+	c := &Client{base: baseURL, http: httpClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // APIError is a non-2xx response, carrying the server's machine-readable
 // code, the correlation ID echoed in X-Request-Id (greppable in the
-// daemon's access log) and, for 429s, the parsed Retry-After hint.
+// daemon's access log) and the parsed Retry-After hint when the server sent
+// one.
 type APIError struct {
-	Status     int
-	Code       string
-	Message    string
-	RequestID  string
-	RetryAfter time.Duration
+	Status    int
+	Code      string
+	Message   string
+	RequestID string
+	// RetryAfter is the server's parsed Retry-After hint; meaningful only
+	// when HasRetryAfter is true. The pair distinguishes "no hint" from an
+	// explicit zero-second hint.
+	RetryAfter    time.Duration
+	HasRetryAfter bool
 }
 
 // Error implements error.
@@ -58,13 +112,120 @@ func (e *APIError) Error() string {
 }
 
 // IsRetryable reports whether the request can be retried as-is after
-// waiting (admission rejections and drain refusals are; 4xx are not).
+// waiting. Admission rejections (429), drain/breaker refusals (503) and
+// transient server-side failures (500, 502, 504) are; 4xx are not. The
+// service is deterministic — a request that genuinely cannot succeed is
+// rejected with a 4xx, so a 5xx always means "the path, not the request".
 func (e *APIError) IsRetryable() bool {
-	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
 }
 
-// do issues one request and decodes error envelopes.
+// retryable classifies any error from one attempt: APIErrors answer for
+// themselves; everything else — an open client breaker worth waiting out, a
+// transport-level failure — retries. Context errors never reach here (the
+// retry loop returns them before classifying).
+func retryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.IsRetryable()
+	}
+	return true
+}
+
+// retryAfterHint surfaces the server's Retry-After (or an open breaker's
+// cooldown remainder) to the retry policy.
+func retryAfterHint(err error) (time.Duration, bool) {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.HasRetryAfter {
+		return ae.RetryAfter, true
+	}
+	var oe *resilience.OpenError
+	if errors.As(err, &oe) && oe.RetryIn > 0 {
+		return oe.RetryIn, true
+	}
+	return 0, false
+}
+
+// breakerOutcome classifies one attempt's result for the client breaker:
+// transport errors and 5xxs are path failures; 4xx mean the server is
+// healthy enough to reject precisely; 429s and cancellations are neutral.
+func breakerOutcome(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return resilience.Ignore
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch {
+		case ae.Status == http.StatusTooManyRequests:
+			return resilience.Ignore
+		case ae.Status < 500:
+			return nil
+		}
+	}
+	return err
+}
+
+// do issues one logical request — a single attempt without WithRetry, a
+// budgeted retry loop with it — through the client breaker when configured.
 func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, http.Header, error) {
+	if c.retry == nil {
+		return c.doOnce(ctx, method, path, body)
+	}
+	p := *c.retry
+	p.Retryable = retryable
+	p.RetryAfter = retryAfterHint
+	userHook := c.retry.OnRetry
+	p.OnRetry = func(attempt int, delay time.Duration, err error) {
+		c.retries.Inc()
+		c.delay.Observe(int64(delay))
+		if userHook != nil {
+			userHook(attempt, delay, err)
+		}
+	}
+	type reply struct {
+		data []byte
+		hdr  http.Header
+	}
+	r, err := resilience.Do(ctx, p, func(ctx context.Context) (reply, error) {
+		data, hdr, err := c.doOnce(ctx, method, path, body)
+		return reply{data, hdr}, err
+	})
+	if err != nil {
+		c.giveups.Inc()
+	}
+	return r.data, r.hdr, err
+}
+
+// doOnce issues one HTTP request and decodes error envelopes.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte) ([]byte, http.Header, error) {
+	done, allowErr := c.breaker.Allow()
+	if allowErr != nil {
+		return nil, nil, allowErr
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			done(errors.New("client: attempt panicked"))
+		}
+	}()
+	data, hdr, err := c.attempt(ctx, method, path, body)
+	committed = true
+	done(breakerOutcome(err))
+	return data, hdr, err
+}
+
+// attempt is one wire round trip.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) ([]byte, http.Header, error) {
+	c.attempts.Inc()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -78,6 +239,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
+		// http.Client wraps the context error in a *url.Error; unwrap-aware
+		// callers (the retry loop) need errors.Is to see through it, which
+		// url.Error supports.
 		return nil, nil, err
 	}
 	defer resp.Body.Close()
@@ -96,8 +260,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 			ae.Code = "http_error"
 			ae.Message = http.StatusText(resp.StatusCode)
 		}
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
-			ae.RetryAfter = time.Duration(secs) * time.Second
+		if hint := resp.Header.Get("Retry-After"); hint != "" {
+			if secs, err := strconv.Atoi(hint); err == nil && secs >= 0 {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+				ae.HasRetryAfter = true
+			}
 		}
 		return nil, resp.Header, ae
 	}
@@ -111,7 +278,7 @@ func (c *Client) Healthy(ctx context.Context) error {
 }
 
 // Ready reports whether the server accepts new simulations (false while
-// draining).
+// draining or degraded behind an open breaker).
 func (c *Client) Ready(ctx context.Context) error {
 	_, _, err := c.do(ctx, http.MethodGet, "/readyz", nil)
 	return err
@@ -149,8 +316,9 @@ func (c *Client) Stats(ctx context.Context) (map[string]int64, error) {
 }
 
 // CacheOutcome says how a simulation was served: "hit" (result cache),
-// "coalesced" (collapsed onto a concurrent identical request) or "miss"
-// (freshly simulated).
+// "coalesced" (collapsed onto a concurrent identical request), "miss"
+// (freshly simulated) or "stale" (an expired entry served while the
+// server's simulate path is degraded).
 type CacheOutcome string
 
 // Simulate runs one simulation, returning the decoded result and how the

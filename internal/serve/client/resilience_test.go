@@ -1,0 +1,225 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tcor/internal/resilience"
+	"tcor/internal/serve"
+	"tcor/internal/stats"
+)
+
+// flakyHandler answers the scripted status codes in order, then 200s with a
+// minimal version body (the client's cheapest decodable endpoint).
+func flakyHandler(codes []int, hdr map[string]string) (*httptest.Server, *atomic.Int64) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(calls.Add(1)) - 1
+		if n < len(codes) {
+			for k, v := range hdr {
+				w.Header().Set(k, v)
+			}
+			w.WriteHeader(codes[n])
+			w.Write([]byte(`{"error":{"code":"scripted","message":"scripted failure"}}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"version":"test","goVersion":"test","revision":"","dirty":false}`))
+	})
+	return httptest.NewServer(h), &calls
+}
+
+// TestRetryRecoversFromTransientFailures drives the full retry loop: two
+// scripted 500s, then success — one logical call, three attempts, metered.
+func TestRetryRecoversFromTransientFailures(t *testing.T) {
+	srv, calls := flakyHandler([]int{500, 503}, nil)
+	defer srv.Close()
+
+	reg := stats.NewRegistry()
+	c := New(srv.URL, srv.Client(),
+		WithRetry(resilience.RetryPolicy{
+			MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+		}),
+		WithMetrics(reg))
+	if _, err := c.Version(context.Background()); err != nil {
+		t.Fatalf("Version with retries = %v, want success after 2 transient failures", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Get("client.attempts"); got != 3 {
+		t.Fatalf("client.attempts = %d, want 3", got)
+	}
+	if got := snap.Get("client.retries"); got != 2 {
+		t.Fatalf("client.retries = %d, want 2", got)
+	}
+	if got := snap.Get("client.giveups"); got != 0 {
+		t.Fatalf("client.giveups = %d, want 0", got)
+	}
+	if got := snap.Get("client.retry.delay.count"); got != 2 {
+		t.Fatalf("client.retry.delay observations = %d, want 2", got)
+	}
+}
+
+// TestRetryStopsOnNonRetryable asserts a 4xx is terminal: deterministic
+// service, precise rejection — retrying the same bytes cannot help.
+func TestRetryStopsOnNonRetryable(t *testing.T) {
+	srv, calls := flakyHandler([]int{400}, nil)
+	defer srv.Close()
+
+	c := New(srv.URL, srv.Client(),
+		WithRetry(resilience.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}))
+	_, err := c.Version(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 400 {
+		t.Fatalf("err = %v, want the 400 APIError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a 400, want 1", got)
+	}
+}
+
+// TestRetryExhaustionSurfacesLastError asserts the budget is honored and
+// the giveup is metered.
+func TestRetryExhaustionSurfacesLastError(t *testing.T) {
+	srv, calls := flakyHandler([]int{500, 500, 500, 500, 500, 500}, nil)
+	defer srv.Close()
+
+	reg := stats.NewRegistry()
+	c := New(srv.URL, srv.Client(),
+		WithRetry(resilience.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}),
+		WithMetrics(reg))
+	_, err := c.Version(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 500 {
+		t.Fatalf("err = %v, want the final 500 APIError", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want the MaxAttempts budget of 3", got)
+	}
+	if got := reg.Snapshot().Get("client.giveups"); got != 1 {
+		t.Fatalf("client.giveups = %d, want 1", got)
+	}
+}
+
+// TestRetryHonorsRetryAfterHeader asserts the server hint beats the
+// jittered backoff when larger: a 2s Retry-After on a fake clock means the
+// retry sleeps at least 2 virtual seconds.
+func TestRetryHonorsRetryAfterHeader(t *testing.T) {
+	srv, _ := flakyHandler([]int{503}, map[string]string{"Retry-After": "2"})
+	defer srv.Close()
+
+	fc := resilience.NewFakeClock(time.Unix(0, 0))
+	c := New(srv.URL, srv.Client(),
+		WithRetry(resilience.RetryPolicy{
+			MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Clock: fc,
+		}))
+	if _, err := c.Version(context.Background()); err != nil {
+		t.Fatalf("Version = %v, want success on the second attempt", err)
+	}
+	if got := fc.Slept(); got < 2*time.Second {
+		t.Fatalf("retry slept %v, want at least the server's 2s hint", got)
+	}
+}
+
+// TestRetryAfterZeroVersusAbsent pins the fixed ambiguity: an explicit
+// "Retry-After: 0" and no header at all used to be indistinguishable.
+func TestRetryAfterZeroVersusAbsent(t *testing.T) {
+	apiErrFrom := func(hdr map[string]string) *APIError {
+		srv, _ := flakyHandler([]int{503}, hdr)
+		defer srv.Close()
+		_, err := New(srv.URL, srv.Client()).Version(context.Background())
+		var ae *APIError
+		if !errors.As(err, &ae) {
+			t.Fatalf("err = %v, want an APIError", err)
+		}
+		return ae
+	}
+	withZero := apiErrFrom(map[string]string{"Retry-After": "0"})
+	if !withZero.HasRetryAfter || withZero.RetryAfter != 0 {
+		t.Fatalf("explicit zero hint parsed as (has=%v, d=%v), want (true, 0)",
+			withZero.HasRetryAfter, withZero.RetryAfter)
+	}
+	without := apiErrFrom(nil)
+	if without.HasRetryAfter {
+		t.Fatalf("absent header parsed as a hint of %v", without.RetryAfter)
+	}
+}
+
+// TestClientBreakerOpensOnStreak asserts repeated 5xxs open the client-side
+// breaker and later calls fail fast with ErrOpen — without touching the
+// server.
+func TestClientBreakerOpensOnStreak(t *testing.T) {
+	srv, calls := flakyHandler([]int{500, 500, 500, 500}, nil)
+	defer srv.Close()
+
+	c := New(srv.URL, srv.Client(),
+		WithBreaker(resilience.BreakerConfig{
+			Window: 4, MinSamples: 2, FailureRatio: 0.5, Cooldown: time.Hour,
+		}))
+	for i := 0; i < 2; i++ {
+		if _, err := c.Version(context.Background()); err == nil {
+			t.Fatalf("call %d succeeded against an all-500 server", i)
+		}
+	}
+	before := calls.Load()
+	_, err := c.Version(context.Background())
+	if !errors.Is(err, resilience.ErrOpen) {
+		t.Fatalf("err = %v, want an open-breaker rejection", err)
+	}
+	if got := calls.Load(); got != before {
+		t.Fatalf("an open breaker still issued a request (%d -> %d)", before, got)
+	}
+}
+
+// TestRetryRidesOutChaos is the end-to-end drill in miniature: a real
+// serving stack armed with a 30% injected-fault rate, a retry-enabled
+// client, a run of sequential simulate calls — zero surfaced errors, and
+// every repeat of a request serves byte-identical bodies (injected faults
+// never corrupt or cache a wrong result).
+func TestRetryRidesOutChaos(t *testing.T) {
+	reg := stats.NewRegistry()
+	inj := resilience.NewInjector(7).Meter(reg)
+	inj.Arm(resilience.SiteHTTP, resilience.FaultPlan{Rate: 0.3, Codes: []int{500, 503}})
+	s := serve.NewServer(serve.Options{Workers: 2, Registry: reg, Chaos: inj})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	metrics := stats.NewRegistry()
+	c := New(srv.URL, srv.Client(),
+		WithRetry(resilience.RetryPolicy{
+			MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond,
+		}),
+		WithMetrics(metrics))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	bodies := make(map[string][]byte)
+	for i := 0; i < 30; i++ {
+		req := serve.SimulateRequest{Benchmark: "GTr", Config: "tcor", TileCacheKB: 64, Frames: 1 + i%2}
+		key := string(rune('0' + i%2))
+		body, _, err := c.SimulateRaw(ctx, req)
+		if err != nil {
+			t.Fatalf("call %d surfaced an error through the retry layer: %v", i, err)
+		}
+		if prev, ok := bodies[key]; ok && string(prev) != string(body) {
+			t.Fatalf("call %d: response bytes changed under chaos", i)
+		}
+		bodies[key] = body
+	}
+	if got := reg.Snapshot().Get("chaos.serve.http.injected"); got == 0 {
+		t.Fatal("the chaos injector never fired; the drill exercised nothing")
+	}
+	if got := metrics.Snapshot().Get("client.retries"); got == 0 {
+		t.Fatal("the client never retried; the drill exercised nothing")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("serving-layer invariants after the drill: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"tcor/internal/experiments"
 	"tcor/internal/geom"
 	"tcor/internal/gpu"
+	"tcor/internal/resilience"
 	"tcor/internal/stats"
 	"tcor/internal/workload"
 )
@@ -63,6 +64,27 @@ type Options struct {
 	// (0 = 4096 spans, negative = tracing disabled). Once full, further
 	// spans are dropped, never blocking a request.
 	TraceCapacity int
+	// Chaos, when non-nil, is a fault injector the serving stack evaluates
+	// at its well-known sites (resilience.SiteHTTP once per request,
+	// resilience.SiteSimulate inside the compute path). Arm sites on it
+	// before passing it in; nil disables injection with zero cost.
+	Chaos *resilience.Injector
+	// Breaker, when non-nil, guards the simulation path with a circuit
+	// breaker: repeated compute failures open it, open-state requests are
+	// answered 503 (code "breaker_open") or served bounded-stale from the
+	// cache, and /readyz reports degraded. Nil disables the breaker.
+	Breaker *resilience.BreakerConfig
+	// CacheTTL bounds a cached result's freshness; an expired entry is
+	// recomputed on next use (0 = entries stay fresh forever, the historical
+	// behavior).
+	CacheTTL time.Duration
+	// MaxStale bounds how far past CacheTTL an expired entry may still be
+	// served while the breaker is open (0 = never serve stale). Stale
+	// responses carry X-Tcord-Cache: stale and a Warning header.
+	MaxStale time.Duration
+	// Clock is the time source for cache expiry and breaker cooldowns
+	// (nil = wall clock). Tests pass a resilience.FakeClock.
+	Clock resilience.Clock
 }
 
 // withDefaults resolves the zero values.
@@ -113,6 +135,9 @@ func (o Options) withDefaults() Options {
 	case o.TraceCapacity < 0:
 		o.TraceCapacity = 0 // disabled; NewTracer returns the nil no-op
 	}
+	if o.Clock == nil {
+		o.Clock = resilience.Wall()
+	}
 	return o
 }
 
@@ -148,6 +173,9 @@ type Server struct {
 	mux    *http.ServeMux
 	logger *slog.Logger
 	tracer *stats.Tracer // nil when TraceCapacity < 0
+	chaos  *resilience.Injector
+	brk    *resilience.Breaker // nil when Options.Breaker is nil
+	clock  resilience.Clock
 
 	draining atomic.Bool
 	httpSrv  *http.Server
@@ -160,6 +188,10 @@ type Server struct {
 	latency   *stats.Histogram // whole-request wall time, ns
 	simDur    *stats.Histogram // simulation compute time, ns
 	encodeDur *stats.Histogram // result-encoding time, ns
+
+	brkState  *stats.Gauge   // breaker position (0 closed, 1 open, 2 half-open)
+	brkTrans  *stats.Counter // breaker state transitions
+	brkShort  *stats.Counter // calls short-circuited by an open breaker
 
 	// simulate is the compute the worker pool runs; tests swap it to make
 	// duration and cancellation observable. The default is gpu.Simulate,
@@ -176,9 +208,11 @@ func NewServer(opts Options) *Server {
 		opts:   opts,
 		reg:    reg,
 		gate:   newGate(opts.Workers, opts.QueueDepth, reg),
-		cache:  newResultCache(opts.CacheEntries, reg),
+		cache:  newResultCache(opts.CacheEntries, opts.CacheTTL, opts.MaxStale, opts.Clock, reg),
 		logger: opts.Logger,
 		tracer: stats.NewTracer(opts.TraceCapacity),
+		chaos:  opts.Chaos,
+		clock:  opts.Clock,
 
 		requests: reg.Counter("serve.http.requests"),
 		responses: map[int]*stats.Counter{
@@ -192,9 +226,31 @@ func NewServer(opts Options) *Server {
 		latency:   reg.Histogram("serve.http.latency"),
 		simDur:    reg.Histogram("serve.sim.duration"),
 		encodeDur: reg.Histogram("serve.encode.duration"),
+		brkState: reg.Gauge("serve.breaker.state"),
+		brkTrans: reg.Counter("serve.breaker.transitions"),
+		brkShort: reg.Counter("serve.breaker.shortCircuits"),
 		simulate: func(_ context.Context, scene *workload.Scene, cfg gpu.Config) (*gpu.Result, error) {
 			return gpu.Simulate(scene, cfg)
 		},
+	}
+	if opts.Breaker != nil {
+		// Chain the caller's observer behind the server's metering: the
+		// state gauge and transition counter move on every change, and the
+		// transition lands in the structured log.
+		cfg := *opts.Breaker
+		if cfg.Clock == nil {
+			cfg.Clock = opts.Clock
+		}
+		prev := cfg.OnTransition
+		cfg.OnTransition = func(from, to resilience.BreakerState) {
+			s.brkState.Set(int64(to))
+			s.brkTrans.Inc()
+			s.logger.Warn("breaker transition", "from", from.String(), "to", to.String())
+			if prev != nil {
+				prev(from, to)
+			}
+		}
+		s.brk = resilience.NewBreaker(cfg)
 	}
 	s.registerInvariants()
 
@@ -248,6 +304,20 @@ func (s *Server) registerInvariants() {
 		done := snap.Get("serve.simulations.completed") + snap.Get("serve.simulations.failed")
 		if adm := snap.Get("serve.admitted"); done > adm {
 			return fmt.Errorf("simulation outcomes %d exceed admissions %d", done, adm)
+		}
+		return nil
+	})
+	s.reg.RegisterInvariant("serve.breakerState", func(snap stats.Snapshot) error {
+		if got := snap.Get("serve.breaker.state"); got < 0 || got > 2 {
+			return fmt.Errorf("breaker state %d outside [0,2]", got)
+		}
+		return nil
+	})
+	s.reg.RegisterInvariant("serve.staleServesNeedHits", func(snap stats.Snapshot) error {
+		// Every stale serve re-reads an entry some miss once completed; a
+		// cache that was never filled cannot serve stale.
+		if stale, miss := snap.Get("serve.cache.staleServes"), snap.Get("serve.cache.misses"); stale > 0 && miss == 0 {
+			return fmt.Errorf("stale serves %d with zero misses", stale)
 		}
 		return nil
 	})
@@ -385,8 +455,56 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 				slog.Duration("queueWait", wait),
 				slog.String("cache", disposition))
 		}()
+
+		// Chaos hook: with SiteHTTP armed, a request may absorb injected
+		// latency, answer an injected status, or panic into the recovery
+		// above — all before the handler, so an injected fault can never
+		// reach the result cache. The nil injector costs one branch.
+		// Health, metrics, stats and debug endpoints are exempt — checked
+		// before Evaluate so they neither consume a slot in the seeded
+		// schedule nor tick the injected counter: a drill needs a
+		// fault-free observability surface to be measurable, and a faulted
+		// /readyz would flap load balancers rather than exercise the API
+		// path under test.
+		if f := s.chaosEvaluate(r.URL.Path); f.Inject {
+			if f.Latency > 0 {
+				if err := s.clock.Sleep(ctx, f.Latency); err != nil {
+					s.writeError(rec, err) // client gone mid-injected-latency
+					return
+				}
+			}
+			if f.Panic {
+				panic("resilience: injected panic at " + resilience.SiteHTTP)
+			}
+			if f.Err != nil {
+				status := f.Code
+				if status == 0 {
+					status = http.StatusInternalServerError
+				}
+				s.writeError(rec, &apiError{status: status, code: "injected_fault",
+					msg: "injected fault (chaos mode)"})
+				return
+			}
+			// Latency-only: fall through to the real handler.
+		}
 		next.ServeHTTP(rec, r)
 	})
+}
+
+// chaosEvaluate draws the next SiteHTTP fault decision for a request to
+// path, exempting the observability surface (health, readiness, metrics,
+// stats, debug). Exempt paths never reach the injector, so they do not
+// advance the seeded fault schedule: the Nth API request sees the same
+// decision regardless of how many probes were interleaved.
+func (s *Server) chaosEvaluate(path string) resilience.Fault {
+	switch path {
+	case "/healthz", "/readyz", "/metrics", "/v1/stats":
+		return resilience.Fault{}
+	}
+	if strings.HasPrefix(path, "/debug/") {
+		return resilience.Fault{}
+	}
+	return s.chaos.Evaluate(resilience.SiteHTTP)
 }
 
 // handleDebugTrace serves the daemon's span trace as Chrome trace_event
@@ -418,6 +536,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		io.WriteString(w, "draining\n")
+		return
+	}
+	if s.brk.State() == resilience.Open {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "degraded: circuit open\n")
 		return
 	}
 	io.WriteString(w, "ready\n")
@@ -486,6 +609,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Tcord-Cache", string(how))
+	if how == outcomeStale {
+		w.Header().Set("Warning", `110 tcord "response is stale"`)
+	}
 	w.Write(val.body)
 }
 
@@ -524,11 +650,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// harness uses; each one still passes the admission gate and the
 	// result cache, so a sweep is exactly N simulate calls with shared
 	// scheduling and deterministic (item-order) results.
+	var anyStale atomic.Bool
 	runs, err := experiments.SweepSlice(ctx, s.opts.Workers, jobs,
 		func(ctx context.Context, j job) (json.RawMessage, error) {
-			val, _, err := s.runJob(ctx, j)
+			val, how, err := s.runJob(ctx, j)
 			if err != nil {
 				return nil, err
+			}
+			if how == outcomeStale {
+				anyStale.Store(true)
 			}
 			if j.check {
 				if err := val.res.CheckInvariants(); err != nil {
@@ -543,6 +673,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeError(w, err)
 		return
+	}
+	if anyStale.Load() {
+		w.Header().Set("Warning", `110 tcord "response includes stale items"`)
 	}
 	s.writeJSON(w, SweepResponse{Runs: runs})
 }
@@ -594,54 +727,115 @@ func (s *Server) requestContext(r *http.Request, timeoutMs int) (context.Context
 // runJob serves one resolved simulation through the cache, the singleflight
 // table and the admission gate, in that order: a cached result costs no
 // worker slot, a coalesced waiter rides the leader's slot, and only a true
-// miss enters the queue. The cache disposition is noted on the request's
-// meta for the access log, and the compute path is split into sim and
-// encode spans feeding the serve.sim.duration and serve.encode.duration
-// histograms.
+// miss enters the queue. The compute path is guarded by the circuit
+// breaker (when configured): an open breaker short-circuits to 503 before
+// a worker slot is consumed, and the cache may then serve bounded-stale
+// entries instead. The cache disposition is noted on the request's meta
+// for the access log.
 func (s *Server) runJob(ctx context.Context, j job) (cached, outcome, error) {
-	val, how, err := s.cache.get(ctx, j.key, func() (cached, error) {
-		if err := s.gate.acquire(ctx); err != nil {
-			return cached{}, err
+	val, how, err := s.cache.get(ctx, j.key, s.breakerOpen, func() (cached, error) {
+		done, allowErr := s.brk.Allow()
+		if allowErr != nil {
+			s.brkShort.Inc()
+			ae := &apiError{status: http.StatusServiceUnavailable, code: "breaker_open",
+				msg: "simulation path unavailable (circuit open); retry later"}
+			var oe *resilience.OpenError
+			if errors.As(allowErr, &oe) {
+				ae.retryAfter = oe.RetryIn
+			}
+			return cached{}, ae
 		}
-		defer s.gate.release()
-		if err := ctx.Err(); err != nil {
-			// The deadline or the client beat the queue; don't start.
-			return cached{}, err
-		}
-		scene, err := workload.Generate(j.spec, geom.DefaultScreen())
-		if err != nil {
-			s.simFailed.Inc()
-			return cached{}, badRequest("generating workload: %v", err)
-		}
-		simT0 := time.Now()
-		sp, sctx := stats.StartSpan(ctx, "simulate", "serve")
-		sp.SetAttr("benchmark", j.spec.Alias)
-		sp.SetAttr("config", j.cfgName)
-		cfg := j.cfg
-		cfg.Tracer = s.tracer // json:"-", so the cache key is unaffected
-		res, err := s.simulate(sctx, scene, cfg)
-		sp.End()
-		s.simDur.ObserveSince(simT0)
-		if err != nil {
-			s.simFailed.Inc()
-			return cached{}, err
-		}
-		encT0 := time.Now()
-		esp, _ := stats.StartSpan(ctx, "encode", "serve")
-		body, err := EncodeRunResult(BuildRunResult(j.spec.Alias, j.cfgName, j.cfg.TileCacheBytes/1024, res))
-		esp.End()
-		s.encodeDur.ObserveSince(encT0)
-		if err != nil {
-			s.simFailed.Inc()
-			return cached{}, err
-		}
-		s.simOK.Inc()
-		return cached{res: res, body: body}, nil
+		// The breaker must observe exactly one outcome per admitted call,
+		// panics included: an escaping panic (an injected one, or a bug in
+		// the simulator) records as a failure on the way out; the normal
+		// path commits first and records its classified outcome.
+		committed := false
+		defer func() {
+			if !committed {
+				done(errComputePanicked)
+			}
+		}()
+		val, err := s.computeJob(ctx, j)
+		committed = true
+		done(breakerOutcome(err))
+		return val, err
 	})
 	if err == nil {
 		metaFrom(ctx).noteOutcome(how)
 	}
 	return val, how, err
+}
+
+// breakerOpen reports whether the simulate path's breaker is open — the
+// cache's license to serve bounded-stale entries.
+func (s *Server) breakerOpen() bool { return s.brk.State() == resilience.Open }
+
+// breakerOutcome classifies a compute error for the circuit breaker. Only
+// failures of the simulation path itself count against it: cancellations
+// and client-attributable rejections (4xx, including queue-full 429s, which
+// admission already handles) say nothing about the path's health.
+func breakerOutcome(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return resilience.Ignore
+	}
+	var ae *apiError
+	if errors.As(err, &ae) && ae.status < 500 {
+		return resilience.Ignore
+	}
+	return err
+}
+
+// computeJob is the cache-miss leader's work: admission, workload
+// generation, the simulation itself and the canonical encoding, split into
+// sim and encode spans feeding the serve.sim.duration and
+// serve.encode.duration histograms. With SiteSimulate armed, the chaos
+// injector runs after admission, just before the simulation — injected
+// errors surface like simulator failures and are never cached.
+func (s *Server) computeJob(ctx context.Context, j job) (cached, error) {
+	if err := s.gate.acquire(ctx); err != nil {
+		return cached{}, err
+	}
+	defer s.gate.release()
+	if err := ctx.Err(); err != nil {
+		// The deadline or the client beat the queue; don't start.
+		return cached{}, err
+	}
+	if err := s.chaos.Inject(ctx, resilience.SiteSimulate); err != nil {
+		s.simFailed.Inc()
+		return cached{}, err
+	}
+	scene, err := workload.Generate(j.spec, geom.DefaultScreen())
+	if err != nil {
+		s.simFailed.Inc()
+		return cached{}, badRequest("generating workload: %v", err)
+	}
+	simT0 := time.Now()
+	sp, sctx := stats.StartSpan(ctx, "simulate", "serve")
+	sp.SetAttr("benchmark", j.spec.Alias)
+	sp.SetAttr("config", j.cfgName)
+	cfg := j.cfg
+	cfg.Tracer = s.tracer // json:"-", so the cache key is unaffected
+	res, err := s.simulate(sctx, scene, cfg)
+	sp.End()
+	s.simDur.ObserveSince(simT0)
+	if err != nil {
+		s.simFailed.Inc()
+		return cached{}, err
+	}
+	encT0 := time.Now()
+	esp, _ := stats.StartSpan(ctx, "encode", "serve")
+	body, err := EncodeRunResult(BuildRunResult(j.spec.Alias, j.cfgName, j.cfg.TileCacheBytes/1024, res))
+	esp.End()
+	s.encodeDur.ObserveSince(encT0)
+	if err != nil {
+		s.simFailed.Inc()
+		return cached{}, err
+	}
+	s.simOK.Inc()
+	return cached{res: res, body: body}, nil
 }
 
 // --- response helpers ---
@@ -655,8 +849,15 @@ func methodNotAllowed(allow string) *apiError {
 // map to timeout/cancellation statuses; unknown errors are opaque 500s.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var ae *apiError
+	var ie *resilience.InjectedError
 	switch {
 	case errors.As(err, &ae):
+	case errors.As(err, &ie):
+		status := ie.Code
+		if status < 400 || status > 599 {
+			status = http.StatusInternalServerError
+		}
+		ae = &apiError{status: status, code: "injected_fault", msg: ie.Error()}
 	case errors.Is(err, context.DeadlineExceeded):
 		ae = &apiError{status: http.StatusGatewayTimeout, code: "deadline_exceeded",
 			msg: "request deadline exceeded"}
@@ -667,18 +868,42 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		ae = &apiError{status: http.StatusInternalServerError, code: "internal",
 			msg: err.Error()}
 	}
-	if ae.status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	retryAfter := ae.retryAfter
+	if ae.status == http.StatusTooManyRequests && retryAfter <= 0 {
+		retryAfter = s.retryAfterEstimate()
+	}
+	if retryAfter > 0 {
+		secs := int((retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(ae.status)
 	json.NewEncoder(w).Encode(ErrorBody{Error: ErrorDetail{Code: ae.code, Message: ae.msg}}) //nolint:errcheck
 }
 
-// retryAfterSeconds is the hint sent with every 429. One second is long
-// enough for a worker slot to turn over on the suite's small benchmarks and
-// short enough that clients retry before their own deadlines.
-const retryAfterSeconds = 1
+// retryAfterEstimate sizes the 429 hint from live load instead of a
+// constant: the backlog (in-flight plus queued plus the rejected caller)
+// amounts to ceil(backlog/workers) worker-pool turnovers, each costing
+// about the observed p50 simulation time (floored at a second while the
+// histogram is empty or the suite is fast). Clamped to [1s, 60s] so a cold
+// histogram or a pathological backlog cannot produce a useless hint.
+func (s *Server) retryAfterEstimate() time.Duration {
+	backlog := s.gate.inflight.Load() + s.gate.queued.Load() + 1
+	workers := int64(s.opts.Workers)
+	waves := (backlog + workers - 1) / workers
+	p50 := time.Duration(s.simDur.Quantile(0.5))
+	if p50 < time.Second {
+		p50 = time.Second
+	}
+	d := time.Duration(waves) * p50
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 60*time.Second {
+		d = 60 * time.Second
+	}
+	return d
+}
 
 func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")

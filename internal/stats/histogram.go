@@ -122,6 +122,17 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile of the histogram's current state (0 on
+// nil or empty). One-off reads — a server sizing a Retry-After hint from
+// its observed p50 — use this; callers reading several quantiles should
+// take one Snapshot and query that instead, so the reads agree.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.Snapshot().Quantile(q)
+}
+
 // HistogramSnapshot is a point-in-time copy of a Histogram; quantiles are
 // computed from it so repeated reads agree with each other.
 type HistogramSnapshot struct {

@@ -1,6 +1,9 @@
 package stats
 
-import "sync"
+import (
+	"encoding/json"
+	"sync"
+)
 
 // Event is one entry of a debug event-trace ring: a replacement decision
 // (or any other per-line occurrence) annotated with where it happened and
@@ -68,6 +71,50 @@ func (r *Ring) Events() []Event {
 		out = append(out, r.buf[(start+i)%len(r.buf)])
 	}
 	return out
+}
+
+// ringJSON is the wire form of a Ring: capacity, lifetime count and the
+// retained events oldest-first. It exists so results holding a debug trace
+// survive a JSON round-trip (the sweep checkpoint journal).
+type ringJSON struct {
+	Cap    int     `json:"cap"`
+	Seq    int64   `json:"seq"`
+	Events []Event `json:"events,omitempty"`
+}
+
+// MarshalJSON encodes the ring's capacity, lifetime count and retained
+// events. A nil ring encodes as null.
+func (r *Ring) MarshalJSON() ([]byte, error) {
+	if r == nil {
+		return []byte("null"), nil
+	}
+	r.mu.Lock()
+	cap, seq := len(r.buf), r.seq
+	r.mu.Unlock()
+	return json.Marshal(ringJSON{Cap: cap, Seq: seq, Events: r.Events()})
+}
+
+// UnmarshalJSON restores a ring encoded by MarshalJSON, replacing the
+// receiver's contents. Restored events keep their original Seq values; the
+// next Record continues from the recorded lifetime count.
+func (r *Ring) UnmarshalJSON(b []byte) error {
+	var w ringJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if w.Cap <= 0 {
+		w.Cap = len(w.Events)
+		if w.Cap == 0 {
+			w.Cap = 1
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = make([]Event, w.Cap)
+	r.n = copy(r.buf, w.Events)
+	r.w = r.n % len(r.buf)
+	r.seq = w.Seq
+	return nil
 }
 
 // Total returns how many events were ever recorded (including overwritten

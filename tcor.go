@@ -29,6 +29,7 @@ import (
 	"tcor/internal/geom"
 	"tcor/internal/geometry"
 	"tcor/internal/gpu"
+	"tcor/internal/resilience"
 	"tcor/internal/serve"
 	"tcor/internal/serve/client"
 	"tcor/internal/trace"
@@ -76,6 +77,19 @@ type (
 	// RunResult is the served form of a simulation's metrics; it encodes
 	// byte-identically to a direct Simulate call's summary.
 	RunResult = serve.RunResult
+	// ClientOption configures a ServiceClient (retries, breaker, metrics).
+	ClientOption = client.Option
+	// RetryPolicy shapes a retrying client's backoff: attempt cap, base and
+	// max delay, elapsed-time budget, deterministic jitter seed.
+	RetryPolicy = resilience.RetryPolicy
+	// BreakerConfig shapes a circuit breaker: rolling window, failure ratio,
+	// cooldown and half-open probe count.
+	BreakerConfig = resilience.BreakerConfig
+	// FaultPlan arms deterministic fault injection (see ParseFaultPlan and
+	// ServeOptions.Chaos).
+	FaultPlan = resilience.FaultPlan
+	// Injector schedules deterministic faults at named sites.
+	Injector = resilience.Injector
 )
 
 // DefaultScreen returns the paper's Table I screen (1960x768, 32x32 tiles).
@@ -156,9 +170,28 @@ func NewServer(opts ServeOptions) *Server { return serve.NewServer(opts) }
 
 // NewServiceClient returns a typed client for a tcord daemon at baseURL
 // (e.g. "http://localhost:8344"). A nil httpClient uses http.DefaultClient.
-func NewServiceClient(baseURL string, httpClient *http.Client) *ServiceClient {
-	return client.New(baseURL, httpClient)
+// Options add resilience: WithClientRetry for transparent retries of
+// transient failures, WithClientBreaker to stop hammering a down daemon,
+// WithClientMetrics to meter both.
+func NewServiceClient(baseURL string, httpClient *http.Client, opts ...ClientOption) *ServiceClient {
+	return client.New(baseURL, httpClient, opts...)
 }
+
+// Client resilience options, re-exported for NewServiceClient.
+var (
+	WithClientRetry   = client.WithRetry
+	WithClientBreaker = client.WithBreaker
+	WithClientMetrics = client.WithMetrics
+)
+
+// NewFaultInjector returns a deterministic fault injector: same seed, same
+// fault schedule, regardless of goroutine interleaving. Arm sites on it and
+// pass it to ServeOptions.Chaos (or a context via resilience helpers).
+func NewFaultInjector(seed int64) *Injector { return resilience.NewInjector(seed) }
+
+// ParseFaultPlan parses the -chaos flag grammar
+// ("rate=0.1,lat=50ms,codes=500|503,seed=7") into a plan and its seed.
+func ParseFaultPlan(s string) (FaultPlan, int64, error) { return resilience.ParsePlan(s) }
 
 // RenderScene3D pushes a 3D scene through the Geometry Pipeline and wraps
 // the result as a single-frame workload ready for Simulate. The spec
