@@ -13,6 +13,7 @@ package tcor
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"strings"
 	"sync"
@@ -272,14 +273,20 @@ func BenchmarkAttributeCacheReadHit(b *testing.B) {
 }
 
 func BenchmarkBinning(b *testing.B) {
-	spec, _ := workload.ByAlias("TRu")
+	spec, err := workload.ByAlias("TRu")
+	if err != nil {
+		b.Fatal(err)
+	}
 	spec.Frames = 1
 	screen := geom.DefaultScreen()
 	scene, err := workload.Generate(spec, screen)
 	if err != nil {
 		b.Fatal(err)
 	}
-	trav, _ := tiling.NewTraversal(screen, tiling.OrderZ)
+	trav, err := tiling.NewTraversal(screen, tiling.OrderZ)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tiling.Bin(screen, trav, scene.Frame(0).Prims); err != nil {
@@ -324,17 +331,59 @@ func BenchmarkFullFrameTCOR(b *testing.B) {
 
 func benchFullFrame(b *testing.B, cfg gpu.Config) {
 	b.Helper()
-	spec, _ := workload.ByAlias("CCS")
+	spec, err := workload.ByAlias("CCS")
+	if err != nil {
+		b.Fatal(err)
+	}
 	spec.Frames = 1
 	scene, err := workload.Generate(spec, geom.DefaultScreen())
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := gpu.Simulate(scene, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkFrameParallel measures the parallel frame core against serial on
+// the same scene: sub-benchmarks per TileParallel level, with frames/sec as
+// the headline custom metric. The differential harness proves every level
+// produces identical bytes; this benchmark tracks what that buys in time
+// and allocations (the CI bench gate watches its ns/op and allocs/op).
+func BenchmarkFrameParallel(b *testing.B) {
+	spec, err := workload.ByAlias("TRu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Frames = 1
+	scene, err := workload.Generate(spec, geom.DefaultScreen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	levels := []int{1, 2, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, workers := range levels {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := gpu.TCOR(64 * 1024)
+			cfg.TileParallel = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gpu.Simulate(scene, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+		})
 	}
 }
 

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: tcor
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkHeadline-8          	      10	 120000000 ns/op	        13.80 %hier-energy(paper:13.8)	 5808056 B/op	    7434 allocs/op
+BenchmarkHeadline-8          	      12	 100000000 ns/op	        13.80 %hier-energy(paper:13.8)	 5808000 B/op	    7400 allocs/op
+BenchmarkFrameParallel/workers=1-8   	       8	 140000000 ns/op	         7.156 frames/s	 6116584 B/op	   12678 allocs/op
+BenchmarkFrameParallel/workers=2-8   	       9	 147000000 ns/op	         6.786 frames/s	10874328 B/op	   19769 allocs/op
+PASS
+ok  	tcor	0.704s
+`
+
+func TestParseTakesMinimaAndStripsProcSuffix(t *testing.T) {
+	got, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := got["BenchmarkHeadline"]
+	if !ok {
+		t.Fatalf("no BenchmarkHeadline in %v", got)
+	}
+	if h.NsPerOp != 100000000 || h.AllocsPerOp != 7400 || h.Samples != 2 {
+		t.Fatalf("headline = %+v", h)
+	}
+	if _, ok := got["BenchmarkFrameParallel/workers=2"]; !ok {
+		t.Fatalf("sub-benchmark name mangled: %v", got)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("empty input must fail")
+	}
+}
+
+// TestSnapshotThenCompare drives the two modes end to end through run():
+// identical input passes the gate, a slowed-down and alloc-heavier rerun
+// fails it with exit code 1, and an ungated benchmark may regress freely.
+func TestSnapshotThenCompare(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_baseline.json")
+
+	if code := run([]string{"-snapshot", base, "-commit", "abc123"},
+		strings.NewReader(sampleOutput), &strings.Builder{}, &strings.Builder{}); code != 0 {
+		t.Fatalf("snapshot exit = %d", code)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"commit": "abc123"`) {
+		t.Fatalf("snapshot missing commit: %s", data)
+	}
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-baseline", base},
+		strings.NewReader(sampleOutput), &out, &errOut); code != 0 {
+		t.Fatalf("self-compare exit = %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("self-compare output: %s", out.String())
+	}
+
+	regressed := strings.ReplaceAll(sampleOutput, " 100000000 ns/op", " 200000000 ns/op")
+	regressed = strings.ReplaceAll(regressed, " 120000000 ns/op", " 200000000 ns/op")
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", base},
+		strings.NewReader(regressed), &out, &errOut); code != 1 {
+		t.Fatalf("regressed compare exit = %d, want 1: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "BenchmarkHeadline: ns/op") {
+		t.Fatalf("failure report: %s", errOut.String())
+	}
+
+	// The same slowdown outside the gate passes.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", base, "-gate", "FrameParallel"},
+		strings.NewReader(regressed), &out, &errOut); code != 0 {
+		t.Fatalf("ungated regression exit = %d: %s", code, errOut.String())
+	}
+}
+
+func TestCompareFlagsMissingBenchmark(t *testing.T) {
+	base, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(cur, "BenchmarkHeadline")
+	_, failures := compare(base, cur, regexp.MustCompile("Headline"), 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("failures = %v", failures)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var errOut strings.Builder
+	if code := run(nil, strings.NewReader(""), &strings.Builder{}, &errOut); code != 2 {
+		t.Fatalf("no mode: exit %d", code)
+	}
+	if code := run([]string{"-snapshot", "x", "-baseline", "y"},
+		strings.NewReader(""), &strings.Builder{}, &errOut); code != 2 {
+		t.Fatalf("both modes: exit %d", code)
+	}
+	if code := run([]string{"-baseline", "y", "-threshold", "-1"},
+		strings.NewReader(""), &strings.Builder{}, &errOut); code != 2 {
+		t.Fatalf("bad threshold: exit %d", code)
+	}
+}

@@ -95,6 +95,7 @@ type options struct {
 	compare   bool
 	jsonOut   bool
 	parallel  int
+	tilePar   int
 	timeout   time.Duration
 	statsPath string
 	tracePath string
@@ -128,6 +129,7 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	fs.BoolVar(&o.compare, "compare", false, "run baseline and TCOR and print both")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit a machine-readable JSON summary instead of text")
 	fs.IntVar(&o.parallel, "parallel", 0, "max concurrent -compare simulations (0 = GOMAXPROCS)")
+	fs.IntVar(&o.tilePar, "tile-parallel", 0, "per-tile raster planning workers within each simulation; results are identical at every level (0 or 1 = serial)")
 	fs.DurationVar(&o.timeout, "timeout", 0, "abort the run after this duration (0 = no limit)")
 	fs.StringVar(&o.statsPath, "stats", "", "write the full hierarchy counter dump as JSON to this file")
 	fs.StringVar(&o.tracePath, "trace", "", "write a Chrome trace_event JSON span trace (chrome://tracing, Perfetto) to this file")
@@ -154,6 +156,9 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	}
 	if o.parallel < 0 {
 		return options{}, fmt.Errorf("-parallel must be non-negative, got %d", o.parallel)
+	}
+	if o.tilePar < 0 {
+		return options{}, fmt.Errorf("-tile-parallel must be non-negative, got %d", o.tilePar)
 	}
 	if o.evtrace < 0 {
 		return options{}, fmt.Errorf("-evtrace must be non-negative, got %d", o.evtrace)
@@ -353,6 +358,7 @@ func simulate(w io.Writer, scene *workload.Scene, config string, o options, col 
 		return err
 	}
 	cfg.L2TraceDepth = o.evtrace
+	cfg.TileParallel = o.tilePar
 	cfg.Tracer = tracer
 	res, err := gpu.Simulate(scene, cfg)
 	if err != nil {

@@ -1,0 +1,106 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestTileCodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		tile TileID
+		pos  uint16
+		prim uint32
+	}{
+		{0, 0, 0},
+		{1, 0, 0},
+		{0, 1, 0},
+		{0, 0, 1},
+		{0xFFFF, 0, 0},
+		{0, 0xFFFF, 0},
+		{0, 0, 0xFFFFFFFF},
+		{0xFFFF, 0xFFFF, 0xFFFFFFFF},
+		{1487, 1487, 123456}, // last tile of the default 1960x768 screen
+		{0xAAAA, 0x5555, 0xDEADBEEF},
+	}
+	for _, c := range cases {
+		code := PackTileCode(c.tile, c.pos, c.prim)
+		if got := code.Tile(); got != c.tile {
+			t.Errorf("PackTileCode(%d,%d,%d).Tile() = %d", c.tile, c.pos, c.prim, got)
+		}
+		if got := code.Pos(); got != c.pos {
+			t.Errorf("PackTileCode(%d,%d,%d).Pos() = %d", c.tile, c.pos, c.prim, got)
+		}
+		if got := code.Prim(); got != c.prim {
+			t.Errorf("PackTileCode(%d,%d,%d).Prim() = %d", c.tile, c.pos, c.prim, got)
+		}
+	}
+}
+
+// FuzzTileCode drives the pack/unpack round trip over arbitrary field
+// values: every field must come back exactly, and setting one field to an
+// extreme must not bleed into its neighbors' bit ranges.
+func FuzzTileCode(f *testing.F) {
+	f.Add(uint16(0), uint16(0), uint32(0))
+	f.Add(uint16(0xFFFF), uint16(0xFFFF), uint32(0xFFFFFFFF))
+	f.Add(uint16(1487), uint16(42), uint32(7))
+	f.Add(uint16(1), uint16(2), uint32(3))
+	f.Fuzz(func(t *testing.T, tile uint16, pos uint16, prim uint32) {
+		code := PackTileCode(TileID(tile), pos, prim)
+		if code.Tile() != TileID(tile) || code.Pos() != pos || code.Prim() != prim {
+			t.Fatalf("round trip (%d,%d,%d) -> %#x -> (%d,%d,%d)",
+				tile, pos, prim, uint64(code), code.Tile(), code.Pos(), code.Prim())
+		}
+		// No bleed: zeroing one input must zero exactly that field.
+		if c := PackTileCode(TileID(tile), pos, 0); c.Prim() != 0 || c.Tile() != TileID(tile) || c.Pos() != pos {
+			t.Fatalf("prim=0 bleed: %#x", uint64(c))
+		}
+		if c := PackTileCode(0, pos, prim); c.Tile() != 0 || c.Pos() != pos || c.Prim() != prim {
+			t.Fatalf("tile=0 bleed: %#x", uint64(c))
+		}
+		if c := PackTileCode(TileID(tile), 0, prim); c.Pos() != 0 || c.Tile() != TileID(tile) || c.Prim() != prim {
+			t.Fatalf("pos=0 bleed: %#x", uint64(c))
+		}
+	})
+}
+
+// TestPackedKeyMapOrderIndependence is the property behind the parallel
+// frame core's use of packed keys: when per-tile records keyed by TileCode
+// pass through a Go map (whose iteration order is deliberately random),
+// recovering the traversal order by sorting on the packed position field
+// must yield the same commit sequence — and therefore the same stats — no
+// matter the insertion order. A digest over the recovered sequence stands
+// in for the simulator's stats fold.
+func TestPackedKeyMapOrderIndependence(t *testing.T) {
+	const n = 1489 // more tiles than the default screen, not a power of two
+	codes := make([]TileCode, n)
+	for i := range codes {
+		codes[i] = PackTileCode(TileID(i%1488), uint16(i), uint32(i*2654435761))
+	}
+	digest := func(insertion []TileCode) uint64 {
+		m := make(map[TileCode]uint64, len(insertion))
+		for _, c := range insertion {
+			m[c] = uint64(c.Prim()) + uint64(c.Tile())
+		}
+		keys := make([]TileCode, 0, len(m))
+		for c := range m {
+			keys = append(keys, c)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a].Pos() < keys[b].Pos() })
+		var h uint64 = 14695981039346656037
+		for _, c := range keys {
+			h = (h ^ uint64(c)) * 1099511628211
+			h = (h ^ m[c]) * 1099511628211
+		}
+		return h
+	}
+	want := digest(codes)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		shuffled := append([]TileCode(nil), codes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got := digest(shuffled); got != want {
+			t.Fatalf("trial %d: insertion order leaked into the commit digest: %#x != %#x", trial, got, want)
+		}
+	}
+}

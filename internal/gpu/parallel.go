@@ -1,0 +1,141 @@
+package gpu
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tcor/internal/geom"
+	"tcor/internal/raster"
+	"tcor/internal/tiling"
+)
+
+// The parallel frame core (docs/MODEL.md §12).
+//
+// Within one frame, per-tile raster work splits into a pure planning half
+// (coverage, Early-Z, texture/frame-buffer address generation — a function
+// of the binning and the configuration only) and a stateful commit half
+// (replaying the planned access stream through the shared texture caches,
+// L2 and DRAM). Planning carries essentially all of the arithmetic, so the
+// planEngine fans it out over a bounded worker pool while the single
+// committer — the frameHandler driven by tiling.Replay — consumes plans in
+// strict traversal order. Because workers never touch shared hierarchy
+// state and the committer replays streams in exactly the serial order, the
+// simulation output is byte-for-byte identical at every TileParallel level;
+// only wall-clock time changes.
+
+// planChunk is a contiguous run of traversal positions planned as a unit,
+// so the ready-signal and claim costs amortize over many tiles.
+type planChunk struct {
+	lo, hi int // traversal positions [lo, hi)
+	ready  chan struct{}
+}
+
+// planEngine runs per-tile raster planning for one frame on a worker pool.
+type planEngine struct {
+	sim     *sim
+	binning *tiling.Binning
+	prims   []geom.Primitive
+	frame   int
+
+	chunks    []planChunk
+	chunkSize int
+	next      atomic.Int64 // claim cursor over chunks
+
+	// sem bounds the claimed-but-uncommitted chunks, which bounds the
+	// plan memory the engine can run ahead of the committer.
+	sem   chan struct{}
+	plans []*raster.TilePlan // per traversal position, filled by workers
+	wg    sync.WaitGroup
+}
+
+// startPlanEngine launches workers planning every tile of the frame. The
+// caller must consume every traversal position via planFor/donePlan in
+// ascending order, then call wait.
+func (s *sim) startPlanEngine(binning *tiling.Binning, prims []geom.Primitive, frame, workers int) *planEngine {
+	n := binning.Traversal.NumTiles()
+	if workers > n {
+		workers = n
+	}
+	e := &planEngine{
+		sim:     s,
+		binning: binning,
+		prims:   prims,
+		frame:   frame,
+		sem:     make(chan struct{}, 2*workers),
+	}
+	// Aim for several chunks per worker so the tail stays balanced, while
+	// keeping per-chunk overhead negligible for the committer.
+	e.chunkSize = n / (workers * 8)
+	if e.chunkSize < 1 {
+		e.chunkSize = 1
+	}
+	if s.plans == nil || len(s.plans) < n {
+		s.plans = make([]*raster.TilePlan, n)
+	}
+	e.plans = s.plans[:n]
+	for lo := 0; lo < n; lo += e.chunkSize {
+		hi := lo + e.chunkSize
+		if hi > n {
+			hi = n
+		}
+		e.chunks = append(e.chunks, planChunk{lo: lo, hi: hi, ready: make(chan struct{})})
+	}
+	e.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go e.worker()
+	}
+	return e
+}
+
+// worker claims chunks in ascending order and plans their tiles into
+// pooled buffers. The semaphore is acquired before claiming, so the lowest
+// unplanned chunk always belongs to a worker holding a slot — the committer
+// can never be starved by run-ahead.
+func (e *planEngine) worker() {
+	defer e.wg.Done()
+	s := e.sim
+	scratch := s.scratchPool.Get().(*raster.PlanScratch)
+	defer s.scratchPool.Put(scratch)
+	var work []raster.TileWork
+	for {
+		e.sem <- struct{}{}
+		ci := int(e.next.Add(1) - 1)
+		if ci >= len(e.chunks) {
+			<-e.sem
+			return
+		}
+		c := e.chunks[ci]
+		for pos := c.lo; pos < c.hi; pos++ {
+			tile := e.binning.Traversal.Seq[pos]
+			work = work[:0]
+			for _, entry := range e.binning.Lists[tile] {
+				work = append(work, raster.TileWork{Prim: &e.prims[entry.Prim]})
+			}
+			plan := s.planPool.Get().(*raster.TilePlan)
+			s.rasterPipe.PlanTile(tile, e.frame, work, scratch, plan)
+			e.plans[pos] = plan
+		}
+		close(c.ready)
+	}
+}
+
+// planFor returns the plan for a traversal position, blocking until its
+// chunk is planned. Positions must be consumed in ascending order.
+func (e *planEngine) planFor(pos int) *raster.TilePlan {
+	<-e.chunks[pos/e.chunkSize].ready
+	return e.plans[pos]
+}
+
+// donePlan recycles a committed plan and, at a chunk boundary, releases the
+// worker pool to run one chunk further ahead.
+func (e *planEngine) donePlan(pos int, plan *raster.TilePlan) {
+	e.plans[pos] = nil
+	e.sim.planPool.Put(plan)
+	if c := e.chunks[pos/e.chunkSize]; pos == c.hi-1 {
+		<-e.sem
+	}
+}
+
+// wait blocks until every worker has exited; the committer must have
+// consumed all positions first.
+func (e *planEngine) wait() { e.wg.Wait() }

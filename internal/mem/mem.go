@@ -5,6 +5,8 @@
 package mem
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 
 	"tcor/internal/geom"
@@ -48,10 +50,12 @@ type Sink interface {
 
 // Counter is a Sink that tallies requests by region and direction. It is the
 // terminal level in unit tests and doubles as the access meter in front of
-// DRAM.
+// DRAM. Per-region tallies live in a fixed array indexed by region — the
+// counter sits on the per-access hot path of every simulation, where the
+// former map lookup (hash + pointer chase per access) was measurable.
 type Counter struct {
 	Reads, Writes   int64
-	ByRegion        map[memmap.Region]*RegionCounts
+	byRegion        [memmap.NumRegions]RegionCounts
 	TileRetirements int
 	Frames          int
 }
@@ -63,16 +67,12 @@ type RegionCounts struct {
 
 // NewCounter returns an empty counter.
 func NewCounter() *Counter {
-	return &Counter{ByRegion: make(map[memmap.Region]*RegionCounts)}
+	return &Counter{}
 }
 
 // Access implements Sink.
 func (c *Counter) Access(r Request) {
-	rc := c.ByRegion[r.Region()]
-	if rc == nil {
-		rc = &RegionCounts{}
-		c.ByRegion[r.Region()] = rc
-	}
+	rc := &c.byRegion[r.Region()]
 	if r.Write {
 		c.Writes++
 		rc.Writes++
@@ -93,10 +93,57 @@ func (c *Counter) Total() int64 { return c.Reads + c.Writes }
 
 // Region returns the counts for one region (zero value if untouched).
 func (c *Counter) Region(r memmap.Region) RegionCounts {
-	if rc := c.ByRegion[r]; rc != nil {
-		return *rc
+	if int(r) >= len(c.byRegion) {
+		return RegionCounts{}
 	}
-	return RegionCounts{}
+	return c.byRegion[r]
+}
+
+// MarshalJSON reproduces the byte shape of the counter's former
+// map-of-pointers representation: a "ByRegion" object holding only the
+// touched regions, keyed by the region's decimal value in ascending order
+// (single-digit keys, so numeric order and encoding/json's sorted-string
+// map order coincide). Golden results, content-addressed caches and sweep
+// checkpoints serialized before the array conversion keep matching.
+func (c *Counter) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"Reads":%d,"Writes":%d,"ByRegion":{`, c.Reads, c.Writes)
+	first := true
+	for i := range c.byRegion {
+		rc := &c.byRegion[i]
+		if rc.Reads == 0 && rc.Writes == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, `"%d":{"Reads":%d,"Writes":%d}`, i, rc.Reads, rc.Writes)
+	}
+	fmt.Fprintf(&b, `},"TileRetirements":%d,"Frames":%d}`, c.TileRetirements, c.Frames)
+	return b.Bytes(), nil
+}
+
+// UnmarshalJSON accepts the same shape MarshalJSON emits (which is also the
+// pre-conversion encoding), so persisted results round-trip.
+func (c *Counter) UnmarshalJSON(data []byte) error {
+	var aux struct {
+		Reads, Writes   int64
+		ByRegion        map[memmap.Region]RegionCounts
+		TileRetirements int
+		Frames          int
+	}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	*c = Counter{Reads: aux.Reads, Writes: aux.Writes,
+		TileRetirements: aux.TileRetirements, Frames: aux.Frames}
+	for r, rc := range aux.ByRegion {
+		if int(r) < len(c.byRegion) {
+			c.byRegion[r] = rc
+		}
+	}
+	return nil
 }
 
 // PB returns combined Parameter Buffer reads and writes (both sections).

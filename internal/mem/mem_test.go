@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"encoding/json"
 	"testing"
 
 	"tcor/internal/memmap"
@@ -43,5 +44,42 @@ func TestCounterSignals(t *testing.T) {
 	c.EndFrame()
 	if c.TileRetirements != 2 || c.Frames != 1 {
 		t.Errorf("retirements/frames = %d/%d", c.TileRetirements, c.Frames)
+	}
+}
+
+// TestCounterJSONCompat pins the counter's JSON encoding to the byte shape
+// of its pre-array representation (a ByRegion object holding only touched
+// regions), which golden results and persisted checkpoints depend on, and
+// checks the round trip through UnmarshalJSON.
+func TestCounterJSONCompat(t *testing.T) {
+	c := NewCounter()
+	c.Access(Request{Addr: memmap.PBListsBase})
+	c.Access(Request{Addr: memmap.PBListsBase + 64, Write: true})
+	c.Access(Request{Addr: memmap.TexturesBase})
+	c.TileRetired(1, 2)
+	c.EndFrame()
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"Reads":2,"Writes":1,"ByRegion":{` +
+		`"2":{"Reads":1,"Writes":1},"4":{"Reads":1,"Writes":0}},` +
+		`"TileRetirements":1,"Frames":1}`
+	if string(data) != want {
+		t.Fatalf("encoding drifted:\n got %s\nwant %s", data, want)
+	}
+	var back Counter
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != *c {
+		t.Fatalf("round trip: %+v != %+v", back, *c)
+	}
+	empty, err := json.Marshal(NewCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(empty) != `{"Reads":0,"Writes":0,"ByRegion":{},"TileRetirements":0,"Frames":0}` {
+		t.Fatalf("empty encoding drifted: %s", empty)
 	}
 }

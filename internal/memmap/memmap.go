@@ -23,6 +23,10 @@ const (
 	RegionFrameBuffer
 	RegionVertexShaderInstr
 	RegionFragShaderInstr
+
+	// NumRegions sizes dense per-region arrays (RegionOf clamps unknown
+	// addresses into RegionOther, so every Region value is below this).
+	NumRegions = int(RegionFragShaderInstr) + 1
 )
 
 // Region base addresses. Each region is 256 MiB, far larger than any

@@ -1,0 +1,239 @@
+package raster
+
+import (
+	"math"
+
+	"tcor/internal/geom"
+	"tcor/internal/mem"
+	"tcor/internal/memmap"
+	"tcor/internal/trace"
+)
+
+// TilePlan is the deterministic record of one tile's raster work: the quad
+// tallies from coverage and depth testing plus the tile's entire memory
+// access stream, laid out struct-of-arrays so planning appends to two flat
+// slices instead of allocating per-access records. A plan is a pure
+// function of (tile, frame, primitive list, config) — it never reads cache
+// or DRAM state — which is what lets per-tile planning run on a worker
+// pool while CommitPlan replays the streams into the shared hierarchy in
+// strict tile-position order.
+type TilePlan struct {
+	Code geom.TileCode // tile identity (tile ID + traversal position)
+
+	Prims        int64 // primitive-tile pairs rasterized
+	Quads        int64 // quads covered before Early-Z
+	QuadsShaded  int64 // quads surviving Early-Z
+	LateZQuads   int64
+	BlendedQuads int64
+
+	// Texture tap stream in issue order (struct of arrays): the byte
+	// address of each tap and the texture cache it routes to.
+	TapAddrs []uint64
+	TapCache []uint8
+
+	// Color Buffer flush: FBBlocks block writes starting at FBBase.
+	FBBase   uint64
+	FBBlocks int64
+}
+
+// Reset clears the plan for reuse, keeping the tap capacity.
+func (p *TilePlan) Reset() {
+	p.Code = 0
+	p.Prims, p.Quads, p.QuadsShaded, p.LateZQuads, p.BlendedQuads = 0, 0, 0, 0, 0
+	p.TapAddrs = p.TapAddrs[:0]
+	p.TapCache = p.TapCache[:0]
+	p.FBBase, p.FBBlocks = 0, 0
+}
+
+// PlanScratch is the worker-private state PlanTile needs: the on-chip
+// Z-buffer for one tile. Each concurrent planner owns one.
+type PlanScratch struct {
+	depth []float32
+}
+
+// NewScratch allocates a planning scratch sized for this pipeline's tiles.
+func (p *Pipeline) NewScratch() *PlanScratch {
+	return &PlanScratch{depth: make([]float32, p.tileQuads*p.tileQuads)}
+}
+
+// PlanTile computes the tile's raster plan into plan (which it resets
+// first). It reads only immutable pipeline configuration, so distinct
+// (scratch, plan) pairs may plan distinct tiles concurrently. The plan,
+// committed in order, reproduces RasterTile's effects exactly.
+func (p *Pipeline) PlanTile(tile geom.TileID, frame int, work []TileWork, sc *PlanScratch, plan *TilePlan) {
+	plan.Reset()
+	plan.Code = geom.PackTileCode(tile, 0, 0)
+	rect := p.cfg.Screen.TileRect(tile)
+	for i := range sc.depth {
+		sc.depth[i] = math.MaxFloat32
+	}
+	for _, w := range work {
+		plan.Prims++
+		plan.QuadsShaded += p.planPrim(w.Prim, rect, frame, sc, plan)
+	}
+
+	pixels := int64(rect.Width()) * int64(rect.Height())
+	plan.FBBlocks = (pixels*4 + memmap.BlockBytes - 1) / memmap.BlockBytes
+	plan.FBBase = memmap.FrameBufferBase + uint64(tile)*uint64(p.cfg.Screen.TileSize*p.cfg.Screen.TileSize*4)
+}
+
+// CommitPlan replays the plan's access streams into the shared texture
+// caches, L2 and Frame Buffer and folds its tallies into the pipeline
+// statistics, returning the tile's raster cycles. Commit order across tiles
+// must match the serial traversal order; the replay itself is identical to
+// what RasterTile would have issued inline.
+func (p *Pipeline) CommitPlan(plan *TilePlan) int64 {
+	p.stats.Primitives += plan.Prims
+	p.stats.Quads += plan.Quads
+	p.stats.LateZQuads += plan.LateZQuads
+	p.stats.BlendedQuads += plan.BlendedQuads
+
+	for i, addr := range plan.TapAddrs {
+		p.stats.TexAccesses++
+		res := p.tex[plan.TapCache[i]].Access(trace.Access{Key: trace.Key(memmap.Block(addr))})
+		if !res.Hit {
+			p.stats.TexMisses++
+			p.l2.Access(mem.Request{Addr: addr &^ (memmap.BlockBytes - 1)})
+		}
+	}
+
+	fragments := plan.QuadsShaded * QuadSize * QuadSize
+	instr := fragments * int64(p.cfg.ShaderInstrPerPixel)
+	p.stats.QuadsShaded += plan.QuadsShaded
+	p.stats.Fragments += fragments
+	p.stats.InstrExecuted += instr
+
+	for b := int64(0); b < plan.FBBlocks; b++ {
+		p.fb.Access(mem.Request{Addr: plan.FBBase + uint64(b)*memmap.BlockBytes, Write: true})
+	}
+	p.stats.FBBlocksFlushed += plan.FBBlocks
+
+	cycles := instr / int64(p.cfg.NumFragmentProcessors)
+	if cycles == 0 && plan.Prims > 0 {
+		cycles = 1
+	}
+	p.stats.ShadeCycles += cycles
+	return cycles
+}
+
+// planPrim is the pure half of rasterPrim: it walks the quads of the
+// primitive's bbox inside the tile, testing coverage and Early-Z against
+// the scratch Z-buffer, and records the texture taps of surviving quads
+// into the plan instead of issuing them.
+func (p *Pipeline) planPrim(pr *geom.Primitive, tile geom.Rect, frame int, sc *PlanScratch, plan *TilePlan) int64 {
+	bb := pr.BBox()
+	x0 := maxF(bb.Min.X, tile.Min.X)
+	y0 := maxF(bb.Min.Y, tile.Min.Y)
+	x1 := minF(bb.Max.X, tile.Max.X)
+	y1 := minF(bb.Max.Y, tile.Max.Y)
+	if x0 >= x1 || y0 >= y1 {
+		return 0
+	}
+	// Snap to the tile's quad grid.
+	qx0 := int(x0-tile.Min.X) / QuadSize
+	qy0 := int(y0-tile.Min.Y) / QuadSize
+	qx1 := int(x1-tile.Min.X-0.0001) / QuadSize
+	qy1 := int(y1-tile.Min.Y-0.0001) / QuadSize
+	if qx1 >= p.tileQuads {
+		qx1 = p.tileQuads - 1
+	}
+	if qy1 >= p.tileQuads {
+		qy1 = p.tileQuads - 1
+	}
+	z := (pr.Depth[0] + pr.Depth[1] + pr.Depth[2]) / 3
+	// Depth-writing materials disable the Early Z-Test (§II-A); the choice
+	// is a deterministic per-primitive hash so a given fraction of the
+	// geometry takes the late path.
+	lateZ := p.cfg.LateZFraction > 0 &&
+		float64(pr.ID*2654435761%1000) < p.cfg.LateZFraction*1000
+	// Translucent materials neither occlude nor get occluded by later
+	// translucent layers; they blend over whatever is resident.
+	translucent := p.cfg.TranslucentFraction > 0 &&
+		float64(pr.ID*40503%1000) < p.cfg.TranslucentFraction*1000
+	var survived int64
+	for qy := qy0; qy <= qy1; qy++ {
+		for qx := qx0; qx <= qx1; qx++ {
+			cx := tile.Min.X + float32(qx*QuadSize) + QuadSize/2
+			cy := tile.Min.Y + float32(qy*QuadSize) + QuadSize/2
+			if !geom.PointInTriangle(geom.Vec2{X: cx, Y: cy}, pr.Pos[0], pr.Pos[1], pr.Pos[2]) {
+				continue
+			}
+			plan.Quads++
+			di := qy*p.tileQuads + qx
+			if translucent {
+				// Blend: depth-tested against opaque geometry but never
+				// written; the Color Buffer is read and re-written.
+				if z >= sc.depth[di] {
+					continue
+				}
+				plan.BlendedQuads++
+				survived++
+				p.planTaps(pr, cx, cy, frame, plan)
+				continue
+			}
+			if !lateZ {
+				// Early-Z: opaque geometry in submission order.
+				if z >= sc.depth[di] {
+					continue
+				}
+				sc.depth[di] = z
+				survived++
+				p.planTaps(pr, cx, cy, frame, plan)
+				continue
+			}
+			// Late-Z: shade unconditionally, then depth-test the result.
+			plan.LateZQuads++
+			survived++
+			p.planTaps(pr, cx, cy, frame, plan)
+			if z < sc.depth[di] {
+				sc.depth[di] = z
+			}
+		}
+	}
+	return survived
+}
+
+// planTaps records the texel accesses of a shaded quad into the plan's tap
+// stream: the same address arithmetic as the inline textureFetch, minus the
+// cache simulation (which CommitPlan performs during the ordered replay).
+func (p *Pipeline) planTaps(pr *geom.Primitive, x, y float32, frame int, plan *TilePlan) {
+	if p.cfg.TextureBytes <= 0 {
+		return
+	}
+	// Per-primitive deterministic offset spreads objects across the atlas.
+	off := uint64(pr.ID) * 2654435761
+	texW := p.texW
+	var mipBase uint64
+	if p.cfg.Bilinear {
+		// LOD from screen area: primitives smaller than ~1 tile use mip 1+,
+		// tiny ones coarser still. Mip i halves the resolution and lives
+		// after the previous levels.
+		area := pr.Area()
+		lod := 0
+		for threshold := float32(1024); area < threshold && lod < 4; threshold /= 4 {
+			lod++
+		}
+		for i := 0; i < lod; i++ {
+			mipBase += texW * texW * 4
+			texW /= 2
+			if texW < 8 {
+				texW = 8
+			}
+		}
+	}
+	u := (uint64(x) + off) % texW
+	v := (uint64(y) + off>>16 + uint64(frame)*7) % texW
+	cacheIdx := uint8((int(x)/p.cfg.Screen.TileSize + int(y)/p.cfg.Screen.TileSize) % p.cfg.NumTexCaches)
+	plan.TapAddrs = append(plan.TapAddrs, memmap.TexturesBase+mipBase+(v*texW+u)*4)
+	plan.TapCache = append(plan.TapCache, cacheIdx)
+	if p.cfg.Bilinear {
+		for _, tp := range [3][2]uint64{
+			{(u + 1) % texW, v},
+			{u, (v + 1) % texW},
+			{(u + 1) % texW, (v + 1) % texW},
+		} {
+			plan.TapAddrs = append(plan.TapAddrs, memmap.TexturesBase+mipBase+(tp[1]*texW+tp[0])*4)
+			plan.TapCache = append(plan.TapCache, cacheIdx)
+		}
+	}
+}

@@ -21,7 +21,6 @@ import (
 	"tcor/internal/mem"
 	"tcor/internal/memmap"
 	"tcor/internal/stats"
-	"tcor/internal/trace"
 )
 
 // QuadSize is the fragment-quad edge in pixels: fragment processors work on
@@ -131,8 +130,12 @@ type Pipeline struct {
 	stats Stats
 
 	texW      uint64 // texture width in texels (square working set, 4 B/texel)
-	depth     []float32
-	tileQuads int // quads per full tile edge
+	tileQuads int    // quads per full tile edge
+
+	// scratch and plan serve the serial RasterTile path; concurrent
+	// planners bring their own via NewScratch + PlanTile.
+	scratch *PlanScratch
+	plan    TilePlan
 }
 
 // New builds the pipeline. l2 receives texture-cache misses; fb receives
@@ -144,6 +147,9 @@ func New(cfg Config, l2Sink, fbSink mem.Sink) (*Pipeline, error) {
 	}
 	if cfg.NumTexCaches <= 0 || cfg.NumFragmentProcessors <= 0 {
 		return nil, fmt.Errorf("raster: need at least one texture cache and fragment processor")
+	}
+	if cfg.NumTexCaches > 256 {
+		return nil, fmt.Errorf("raster: %d texture caches exceed the 256 the plan's tap routing encodes", cfg.NumTexCaches)
 	}
 	if l2Sink == nil || fbSink == nil {
 		return nil, fmt.Errorf("raster: nil sink")
@@ -167,7 +173,7 @@ func New(cfg Config, l2Sink, fbSink mem.Sink) (*Pipeline, error) {
 	p.texW = uint64(math.Sqrt(float64(texels)))
 	ts := cfg.Screen.TileSize
 	p.tileQuads = (ts + QuadSize - 1) / QuadSize
-	p.depth = make([]float32, p.tileQuads*p.tileQuads)
+	p.scratch = p.NewScratch()
 	return p, nil
 }
 
@@ -203,167 +209,8 @@ type TileWork struct {
 //     processors),
 //   - the Color Buffer flush of the finished tile to the Frame Buffer.
 func (p *Pipeline) RasterTile(tile geom.TileID, frame int, work []TileWork) int64 {
-	rect := p.cfg.Screen.TileRect(tile)
-	for i := range p.depth {
-		p.depth[i] = math.MaxFloat32
-	}
-	var quadsShaded int64
-	for _, w := range work {
-		p.stats.Primitives++
-		quadsShaded += p.rasterPrim(w.Prim, rect, frame)
-	}
-	fragments := quadsShaded * QuadSize * QuadSize
-	instr := fragments * int64(p.cfg.ShaderInstrPerPixel)
-	p.stats.QuadsShaded += quadsShaded
-	p.stats.Fragments += fragments
-	p.stats.InstrExecuted += instr
-
-	// Color Buffer flush: the tile's pixels at 4 B each, block-granularity
-	// writes straight to main memory.
-	pixels := int64(rect.Width()) * int64(rect.Height())
-	blocks := (pixels*4 + memmap.BlockBytes - 1) / memmap.BlockBytes
-	base := memmap.FrameBufferBase + uint64(tile)*uint64(p.cfg.Screen.TileSize*p.cfg.Screen.TileSize*4)
-	for b := int64(0); b < blocks; b++ {
-		p.fb.Access(mem.Request{Addr: base + uint64(b)*memmap.BlockBytes, Write: true})
-	}
-	p.stats.FBBlocksFlushed += blocks
-
-	// Shading cycles: the fragment processors sustain one instruction per
-	// cycle each.
-	cycles := instr / int64(p.cfg.NumFragmentProcessors)
-	if cycles == 0 && len(work) > 0 {
-		cycles = 1
-	}
-	p.stats.ShadeCycles += cycles
-	return cycles
-}
-
-// rasterPrim walks the quads of the primitive's bbox inside the tile,
-// testing coverage and Early-Z, issuing texture traffic for surviving quads,
-// and returning the surviving quad count.
-func (p *Pipeline) rasterPrim(pr *geom.Primitive, tile geom.Rect, frame int) int64 {
-	bb := pr.BBox()
-	x0 := maxF(bb.Min.X, tile.Min.X)
-	y0 := maxF(bb.Min.Y, tile.Min.Y)
-	x1 := minF(bb.Max.X, tile.Max.X)
-	y1 := minF(bb.Max.Y, tile.Max.Y)
-	if x0 >= x1 || y0 >= y1 {
-		return 0
-	}
-	// Snap to the tile's quad grid.
-	qx0 := int(x0-tile.Min.X) / QuadSize
-	qy0 := int(y0-tile.Min.Y) / QuadSize
-	qx1 := int(x1-tile.Min.X-0.0001) / QuadSize
-	qy1 := int(y1-tile.Min.Y-0.0001) / QuadSize
-	if qx1 >= p.tileQuads {
-		qx1 = p.tileQuads - 1
-	}
-	if qy1 >= p.tileQuads {
-		qy1 = p.tileQuads - 1
-	}
-	z := (pr.Depth[0] + pr.Depth[1] + pr.Depth[2]) / 3
-	// Depth-writing materials disable the Early Z-Test (§II-A); the choice
-	// is a deterministic per-primitive hash so a given fraction of the
-	// geometry takes the late path.
-	lateZ := p.cfg.LateZFraction > 0 &&
-		float64(pr.ID*2654435761%1000) < p.cfg.LateZFraction*1000
-	// Translucent materials neither occlude nor get occluded by later
-	// translucent layers; they blend over whatever is resident.
-	translucent := p.cfg.TranslucentFraction > 0 &&
-		float64(pr.ID*40503%1000) < p.cfg.TranslucentFraction*1000
-	var survived int64
-	for qy := qy0; qy <= qy1; qy++ {
-		for qx := qx0; qx <= qx1; qx++ {
-			cx := tile.Min.X + float32(qx*QuadSize) + QuadSize/2
-			cy := tile.Min.Y + float32(qy*QuadSize) + QuadSize/2
-			if !geom.PointInTriangle(geom.Vec2{X: cx, Y: cy}, pr.Pos[0], pr.Pos[1], pr.Pos[2]) {
-				continue
-			}
-			p.stats.Quads++
-			di := qy*p.tileQuads + qx
-			if translucent {
-				// Blend: depth-tested against opaque geometry but never
-				// written; the Color Buffer is read and re-written.
-				if z >= p.depth[di] {
-					continue
-				}
-				p.stats.BlendedQuads++
-				survived++
-				p.textureFetch(pr, cx, cy, frame)
-				continue
-			}
-			if !lateZ {
-				// Early-Z: opaque geometry in submission order.
-				if z >= p.depth[di] {
-					continue
-				}
-				p.depth[di] = z
-				survived++
-				p.textureFetch(pr, cx, cy, frame)
-				continue
-			}
-			// Late-Z: shade unconditionally, then depth-test the result.
-			p.stats.LateZQuads++
-			survived++
-			p.textureFetch(pr, cx, cy, frame)
-			if z < p.depth[di] {
-				p.depth[di] = z
-			}
-		}
-	}
-	return survived
-}
-
-// textureFetch issues the texel accesses for a shaded quad. Screen
-// position maps to texture space with per-primitive offsets so that
-// neighboring quads hit neighboring texels while the whole frame sweeps the
-// texture working set. With Bilinear enabled the quad samples a 2x2 texel
-// footprint from the mip level matching the primitive's magnification
-// (small on-screen primitives read coarse, cache-friendly mips).
-func (p *Pipeline) textureFetch(pr *geom.Primitive, x, y float32, frame int) {
-	if p.cfg.TextureBytes <= 0 {
-		return
-	}
-	// Per-primitive deterministic offset spreads objects across the atlas.
-	off := uint64(pr.ID) * 2654435761
-	texW := p.texW
-	var mipBase uint64
-	if p.cfg.Bilinear {
-		// LOD from screen area: primitives smaller than ~1 tile use mip 1+,
-		// tiny ones coarser still. Mip i halves the resolution and lives
-		// after the previous levels.
-		area := pr.Area()
-		lod := 0
-		for threshold := float32(1024); area < threshold && lod < 4; threshold /= 4 {
-			lod++
-		}
-		for i := 0; i < lod; i++ {
-			mipBase += texW * texW * 4
-			texW /= 2
-			if texW < 8 {
-				texW = 8
-			}
-		}
-	}
-	u := (uint64(x) + off) % texW
-	v := (uint64(y) + off>>16 + uint64(frame)*7) % texW
-	cacheIdx := (int(x)/p.cfg.Screen.TileSize + int(y)/p.cfg.Screen.TileSize) % p.cfg.NumTexCaches
-	taps := [][2]uint64{{u, v}}
-	if p.cfg.Bilinear {
-		taps = append(taps,
-			[2]uint64{(u + 1) % texW, v},
-			[2]uint64{u, (v + 1) % texW},
-			[2]uint64{(u + 1) % texW, (v + 1) % texW})
-	}
-	for _, tp := range taps {
-		addr := memmap.TexturesBase + mipBase + (tp[1]*texW+tp[0])*4
-		p.stats.TexAccesses++
-		res := p.tex[cacheIdx].Access(trace.Access{Key: trace.Key(memmap.Block(addr))})
-		if !res.Hit {
-			p.stats.TexMisses++
-			p.l2.Access(mem.Request{Addr: addr &^ (memmap.BlockBytes - 1)})
-		}
-	}
+	p.PlanTile(tile, frame, work, p.scratch, &p.plan)
+	return p.CommitPlan(&p.plan)
 }
 
 // InstrFootprintBlocks returns the number of instruction blocks the fragment

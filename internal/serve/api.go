@@ -211,6 +211,7 @@ func (s *Server) resolve(req SimulateRequest) (job, error) {
 		return j, badRequest("unknown config %q (baseline, tcor, tcor-nol2)", name)
 	}
 	j.cfgName = name
+	j.cfg.TileParallel = s.opts.TileParallel
 	if err := j.cfg.Validate(); err != nil {
 		return j, badRequest("%v", err)
 	}

@@ -1,6 +1,8 @@
 package tiling
 
 import (
+	"sync"
+
 	"tcor/internal/geom"
 	"tcor/internal/pbuffer"
 )
@@ -46,12 +48,27 @@ func Replay(b *Binning, lists pbuffer.ListLayout, attrs pbuffer.AttrLayout, h Ha
 	replayTF(b, lists, attrs, h)
 }
 
+// cursorPool recycles replayPLB's per-tile append cursors across frames:
+// with ~1500 tiles per default screen and one Replay per frame per
+// configuration, the cursor slice is the replay path's only recurring
+// allocation. Replay may run concurrently across simulations, hence a pool
+// rather than a package-level buffer.
+var cursorPool = sync.Pool{New: func() any { return new([]int) }}
+
 // replayPLB generates the Polygon List Builder phase: for each primitive in
 // program order, append its PMD to every overlapped tile's list, then write
 // its attributes.
 func replayPLB(b *Binning, lists pbuffer.ListLayout, attrs pbuffer.AttrLayout, h Handler) {
-	// Per-tile append cursors.
-	cursor := make([]int, len(b.Lists))
+	// Per-tile append cursors, pooled and zeroed on reuse.
+	cp := cursorPool.Get().(*[]int)
+	defer cursorPool.Put(cp)
+	if cap(*cp) < len(b.Lists) {
+		*cp = make([]int, len(b.Lists))
+	}
+	cursor := (*cp)[:len(b.Lists)]
+	for i := range cursor {
+		cursor[i] = 0
+	}
 	// The per-primitive PMD appends must be replayed in primitive order;
 	// Lists stores them per tile, so walk primitives via PrimTiles.
 	blocksBuf := make([]uint64, 0, 8)

@@ -1,0 +1,75 @@
+package trace
+
+// Columns is a trace in struct-of-arrays layout: three parallel slices
+// instead of a slice of Access records. Bulk trace producers (binning
+// replays, policy sweeps) append millions of accesses; the columnar form
+// shrinks each record from 24 bytes (with padding) to 17 across three
+// cache-friendly streams, and lets consumers that only scan keys (next-use
+// annotation, working-set counts) touch a third of the memory.
+type Columns struct {
+	Keys    []Key
+	Write   []bool
+	NextUse []int64
+}
+
+// Len returns the number of accesses.
+func (c *Columns) Len() int { return len(c.Keys) }
+
+// Append adds one access with NextUse unset (Never).
+func (c *Columns) Append(k Key, write bool) {
+	c.Keys = append(c.Keys, k)
+	c.Write = append(c.Write, write)
+	c.NextUse = append(c.NextUse, Never)
+}
+
+// Reset empties the columns, keeping capacity.
+func (c *Columns) Reset() {
+	c.Keys = c.Keys[:0]
+	c.Write = c.Write[:0]
+	c.NextUse = c.NextUse[:0]
+}
+
+// At materializes the i-th access.
+func (c *Columns) At(i int) Access {
+	return Access{Key: c.Keys[i], Write: c.Write[i], NextUse: c.NextUse[i]}
+}
+
+// ToTrace materializes the columnar trace as a row-oriented Trace.
+func (c *Columns) ToTrace() Trace {
+	t := make(Trace, c.Len())
+	for i := range t {
+		t[i] = c.At(i)
+	}
+	return t
+}
+
+// ColumnsOf converts a row-oriented trace to columnar form.
+func ColumnsOf(t Trace) *Columns {
+	c := &Columns{
+		Keys:    make([]Key, len(t)),
+		Write:   make([]bool, len(t)),
+		NextUse: make([]int64, len(t)),
+	}
+	for i, a := range t {
+		c.Keys[i] = a.Key
+		c.Write[i] = a.Write
+		c.NextUse[i] = a.NextUse
+	}
+	return c
+}
+
+// AnnotateNextUseColumns fills NextUse with the index of the following
+// access to the same key (Never if none): the same single backward pass as
+// AnnotateNextUse, reading only the key column.
+func AnnotateNextUseColumns(c *Columns) {
+	last := make(map[Key]int64, 1024)
+	for i := len(c.Keys) - 1; i >= 0; i-- {
+		k := c.Keys[i]
+		if j, ok := last[k]; ok {
+			c.NextUse[i] = j
+		} else {
+			c.NextUse[i] = Never
+		}
+		last[k] = int64(i)
+	}
+}
