@@ -9,7 +9,16 @@
 //	tcord -addr 127.0.0.1:9000 -workers 4 -queue 16
 //	tcord -debug :8345                     # expvar + pprof alongside the API
 //	tcord -chaos "rate=0.1,lat=50ms,codes=500|503,seed=7"  # fault injection
+//	tcord -shards host:8344,host:8345      # gateway over shard daemons
 //	tcord -version
+//
+// With -shards the process is a cluster gateway instead of a simulation
+// daemon: it serves the same API, routes each simulation to the shard
+// owning its content address on a consistent-hash ring, hedges slow
+// requests onto the next replica, and fans sweeps out as per-shard
+// sub-sweeps merged byte-identically. In gateway mode -chaos arms the
+// proxy site (gw.proxy): injected faults abort upstream attempts and are
+// absorbed by failover.
 //
 // Endpoints:
 //
@@ -38,6 +47,7 @@ import (
 	"time"
 
 	"tcor/internal/buildinfo"
+	"tcor/internal/cluster"
 	"tcor/internal/resilience"
 	"tcor/internal/serve"
 	"tcor/internal/stats"
@@ -81,6 +91,10 @@ type options struct {
 	breaker   bool
 	cacheTTL  time.Duration
 	maxStale  time.Duration
+
+	shards []string
+	vnodes int
+	hedge  time.Duration
 }
 
 // parseOptions parses args into options and enforces the flag rules; every
@@ -104,6 +118,10 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	fs.DurationVar(&o.cacheTTL, "cache-ttl", 0, "result-cache entry freshness bound (0 = fresh forever)")
 	fs.DurationVar(&o.maxStale, "max-stale", time.Hour, "how far past -cache-ttl an entry may be served while the breaker is open (0 = never)")
 	fs.BoolVar(&o.version, "version", false, "print the build identity and exit")
+	var shards string
+	fs.StringVar(&shards, "shards", "", "run as a cluster gateway over these shard daemons (comma-separated host:port or http://host:port; empty = serve simulations directly)")
+	fs.IntVar(&o.vnodes, "vnodes", 0, "virtual nodes per shard on the gateway's consistent-hash ring (0 = 64)")
+	fs.DurationVar(&o.hedge, "hedge", 0, "gateway hedge delay before duplicating a slow request to the next shard (0 = adaptive p99, negative = off)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -148,6 +166,24 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	}
 	if o.maxStale < 0 {
 		return options{}, fmt.Errorf("-max-stale must be non-negative, got %v", o.maxStale)
+	}
+	if shards != "" {
+		for _, sh := range strings.Split(shards, ",") {
+			sh = strings.TrimSpace(sh)
+			if sh == "" {
+				return options{}, fmt.Errorf("-shards has an empty entry")
+			}
+			if !strings.Contains(sh, "://") {
+				sh = "http://" + sh
+			}
+			o.shards = append(o.shards, sh)
+		}
+	}
+	if o.vnodes < 0 {
+		return options{}, fmt.Errorf("-vnodes must be non-negative, got %d", o.vnodes)
+	}
+	if len(o.shards) == 0 && (o.vnodes != 0 || o.hedge != 0) {
+		return options{}, fmt.Errorf("-vnodes and -hedge only apply in gateway mode (-shards)")
 	}
 	return o, nil
 }
@@ -204,7 +240,69 @@ func serveOptions(o options) serve.Options {
 	return so
 }
 
+// gatewayOptions maps the command line onto the gateway configuration.
+func gatewayOptions(o options) cluster.Options {
+	co := cluster.Options{
+		Shards:     o.shards,
+		VNodes:     o.vnodes,
+		HedgeAfter: o.hedge,
+		Logger:     newLogger(o.logFormat),
+	}
+	if o.chaos != "" {
+		co.Registry = stats.NewRegistry()
+		inj := resilience.NewInjector(o.chaosSeed).Meter(co.Registry)
+		inj.Arm(resilience.SiteProxy, o.chaosPlan)
+		co.Chaos = inj
+	}
+	return co
+}
+
+// runGateway is run for gateway mode: same lifecycle (debug server,
+// signal-driven drain, invariant check at exit) around a cluster.Gateway.
+func runGateway(o options) error {
+	gw, err := cluster.NewGateway(gatewayOptions(o))
+	if err != nil {
+		return err
+	}
+	if o.debugAddr != "" {
+		stats.PublishExpvar("tcord", gw.Registry())
+		addr, stop, err := stats.ServeDebug(o.debugAddr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "tcord: debug server on http://%s/debug/vars\n", addr)
+	}
+	addr, err := gw.Start(o.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tcord: %s\n", buildinfo.Get())
+	fmt.Fprintf(os.Stderr, "tcord: gateway on http://%s over %d shards\n", addr, len(o.shards))
+	if o.chaos != "" {
+		fmt.Fprintf(os.Stderr, "tcord: CHAOS MODE armed (%s) at the proxy site\n", o.chaos)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "tcord: received %v, draining (budget %v)\n", got, o.drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	if err := gw.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	if err := gw.CheckInvariants(); err != nil {
+		return fmt.Errorf("gateway invariants violated at shutdown: %w", err)
+	}
+	return nil
+}
+
 func run(o options) error {
+	if len(o.shards) > 0 {
+		return runGateway(o)
+	}
 	srv := serve.NewServer(serveOptions(o))
 
 	if o.debugAddr != "" {

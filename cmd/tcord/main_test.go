@@ -36,6 +36,12 @@ func TestParseOptionsValidation(t *testing.T) {
 		{"zero drain", []string{"-drain", "0"}, true},
 		{"positional args", []string{"extra"}, true},
 		{"unknown flag", []string{"-nope"}, true},
+		{"gateway", []string{"-shards", "localhost:8344,localhost:8345"}, false},
+		{"gateway with hedge", []string{"-shards", "localhost:8344", "-hedge", "100ms", "-vnodes", "32"}, false},
+		{"gateway empty shard", []string{"-shards", "localhost:8344,,localhost:8345"}, true},
+		{"hedge without shards", []string{"-hedge", "100ms"}, true},
+		{"vnodes without shards", []string{"-vnodes", "32"}, true},
+		{"negative vnodes", []string{"-shards", "localhost:8344", "-vnodes", "-1"}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -86,6 +92,28 @@ func TestServeOptionsMapping(t *testing.T) {
 	}
 	if so.CacheTTL != 90*time.Second || so.MaxStale != 2*time.Hour {
 		t.Fatalf("cache freshness mapped as (%v, %v), want (90s, 2h)", so.CacheTTL, so.MaxStale)
+	}
+}
+
+// TestShardNormalization pins the -shards address forms: bare host:port
+// gains the http scheme, explicit URLs pass through.
+func TestShardNormalization(t *testing.T) {
+	o, err := parseOptions([]string{"-shards", "localhost:8344, https://other:9000 ,10.0.0.1:80"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://localhost:8344", "https://other:9000", "http://10.0.0.1:80"}
+	if len(o.shards) != len(want) {
+		t.Fatalf("parsed %d shards, want %d", len(o.shards), len(want))
+	}
+	for i := range want {
+		if o.shards[i] != want[i] {
+			t.Fatalf("shard %d = %q, want %q", i, o.shards[i], want[i])
+		}
+	}
+	co := gatewayOptions(o)
+	if len(co.Shards) != 3 {
+		t.Fatalf("gatewayOptions carries %d shards, want 3", len(co.Shards))
 	}
 }
 

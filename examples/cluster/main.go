@@ -1,0 +1,195 @@
+// Cluster runs the sharded serving layer end to end, all in process: it
+// starts three tcord shard daemons on loopback ports, fronts them with the
+// consistent-hash gateway, and drives the single-daemon API through it.
+// The ring decides placement from each request's content address, so the
+// demo first predicts — with NewRing and CanonicalRequestKey, no gateway
+// involved — which shard will serve each request, then confirms the
+// prediction against the X-Tcord-Shard header. It fans a sweep across the
+// shards (the merged bytes are identical to a single daemon's), shuts one
+// shard down mid-demo to show failover keeping every request a 200, and
+// finishes with the gateway's own routing counters.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"tcor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// Three full serving stacks — the same admission control, result cache
+	// and worker pool cmd/tcord runs — each on its own loopback port.
+	var shards []*tcor.Server
+	var urls []string
+	for i := 0; i < 3; i++ {
+		s := tcor.NewServer(tcor.ServeOptions{})
+		addr, err := s.Start("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer s.Shutdown(context.Background())
+		shards = append(shards, s)
+		urls = append(urls, "http://"+addr)
+		fmt.Printf("shard %d listening on %s\n", i, addr)
+	}
+
+	// The gateway speaks the same API as a single daemon; callers cannot
+	// tell they are talking to a cluster except for the shard header.
+	gw, err := tcor.NewGateway(tcor.GatewayOptions{Shards: urls})
+	if err != nil {
+		return err
+	}
+	gwAddr, err := gw.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer gw.Shutdown(context.Background())
+	fmt.Printf("gateway listening on %s over %d shards\n\n", gwAddr, len(urls))
+
+	c := tcor.NewServiceClient("http://"+gwAddr, nil)
+
+	// Placement is pure arithmetic over the request's content address —
+	// predictable from outside the gateway with the same ring.
+	ring, err := tcor.NewRing(urls, 0)
+	if err != nil {
+		return err
+	}
+	reqs := []tcor.SimulateRequest{
+		{Benchmark: "GTr", Config: "tcor", TileCacheKB: 32, Frames: 1},
+		{Benchmark: "CCS", Config: "tcor", TileCacheKB: 32, Frames: 1},
+		{Benchmark: "SoD", Config: "baseline", TileCacheKB: 64, Frames: 1},
+	}
+	fmt.Println("routing: predicted vs served shard")
+	for _, req := range reqs {
+		key, err := tcor.CanonicalRequestKey(req)
+		if err != nil {
+			return err
+		}
+		predicted := urls[ring.Owner(key)]
+		rr, outcome, err := c.Simulate(ctx, req)
+		if err != nil {
+			return err
+		}
+		served, err := servedBy(ctx, gwAddr, req)
+		if err != nil {
+			return err
+		}
+		match := "MATCH"
+		if served != predicted {
+			match = "MISMATCH"
+		}
+		fmt.Printf("  %-3s %-8s key %s...  predicted %s  served %s  %s (%s, %.3f prim/cycle)\n",
+			req.Benchmark, req.Config, key[:8], predicted, served, match, outcome, rr.PPC)
+	}
+
+	// A repeated request is a result-cache hit on the owning shard — the
+	// ring sends equal requests to the same place, so the cluster's cache
+	// behaves like one daemon's.
+	_, outcome, err := c.Simulate(ctx, reqs[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nrepeat of the first request: served from cache (%s)\n\n", outcome)
+
+	// A sweep fans out by owner and merges byte-identically to a single
+	// daemon's response; run baseline vs TCOR across the ring.
+	var items []tcor.SimulateRequest
+	for _, alias := range []string{"CCS", "SoD", "GTr"} {
+		for _, cfg := range []string{"baseline", "tcor"} {
+			items = append(items, tcor.SimulateRequest{
+				Benchmark: alias, Config: cfg, TileCacheKB: 32, Frames: 1,
+			})
+		}
+	}
+	runs, err := c.Sweep(ctx, tcor.SweepRequest{Items: items})
+	if err != nil {
+		return err
+	}
+	fmt.Println("sweep across the cluster (memory reads, baseline vs tcor):")
+	for i := 0; i < len(runs); i += 2 {
+		base, tc := runs[i], runs[i+1]
+		fmt.Printf("  %-3s  baseline %9d  tcor %9d  (%.1f%% fewer)\n",
+			base.Benchmark, base.MemReads, tc.MemReads,
+			100*(1-float64(tc.MemReads)/float64(base.MemReads)))
+	}
+
+	// Kill the shard that owns the first request and keep serving: the
+	// gateway fails over to the ring successors (probing the dead owner's
+	// cache first), so callers never see the loss.
+	key0, err := tcor.CanonicalRequestKey(reqs[0])
+	if err != nil {
+		return err
+	}
+	victim := ring.Owner(key0)
+	fmt.Printf("\nshutting down shard %d (%s), the owner of the first request; the cluster keeps answering:\n",
+		victim, urls[victim])
+	if err := shards[victim].Shutdown(context.Background()); err != nil {
+		return err
+	}
+	for _, req := range reqs {
+		rr, _, err := c.Simulate(ctx, req)
+		if err != nil {
+			return err
+		}
+		served, err := servedBy(ctx, gwAddr, req)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-3s %-8s -> %s (%.3f prim/cycle)\n", req.Benchmark, req.Config, served, rr.PPC)
+	}
+
+	snap := gw.Registry().Snapshot()
+	fmt.Println("\ngateway routing counters:")
+	for _, name := range []string{"gw.requests", "gw.responses.2xx", "gw.failovers", "gw.probe.hits", "gw.hedges"} {
+		fmt.Printf("  %-18s %d\n", name, snap.Get(name))
+	}
+	return gw.CheckInvariants()
+}
+
+// servedBy re-issues req through the gateway (a result-cache hit on the
+// serving shard) and reports which shard answered, from the gateway's
+// X-Tcord-Shard header. The typed client hides headers, so this drops to
+// net/http for the one readback.
+func servedBy(ctx context.Context, gwAddr string, req tcor.SimulateRequest) (string, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, "POST",
+		"http://"+gwAddr+"/v1/simulate", bytes.NewReader(payload))
+	if err != nil {
+		return "", err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("simulate via gateway: status %d", resp.StatusCode)
+	}
+	return resp.Header.Get("X-Tcord-Shard"), nil
+}

@@ -1,0 +1,62 @@
+// Package cluster scales the tcord serving layer horizontally: N
+// independent shard daemons, each a full single-node serving stack
+// (admission gate, result cache, circuit breaker, chaos sites), fronted
+// by a gateway that speaks the same public API.
+//
+// # Placement
+//
+// Every simulation reduces to a content address (serve.CanonicalKey): a
+// sha256 over the resolved workload spec and configuration. A
+// consistent-hash ring with virtual nodes (Ring) maps each address to an
+// owning shard, so repeated requests for the same simulation land on the
+// same shard's result cache no matter which gateway routes them, and
+// adding a shard moves only ~1/N of the key space. Per-node serving
+// limits never enter the hash, so a gateway and every shard agree on
+// placement from the shard list alone — there is no coordination service
+// and no shard-to-shard traffic; all routing intelligence lives in the
+// gateway.
+//
+// # Routing
+//
+// /v1/simulate goes to the key's owner. Two mechanisms bound tail
+// latency and ride over shard failure:
+//
+//   - Hedging: when the owner has not answered within the hedge delay
+//     (adaptive: the observed p99 of proxied simulate latency, floored
+//     at MinHedge), the gateway issues a second copy of the request to
+//     the next shard on the ring and serves whichever answers first.
+//     Simulations are deterministic and content-addressed, so duplicated
+//     work is wasted cycles at worst, never divergent answers.
+//
+//   - Failover: when an attempt errors (transport failure, 5xx), the
+//     gateway walks the ring successors. Before a non-owner shard is
+//     allowed to simulate, the owner's cache is probed with a cache-only
+//     request (serve.CacheOnlyHeader): a shard whose compute path is
+//     broken can still answer from cache — bounded-stale included — and
+//     a dead one fails the probe fast.
+//
+// Each shard sits behind its own circuit breaker in the gateway; an open
+// breaker takes the shard out of the candidate order entirely, so a dead
+// shard costs one failed round before traffic routes around it. The
+// typed client under each shard adds bounded retries for transient
+// blips.
+//
+// /v1/sweep fans out as per-owner sub-sweeps (chunked to the shards'
+// sweep limit) and reassembles the runs in global item order. Run bodies
+// travel as raw bytes end to end, so the merged response is
+// byte-identical to a single node serving the whole sweep. A sub-sweep
+// that fails mid-flight — a shard killed at the worst moment — degrades
+// to item-by-item routing with full hedging and failover; callers see
+// nothing but latency.
+//
+// # Observability
+//
+// The gateway meters routing decisions (gw.hedges, gw.hedge.wins,
+// gw.failovers, gw.probe.hits, gw.sweep.fallbackItems), per-shard client
+// behavior (gw.shard.<i>.attempts/retries/giveups) and proxied latency
+// (gw.proxy.duration, which also drives the adaptive hedger). GET
+// /v1/ring reports the topology and each shard's breaker state; the
+// standard /healthz, /readyz, /metrics and /v1/stats surfaces behave as
+// on a single daemon. Request IDs pass through to shards, so one ID is
+// greppable across both tiers' access logs.
+package cluster

@@ -1,0 +1,907 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tcor/internal/buildinfo"
+	"tcor/internal/resilience"
+	"tcor/internal/serve"
+	"tcor/internal/serve/client"
+	"tcor/internal/stats"
+)
+
+// Options configure a Gateway. The zero value is not usable: Shards is
+// required.
+type Options struct {
+	// Shards are the shard daemons' base URLs ("http://host:port"), each
+	// a full tcord serving stack. The list is the ring membership — order
+	// does not affect key placement (names are hashed), but it is the
+	// index space of per-shard metrics and /v1/ring rows.
+	Shards []string
+	// VNodes is the virtual-node count per shard on the consistent-hash
+	// ring (0 = DefaultVNodes).
+	VNodes int
+	// HedgeAfter controls request hedging on /v1/simulate: positive is a
+	// fixed delay after which the gateway issues a second copy of the
+	// request to the next shard on the ring; zero (the default) adapts
+	// the delay to the observed p99 of proxied simulate latency (the
+	// gw.proxy.duration histogram), floored at MinHedge and disabled
+	// until HedgeWarmup samples exist; negative disables hedging.
+	HedgeAfter time.Duration
+	// MinHedge floors the adaptive hedge delay so a burst of cache hits
+	// cannot drive it toward zero and double every request (0 = 50ms).
+	MinHedge time.Duration
+	// ProbeTimeout bounds the peer cache probe issued to a key's owner
+	// before a failover shard is allowed to simulate it (0 = 1s).
+	ProbeTimeout time.Duration
+	// MaxSweepItems bounds one /v1/sweep at the gateway (0 = 1024). The
+	// gateway chunks sweeps into sub-sweeps, so its bound is naturally
+	// larger than a single shard's.
+	MaxSweepItems int
+	// ShardSweepItems caps the items of one sub-sweep sent to a shard;
+	// it must not exceed the shards' own MaxSweepItems (0 = 64, the
+	// shard default).
+	ShardSweepItems int
+	// MaxBodyBytes bounds request bodies; larger ones get 413 (0 = 1 MiB).
+	MaxBodyBytes int64
+	// DefaultTimeout is the per-request deadline when the request does
+	// not carry one (0 = 60s); MaxTimeout clamps request-supplied
+	// deadlines (0 = 10m). Both bound the whole hedged/failover chain.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Retry configures the per-shard client's retry policy (nil = 3
+	// attempts, 50ms base, 1s cap). Transient shard blips are absorbed
+	// here; sustained failure surfaces to the gateway, trips the shard's
+	// breaker and triggers failover.
+	Retry *resilience.RetryPolicy
+	// Breaker configures the per-shard circuit breakers the router
+	// consults (nil = 8-outcome window, 0.5 ratio, 2s cooldown). An open
+	// breaker takes its shard out of the candidate order until a probe
+	// succeeds.
+	Breaker *resilience.BreakerConfig
+	// HTTPClient is the transport shared by every shard client (nil =
+	// http.DefaultClient).
+	HTTPClient *http.Client
+	// Registry receives the gateway's metrics (nil = private, readable
+	// via Gateway.Registry).
+	Registry *stats.Registry
+	// Logger receives the access log and lifecycle events (nil =
+	// discard).
+	Logger *slog.Logger
+	// Chaos, when non-nil, is evaluated at resilience.SiteProxy once per
+	// upstream attempt: an injected fault aborts the attempt before it
+	// reaches the wire, exercising failover without a real shard death.
+	Chaos *resilience.Injector
+}
+
+// HedgeWarmup is how many proxied simulate latencies the adaptive hedger
+// wants before it starts hedging: quantiles over fewer samples whipsaw.
+const HedgeWarmup = 16
+
+func (o Options) withDefaults() Options {
+	if o.VNodes <= 0 {
+		o.VNodes = DefaultVNodes
+	}
+	if o.MinHedge <= 0 {
+		o.MinHedge = 50 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.MaxSweepItems <= 0 {
+		o.MaxSweepItems = 1024
+	}
+	if o.ShardSweepItems <= 0 {
+		o.ShardSweepItems = 64
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 60 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 10 * time.Minute
+	}
+	if o.Retry == nil {
+		o.Retry = &resilience.RetryPolicy{
+			MaxAttempts: 3,
+			BaseDelay:   50 * time.Millisecond,
+			MaxDelay:    time.Second,
+		}
+	}
+	if o.Breaker == nil {
+		o.Breaker = &resilience.BreakerConfig{
+			Window:       8,
+			MinSamples:   3,
+			FailureRatio: 0.5,
+			Cooldown:     2 * time.Second,
+		}
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	if o.Registry == nil {
+		o.Registry = stats.NewRegistry()
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	return o
+}
+
+// shard is one upstream daemon: a typed client (retry inside) plus the
+// circuit breaker the router consults before sending work its way.
+type shard struct {
+	name   string
+	client *client.Client
+	brk    *resilience.Breaker
+}
+
+// Gateway fronts a set of tcord shard daemons with the same public API a
+// single daemon serves. Simulations route to the shard owning their
+// content address; sweeps fan out as per-owner sub-sweeps and reassemble
+// in item order. Responses are byte-identical to a single node serving
+// the same request.
+type Gateway struct {
+	opts   Options
+	ring   *Ring
+	shards []*shard
+	reg    *stats.Registry
+	logger *slog.Logger
+	chaos  *resilience.Injector
+
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+	draining atomic.Bool
+
+	requests  *stats.Counter
+	responses [6]*stats.Counter
+	panics    *stats.Counter
+	latency   *stats.Histogram
+	proxyDur  *stats.Histogram // successful proxied /v1/simulate calls, ns
+	hedges    *stats.Counter
+	hedgeWins *stats.Counter
+	failovers *stats.Counter
+	probeHits *stats.Counter
+	fallback  *stats.Counter // sweep items recovered item-by-item
+}
+
+// NewGateway builds a gateway over opts.Shards. The shard list is fixed
+// for the gateway's lifetime.
+func NewGateway(opts Options) (*Gateway, error) {
+	opts = opts.withDefaults()
+	ring, err := NewRing(opts.Shards, opts.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	reg := opts.Registry
+	g := &Gateway{
+		opts:      opts,
+		ring:      ring,
+		reg:       reg,
+		logger:    opts.Logger,
+		chaos:     opts.Chaos,
+		requests:  reg.Counter("gw.requests"),
+		panics:    reg.Counter("gw.panics"),
+		latency:   reg.Histogram("gw.latency"),
+		proxyDur:  reg.Histogram("gw.proxy.duration"),
+		hedges:    reg.Counter("gw.hedges"),
+		hedgeWins: reg.Counter("gw.hedge.wins"),
+		failovers: reg.Counter("gw.failovers"),
+		probeHits: reg.Counter("gw.probe.hits"),
+		fallback:  reg.Counter("gw.sweep.fallbackItems"),
+	}
+	for c := 2; c <= 5; c++ {
+		g.responses[c] = reg.Counter("gw.responses." + strconv.Itoa(c) + "xx")
+	}
+	for i, name := range opts.Shards {
+		cfg := *opts.Breaker
+		g.shards = append(g.shards, &shard{
+			name: name,
+			client: client.New(name, opts.HTTPClient,
+				client.WithRetry(*opts.Retry),
+				client.WithMetricsPrefix(reg, "gw.shard."+strconv.Itoa(i))),
+			brk: resilience.NewBreaker(cfg),
+		})
+	}
+	g.registerInvariants()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", g.handleHealthz)
+	mux.HandleFunc("/readyz", g.handleReadyz)
+	mux.HandleFunc("/v1/version", g.handleVersion)
+	mux.HandleFunc("/v1/benchmarks", g.handleBenchmarks)
+	mux.HandleFunc("/v1/stats", g.handleStats)
+	mux.HandleFunc("/v1/ring", g.handleRing)
+	mux.HandleFunc("/v1/simulate", g.handleSimulate)
+	mux.HandleFunc("/v1/sweep", g.handleSweep)
+	mux.Handle("/metrics", stats.MetricsHandler("tcord", reg))
+	g.mux = mux
+	return g, nil
+}
+
+// registerInvariants wires the routing-layer accounting identities.
+func (g *Gateway) registerInvariants() {
+	g.reg.RegisterInvariant("gw.hedgeWinsBounded", func(snap stats.Snapshot) error {
+		if wins, hedges := snap.Get("gw.hedge.wins"), snap.Get("gw.hedges"); wins > hedges {
+			return fmt.Errorf("hedge wins %d exceed hedges issued %d", wins, hedges)
+		}
+		return nil
+	})
+	g.reg.RegisterInvariant("gw.probeHitsBounded", func(snap stats.Snapshot) error {
+		// A peer cache probe only happens on a failover attempt.
+		if hits, fo := snap.Get("gw.probe.hits"), snap.Get("gw.failovers"); hits > fo {
+			return fmt.Errorf("probe hits %d exceed failovers %d", hits, fo)
+		}
+		return nil
+	})
+}
+
+// Registry returns the gateway's metric registry.
+func (g *Gateway) Registry() *stats.Registry { return g.reg }
+
+// Ring returns the gateway's placement ring.
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// CheckInvariants verifies the registry's registered invariants.
+func (g *Gateway) CheckInvariants() error { return g.reg.Check() }
+
+// Handler returns the gateway's HTTP handler with its middleware applied.
+func (g *Gateway) Handler() http.Handler { return g.middleware(g.mux) }
+
+// Start listens on addr (":0" picks a free port) and serves in the
+// background, returning the bound address. Pair with Shutdown.
+func (g *Gateway) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	g.httpSrv = &http.Server{Handler: g.Handler()}
+	go g.httpSrv.Serve(ln) //nolint:errcheck // Serve always returns ErrServerClosed after Shutdown
+	g.logger.Info("gateway listening", "addr", ln.Addr().String(), "shards", len(g.shards))
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains the gateway: readiness flips to 503, new simulations
+// are refused, in-flight proxied requests run to completion.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.draining.Store(true)
+	if g.httpSrv == nil {
+		return nil
+	}
+	return g.httpSrv.Shutdown(ctx)
+}
+
+// --- middleware and plumbing ---
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// middleware mints/echoes the request ID (proxied shard calls inherit it
+// through the context, so one ID is greppable across the gateway's and
+// the shard's access logs), recovers panics, and meters every response.
+func (g *Gateway) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		g.requests.Inc()
+
+		id := r.Header.Get(serve.RequestIDHeader)
+		if id == "" || len(id) > 128 {
+			id = serve.MintRequestID()
+		}
+		w.Header().Set(serve.RequestIDHeader, id)
+		r = r.WithContext(serve.ContextWithRequestID(r.Context(), id))
+
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				g.panics.Inc()
+				g.logger.Error("panic", "id", id, "path", r.URL.Path, "panic", fmt.Sprint(p))
+				if rec.status == 0 {
+					g.writeError(rec, &gwError{status: http.StatusInternalServerError,
+						code: "internal_panic", msg: "internal error"})
+				}
+			}
+			if rec.status == 0 {
+				rec.status = http.StatusOK
+			}
+			if c := g.responses[rec.status/100]; c != nil {
+				c.Inc()
+			}
+			dur := time.Since(t0)
+			g.latency.Observe(int64(dur))
+			g.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Duration("dur", dur))
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// gwError is an error with an HTTP mapping, mirroring the shard daemon's
+// response shape so clients cannot tell a gateway rejection from a shard
+// one.
+type gwError struct {
+	status     int
+	code       string
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *gwError) Error() string { return e.msg }
+
+func (g *Gateway) writeError(w http.ResponseWriter, err error) {
+	var ge *gwError
+	var ae *client.APIError
+	switch {
+	case errors.As(err, &ge):
+	case errors.As(err, &ae):
+		// Pass an upstream rejection through unchanged: same status,
+		// code, message and Retry-After hint the shard produced.
+		ge = &gwError{status: ae.Status, code: ae.Code, msg: ae.Message}
+		if ae.HasRetryAfter {
+			ge.retryAfter = ae.RetryAfter
+		}
+	case errors.Is(err, resilience.ErrOpen):
+		ge = &gwError{status: http.StatusServiceUnavailable, code: "all_shards_unavailable",
+			msg: "no shard available (circuits open); retry later"}
+		var oe *resilience.OpenError
+		if errors.As(err, &oe) {
+			ge.retryAfter = oe.RetryIn
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		ge = &gwError{status: http.StatusGatewayTimeout, code: "deadline_exceeded",
+			msg: "request deadline exceeded"}
+	case errors.Is(err, context.Canceled):
+		ge = &gwError{status: 499, code: "canceled", msg: "request canceled"}
+	default:
+		ge = &gwError{status: http.StatusBadGateway, code: "upstream_error", msg: err.Error()}
+	}
+	if ge.retryAfter > 0 {
+		secs := int((ge.retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(ge.status)
+	json.NewEncoder(w).Encode(serve.ErrorBody{ //nolint:errcheck // best-effort error body
+		Error: serve.ErrorDetail{Code: ge.code, Message: ge.msg},
+	})
+}
+
+func (g *Gateway) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		g.logger.Error("encoding response", "err", err)
+	}
+}
+
+func badRequest(format string, args ...any) *gwError {
+	return &gwError{status: http.StatusBadRequest, code: "invalid_request",
+		msg: fmt.Sprintf(format, args...)}
+}
+
+// beginSim is the shared front door of the proxied simulation endpoints:
+// method check, drain check, bounded body read, strict decode.
+func (g *Gateway) beginSim(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		g.writeError(w, &gwError{status: http.StatusMethodNotAllowed,
+			code: "method_not_allowed", msg: "use " + http.MethodPost})
+		return false
+	}
+	if g.draining.Load() {
+		g.writeError(w, &gwError{status: http.StatusServiceUnavailable,
+			code: "draining", msg: "gateway is draining; not accepting new simulations"})
+		return false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.opts.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			g.writeError(w, &gwError{status: http.StatusRequestEntityTooLarge,
+				code: "body_too_large",
+				msg:  fmt.Sprintf("request body exceeds %d bytes", g.opts.MaxBodyBytes)})
+		} else {
+			g.writeError(w, badRequest("reading request body: %v", err))
+		}
+		return false
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		g.writeError(w, badRequest("decoding request: %v", err))
+		return false
+	}
+	return true
+}
+
+func (g *Gateway) requestContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	d := g.opts.DefaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if d > g.opts.MaxTimeout {
+		d = g.opts.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// --- passthrough endpoints ---
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if g.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	for _, sh := range g.shards {
+		if sh.brk.State() != resilience.Open {
+			io.WriteString(w, "ready\n")
+			return
+		}
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	io.WriteString(w, "degraded: all shard circuits open\n")
+}
+
+func (g *Gateway) handleVersion(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		g.writeError(w, &gwError{status: http.StatusMethodNotAllowed,
+			code: "method_not_allowed", msg: "use GET"})
+		return
+	}
+	g.writeJSON(w, buildinfo.Get())
+}
+
+func (g *Gateway) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		g.writeError(w, &gwError{status: http.StatusMethodNotAllowed,
+			code: "method_not_allowed", msg: "use GET"})
+		return
+	}
+	// serve.Benchmarks is shared with the shard handler, so the listing
+	// is byte-identical no matter which tier answers.
+	g.writeJSON(w, serve.Benchmarks())
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		g.writeError(w, &gwError{status: http.StatusMethodNotAllowed,
+			code: "method_not_allowed", msg: "use GET"})
+		return
+	}
+	g.writeJSON(w, g.reg.Snapshot())
+}
+
+// RingInfo is the body of GET /v1/ring: the cluster topology as the
+// gateway sees it.
+type RingInfo struct {
+	VNodes int         `json:"vnodes"`
+	Shards []ShardInfo `json:"shards"`
+}
+
+// ShardInfo is one ring member and its router-side circuit state.
+type ShardInfo struct {
+	Name    string `json:"name"`
+	Breaker string `json:"breaker"`
+}
+
+func (g *Gateway) handleRing(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		g.writeError(w, &gwError{status: http.StatusMethodNotAllowed,
+			code: "method_not_allowed", msg: "use GET"})
+		return
+	}
+	info := RingInfo{VNodes: g.opts.VNodes}
+	for _, sh := range g.shards {
+		info.Shards = append(info.Shards, ShardInfo{
+			Name:    sh.name,
+			Breaker: sh.brk.State().String(),
+		})
+	}
+	g.writeJSON(w, info)
+}
+
+// --- simulate routing ---
+
+// simResult is one successfully proxied simulation: the shard's exact
+// served bytes plus enough header state to reproduce them.
+type simResult struct {
+	body    []byte
+	outcome client.CacheOutcome
+	shard   *shard
+}
+
+func (g *Gateway) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req serve.SimulateRequest
+	if !g.beginSim(w, r, &req) {
+		return
+	}
+	key, err := serve.CanonicalKey(req)
+	if err != nil {
+		g.writeError(w, badRequest("%v", err))
+		return
+	}
+	ctx, cancel := g.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	if r.Header.Get(serve.CacheOnlyHeader) != "" {
+		// A probe stays a probe: ask only the owner, never compute.
+		g.routeProbe(ctx, w, req, key)
+		return
+	}
+
+	res, err := g.fetchSim(ctx, req, key)
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Tcord-Cache", string(res.outcome))
+	if res.outcome == "stale" {
+		w.Header().Set("Warning", `110 tcord "response is stale"`)
+	}
+	w.Header().Set(serve.ShardHeader, res.shard.name)
+	w.Write(res.body) //nolint:errcheck // client gone is its own problem
+}
+
+// routeProbe forwards a cache-only probe to the key's owner.
+func (g *Gateway) routeProbe(ctx context.Context, w http.ResponseWriter, req serve.SimulateRequest, key string) {
+	owner := g.shards[g.ring.Owner(key)]
+	body, outcome, ok, err := owner.client.CacheProbe(ctx, req)
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	if !ok {
+		g.writeError(w, &gwError{status: http.StatusNotFound,
+			code: "cache_miss", msg: "result not cached"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Tcord-Cache", string(outcome))
+	if outcome == "stale" {
+		w.Header().Set("Warning", `110 tcord "response is stale"`)
+	}
+	w.Header().Set(serve.ShardHeader, owner.name)
+	w.Write(body) //nolint:errcheck
+}
+
+// fetchSim serves one simulation through the ring: the owner first,
+// hedged onto the next shard when the owner is slower than the hedge
+// delay, failed over along the ring (with a peer cache probe back to the
+// owner) when an attempt errors. The first success wins; an attempt is
+// only counted against a shard's breaker when it actually reached it.
+func (g *Gateway) fetchSim(ctx context.Context, req serve.SimulateRequest, key string) (simResult, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	order := g.ring.Successors(key)
+	owner := g.shards[order[0]]
+
+	type attemptOut struct {
+		res    simResult
+		err    error
+		hedged bool
+	}
+	results := make(chan attemptOut, len(order))
+	next, pending := 0, 0
+	var lastOpen error
+	// launch starts the next candidate whose breaker admits it; failover
+	// marks attempts triggered by a predecessor's failure (they may be
+	// answered from the owner's cache), hedged marks latency hedges.
+	launch := func(failover, hedged bool) bool {
+		for next < len(order) {
+			sh := g.shards[order[next]]
+			next++
+			done, err := sh.brk.Allow()
+			if err != nil {
+				lastOpen = err
+				continue
+			}
+			pending++
+			go func() {
+				res, err := g.attemptSim(ctx, sh, owner, req, failover, done)
+				results <- attemptOut{res: res, err: err, hedged: hedged}
+			}()
+			return true
+		}
+		return false
+	}
+	if !launch(false, false) {
+		return simResult{}, lastOpen
+	}
+	var hedgeTimer <-chan time.Time
+	if d := g.hedgeDelay(); d > 0 && len(order) > 1 {
+		hedgeTimer = time.After(d)
+	}
+	var firstErr error
+	for {
+		select {
+		case o := <-results:
+			pending--
+			if o.err == nil {
+				if o.hedged {
+					g.hedgeWins.Inc()
+				}
+				return o.res, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if launch(true, false) {
+				g.failovers.Inc()
+				continue
+			}
+			if pending == 0 {
+				return simResult{}, firstErr
+			}
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			if launch(false, true) {
+				g.hedges.Inc()
+			}
+		case <-ctx.Done():
+			return simResult{}, ctx.Err()
+		}
+	}
+}
+
+// attemptSim is one upstream try. On a failover attempt to a non-owner,
+// the owner's cache is probed first: a shard whose compute path is broken
+// (breaker open, serving bounded-stale) still answers probes, and a dead
+// one fails them fast — either way a failover shard never recomputes a
+// result the cluster already holds.
+func (g *Gateway) attemptSim(ctx context.Context, sh, owner *shard, req serve.SimulateRequest, failover bool, done func(error)) (simResult, error) {
+	if err := g.chaos.Inject(ctx, resilience.SiteProxy); err != nil {
+		done(resilience.Ignore) // injected at the gateway, not the shard's fault
+		return simResult{}, err
+	}
+	if failover && sh != owner {
+		pctx, pcancel := context.WithTimeout(ctx, g.opts.ProbeTimeout)
+		body, outcome, ok, err := owner.client.CacheProbe(pctx, req)
+		pcancel()
+		if err == nil && ok {
+			g.probeHits.Inc()
+			done(resilience.Ignore) // sh itself was never called
+			return simResult{body: body, outcome: outcome, shard: owner}, nil
+		}
+	}
+	t0 := time.Now()
+	body, outcome, err := sh.client.SimulateRaw(ctx, req)
+	done(shardOutcome(err))
+	if err != nil {
+		return simResult{}, err
+	}
+	g.proxyDur.Observe(int64(time.Since(t0)))
+	return simResult{body: body, outcome: outcome, shard: sh}, nil
+}
+
+// shardOutcome classifies an upstream error for the shard's breaker: only
+// path failures (transport errors, 5xx) count against it. Rejections the
+// shard meant (4xx, including queue-full 429s) and cancellations say
+// nothing about its health.
+func shardOutcome(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return resilience.Ignore
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) && ae.Status < 500 {
+		return resilience.Ignore
+	}
+	return err
+}
+
+// hedgeDelay resolves the current hedge delay: fixed when configured,
+// adaptive (observed p99 of proxied simulate latency, floored at
+// MinHedge) by default, zero = hedging off for this request.
+func (g *Gateway) hedgeDelay() time.Duration {
+	switch {
+	case g.opts.HedgeAfter < 0:
+		return 0
+	case g.opts.HedgeAfter > 0:
+		return g.opts.HedgeAfter
+	}
+	snap := g.proxyDur.Snapshot()
+	if snap.Count < HedgeWarmup {
+		return 0
+	}
+	d := time.Duration(snap.Quantile(0.99))
+	if d < g.opts.MinHedge {
+		d = g.opts.MinHedge
+	}
+	return d
+}
+
+// --- sweep fan-out ---
+
+func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req serve.SweepRequest
+	if !g.beginSim(w, r, &req) {
+		return
+	}
+	if len(req.Items) == 0 {
+		g.writeError(w, badRequest("sweep needs at least one item"))
+		return
+	}
+	if len(req.Items) > g.opts.MaxSweepItems {
+		g.writeError(w, badRequest("sweep has %d items; the gateway limit is %d",
+			len(req.Items), g.opts.MaxSweepItems))
+		return
+	}
+	keys := make([]string, len(req.Items))
+	var timeoutMs int
+	for i, item := range req.Items {
+		key, err := serve.CanonicalKey(item)
+		if err != nil {
+			g.writeError(w, badRequest("item %d: %v", i, err))
+			return
+		}
+		keys[i] = key
+		if item.TimeoutMs > timeoutMs {
+			timeoutMs = item.TimeoutMs
+		}
+	}
+	ctx, cancel := g.requestContext(r, timeoutMs)
+	defer cancel()
+
+	runs, anyStale, err := g.fanOutSweep(ctx, req.Items, keys)
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	if anyStale {
+		w.Header().Set("Warning", `110 tcord "response includes stale items"`)
+	}
+	g.writeJSON(w, serve.SweepResponse{Runs: runs})
+}
+
+// sweepChunk is one sub-sweep: a run of same-owner items, at most
+// ShardSweepItems long, remembering each item's global index.
+type sweepChunk struct {
+	ownerIdx int
+	global   []int
+}
+
+// fanOutSweep distributes items across their owning shards as sub-sweeps
+// and reassembles the runs in global item order. A failed sub-sweep —
+// shard death mid-sweep included — degrades to item-by-item routing with
+// full failover, so a sweep only fails when an item is unservable by
+// every shard (or genuinely invalid).
+func (g *Gateway) fanOutSweep(ctx context.Context, items []serve.SimulateRequest, keys []string) ([]json.RawMessage, bool, error) {
+	// Group by owner, preserving item order within each owner.
+	byOwner := make(map[int][]int)
+	for i, key := range keys {
+		o := g.ring.Owner(key)
+		byOwner[o] = append(byOwner[o], i)
+	}
+	var chunks []sweepChunk
+	for o, globals := range byOwner {
+		for len(globals) > 0 {
+			n := len(globals)
+			if n > g.opts.ShardSweepItems {
+				n = g.opts.ShardSweepItems
+			}
+			chunks = append(chunks, sweepChunk{ownerIdx: o, global: globals[:n]})
+			globals = globals[n:]
+		}
+	}
+
+	runs := make([]json.RawMessage, len(items))
+	var anyStale atomic.Bool
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for _, ch := range chunks {
+		wg.Add(1)
+		go func(ch sweepChunk) {
+			defer wg.Done()
+			sub := make([]serve.SimulateRequest, len(ch.global))
+			for i, gi := range ch.global {
+				sub[i] = items[gi]
+			}
+			got, hdr, err := g.trySubSweep(ctx, g.shards[ch.ownerIdx], sub)
+			if err == nil && len(got) != len(sub) {
+				err = fmt.Errorf("cluster: shard %s returned %d runs for %d items",
+					g.shards[ch.ownerIdx].name, len(got), len(sub))
+			}
+			if err == nil {
+				for i, gi := range ch.global {
+					runs[gi] = got[i]
+				}
+				if hdr.Get("Warning") != "" {
+					anyStale.Store(true)
+				}
+				return
+			}
+			// The sub-sweep died (shard killed mid-sweep, breaker open,
+			// chaos fault). Recover item by item through the full
+			// hedge/failover path.
+			for i, gi := range ch.global {
+				g.fallback.Inc()
+				res, err := g.fetchSim(ctx, sub[i], keys[gi])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("item %d: %w", gi, err)
+					}
+					mu.Unlock()
+					return
+				}
+				// Simulate bodies end in the canonical newline; runs
+				// embed without it, exactly as the shard's own sweep
+				// handler trims.
+				runs[gi] = json.RawMessage(string(res.body[:len(res.body)-1]))
+				if res.outcome == "stale" {
+					anyStale.Store(true)
+				}
+			}
+		}(ch)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		var ge *gwError
+		var ae *client.APIError
+		if errors.As(firstErr, &ge) || errors.As(firstErr, &ae) {
+			return nil, false, firstErr
+		}
+		return nil, false, fmt.Errorf("cluster: sweep failed: %w", firstErr)
+	}
+	return runs, anyStale.Load(), nil
+}
+
+// trySubSweep sends one sub-sweep to its owner under the shard's breaker.
+func (g *Gateway) trySubSweep(ctx context.Context, sh *shard, items []serve.SimulateRequest) ([]json.RawMessage, http.Header, error) {
+	done, err := sh.brk.Allow()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := g.chaos.Inject(ctx, resilience.SiteProxy); err != nil {
+		done(resilience.Ignore)
+		return nil, nil, err
+	}
+	got, hdr, err := sh.client.SweepRaw(ctx, serve.SweepRequest{Items: items})
+	done(shardOutcome(err))
+	return got, hdr, err
+}

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tcor/internal/resilience"
+	"tcor/internal/serve"
+)
+
+// realCluster stands up n full serving stacks (admission, cache, worker
+// pool — the same code path cmd/tcord runs) plus a gateway over them.
+type realCluster struct {
+	gateway  *Gateway
+	gwURL    string
+	shardURL []string
+	servers  []*httptest.Server
+}
+
+func newRealCluster(t *testing.T, n int, shardOpts serve.Options, gwOpts Options) *realCluster {
+	t.Helper()
+	rc := &realCluster{}
+	for i := 0; i < n; i++ {
+		s := serve.NewServer(shardOpts)
+		srv := httptest.NewServer(s.Handler())
+		t.Cleanup(srv.Close)
+		rc.servers = append(rc.servers, srv)
+		rc.shardURL = append(rc.shardURL, srv.URL)
+	}
+	gwOpts.Shards = rc.shardURL
+	g, err := NewGateway(gwOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.gateway = g
+	gwSrv := httptest.NewServer(g.Handler())
+	t.Cleanup(gwSrv.Close)
+	rc.gwURL = gwSrv.URL
+	return rc
+}
+
+// goldenSweep is the reference workload: every item is cheap (1 frame)
+// but the batch spans benchmarks, configurations and cache sizes, so the
+// items spread across the ring.
+func goldenSweep() serve.SweepRequest {
+	var items []serve.SimulateRequest
+	for _, alias := range []string{"CCS", "SoD", "GTr"} {
+		for _, cfg := range []string{"baseline", "tcor"} {
+			for _, kb := range []int{32, 64} {
+				items = append(items, serve.SimulateRequest{
+					Benchmark: alias, Config: cfg, TileCacheKB: kb, Frames: 1,
+				})
+			}
+		}
+	}
+	return serve.SweepRequest{Items: items}
+}
+
+func post(t *testing.T, url, path string, v any) (int, http.Header, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+// TestGoldenGatewayMatchesSingleNode is the cluster's fidelity contract:
+// a sweep fanned across three shards and merged by the gateway is
+// byte-identical to the same sweep served by one standalone daemon, and
+// so is every individual simulation.
+func TestGoldenGatewayMatchesSingleNode(t *testing.T) {
+	single := httptest.NewServer(serve.NewServer(serve.Options{}).Handler())
+	defer single.Close()
+	rc := newRealCluster(t, 3, serve.Options{}, Options{})
+
+	sweep := goldenSweep()
+	wantStatus, _, want := post(t, single.URL, "/v1/sweep", sweep)
+	if wantStatus != http.StatusOK {
+		t.Fatalf("single-node sweep: status %d: %s", wantStatus, want)
+	}
+	gotStatus, _, got := post(t, rc.gwURL, "/v1/sweep", sweep)
+	if gotStatus != http.StatusOK {
+		t.Fatalf("gateway sweep: status %d: %s", gotStatus, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("gateway sweep differs from single-node:\ngateway: %s\nsingle:  %s", got, want)
+	}
+
+	// Individual simulations pass through verbatim too, whichever shard
+	// owns them.
+	for _, item := range sweep.Items[:4] {
+		_, _, want := post(t, single.URL, "/v1/simulate", item)
+		gotStatus, hdr, got := post(t, rc.gwURL, "/v1/simulate", item)
+		if gotStatus != http.StatusOK {
+			t.Fatalf("gateway simulate: status %d: %s", gotStatus, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("gateway simulate differs from single-node for %+v", item)
+		}
+		if hdr.Get(serve.ShardHeader) == "" {
+			t.Fatal("gateway response does not name its shard")
+		}
+	}
+}
+
+// TestGoldenSweepSurvivesDeadShard: with one of three shards already
+// dead, the sweep still merges byte-identical to a single node — the
+// dead shard's items fail over to the ring successors.
+func TestGoldenSweepSurvivesDeadShard(t *testing.T) {
+	single := httptest.NewServer(serve.NewServer(serve.Options{}).Handler())
+	defer single.Close()
+	// Single client-side attempt so the dead shard costs one refused
+	// connection, not a retry storm.
+	rc := newRealCluster(t, 3, serve.Options{}, Options{
+		Retry: &resilience.RetryPolicy{MaxAttempts: 1},
+	})
+
+	rc.servers[1].CloseClientConnections()
+	rc.servers[1].Close()
+
+	sweep := goldenSweep()
+	_, _, want := post(t, single.URL, "/v1/sweep", sweep)
+	gotStatus, _, got := post(t, rc.gwURL, "/v1/sweep", sweep)
+	if gotStatus != http.StatusOK {
+		t.Fatalf("sweep with a dead shard: status %d: %s", gotStatus, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sweep with a dead shard differs from single-node:\ngateway: %s\nsingle:  %s", got, want)
+	}
+	if err := rc.gateway.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenSweepSurvivesMidSweepKill kills a shard while the sweep is in
+// flight. Whatever the timing — before its sub-sweep starts, mid-item, or
+// after it finished — the caller sees a complete, byte-identical
+// response.
+func TestGoldenSweepSurvivesMidSweepKill(t *testing.T) {
+	single := httptest.NewServer(serve.NewServer(serve.Options{}).Handler())
+	defer single.Close()
+	rc := newRealCluster(t, 3, serve.Options{Workers: 1}, Options{
+		Retry: &resilience.RetryPolicy{MaxAttempts: 1},
+	})
+
+	sweep := goldenSweep()
+	_, _, want := post(t, single.URL, "/v1/sweep", sweep)
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	done := make(chan result, 1)
+	go func() {
+		status, _, body := post(t, rc.gwURL, "/v1/sweep", sweep)
+		done <- result{status, body}
+	}()
+	// Give the fan-out a moment to be genuinely in flight, then kill one
+	// shard hard: open connections die mid-response.
+	time.Sleep(30 * time.Millisecond)
+	rc.servers[2].CloseClientConnections()
+	rc.servers[2].Close()
+
+	res := <-done
+	if res.status != http.StatusOK {
+		t.Fatalf("sweep with a mid-sweep kill: status %d: %s", res.status, res.body)
+	}
+	if !bytes.Equal(res.body, want) {
+		t.Fatalf("sweep with a mid-sweep kill differs from single-node:\ngateway: %s\nsingle:  %s", res.body, want)
+	}
+	if err := rc.gateway.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenSimulateChaosShards: every shard running with an armed fault
+// injector (latency + 500s at the HTTP and simulate sites) behind a
+// retrying, failing-over gateway still yields zero caller-visible
+// failures and byte-identical bodies.
+func TestGoldenSimulateChaosShards(t *testing.T) {
+	single := httptest.NewServer(serve.NewServer(serve.Options{}).Handler())
+	defer single.Close()
+
+	shardOpts := func(seed int64) serve.Options {
+		inj := resilience.NewInjector(seed)
+		inj.Arm(resilience.SiteHTTP, resilience.FaultPlan{Rate: 0.2, Codes: []int{500, 503}})
+		return serve.Options{Chaos: inj}
+	}
+	var rc realCluster
+	for i := 0; i < 3; i++ {
+		s := serve.NewServer(shardOpts(int64(100 + i)))
+		srv := httptest.NewServer(s.Handler())
+		t.Cleanup(srv.Close)
+		rc.servers = append(rc.servers, srv)
+		rc.shardURL = append(rc.shardURL, srv.URL)
+	}
+	g, err := NewGateway(Options{
+		Shards: rc.shardURL,
+		Retry: &resilience.RetryPolicy{
+			MaxAttempts: 4,
+			BaseDelay:   5 * time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+		},
+		// The shards inject 20% 500s on purpose; keep their breakers out
+		// of the way so every request exercises retry + failover.
+		Breaker: &resilience.BreakerConfig{Window: 64, MinSamples: 64, Cooldown: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwSrv := httptest.NewServer(g.Handler())
+	defer gwSrv.Close()
+
+	for i, item := range goldenSweep().Items {
+		_, _, want := post(t, single.URL, "/v1/simulate", item)
+		status, _, got := post(t, gwSrv.URL, "/v1/simulate", item)
+		if status != http.StatusOK {
+			t.Fatalf("item %d: status %d under shard chaos: %s", i, status, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("item %d: body differs from single-node under shard chaos", i)
+		}
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per shard when Options leave it
+// zero. 64 points per shard keeps the largest/smallest ownership arc
+// within a few percent of even for small clusters while the ring stays a
+// few KiB.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over a fixed shard set. Keys are the
+// serving layer's content addresses (serve.CanonicalKey): sha256 hex over
+// the resolved workload spec and configuration. Both shard points and keys
+// hash through sha256, so placement is deterministic across processes,
+// platforms and restarts — a gateway and every shard agree on ownership
+// from the shard list alone, with no coordination.
+//
+// The ring is immutable after construction; membership changes are a new
+// Ring. All methods are safe for concurrent use.
+type Ring struct {
+	nodes  []string
+	points []ringPoint // sorted by hash
+}
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned by
+// nodes[node].
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// NewRing builds a ring with vnodes virtual nodes per shard (0 =
+// DefaultVNodes). Node names must be non-empty and unique — they are the
+// hashed identity, so two gateways naming the same shards the same way
+// produce identical rings.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{
+		nodes:  append([]string(nil), nodes...),
+		points: make([]ringPoint, 0, len(nodes)*vnodes),
+	}
+	for i, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: node %d has an empty name", i)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate node %q", n)
+		}
+		seen[n] = true
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: ringHash(n + "#" + strconv.Itoa(v)),
+				node: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// A full sha256 collision between two distinct labels is not a
+		// practical concern, but ties must still order deterministically.
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// ringHash maps a label or key onto the ring: the first 8 bytes of its
+// sha256, big-endian. Content addresses are already sha256 hex, but
+// re-hashing costs little and makes placement independent of the key
+// format.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Nodes returns the shard names in construction order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owner returns the index (into Nodes) of the shard owning key: the node
+// of the first ring point at or clockwise of the key's hash.
+func (r *Ring) Owner(key string) int {
+	return r.points[r.search(ringHash(key))].node
+}
+
+// Successors returns every node index in ring order starting at key's
+// owner, each node once: the owner first, then the failover shards in the
+// order a gateway should try them. The slice is freshly allocated.
+func (r *Ring) Successors(key string) []int {
+	out := make([]int, 0, len(r.nodes))
+	seen := make([]bool, len(r.nodes))
+	start := r.search(ringHash(key))
+	for i := 0; i < len(r.points) && len(out) < len(r.nodes); i++ {
+		n := r.points[(start+i)%len(r.points)].node
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// search returns the index of the first point with hash >= h, wrapping to
+// point 0 past the end of the ring.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministic(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1, err := NewRing(nodes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(nodes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(500) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("two rings from the same membership disagree on %q", k)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+}
+
+// TestRingBalance: with DefaultVNodes the largest ownership share of a
+// 3-node ring stays within a factor of ~2 of even.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing([]string{"http://a:1", "http://b:2", "http://c:3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	keys := testKeys(9000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / float64(len(keys))
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %d owns %.1f%% of the key space; want roughly even thirds (counts %v)",
+				i, 100*frac, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement is the consistent-hashing property: adding a
+// fourth node moves roughly a quarter of the keys, and every moved key
+// moves TO the new node.
+func TestRingMinimalMovement(t *testing.T) {
+	old3 := []string{"http://a:1", "http://b:2", "http://c:3"}
+	with4 := append(append([]string(nil), old3...), "http://d:4")
+	r3, err := NewRing(old3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := NewRing(with4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(4000)
+	moved := 0
+	for _, k := range keys {
+		a, b := r3.Owner(k), r4.Owner(k)
+		if a != b {
+			moved++
+			if b != 3 {
+				t.Fatalf("key %q moved from node %d to node %d; only the new node may gain keys", k, a, b)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("adding one node to three moved %.1f%% of keys; want ~25%%", 100*frac)
+	}
+}
+
+func TestRingSuccessors(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(100) {
+		succ := r.Successors(k)
+		if len(succ) != len(nodes) {
+			t.Fatalf("Successors(%q) has %d entries, want %d", k, len(succ), len(nodes))
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("Successors(%q) starts at node %d, owner is %d", k, succ[0], r.Owner(k))
+		}
+		seen := make(map[int]bool)
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("Successors(%q) repeats node %d", k, n)
+			}
+			seen[n] = true
+		}
+	}
+	// The failover order must differ across keys: it follows the ring,
+	// not a fixed list.
+	first := fmt.Sprint(r.Successors("key-0"))
+	varies := false
+	for _, k := range testKeys(100) {
+		if fmt.Sprint(r.Successors(k)) != first {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Fatal("every key has the same successor order; the ring is not spreading failover load")
+	}
+}

@@ -26,6 +26,11 @@ const (
 	// SiteSweep is evaluated by the experiments.Sweep worker pool once per
 	// dispatched job.
 	SiteSweep = "experiments.sweep"
+	// SiteProxy is evaluated by the cluster gateway once per upstream
+	// attempt, before the shard call leaves the process — an injected
+	// fault looks exactly like a shard failure and must be absorbed by
+	// hedging and failover.
+	SiteProxy = "gw.proxy"
 )
 
 // FaultKind is one entry of an explicit fault sequence.

@@ -1,49 +1,75 @@
 package serve
 
 import (
+	"container/list"
 	"context"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"tcor/internal/stats"
 )
 
-// gate is the admission controller: a semaphore of worker slots fronted by
-// a bounded wait queue. Every simulation — whether it arrived through
+// gate is the admission controller: a pool of worker slots fronted by a
+// bounded FIFO wait queue. Every simulation — whether it arrived through
 // /v1/simulate or as one item of a sweep — must hold a slot while it runs,
 // so the server never executes more than Workers simulations at once and
 // never queues more than QueueDepth callers behind them; the excess is
 // rejected immediately with errQueueFull (HTTP 429 + Retry-After) instead
 // of accumulating latency.
+//
+// Slot and gauge accounting share one mutex, and a released slot is handed
+// directly to the longest-waiting queued request instead of being freed and
+// re-claimed. The handoff means serve.inflight never moves during a
+// release-to-admit transition: a metrics snapshot can never read the gauge
+// below the number of held slots (the historical decrement-before-free
+// ordering could) nor above Workers.
+//
+// The serve.queue.wait histogram observes successful admissions only —
+// instant admissions observe 0 — so its count always matches serve.admitted
+// at quiescence and never exceeds it mid-flight. Waiters that give up
+// (context canceled or expired in the queue) meter their queue time into
+// serve.queue.canceledWait instead, keeping cancellations from inflating
+// the admission-wait quantiles.
 type gate struct {
-	slots  chan struct{}
-	queued atomic.Int64
-	depth  int64
+	depth int
+
+	mu      sync.Mutex
+	free    int        // unheld worker slots
+	waiters *list.List // *waiter, FIFO
 
 	queueGauge    *stats.Gauge
 	inflight      *stats.Gauge
 	admitted      *stats.Counter
 	rejectedFull  *stats.Counter
 	canceledWaits *stats.Counter
-	// waitHist is the queue-wait latency distribution in nanoseconds;
-	// instant admissions observe 0 so the count matches admissions.
-	waitHist *stats.Histogram
+	waitHist      *stats.Histogram // admission wait, successful admissions only
+	canceledHist  *stats.Histogram // time spent queued by canceled waiters
+}
+
+// waiter is one queued acquire. ch is closed exactly once, by the releaser
+// that hands it a slot; admitted flips under gate.mu at that same moment so
+// a canceled waiter can tell whether it lost a race against a handoff.
+type waiter struct {
+	ch       chan struct{}
+	admitted bool
+	elem     *list.Element
 }
 
 // newGate builds a gate with workers slots and a wait queue of depth,
 // metering into reg under the "serve." prefix.
 func newGate(workers, depth int, reg *stats.Registry) *gate {
-	g := &gate{
-		slots:         make(chan struct{}, workers),
-		depth:         int64(depth),
+	return &gate{
+		free:          workers,
+		depth:         depth,
+		waiters:       list.New(),
 		queueGauge:    reg.Gauge("serve.queue.depth"),
 		inflight:      reg.Gauge("serve.inflight"),
 		admitted:      reg.Counter("serve.admitted"),
 		rejectedFull:  reg.Counter("serve.rejected.queueFull"),
 		canceledWaits: reg.Counter("serve.rejected.canceledInQueue"),
 		waitHist:      reg.Histogram("serve.queue.wait"),
+		canceledHist:  reg.Histogram("serve.queue.canceledWait"),
 	}
-	return g
 }
 
 // acquire claims a worker slot, waiting in the bounded queue if none is
@@ -55,48 +81,85 @@ func newGate(workers, depth int, reg *stats.Registry) *gate {
 // request's meta (for the access-log queueWait field) and, when the context
 // carries a span, a child queue.wait span in the trace.
 func (g *gate) acquire(ctx context.Context) error {
-	// Fast path: a free slot admits without queueing.
-	select {
-	case g.slots <- struct{}{}:
-		g.admitted.Inc()
+	g.mu.Lock()
+	if g.free > 0 {
+		g.free--
 		g.inflight.Add(1)
+		g.admitted.Inc()
+		g.mu.Unlock()
 		g.waitHist.Observe(0)
 		return nil
-	default:
 	}
-	// Slow path: join the bounded queue. The increment reserves a queue
-	// position atomically; over-subscribers back out before waiting.
-	if g.queued.Add(1) > g.depth {
-		g.queued.Add(-1)
+	if g.waiters.Len() >= g.depth {
+		g.mu.Unlock()
 		g.rejectedFull.Inc()
 		return errQueueFull
 	}
+	w := &waiter{ch: make(chan struct{})}
+	w.elem = g.waiters.PushBack(w)
+	g.queueGauge.Add(1)
+	g.mu.Unlock()
+
 	t0 := time.Now()
 	sp, _ := stats.StartSpan(ctx, "queue.wait", "serve")
-	// The gauge moves only for callers that actually wait, after the bound
-	// check admitted them, so a snapshot never reads more than depth.
-	g.queueGauge.Add(1)
-	defer func() {
-		g.queueGauge.Add(-1)
-		g.queued.Add(-1)
+	select {
+	case <-w.ch:
 		wait := time.Since(t0)
 		g.waitHist.Observe(int64(wait))
 		metaFrom(ctx).addQueueWait(wait)
 		sp.End()
-	}()
-	select {
-	case g.slots <- struct{}{}:
-		g.admitted.Inc()
-		g.inflight.Add(1)
 		return nil
 	case <-ctx.Done():
-		g.canceledWaits.Inc()
+		wait := time.Since(t0)
+		g.mu.Lock()
+		if w.admitted {
+			// A handoff raced the cancellation: we own a slot we will not
+			// use. The grant was metered as an admission, so observe its
+			// wait (keeping wait-count == admissions exact), then pass the
+			// slot straight on before reporting the cancellation.
+			g.waitHist.Observe(int64(wait))
+			g.releaseLocked()
+			g.mu.Unlock()
+		} else {
+			g.waiters.Remove(w.elem)
+			g.queueGauge.Add(-1)
+			g.mu.Unlock()
+			g.canceledWaits.Inc()
+			g.canceledHist.Observe(int64(wait))
+		}
+		metaFrom(ctx).addQueueWait(wait)
+		sp.End()
 		return ctx.Err()
 	}
 }
 
-// release returns a worker slot.
+// release returns a worker slot: handed directly to the longest-waiting
+// queued request when one exists, freed otherwise.
 func (g *gate) release() {
+	g.mu.Lock()
+	g.releaseLocked()
+	g.mu.Unlock()
+}
+
+// releaseLocked (g.mu held) hands the caller's slot to the queue's front
+// waiter — the in-flight gauge is untouched because the slot never becomes
+// free — or, with an empty queue, frees the slot and decrements the gauge
+// in the same critical section.
+func (g *gate) releaseLocked() {
+	if e := g.waiters.Front(); e != nil {
+		w := g.waiters.Remove(e).(*waiter)
+		g.queueGauge.Add(-1)
+		w.admitted = true
+		g.admitted.Inc()
+		close(w.ch)
+		return
+	}
+	g.free++
 	g.inflight.Add(-1)
-	<-g.slots
+}
+
+// backlog returns the live load the 429 Retry-After estimate is sized from:
+// running simulations plus queued waiters.
+func (g *gate) backlog() int64 {
+	return g.inflight.Load() + g.queueGauge.Load()
 }

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tcor/internal/stats"
+)
+
+// TestQueueWaitObservesAdmissionsOnly is the regression test for the
+// canceled-waiter accounting bug: gate.acquire used to observe every
+// waiter's queue time into serve.queue.wait through a deferred Observe,
+// cancellations included, breaking the documented count-matches-admissions
+// property and inflating the wait quantiles with give-up times. Canceled
+// waits must meter serve.queue.canceledWait instead.
+func TestQueueWaitObservesAdmissionsOnly(t *testing.T) {
+	reg := stats.NewRegistry()
+	g := newGate(1, 4, reg)
+
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+
+	// Queue a waiter, then make it give up.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- g.acquire(ctx) }()
+	waitFor(t, func() bool { return reg.Snapshot().Get("serve.queue.depth") == 1 })
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("canceled waiter returned %v, want context.Canceled", err)
+	}
+	g.release()
+
+	snap := reg.Snapshot()
+	if adm, obs := snap.Get("serve.admitted"), snap.Get("serve.queue.wait.count"); adm != 1 || obs != adm {
+		t.Fatalf("admitted=%d queue.wait.count=%d, want both 1: a canceled waiter leaked into the admission-wait histogram", adm, obs)
+	}
+	if got := snap.Get("serve.rejected.canceledInQueue"); got != 1 {
+		t.Fatalf("serve.rejected.canceledInQueue = %d, want 1", got)
+	}
+	if got := snap.Get("serve.queue.canceledWait.count"); got != 1 {
+		t.Fatalf("serve.queue.canceledWait.count = %d, want 1: canceled waits must be metered separately", got)
+	}
+	if got := snap.Get("serve.queue.depth"); got != 0 {
+		t.Fatalf("serve.queue.depth = %d after cancellation, want 0", got)
+	}
+}
+
+// TestQueueWaitCountNeverExceedsAdmissions hammers the gate with a mix of
+// admitted and canceled waiters under -race and asserts the invariant at
+// every quiescent point and at the end.
+func TestQueueWaitCountNeverExceedsAdmissions(t *testing.T) {
+	reg := stats.NewRegistry()
+	g := newGate(2, 8, reg)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			if i%3 == 0 {
+				// A third of the callers give up almost immediately.
+				time.AfterFunc(time.Duration(i%5)*100*time.Microsecond, cancel)
+			}
+			defer cancel()
+			if err := g.acquire(ctx); err != nil {
+				return
+			}
+			time.Sleep(50 * time.Microsecond)
+			g.release()
+		}(i)
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	adm, obs := snap.Get("serve.admitted"), snap.Get("serve.queue.wait.count")
+	if obs != adm {
+		t.Fatalf("queue.wait.count=%d admitted=%d, want equal at quiescence", obs, adm)
+	}
+	if got := snap.Get("serve.inflight"); got != 0 {
+		t.Fatalf("serve.inflight = %d at quiescence, want 0", got)
+	}
+	if got := snap.Get("serve.queue.depth"); got != 0 {
+		t.Fatalf("serve.queue.depth = %d at quiescence, want 0", got)
+	}
+}
+
+// TestInflightNeverDipsDuringHandoff is the regression test for the
+// release-ordering bug: release used to decrement serve.inflight before
+// freeing the slot, so while a queued waiter was being admitted a metrics
+// snapshot could read the gauge below the number of held slots (zero, with
+// one worker and a full pipeline). Slot handoff now leaves the gauge
+// untouched, so with a continuously busy single-worker gate a concurrent
+// sampler must never read inflight outside {1} mid-chain, and never outside
+// [0, workers] at all.
+func TestInflightNeverDipsDuringHandoff(t *testing.T) {
+	reg := stats.NewRegistry()
+	g := newGate(1, 8, reg)
+	inflight := reg.Snapshot // re-snapshot each probe
+
+	// Sampler: record the minimum gauge value observed while the chain runs.
+	stop := make(chan struct{})
+	var minSeen atomic.Int64
+	minSeen.Store(1 << 40)
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := inflight().Get("serve.inflight")
+			for {
+				cur := minSeen.Load()
+				if v >= cur || minSeen.CompareAndSwap(cur, v) {
+					break
+				}
+			}
+		}
+	}()
+
+	// Build an unbroken handoff chain: the next acquirer is always queued
+	// before the current holder releases, so a correctly-accounted gauge
+	// holds the value 1 for the chain's whole lifetime.
+	const handoffs = 60
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatalf("seed acquire: %v", err)
+	}
+	for i := 0; i < handoffs; i++ {
+		acquired := make(chan error, 1)
+		go func() { acquired <- g.acquire(context.Background()) }()
+		waitFor(t, func() bool { return reg.Snapshot().Get("serve.queue.depth") == 1 })
+		g.release() // handoff: the queued waiter now holds the slot
+		if err := <-acquired; err != nil {
+			t.Fatalf("handoff %d: %v", i, err)
+		}
+	}
+	close(stop)
+	sampler.Wait()
+	g.release()
+
+	if got := minSeen.Load(); got < 1 {
+		t.Fatalf("serve.inflight read %d during an unbroken handoff chain; the gauge dipped below the held-slot count", got)
+	}
+	if got := reg.Snapshot().Get("serve.inflight"); got != 0 {
+		t.Fatalf("serve.inflight = %d after final release, want 0", got)
+	}
+	if err := reg.Check(); err != nil {
+		t.Fatalf("registry invariants: %v", err)
+	}
+}
+
+// TestGateHandoffIsFIFO pins the queue discipline: released slots go to the
+// longest-waiting queued request, and a late-arriving caller cannot jump
+// the queue through the fast path while waiters exist.
+func TestGateHandoffIsFIFO(t *testing.T) {
+	reg := stats.NewRegistry()
+	g := newGate(1, 8, reg)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatalf("seed acquire: %v", err)
+	}
+	const n = 4
+	order := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		ready := make(chan struct{})
+		go func() {
+			close(ready)
+			if err := g.acquire(context.Background()); err == nil {
+				order <- i
+				g.release()
+			}
+		}()
+		<-ready
+		waitFor(t, func() bool {
+			return reg.Snapshot().Get("serve.queue.depth") == int64(i+1)
+		})
+	}
+	g.release()
+	for want := 0; want < n; want++ {
+		if got := <-order; got != want {
+			t.Fatalf("admission order: got waiter %d in position %d, want FIFO", got, want)
+		}
+	}
+}

@@ -101,6 +101,36 @@ type BenchmarkInfo struct {
 	Frames         int     `json:"frames"`
 }
 
+// CacheOnlyHeader, set truthy on POST /v1/simulate, turns the request into
+// a cache probe: a fresh (or, in degraded paths, bounded-stale) completed
+// entry is served exactly as a hit would be, and anything else — absent
+// key, expired entry, in-flight recompute — answers 404 with code
+// "cache_miss" without consuming a worker slot or starting a simulation.
+// The cluster gateway uses it for peer-aware lookup: before a failover
+// shard simulates a key it does not own, the owner's cache is asked first.
+const CacheOnlyHeader = "X-Tcord-Cache-Only"
+
+// ShardHeader is set by the cluster gateway on proxied responses, naming
+// the shard that served the request (diagnostics only; bodies are
+// byte-identical no matter which shard answers).
+const ShardHeader = "X-Tcord-Shard"
+
+// Benchmarks returns the GET /v1/benchmarks rows for the built-in Table II
+// suite, in paper order. The server handler and the cluster gateway share
+// it so both serve byte-identical listings.
+func Benchmarks() []BenchmarkInfo {
+	suite := workload.Suite()
+	out := make([]BenchmarkInfo, len(suite))
+	for i, spec := range suite {
+		out[i] = BenchmarkInfo{
+			Alias: spec.Alias, Name: spec.Name, Genre: spec.Genre,
+			ThreeD: spec.ThreeD, PBFootprintMiB: spec.PBFootprintMiB,
+			AvgPrimReuse: spec.AvgPrimReuse, Frames: spec.Frames,
+		}
+	}
+	return out
+}
+
 // ErrorBody is the JSON shape of every non-2xx response.
 type ErrorBody struct {
 	Error ErrorDetail `json:"error"`
@@ -156,6 +186,38 @@ type job struct {
 // resolve validates a request against the server limits and maps it onto
 // the library types. All failures are 400s with a precise message.
 func (s *Server) resolve(req SimulateRequest) (job, error) {
+	return resolveRequest(req, resolveLimits{
+		maxFrames:    s.opts.MaxFrames,
+		tileParallel: s.opts.TileParallel,
+	})
+}
+
+// resolveLimits are the server-specific knobs resolution depends on.
+// maxFrames <= 0 means unlimited; tileParallel is excluded from config JSON
+// (and therefore from the content key), so two servers with different
+// values still resolve a request to the same address.
+type resolveLimits struct {
+	maxFrames    int
+	tileParallel int
+}
+
+// CanonicalKey resolves a request the way a server would and returns its
+// content address — the sha256 over the resolved spec and configuration
+// that the result cache and the cluster's consistent-hash ring both key
+// on. A gateway uses it to route a request to the shard whose cache owns
+// it; because per-server limits never enter the hash, the gateway and
+// every shard agree on the address.
+func CanonicalKey(req SimulateRequest) (string, error) {
+	j, err := resolveRequest(req, resolveLimits{})
+	if err != nil {
+		return "", err
+	}
+	return j.key, nil
+}
+
+// resolveRequest validates a request and maps it onto the library types.
+// All failures are 400s with a precise message.
+func resolveRequest(req SimulateRequest, lim resolveLimits) (job, error) {
 	var j job
 	switch {
 	case req.Benchmark != "" && len(req.Spec) > 0:
@@ -182,7 +244,7 @@ func (s *Server) resolve(req SimulateRequest) (job, error) {
 	if req.Frames > 0 {
 		j.spec.Frames = req.Frames
 	}
-	if max := s.opts.MaxFrames; max > 0 && j.spec.Frames > max {
+	if max := lim.maxFrames; max > 0 && j.spec.Frames > max {
 		return j, badRequest("frames %d exceeds the server limit %d", j.spec.Frames, max)
 	}
 	if req.TimeoutMs < 0 {
@@ -211,7 +273,7 @@ func (s *Server) resolve(req SimulateRequest) (job, error) {
 		return j, badRequest("unknown config %q (baseline, tcor, tcor-nol2)", name)
 	}
 	j.cfgName = name
-	j.cfg.TileParallel = s.opts.TileParallel
+	j.cfg.TileParallel = lim.tileParallel
 	if err := j.cfg.Validate(); err != nil {
 		return j, badRequest("%v", err)
 	}

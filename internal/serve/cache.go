@@ -46,13 +46,19 @@ type resultCache struct {
 	clock         resilience.Clock
 
 	hits, misses, coalesced, evictions *stats.Counter
-	expired, staleServes               *stats.Counter
+	expired, staleServes, retained     *stats.Counter
 	size                               *stats.Gauge
 }
 
 // cacheEntry is one key's cell. done is closed exactly once, after which
 // val/err/completedAt are immutable; elem is non-nil only while the
 // completed entry sits in the LRU list (both guarded by resultCache.mu).
+//
+// prev, on an in-flight recompute of a TTL-expired key, is the expired
+// entry being replaced: it is held aside until the recompute resolves, so
+// a failed recompute (a chaos fault, a breaker probe, a simulator error)
+// restores the last-good value instead of losing it — exactly the entry
+// maxStale degraded serving exists to offer.
 type cacheEntry struct {
 	key         string
 	elem        *list.Element
@@ -60,6 +66,7 @@ type cacheEntry struct {
 	val         cached
 	err         error
 	completedAt time.Time
+	prev        *cacheEntry
 }
 
 // newResultCache builds a cache bounded to capacity entries (capacity <= 0
@@ -83,6 +90,7 @@ func newResultCache(capacity int, ttl, maxStale time.Duration, clock resilience.
 		evictions:   reg.Counter("serve.cache.evictions"),
 		expired:     reg.Counter("serve.cache.expired"),
 		staleServes: reg.Counter("serve.cache.staleServes"),
+		retained:    reg.Counter("serve.cache.retained"),
 		size:        reg.Gauge("serve.cache.size"),
 	}
 }
@@ -111,6 +119,7 @@ const (
 // degradation and the entry is within maxStale past the TTL, in which case
 // the expired bytes are served as outcomeStale.
 func (c *resultCache) get(ctx context.Context, key string, allowStale func() bool, compute func() (cached, error)) (cached, outcome, error) {
+	var prev *cacheEntry
 	c.mu.Lock()
 	if e, ok := c.m[key]; ok {
 		select {
@@ -128,13 +137,29 @@ func (c *resultCache) get(ctx context.Context, key string, allowStale func() boo
 				c.mu.Unlock()
 				c.staleServes.Inc()
 				return e.val, outcomeStale, e.err
-			default: // expired: drop it and recompute as the leader below
+			default:
+				// Expired: recompute as the leader below, holding the old
+				// entry aside until the replacement lands. A failed
+				// recompute restores it — the last-good value is exactly
+				// what maxStale degraded serving should still offer.
 				c.ll.Remove(e.elem)
+				e.elem = nil
 				delete(c.m, e.key)
 				c.size.Set(int64(c.ll.Len()))
 				c.expired.Inc()
+				prev = e
 			}
-		default: // in flight: collapse onto the leader
+		default: // in flight
+			if p := e.prev; p != nil && allowStale != nil && allowStale() &&
+				c.clock.Now().Sub(p.completedAt) <= c.ttl+c.maxStale {
+				// A recompute is running but the caller prefers degradation:
+				// serve the retained last-good value instead of blocking on
+				// a leader that is likely failing behind an open breaker.
+				c.mu.Unlock()
+				c.staleServes.Inc()
+				return p.val, outcomeStale, p.err
+			}
+			// Collapse onto the leader.
 			c.mu.Unlock()
 			c.coalesced.Inc()
 			select {
@@ -145,7 +170,7 @@ func (c *resultCache) get(ctx context.Context, key string, allowStale func() boo
 			}
 		}
 	}
-	e := &cacheEntry{key: key, done: make(chan struct{})}
+	e := &cacheEntry{key: key, done: make(chan struct{}), prev: prev}
 	c.m[key] = e
 	c.mu.Unlock()
 	c.misses.Inc()
@@ -176,6 +201,11 @@ var errComputePanicked = &apiError{status: 500, code: "internal_panic",
 // the least recently used completed entries beyond capacity), failures are
 // forgotten so later requests retry. Waiters already holding the entry still
 // observe val/err through the closed channel either way.
+//
+// A failed recompute of an expired key restores the retained predecessor at
+// the cold end of the LRU (retention must not make a dying entry hot), so a
+// later degraded-mode get can still serve the last-good value; a successful
+// recompute drops it.
 func (c *resultCache) complete(e *cacheEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -183,9 +213,22 @@ func (c *resultCache) complete(e *cacheEntry) {
 	close(e.done)
 	if e.err != nil {
 		delete(c.m, e.key)
+		if p := e.prev; p != nil {
+			c.m[p.key] = p
+			p.elem = c.ll.PushBack(p)
+			c.retained.Inc()
+			c.evictLocked()
+		}
 		return
 	}
+	e.prev = nil
 	e.elem = c.ll.PushFront(e)
+	c.evictLocked()
+}
+
+// evictLocked trims the LRU to capacity and republishes the size gauge
+// (c.mu held).
+func (c *resultCache) evictLocked() {
 	for c.cap > 0 && c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		victim := oldest.Value.(*cacheEntry)
@@ -194,6 +237,38 @@ func (c *resultCache) complete(e *cacheEntry) {
 		c.evictions.Inc()
 	}
 	c.size.Set(int64(c.ll.Len()))
+}
+
+// peek reports whether key has a completed entry servable right now without
+// computing: fresh entries are hits, expired-but-within-maxStale entries are
+// stale serves (the peer-probe caller is by definition in a degraded path).
+// In-flight recomputes and absent keys are misses — a probe never waits.
+func (c *resultCache) peek(key string) (cached, outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return cached{}, outcomeMiss, false
+	}
+	select {
+	case <-e.done:
+	default:
+		return cached{}, outcomeMiss, false
+	}
+	if e.err != nil {
+		return cached{}, outcomeMiss, false
+	}
+	age := c.clock.Now().Sub(e.completedAt)
+	switch {
+	case c.ttl <= 0 || age <= c.ttl:
+		c.ll.MoveToFront(e.elem)
+		c.hits.Inc()
+		return e.val, outcomeHit, true
+	case c.maxStale > 0 && age <= c.ttl+c.maxStale:
+		c.staleServes.Inc()
+		return e.val, outcomeStale, true
+	}
+	return cached{}, outcomeMiss, false
 }
 
 // len returns the number of completed entries (tests).

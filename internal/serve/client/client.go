@@ -62,11 +62,19 @@ func WithBreaker(cfg resilience.BreakerConfig) Option {
 // client.attempts, client.retries, client.giveups and the
 // client.retry.delay histogram.
 func WithMetrics(reg *stats.Registry) Option {
+	return WithMetricsPrefix(reg, "client")
+}
+
+// WithMetricsPrefix is WithMetrics under a caller-chosen metric prefix
+// ("<prefix>.attempts" and friends), so several clients — the cluster
+// gateway keeps one per shard — can meter into one registry without
+// aliasing each other's counters.
+func WithMetricsPrefix(reg *stats.Registry, prefix string) Option {
 	return func(c *Client) {
-		c.attempts = reg.Counter("client.attempts")
-		c.retries = reg.Counter("client.retries")
-		c.giveups = reg.Counter("client.giveups")
-		c.delay = reg.Histogram("client.retry.delay")
+		c.attempts = reg.Counter(prefix + ".attempts")
+		c.retries = reg.Counter(prefix + ".retries")
+		c.giveups = reg.Counter(prefix + ".giveups")
+		c.delay = reg.Histogram(prefix + ".retry.delay")
 	}
 }
 
@@ -86,6 +94,11 @@ func New(baseURL string, httpClient *http.Client, opts ...Option) *Client {
 	}
 	return c
 }
+
+// BaseURL returns the server address the client was built with, trailing
+// slashes trimmed — the cluster gateway uses it to name shards in logs and
+// errors.
+func (c *Client) BaseURL() string { return c.base }
 
 // APIError is a non-2xx response, carrying the server's machine-readable
 // code, the correlation ID echoed in X-Request-Id (greppable in the
@@ -176,9 +189,10 @@ func breakerOutcome(err error) error {
 
 // do issues one logical request — a single attempt without WithRetry, a
 // budgeted retry loop with it — through the client breaker when configured.
-func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, http.Header, error) {
+// extra headers (nil for none) are set on every attempt.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, extra http.Header) ([]byte, http.Header, error) {
 	if c.retry == nil {
-		return c.doOnce(ctx, method, path, body)
+		return c.doOnce(ctx, method, path, body, extra)
 	}
 	p := *c.retry
 	p.Retryable = retryable
@@ -196,7 +210,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 		hdr  http.Header
 	}
 	r, err := resilience.Do(ctx, p, func(ctx context.Context) (reply, error) {
-		data, hdr, err := c.doOnce(ctx, method, path, body)
+		data, hdr, err := c.doOnce(ctx, method, path, body, extra)
 		return reply{data, hdr}, err
 	})
 	if err != nil {
@@ -206,7 +220,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 }
 
 // doOnce issues one HTTP request and decodes error envelopes.
-func (c *Client) doOnce(ctx context.Context, method, path string, body []byte) ([]byte, http.Header, error) {
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, extra http.Header) ([]byte, http.Header, error) {
 	done, allowErr := c.breaker.Allow()
 	if allowErr != nil {
 		return nil, nil, allowErr
@@ -217,14 +231,14 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte) (
 			done(errors.New("client: attempt panicked"))
 		}
 	}()
-	data, hdr, err := c.attempt(ctx, method, path, body)
+	data, hdr, err := c.attempt(ctx, method, path, body, extra)
 	committed = true
 	done(breakerOutcome(err))
 	return data, hdr, err
 }
 
 // attempt is one wire round trip.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte) ([]byte, http.Header, error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, extra http.Header) ([]byte, http.Header, error) {
 	c.attempts.Inc()
 	var rd io.Reader
 	if body != nil {
@@ -236,6 +250,14 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range extra {
+		req.Header[k] = vs
+	}
+	// Forward the caller's correlation ID so a request proxied through the
+	// cluster gateway is greppable under one ID in every shard's log.
+	if id := serve.RequestIDFrom(ctx); id != "" {
+		req.Header.Set(serve.RequestIDHeader, id)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -273,20 +295,20 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 
 // Healthy reports whether the server process answers at all.
 func (c *Client) Healthy(ctx context.Context) error {
-	_, _, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	_, _, err := c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 	return err
 }
 
 // Ready reports whether the server accepts new simulations (false while
 // draining or degraded behind an open breaker).
 func (c *Client) Ready(ctx context.Context) error {
-	_, _, err := c.do(ctx, http.MethodGet, "/readyz", nil)
+	_, _, err := c.do(ctx, http.MethodGet, "/readyz", nil, nil)
 	return err
 }
 
 // Version fetches the server's build identity.
 func (c *Client) Version(ctx context.Context) (buildinfo.Info, error) {
-	data, _, err := c.do(ctx, http.MethodGet, "/v1/version", nil)
+	data, _, err := c.do(ctx, http.MethodGet, "/v1/version", nil, nil)
 	if err != nil {
 		return buildinfo.Info{}, err
 	}
@@ -296,7 +318,7 @@ func (c *Client) Version(ctx context.Context) (buildinfo.Info, error) {
 
 // Benchmarks lists the server's built-in suite in paper order.
 func (c *Client) Benchmarks(ctx context.Context) ([]serve.BenchmarkInfo, error) {
-	data, _, err := c.do(ctx, http.MethodGet, "/v1/benchmarks", nil)
+	data, _, err := c.do(ctx, http.MethodGet, "/v1/benchmarks", nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +329,7 @@ func (c *Client) Benchmarks(ctx context.Context) ([]serve.BenchmarkInfo, error) 
 // Stats fetches the serving-layer metrics snapshot (queue depth, cache
 // hit/miss/eviction counts, in-flight gauge, rejections).
 func (c *Client) Stats(ctx context.Context) (map[string]int64, error) {
-	data, _, err := c.do(ctx, http.MethodGet, "/v1/stats", nil)
+	data, _, err := c.do(ctx, http.MethodGet, "/v1/stats", nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -339,7 +361,7 @@ func (c *Client) SimulateRaw(ctx context.Context, req serve.SimulateRequest) ([]
 	if err != nil {
 		return nil, "", err
 	}
-	data, hdr, err := c.do(ctx, http.MethodPost, "/v1/simulate", body)
+	data, hdr, err := c.do(ctx, http.MethodPost, "/v1/simulate", body, nil)
 	return data, CacheOutcome(hdr.Get("X-Tcord-Cache")), err
 }
 
@@ -350,7 +372,7 @@ func (c *Client) Sweep(ctx context.Context, req serve.SweepRequest) ([]serve.Run
 	if err != nil {
 		return nil, err
 	}
-	data, _, err := c.do(ctx, http.MethodPost, "/v1/sweep", body)
+	data, _, err := c.do(ctx, http.MethodPost, "/v1/sweep", body, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -365,4 +387,47 @@ func (c *Client) Sweep(ctx context.Context, req serve.SweepRequest) ([]serve.Run
 		}
 	}
 	return out, nil
+}
+
+// CacheProbe asks the server whether it already holds req's result, without
+// letting it compute one: the request carries serve.CacheOnlyHeader, which
+// the daemon answers from its result cache (fresh or within maxStale) or
+// rejects with 404 cache_miss. A miss is not an error — it returns
+// (nil, "", false, nil) — so the cluster gateway can probe a key's owning
+// shard before allowing a failover shard to simulate from scratch.
+func (c *Client) CacheProbe(ctx context.Context, req serve.SimulateRequest) ([]byte, CacheOutcome, bool, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, "", false, err
+	}
+	extra := http.Header{serve.CacheOnlyHeader: []string{"1"}}
+	data, hdr, err := c.do(ctx, http.MethodPost, "/v1/simulate", body, extra)
+	if err != nil {
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Status == http.StatusNotFound && ae.Code == "cache_miss" {
+			return nil, "", false, nil
+		}
+		return nil, "", false, err
+	}
+	return data, CacheOutcome(hdr.Get("X-Tcord-Cache")), true, nil
+}
+
+// SweepRaw is Sweep returning each run's exact served bytes, undecoded,
+// plus the response headers (the Warning header flags stale items). The
+// cluster gateway merges shard sub-sweeps with these so the assembled
+// response is byte-identical to a single node serving the whole sweep.
+func (c *Client) SweepRaw(ctx context.Context, req serve.SweepRequest) ([]json.RawMessage, http.Header, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, hdr, err := c.do(ctx, http.MethodPost, "/v1/sweep", body, nil)
+	if err != nil {
+		return nil, hdr, err
+	}
+	var resp serve.SweepResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, hdr, err
+	}
+	return resp.Runs, hdr, nil
 }

@@ -3,6 +3,7 @@ package client
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"tcor/internal/geom"
 	"tcor/internal/gpu"
 	"tcor/internal/serve"
+	"tcor/internal/stats"
 	"tcor/internal/workload"
 )
 
@@ -198,5 +200,100 @@ func TestAPIErrorCarriesRequestID(t *testing.T) {
 	}
 	if !strings.Contains(ae.Error(), ae.RequestID) {
 		t.Fatalf("Error() %q does not mention request ID %q", ae.Error(), ae.RequestID)
+	}
+}
+
+// TestCacheProbe pins the peer-aware lookup contract: a probe never makes
+// the server compute — an uncached key answers (found=false, err=nil) — and
+// a cached key returns the exact served bytes.
+func TestCacheProbe(t *testing.T) {
+	_, c := newTestServer(t, serve.Options{})
+	req := serve.SimulateRequest{Benchmark: "GTr", Config: "tcor", TileCacheKB: 64, Frames: 1}
+
+	body, how, found, err := c.CacheProbe(context.Background(), req)
+	if err != nil {
+		t.Fatalf("probe of an uncached key errored: %v", err)
+	}
+	if found || body != nil || how != "" {
+		t.Fatalf("probe of an uncached key = (%q, %q, %v), want a clean miss", body, how, found)
+	}
+
+	served, _, err := c.SimulateRaw(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, how, found, err = c.CacheProbe(context.Background(), req)
+	if err != nil || !found {
+		t.Fatalf("probe after a simulate = (found=%v, err=%v), want a hit", found, err)
+	}
+	if how != "hit" {
+		t.Fatalf("probe outcome %q, want hit", how)
+	}
+	if !bytes.Equal(body, served) {
+		t.Fatalf("probe body differs from the served body:\nprobe:  %s\nserved: %s", body, served)
+	}
+}
+
+// TestSweepRawRoundTrips pins the merge primitive the gateway is built on:
+// SweepRaw's elements re-assembled into a SweepResponse encode to the same
+// bytes the decoded-and-compared Sweep method observes item by item.
+func TestSweepRawRoundTrips(t *testing.T) {
+	_, c := newTestServer(t, serve.Options{})
+	req := serve.SweepRequest{Items: []serve.SimulateRequest{
+		{Benchmark: "GTr", Config: "tcor", TileCacheKB: 32, Frames: 1},
+		{Benchmark: "GTr", Config: "baseline", TileCacheKB: 32, Frames: 1},
+	}}
+	raws, _, err := c.SweepRaw(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raws) != 2 {
+		t.Fatalf("SweepRaw returned %d runs, want 2", len(raws))
+	}
+	for i, raw := range raws {
+		var rr serve.RunResult
+		if err := json.Unmarshal(raw, &rr); err != nil {
+			t.Fatalf("run %d does not decode: %v", i, err)
+		}
+		if rr.Benchmark != "GTr" {
+			t.Fatalf("run %d benchmark %q, want GTr", i, rr.Benchmark)
+		}
+	}
+}
+
+// TestClientForwardsRequestID: a context carrying a correlation ID (as the
+// gateway's proxied calls do) reaches the origin server's handler intact.
+func TestClientForwardsRequestID(t *testing.T) {
+	var got string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get(serve.RequestIDHeader)
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer srv.Close()
+	c := New(srv.URL, srv.Client())
+	ctx := serve.ContextWithRequestID(context.Background(), "gw-abc123")
+	if err := c.Healthy(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got != "gw-abc123" {
+		t.Fatalf("server saw request ID %q, want the context's gw-abc123", got)
+	}
+}
+
+// TestWithMetricsPrefix: per-shard client instrumentation lands under the
+// caller's prefix so a gateway can meter each upstream separately.
+func TestWithMetricsPrefix(t *testing.T) {
+	reg := stats.NewRegistry()
+	_, c := newTestServer(t, serve.Options{})
+	c = New(c.BaseURL(), nil, WithMetricsPrefix(reg, "shard0"))
+	if err := c.Healthy(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Get("shard0.attempts"); got != 1 {
+		t.Fatalf("shard0.attempts = %d, want 1", got)
+	}
+	if got := snap.Get("shard0.retries"); got != 0 {
+		t.Fatalf("shard0.retries = %d, want 0", got)
 	}
 }

@@ -150,7 +150,9 @@ func (o Options) withDefaults() Options {
 // logfHandler adapts a legacy Logf sink into a slog.Handler: message first,
 // then space-separated key=value attrs. It keeps pre-slog callers readable
 // without duplicating log paths.
-type logfHandler struct{ logf func(format string, args ...any) }
+type logfHandler struct {
+	logf func(format string, args ...any)
+}
 
 func (h logfHandler) Enabled(context.Context, slog.Level) bool { return true }
 
@@ -195,9 +197,9 @@ type Server struct {
 	simDur    *stats.Histogram // simulation compute time, ns
 	encodeDur *stats.Histogram // result-encoding time, ns
 
-	brkState  *stats.Gauge   // breaker position (0 closed, 1 open, 2 half-open)
-	brkTrans  *stats.Counter // breaker state transitions
-	brkShort  *stats.Counter // calls short-circuited by an open breaker
+	brkState *stats.Gauge   // breaker position (0 closed, 1 open, 2 half-open)
+	brkTrans *stats.Counter // breaker state transitions
+	brkShort *stats.Counter // calls short-circuited by an open breaker
 
 	// simulate is the compute the worker pool runs; tests swap it to make
 	// duration and cancellation observable. The default is gpu.Simulate,
@@ -232,9 +234,9 @@ func NewServer(opts Options) *Server {
 		latency:   reg.Histogram("serve.http.latency"),
 		simDur:    reg.Histogram("serve.sim.duration"),
 		encodeDur: reg.Histogram("serve.encode.duration"),
-		brkState: reg.Gauge("serve.breaker.state"),
-		brkTrans: reg.Counter("serve.breaker.transitions"),
-		brkShort: reg.Counter("serve.breaker.shortCircuits"),
+		brkState:  reg.Gauge("serve.breaker.state"),
+		brkTrans:  reg.Counter("serve.breaker.transitions"),
+		brkShort:  reg.Counter("serve.breaker.shortCircuits"),
 		simulate: func(_ context.Context, scene *workload.Scene, cfg gpu.Config) (*gpu.Result, error) {
 			return gpu.Simulate(scene, cfg)
 		},
@@ -327,6 +329,24 @@ func (s *Server) registerInvariants() {
 		}
 		return nil
 	})
+	s.reg.RegisterInvariant("serve.queueWaitMatchesAdmissions", func(snap stats.Snapshot) error {
+		// The admission-wait histogram observes successful admissions only
+		// (canceled waiters meter serve.queue.canceledWait instead), and the
+		// admitted counter always moves before the observation: a snapshot
+		// can read fewer observations than admissions, never more.
+		if obs, adm := snap.Get("serve.queue.wait.count"), snap.Get("serve.admitted"); obs > adm {
+			return fmt.Errorf("queue-wait observations %d exceed admissions %d", obs, adm)
+		}
+		return nil
+	})
+	s.reg.RegisterInvariant("serve.cacheRetainedBounded", func(snap stats.Snapshot) error {
+		// Every retention restores an entry that a TTL expiry dropped for
+		// recompute moments earlier.
+		if ret, exp := snap.Get("serve.cache.retained"), snap.Get("serve.cache.expired"); ret > exp {
+			return fmt.Errorf("cache retentions %d exceed expiries %d", ret, exp)
+		}
+		return nil
+	})
 	s.reg.RegisterInvariant("serve.latencyObservations", func(snap stats.Snapshot) error {
 		// Every finished request observes the latency histogram exactly
 		// once, after the request counter moved; a mid-request snapshot can
@@ -412,7 +432,7 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 
 		id := r.Header.Get(RequestIDHeader)
 		if id == "" || len(id) > maxRequestIDLen {
-			id = mintRequestID()
+			id = MintRequestID()
 		}
 		w.Header().Set(RequestIDHeader, id)
 
@@ -422,7 +442,7 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		sp.SetAttr("path", r.URL.Path)
 		sp.SetAttr("requestId", id)
 
-		ctx := contextWithRequestID(r.Context(), id)
+		ctx := ContextWithRequestID(r.Context(), id)
 		ctx = contextWithMeta(ctx, meta)
 		ctx = stats.ContextWithTracer(ctx, s.tracer)
 		ctx = stats.ContextWithSpan(ctx, sp)
@@ -565,16 +585,7 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, methodNotAllowed(http.MethodGet))
 		return
 	}
-	suite := workload.Suite()
-	out := make([]BenchmarkInfo, len(suite))
-	for i, spec := range suite {
-		out[i] = BenchmarkInfo{
-			Alias: spec.Alias, Name: spec.Name, Genre: spec.Genre,
-			ThreeD: spec.ThreeD, PBFootprintMiB: spec.PBFootprintMiB,
-			AvgPrimReuse: spec.AvgPrimReuse, Frames: spec.Frames,
-		}
-	}
-	s.writeJSON(w, out)
+	s.writeJSON(w, Benchmarks())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -596,6 +607,25 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	j, err := s.resolve(req)
 	if err != nil {
 		s.writeError(w, err)
+		return
+	}
+	if r.Header.Get(CacheOnlyHeader) != "" {
+		// Peer probe: answer from the completed cache or not at all. No
+		// admission, no simulation — a probing gateway must never turn a
+		// cheap lookup into a second copy of the owner's work.
+		val, how, ok := s.cache.peek(j.key)
+		if !ok {
+			s.writeError(w, &apiError{status: http.StatusNotFound,
+				code: "cache_miss", msg: "result not cached"})
+			return
+		}
+		metaFrom(r.Context()).noteOutcome(how)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Tcord-Cache", string(how))
+		if how == outcomeStale {
+			w.Header().Set("Warning", `110 tcord "response is stale"`)
+		}
+		w.Write(val.body)
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
@@ -894,7 +924,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 // histogram is empty or the suite is fast). Clamped to [1s, 60s] so a cold
 // histogram or a pathological backlog cannot produce a useless hint.
 func (s *Server) retryAfterEstimate() time.Duration {
-	backlog := s.gate.inflight.Load() + s.gate.queued.Load() + 1
+	backlog := s.gate.backlog() + 1
 	workers := int64(s.opts.Workers)
 	waves := (backlog + workers - 1) / workers
 	p50 := time.Duration(s.simDur.Quantile(0.5))

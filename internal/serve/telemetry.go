@@ -21,8 +21,8 @@ const RequestIDHeader = "X-Request-Id"
 // inflate logs; longer values are replaced with a minted one.
 const maxRequestIDLen = 128
 
-// mintRequestID returns a fresh 16-hex-char random ID.
-func mintRequestID() string {
+// MintRequestID returns a fresh 16-hex-char random ID.
+func MintRequestID() string {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		// crypto/rand failing is a broken platform; a constant at least
@@ -35,8 +35,11 @@ func mintRequestID() string {
 // requestIDKey carries the request ID in the request context.
 type requestIDKey struct{}
 
-// contextWithRequestID returns ctx carrying the ID.
-func contextWithRequestID(ctx context.Context, id string) context.Context {
+// ContextWithRequestID returns ctx carrying the request-correlation ID.
+// The middleware attaches every inbound request's ID; the cluster gateway
+// uses it so proxied shard calls carry the caller's ID end to end (the
+// typed client forwards whatever ID its context carries).
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
 	return context.WithValue(ctx, requestIDKey{}, id)
 }
 

@@ -25,6 +25,7 @@ import (
 	"net/http"
 
 	"tcor/internal/cache"
+	"tcor/internal/cluster"
 	"tcor/internal/experiments"
 	"tcor/internal/geom"
 	"tcor/internal/geometry"
@@ -179,10 +180,37 @@ func NewServiceClient(baseURL string, httpClient *http.Client, opts ...ClientOpt
 
 // Client resilience options, re-exported for NewServiceClient.
 var (
-	WithClientRetry   = client.WithRetry
-	WithClientBreaker = client.WithBreaker
-	WithClientMetrics = client.WithMetrics
+	WithClientRetry         = client.WithRetry
+	WithClientBreaker       = client.WithBreaker
+	WithClientMetrics       = client.WithMetrics
+	WithClientMetricsPrefix = client.WithMetricsPrefix
 )
+
+// Gateway fronts a set of tcord shard daemons with the single-daemon API:
+// consistent-hash routing by content address, hedged slow requests,
+// failover with peer cache probes, byte-identical sweep merging.
+type Gateway = cluster.Gateway
+
+// GatewayOptions configure NewGateway; Shards (the shard daemons' base
+// URLs) is the only required field.
+type GatewayOptions = cluster.Options
+
+// NewGateway builds a cluster gateway over GatewayOptions.Shards. Start
+// it with Gateway.Start (or mount Gateway.Handler); Gateway.Shutdown
+// drains in-flight proxied requests.
+func NewGateway(opts GatewayOptions) (*Gateway, error) { return cluster.NewGateway(opts) }
+
+// NewRing builds the consistent-hash ring the gateway routes with, for
+// callers that want placement without proxying (e.g. a client-side
+// router): NewRing(shardURLs, 0).Owner(key) names the shard whose cache
+// holds key, with key from CanonicalRequestKey.
+func NewRing(nodes []string, vnodes int) (*cluster.Ring, error) {
+	return cluster.NewRing(nodes, vnodes)
+}
+
+// CanonicalRequestKey resolves an API request to its content address —
+// the sha256 the result caches and the cluster ring both key on.
+func CanonicalRequestKey(req SimulateRequest) (string, error) { return serve.CanonicalKey(req) }
 
 // NewFaultInjector returns a deterministic fault injector: same seed, same
 // fault schedule, regardless of goroutine interleaving. Arm sites on it and

@@ -1,9 +1,13 @@
 package tcor_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"tcor"
@@ -128,4 +132,60 @@ func Example() {
 	fmt.Printf("tiling engine speedup: %.1fx\n", opt.PPC()/base.PPC())
 	// Output:
 	// tiling engine speedup: 5.3x
+}
+
+// TestFacadeCluster drives the re-exported cluster surface: a two-shard
+// gateway built through the facade serves a simulation routed by the
+// facade's ring to the shard the content address owns.
+func TestFacadeCluster(t *testing.T) {
+	var shards []string
+	for i := 0; i < 2; i++ {
+		srv := httptest.NewServer(tcor.NewServer(tcor.ServeOptions{}).Handler())
+		defer srv.Close()
+		shards = append(shards, srv.URL)
+	}
+	gw, err := tcor.NewGateway(tcor.GatewayOptions{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwSrv := httptest.NewServer(gw.Handler())
+	defer gwSrv.Close()
+
+	req := tcor.SimulateRequest{Benchmark: "GTr", Config: "tcor", TileCacheKB: 64, Frames: 1}
+	key, err := tcor.CanonicalRequestKey(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := tcor.NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantShard := shards[ring.Owner(key)]
+
+	c := tcor.NewServiceClient(gwSrv.URL, nil)
+	res, how, err := c.Simulate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if how != "miss" || res.PPC <= 0 {
+		t.Fatalf("gateway simulate = (how=%q, ppc=%f), want a fresh result", how, res.PPC)
+	}
+	// The second request hits the owning shard's cache through the ring,
+	// and the response names the shard the facade's ring predicted.
+	raw, how, err := c.SimulateRaw(context.Background(), req)
+	if err != nil || how != "hit" {
+		t.Fatalf("second gateway simulate = (how=%q, err=%v), want a cache hit", how, err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("empty body")
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(gwSrv.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Tcord-Shard"); got != wantShard {
+		t.Fatalf("gateway served from %q, facade ring predicted %q", got, wantShard)
+	}
 }
