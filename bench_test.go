@@ -252,6 +252,22 @@ func benchPolicy(b *testing.B, p cache.Policy) {
 	}
 }
 
+// BenchmarkPolicySimulate covers the arena's per-cell hot path: one policy
+// instance from the string registry driven over the synthetic annotated
+// trace. The named sub-benchmarks are gated against BENCH_baseline.json so
+// a contender cannot quietly make every race slower.
+func BenchmarkPolicySimulate(b *testing.B) {
+	for _, name := range []string{"LRU", "OPT", "ARC", "S3-FIFO", "Learned"} {
+		b.Run(name, func(b *testing.B) {
+			p, err := cache.NewPolicy(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchPolicy(b, p)
+		})
+	}
+}
+
 func BenchmarkCacheAccessLRU(b *testing.B)   { benchPolicy(b, cache.NewLRU()) }
 func BenchmarkCacheAccessOPT(b *testing.B)   { benchPolicy(b, cache.NewOPT()) }
 func BenchmarkCacheAccessDRRIP(b *testing.B) { benchPolicy(b, cache.NewDRRIP(1)) }

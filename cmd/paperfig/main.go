@@ -13,10 +13,16 @@
 //	paperfig -all -http :0      # expvar + pprof while the sweep runs
 //	paperfig -fig 14 -stats m.json  # dump the runner's memo metrics
 //	paperfig -all -checkpoint runs.ckpt  # journal runs; resume after a crash
+//	paperfig -arena                     # race every replacement policy vs OPT
+//	paperfig -arena -policies LRU,OPT,ARC,Learned -size 32
+//	paperfig -arena -frames 1 -curves=false -format json  # daemon-parity bytes
 //
 // Output is byte-identical at every -parallel level: the sweep engine
 // fans simulations out through a bounded worker pool but aggregates
-// results in deterministic suite order.
+// results in deterministic suite order. In -arena mode, -format json emits
+// the report's canonical encoding — the exact bytes POST /v1/arena serves
+// for the same roster, suite and capacity (the daemon pins frames to 1, so
+// pass -frames 1 for byte parity).
 package main
 
 import (
@@ -29,7 +35,9 @@ import (
 	"strings"
 	"time"
 
+	"tcor/internal/arena"
 	"tcor/internal/buildinfo"
+	"tcor/internal/cache"
 	"tcor/internal/experiments"
 	"tcor/internal/stats"
 	"tcor/internal/workload"
@@ -51,6 +59,24 @@ func (m modes) conflict() error {
 		return fmt.Errorf("conflicting modes -%s: pass exactly one", strings.Join(m, ", -"))
 	}
 	return nil
+}
+
+// parsePolicies splits and validates a -policies list against the policy
+// registry, so a typo fails at the flag instead of deep inside the race.
+func parsePolicies(csv string) ([]string, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	names := strings.Split(csv, ",")
+	for i, n := range names {
+		n = strings.TrimSpace(n)
+		if _, err := cache.CanonicalPolicyName(n); err != nil {
+			return nil, fmt.Errorf("unknown policy %q in -policies (have: %s)",
+				n, strings.Join(cache.PolicyNames(), ", "))
+		}
+		names[i] = n
+	}
+	return names, nil
 }
 
 // parseBenchmarks splits and validates a -benchmarks list against the
@@ -104,6 +130,11 @@ func main() {
 	falseOverlap := flag.String("falseoverlap", "", "compare exact vs bounding-box binning on a benchmark alias")
 	tileSize := flag.String("tilesize", "", "run the tile-size sensitivity study on a benchmark alias")
 	reuse := flag.String("reuse", "", "print the reuse-interval profile of a benchmark alias")
+	arenaMode := flag.Bool("arena", false, "race the replacement-policy arena: ranked report plus miss-ratio-vs-size curves")
+	policiesFlag := flag.String("policies", "", "comma-separated policy roster for -arena (default: every registered policy except PLRU; LRU and OPT always race)")
+	arenaSize := flag.Float64("size", 0, "headline capacity in KiB for -arena (0 = paper default)")
+	arenaWays := flag.Int("ways", 0, "associativity for -arena (0 = fully associative)")
+	arenaCurves := flag.Bool("curves", true, "include the Fig. 11-style size sweep in -arena output")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	frames := flag.Int("frames", 0, "frames per benchmark (0 = spec default)")
 	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark aliases (default: all ten)")
@@ -149,6 +180,7 @@ func main() {
 	m.add("falseoverlap", *falseOverlap != "")
 	m.add("tilesize", *tileSize != "")
 	m.add("reuse", *reuse != "")
+	m.add("arena", *arenaMode)
 	m.add("report", *report != "")
 	if err := m.conflict(); err != nil {
 		fail(err)
@@ -157,13 +189,28 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	roster, err := parsePolicies(*policiesFlag)
+	if err != nil {
+		fail(err)
+	}
+	if *arenaSize < 0 {
+		fail(fmt.Errorf("-size must be non-negative, got %g", *arenaSize))
+	}
 
+	jsonOut := false
 	switch *format {
 	case "text":
 	case "csv":
 		printTableOut = func(t *experiments.Table) { fmt.Print(t.CSV()) }
+	case "json":
+		// Only the arena has a canonical JSON encoding shared with the
+		// daemon; the table modes stay text/csv.
+		if !*arenaMode {
+			fail(fmt.Errorf("-format json is only valid with -arena"))
+		}
+		jsonOut = true
 	default:
-		fail(fmt.Errorf("unknown format %q (text, csv)", *format))
+		fail(fmt.Errorf("unknown format %q (text, csv, json)", *format))
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -234,6 +281,8 @@ func main() {
 		ablation: *ablation, renderers: *renderers, related: *related,
 		imr: *imr, sweep: *sweep, falseOverlap: *falseOverlap,
 		tileSize: *tileSize, reuse: *reuse, report: *report,
+		arena: *arenaMode, policies: roster, size: *arenaSize,
+		ways: *arenaWays, curves: *arenaCurves, jsonOut: jsonOut,
 	}); err != nil {
 		fail(err)
 	}
@@ -272,11 +321,19 @@ type execOpts struct {
 	headline, all, related                bool
 	ablation, renderers, imr, sweep       string
 	falseOverlap, tileSize, reuse, report string
+
+	arena           bool
+	policies        []string
+	size            float64
+	ways            int
+	curves, jsonOut bool
 }
 
 // execute dispatches the single selected mode.
 func execute(r *experiments.Runner, o execOpts) error {
 	switch {
+	case o.arena:
+		return runArena(r, o)
 	case o.report != "":
 		if err := r.Prewarm(prewarmPar); err != nil {
 			return err
@@ -349,6 +406,36 @@ func execute(r *experiments.Runner, o execOpts) error {
 		return nil
 	}
 	return run(r, o.fig, o.table, o.headline, o.all)
+}
+
+// runArena races the selected roster and renders the ranked report. With
+// -format json it emits the report's canonical bytes — identical to what
+// POST /v1/arena serves for the same race (pass -frames 1: the daemon pins
+// a single frame on its shared runner).
+func runArena(r *experiments.Runner, o execOpts) error {
+	rep, err := arena.Race(r.Ctx, r, arena.Options{
+		Policies:   o.policies,
+		Benchmarks: r.Benchmarks,
+		SizeKB:     o.size,
+		Ways:       o.ways,
+		Curves:     o.curves,
+		Parallel:   r.Parallel,
+	})
+	if err != nil {
+		return err
+	}
+	if o.jsonOut {
+		body, err := rep.Encode()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+	for _, t := range rep.Tables() {
+		printTableOut(t)
+	}
+	return nil
 }
 
 // writeStats dumps the runner's live metrics registry (memo hits/misses per

@@ -42,6 +42,24 @@ func TestParseBenchmarks(t *testing.T) {
 	}
 }
 
+func TestParsePolicies(t *testing.T) {
+	if got, err := parsePolicies(""); err != nil || got != nil {
+		t.Errorf("empty list: %v, %v", got, err)
+	}
+	got, err := parsePolicies("LRU, OPT,s3fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "LRU" || got[1] != "OPT" || got[2] != "s3fifo" {
+		t.Errorf("roster = %v", got)
+	}
+	if _, err := parsePolicies("LRU,bogus"); err == nil {
+		t.Fatal("unknown policy must fail")
+	} else if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error %q does not name the bad policy", err)
+	}
+}
+
 func TestValidateNumbers(t *testing.T) {
 	if err := validateNumbers(0, 0, 0, 0, 0); err != nil {
 		t.Errorf("defaults: %v", err)
@@ -121,6 +139,36 @@ func TestExecuteAndWriteStats(t *testing.T) {
 	}
 	if snap["memo.scenes.misses"] != 1 {
 		t.Errorf("scene misses = %d, want 1 (one benchmark)", snap["memo.scenes.misses"])
+	}
+}
+
+func TestExecuteArena(t *testing.T) {
+	var titles []string
+	old := printTableOut
+	printTableOut = func(t *experiments.Table) { titles = append(titles, t.Title) }
+	defer func() { printTableOut = old }()
+
+	r := experiments.NewRunner()
+	r.Frames = 1
+	r.Benchmarks = []string{"GTr"}
+	o := execOpts{arena: true, policies: []string{"LRU", "OPT", "ARC"}, size: 16}
+	if err := execute(r, o); err != nil {
+		t.Fatal(err)
+	}
+	if len(titles) != 2 || !strings.Contains(titles[0], "Policy arena") {
+		t.Errorf("arena without curves printed tables %v, want ranking + per-benchmark", titles)
+	}
+	titles = nil
+	o.curves = true
+	if err := execute(r, o); err != nil {
+		t.Fatal(err)
+	}
+	if len(titles) != 3 {
+		t.Errorf("arena with curves printed tables %v, want three", titles)
+	}
+	o.policies = []string{"PLRU"} // needs power-of-two ways; must surface
+	if err := execute(r, o); err == nil {
+		t.Error("PLRU without ways must fail the race")
 	}
 }
 

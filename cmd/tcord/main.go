@@ -24,6 +24,7 @@
 //
 //	POST /v1/simulate   run (or fetch from cache) one simulation
 //	POST /v1/sweep      run a batch through the bounded worker pool
+//	POST /v1/arena      race a replacement-policy roster, ranked vs OPT
 //	GET  /v1/benchmarks list the built-in Table II suite
 //	GET  /v1/version    build identity (module version, VCS revision)
 //	GET  /v1/stats      serving-layer metrics snapshot

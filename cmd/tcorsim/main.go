@@ -15,6 +15,12 @@
 //	tcorsim -benchmark CCS -trace out.json # span trace for chrome://tracing
 //	tcorsim -benchmark GoW -http :0        # expvar + pprof while running
 //	tcorsim -benchmark SoD -compare -chaos "rate=0.5,lat=100ms"  # fault drill
+//	tcorsim -benchmark CCS -policy ARC     # race one policy vs LRU and OPT
+//
+// -policy skips the full GPU model and races the named replacement policy
+// (any registry name, see paperfig -arena) against the LRU and OPT anchors
+// on the benchmark's PLB access stream at -size KiB, printing the arena's
+// ranked report. With -json it emits the report's canonical encoding.
 //
 // With -compare the configurations run concurrently through the bounded
 // sweep pool; reports are buffered per configuration and printed in a
@@ -39,7 +45,9 @@ import (
 	"sync"
 	"time"
 
+	"tcor/internal/arena"
 	"tcor/internal/buildinfo"
+	"tcor/internal/cache"
 	"tcor/internal/experiments"
 	"tcor/internal/geom"
 	"tcor/internal/gpu"
@@ -93,6 +101,7 @@ type options struct {
 	sizeKB    int
 	frames    int
 	compare   bool
+	policy    string
 	jsonOut   bool
 	parallel  int
 	tilePar   int
@@ -127,6 +136,7 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	fs.IntVar(&o.sizeKB, "size", 64, "total Tile Cache size in KiB (paper: 64 or 128)")
 	fs.IntVar(&o.frames, "frames", 0, "frames to simulate (0 = benchmark default)")
 	fs.BoolVar(&o.compare, "compare", false, "run baseline and TCOR and print both")
+	fs.StringVar(&o.policy, "policy", "", "race this replacement policy against LRU and OPT on the benchmark's PLB stream (registry name; see paperfig -arena)")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit a machine-readable JSON summary instead of text")
 	fs.IntVar(&o.parallel, "parallel", 0, "max concurrent -compare simulations (0 = GOMAXPROCS)")
 	fs.IntVar(&o.tilePar, "tile-parallel", 0, "per-tile raster planning workers within each simulation; results are identical at every level (0 or 1 = serial)")
@@ -173,6 +183,20 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	}
 	if o.evtrace > 0 && o.statsPath == "" {
 		return options{}, fmt.Errorf("-evtrace records into the -stats dump; pass -stats too")
+	}
+	if o.policy != "" {
+		canonical, err := cache.CanonicalPolicyName(o.policy)
+		if err != nil {
+			return options{}, fmt.Errorf("-policy: %w", err)
+		}
+		o.policy = canonical
+		// The policy race runs the PLB-level cache model, not the full GPU
+		// pipeline: the flags below configure machinery it never builds.
+		for _, f := range []string{"compare", "config", "spec", "chaos", "evtrace", "check", "stats", "trace", "tile-parallel"} {
+			if set[f] {
+				return options{}, fmt.Errorf("-policy races the PLB cache model; it conflicts with -%s", f)
+			}
+		}
 	}
 	if o.chaos != "" {
 		if !o.compare {
@@ -230,7 +254,40 @@ func (c *collector) sorted() []statsRun {
 	return out
 }
 
+// runPolicy races o.policy against the LRU and OPT anchors on the selected
+// benchmark through the arena engine.
+func runPolicy(ctx context.Context, w io.Writer, o options) error {
+	r := experiments.NewRunner()
+	r.Frames = o.frames
+	r.Parallel = o.parallel
+	r.Ctx = ctx
+	rep, err := arena.Race(ctx, r, arena.Options{
+		Policies:   []string{o.policy, "LRU", "OPT"},
+		Benchmarks: []string{o.benchmark},
+		SizeKB:     float64(o.sizeKB),
+		Parallel:   o.parallel,
+	})
+	if err != nil {
+		return err
+	}
+	if o.jsonOut {
+		body, err := rep.Encode()
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(body)
+		return err
+	}
+	for _, t := range rep.Tables() {
+		fmt.Fprintln(w, t)
+	}
+	return nil
+}
+
 func run(ctx context.Context, w io.Writer, o options) error {
+	if o.policy != "" {
+		return runPolicy(ctx, w, o)
+	}
 	var spec workload.Spec
 	var err error
 	if o.specPath != "" {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"tcor/internal/arena"
 	"tcor/internal/gpu"
 	"tcor/internal/workload"
 )
@@ -63,6 +64,10 @@ func TestParseOptionsValidation(t *testing.T) {
 		{"chaos bad plan", []string{"-compare", "-chaos", "rate=nope"}, "probability"},
 		{"compare with config", []string{"-compare", "-config", "tcor"}, "conflicts"},
 		{"spec with benchmark", []string{"-spec", "x.json", "-benchmark", "CCS"}, "conflicts"},
+		{"policy alone", []string{"-policy", "ARC"}, ""},
+		{"policy unknown", []string{"-policy", "bogus"}, "unknown policy"},
+		{"policy with compare", []string{"-policy", "ARC", "-compare"}, "conflicts"},
+		{"policy with stats", []string{"-policy", "ARC", "-stats", "out.json"}, "conflicts"},
 		{"stray positional args", []string{"CCS"}, "unexpected arguments"},
 	}
 	for _, tc := range cases {
@@ -104,6 +109,48 @@ func TestRunTextAndJSON(t *testing.T) {
 	o.benchmark = "nope"
 	if err := run(ctx, io.Discard, o); err == nil {
 		t.Error("unknown benchmark must fail")
+	}
+}
+
+func TestParseOptionsCanonicalizesPolicy(t *testing.T) {
+	o, err := parseOptions([]string{"-policy", "s3fifo"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.policy != "S3-FIFO" {
+		t.Errorf("policy alias resolved to %q, want S3-FIFO", o.policy)
+	}
+}
+
+func TestRunPolicyRace(t *testing.T) {
+	// The -policy race anchors on LRU and OPT; text and json outputs share
+	// one report.
+	ctx := context.Background()
+	o := options{benchmark: "GTr", policy: "ARC", sizeKB: 16, frames: 1}
+	var text strings.Builder
+	if err := run(ctx, &text, o); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Policy arena", "ARC", "LRU", "OPT"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, text.String())
+		}
+	}
+	o.jsonOut = true
+	var js strings.Builder
+	if err := run(ctx, &js, o); err != nil {
+		t.Fatal(err)
+	}
+	var rep arena.Report
+	if err := json.Unmarshal([]byte(js.String()), &rep); err != nil {
+		t.Fatalf("-policy -json is not a canonical report: %v", err)
+	}
+	if rep.Ranking[0].Policy != "OPT" {
+		t.Errorf("OPT not ranked first: %+v", rep.Ranking)
+	}
+	o.benchmark = "nope"
+	if err := run(ctx, io.Discard, o); err == nil {
+		t.Error("unknown benchmark must fail the race")
 	}
 }
 

@@ -1,0 +1,290 @@
+package arena
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"tcor/internal/cache"
+	"tcor/internal/experiments"
+	"tcor/internal/stats"
+)
+
+// Row is one (benchmark, policy) result in the report.
+type Row struct {
+	Policy     string  `json:"policy"`
+	Misses     int64   `json:"misses"`
+	MissRatio  float64 `json:"missRatio"`
+	Compulsory int64   `json:"compulsory"`
+	Capacity   int64   `json:"capacity"`
+	Conflict   int64   `json:"conflict"`
+	// GapToOPT is this row's miss ratio minus OPT's on the same benchmark:
+	// how much of the access stream the policy loses to the oracle.
+	GapToOPT float64 `json:"gapToOPT"`
+}
+
+// BenchmarkResult is one benchmark's slice of the race.
+type BenchmarkResult struct {
+	Benchmark string `json:"benchmark"`
+	Accesses  int64  `json:"accesses"`
+	// Winner is the best online policy (OPT excluded — it wins by
+	// definition); ties break to the lexicographically smaller name.
+	Winner string `json:"winner"`
+	// Rows lists every policy's result in roster order.
+	Rows []Row `json:"rows"`
+	// Reuse is the benchmark's reuse-distance summary: the distribution
+	// shape that explains the winner.
+	Reuse stats.ReuseDistSummary `json:"reuse"`
+}
+
+// Standing is one policy's aggregate over all raced benchmarks, ranked.
+type Standing struct {
+	Rank       int     `json:"rank"`
+	Policy     string  `json:"policy"`
+	Misses     int64   `json:"misses"`
+	Accesses   int64   `json:"accesses"`
+	MissRatio  float64 `json:"missRatio"` // misses/accesses, access-weighted
+	Compulsory int64   `json:"compulsory"`
+	Capacity   int64   `json:"capacity"`
+	Conflict   int64   `json:"conflict"`
+	// GapToOPT is the aggregate miss-ratio distance to OPT; GapClosed is
+	// the share of the LRU-to-OPT gap the policy closes (0 = LRU, 1 = OPT).
+	GapToOPT  float64 `json:"gapToOPT"`
+	GapClosed float64 `json:"gapClosed"`
+	// Wins counts benchmarks where this policy is the online winner.
+	Wins int `json:"wins"`
+}
+
+// Curve is one policy's miss-ratio-vs-size series (suite average), the
+// Fig. 11 shape extended to the whole roster.
+type Curve struct {
+	Policy     string    `json:"policy"`
+	SizesKB    []float64 `json:"sizesKB"`
+	MissRatios []float64 `json:"missRatios"`
+}
+
+// Report is the arena's ranked result. Its canonical encoding (Encode) is
+// shared verbatim by paperfig -arena and POST /v1/arena.
+type Report struct {
+	SizeKB     float64  `json:"sizeKB"`
+	Ways       int      `json:"ways"` // as requested; 0 = fully associative
+	Lines      int      `json:"lines"`
+	Frames     int      `json:"frames"` // runner frame override (0 = spec default)
+	Policies   []string `json:"policies"`
+	Benchmarks []string `json:"benchmarks"`
+
+	Ranking  []Standing        `json:"ranking"`
+	PerBench []BenchmarkResult `json:"perBenchmark"`
+	Curves   []Curve           `json:"curves,omitempty"`
+}
+
+// Encode renders the report's canonical bytes: compact JSON plus a trailing
+// newline, the same convention as the daemon's run results. Byte equality
+// of two encoded reports means the races agreed exactly.
+func (rep *Report) Encode() ([]byte, error) {
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+// Standing lookup by policy name (nil if absent).
+func (rep *Report) StandingFor(policy string) *Standing {
+	for i := range rep.Ranking {
+		if rep.Ranking[i].Policy == policy {
+			return &rep.Ranking[i]
+		}
+	}
+	return nil
+}
+
+// buildReport aggregates the headline cells (benchmark-major order matching
+// the job layout) into the ranked report. Everything here is sequential and
+// order-fixed, so the output is identical at any sweep parallelism.
+func buildReport(opts Options, cfg cache.Config, frames int, cells []cellPayload, reuse map[string]stats.ReuseDistSummary) *Report {
+	nPol := len(opts.Policies)
+	rep := &Report{
+		SizeKB:     opts.SizeKB,
+		Ways:       opts.Ways,
+		Lines:      cfg.Lines,
+		Frames:     frames,
+		Policies:   opts.Policies,
+		Benchmarks: opts.Benchmarks,
+	}
+
+	agg := make(map[string]*Standing, nPol)
+	for _, p := range opts.Policies {
+		agg[p] = &Standing{Policy: p}
+	}
+
+	for bi, alias := range opts.Benchmarks {
+		base := bi * nPol
+		var optRatio float64
+		for pi, p := range opts.Policies {
+			if p == "OPT" {
+				c := cells[base+pi]
+				optRatio = ratio(c.Misses, c.Accesses)
+			}
+		}
+		br := BenchmarkResult{Benchmark: alias, Reuse: reuse[alias]}
+		winnerMisses := int64(-1)
+		for pi, p := range opts.Policies {
+			c := cells[base+pi]
+			br.Accesses = c.Accesses
+			row := Row{
+				Policy:     p,
+				Misses:     c.Misses,
+				MissRatio:  ratio(c.Misses, c.Accesses),
+				Compulsory: c.Compulsory,
+				Capacity:   c.Capacity,
+				Conflict:   c.Conflict,
+			}
+			row.GapToOPT = row.MissRatio - optRatio
+			br.Rows = append(br.Rows, row)
+			if p != "OPT" && (winnerMisses < 0 || c.Misses < winnerMisses ||
+				(c.Misses == winnerMisses && p < br.Winner)) {
+				winnerMisses = c.Misses
+				br.Winner = p
+			}
+			a := agg[p]
+			a.Misses += c.Misses
+			a.Accesses += c.Accesses
+			a.Compulsory += c.Compulsory
+			a.Capacity += c.Capacity
+			a.Conflict += c.Conflict
+		}
+		rep.PerBench = append(rep.PerBench, br)
+		if w := agg[br.Winner]; w != nil {
+			w.Wins++
+		}
+	}
+
+	var optRatio, lruRatio float64
+	for _, p := range opts.Policies {
+		a := agg[p]
+		a.MissRatio = ratio(a.Misses, a.Accesses)
+		switch p {
+		case "OPT":
+			optRatio = a.MissRatio
+		case "LRU":
+			lruRatio = a.MissRatio
+		}
+	}
+	gap := lruRatio - optRatio
+	for _, p := range opts.Policies {
+		a := agg[p]
+		a.GapToOPT = a.MissRatio - optRatio
+		if gap > 1e-12 {
+			a.GapClosed = (lruRatio - a.MissRatio) / gap
+		}
+		rep.Ranking = append(rep.Ranking, *a)
+	}
+	sort.SliceStable(rep.Ranking, func(i, j int) bool {
+		if rep.Ranking[i].Misses != rep.Ranking[j].Misses {
+			return rep.Ranking[i].Misses < rep.Ranking[j].Misses
+		}
+		return rep.Ranking[i].Policy < rep.Ranking[j].Policy
+	})
+	for i := range rep.Ranking {
+		rep.Ranking[i].Rank = i + 1
+	}
+	return rep
+}
+
+// buildCurves aggregates the curve cells (size-major, then benchmark, then
+// policy — matching the job layout) into suite-average series per policy.
+func buildCurves(opts Options, cells []cellPayload) []Curve {
+	nPol := len(opts.Policies)
+	nBench := len(opts.Benchmarks)
+	curves := make([]Curve, nPol)
+	for pi, p := range opts.Policies {
+		curves[pi] = Curve{Policy: p, SizesKB: opts.CurveSizesKB}
+	}
+	for si := range opts.CurveSizesKB {
+		base := si * nBench * nPol
+		for pi := range opts.Policies {
+			var sum float64
+			for bi := 0; bi < nBench; bi++ {
+				c := cells[base+bi*nPol+pi]
+				sum += ratio(c.Misses, c.Accesses)
+			}
+			curves[pi].MissRatios = append(curves[pi].MissRatios, sum/float64(nBench))
+		}
+	}
+	return curves
+}
+
+func ratio(misses, accesses int64) float64 {
+	if accesses == 0 {
+		return 0
+	}
+	return float64(misses) / float64(accesses)
+}
+
+// Tables renders the report for humans: the ranking, the per-benchmark
+// matrix with winners and reuse summaries, and the curve grid if raced.
+func (rep *Report) Tables() []*experiments.Table {
+	rank := &experiments.Table{
+		Title: fmt.Sprintf("Policy arena: %g KiB, %s, %d benchmarks",
+			rep.SizeKB, waysLabel(rep.Ways), len(rep.Benchmarks)),
+		Note:   "Gap closed = share of the LRU-to-OPT miss gap recovered (0 = LRU, 1 = OPT).",
+		Header: []string{"Rank", "Policy", "Misses", "MissRatio", "Compulsory", "Capacity", "Conflict", "GapToOPT", "GapClosed", "Wins"},
+	}
+	for _, s := range rep.Ranking {
+		rank.AddRow(
+			fmt.Sprintf("%d", s.Rank), s.Policy,
+			fmt.Sprintf("%d", s.Misses),
+			fmt.Sprintf("%.4f", s.MissRatio),
+			fmt.Sprintf("%d", s.Compulsory),
+			fmt.Sprintf("%d", s.Capacity),
+			fmt.Sprintf("%d", s.Conflict),
+			fmt.Sprintf("%+.4f", s.GapToOPT),
+			fmt.Sprintf("%.2f", s.GapClosed),
+			fmt.Sprintf("%d", s.Wins),
+		)
+	}
+
+	bench := &experiments.Table{
+		Title:  "Per-benchmark miss ratios and winners",
+		Note:   "Reuse columns: share of cold first touches and median finite reuse distance (log-2 estimate).",
+		Header: append(append([]string{"Benchmark"}, rep.Policies...), "Winner", "ColdShare", "ReuseP50"),
+	}
+	for _, br := range rep.PerBench {
+		row := []string{br.Benchmark}
+		for _, r := range br.Rows {
+			row = append(row, fmt.Sprintf("%.4f", r.MissRatio))
+		}
+		row = append(row, br.Winner,
+			fmt.Sprintf("%.3f", br.Reuse.ColdShare),
+			fmt.Sprintf("%.0f", br.Reuse.P50))
+		bench.AddRow(row...)
+	}
+
+	out := []*experiments.Table{rank, bench}
+	if len(rep.Curves) > 0 {
+		curve := &experiments.Table{
+			Title:  "Miss ratio vs cache size (suite average)",
+			Header: []string{"Size(KB)"},
+		}
+		for _, c := range rep.Curves {
+			curve.Header = append(curve.Header, c.Policy)
+		}
+		for si, sz := range rep.Curves[0].SizesKB {
+			row := []string{fmt.Sprintf("%.0f", sz)}
+			for _, c := range rep.Curves {
+				row = append(row, fmt.Sprintf("%.4f", c.MissRatios[si]))
+			}
+			curve.AddRow(row...)
+		}
+		out = append(out, curve)
+	}
+	return out
+}
+
+func waysLabel(ways int) string {
+	if ways <= 0 {
+		return "fully associative"
+	}
+	return fmt.Sprintf("%d-way", ways)
+}

@@ -1,0 +1,125 @@
+package cache
+
+import "tcor/internal/trace"
+
+// ARC (Megiddo & Modha, FAST 2003): adaptive replacement cache. Each set
+// splits its resident lines into T1 (seen once) and T2 (seen at least
+// twice) and remembers recently evicted keys in the ghost lists B1/B2. A
+// hit in a ghost list is evidence that the corresponding resident list was
+// sized too small, so the adaptation target p — the desired size of T1 —
+// moves toward it. ARC therefore tunes itself between recency (pure LRU,
+// p = ways) and frequency (p = 0) per set with no configuration knob.
+//
+// The original formulation owns the whole lookup path; here it is adapted
+// to the Policy interface: residency changes arrive via Insert (fill) and
+// Victim (eviction), hits via Touch, and the directory state lives inside
+// the policy. One deviation is forced by the interface: the REPLACE(x)
+// tie-break "evict from T1 when |T1| == p and x is in B2" needs the
+// incoming key, which Victim does not see, so the tie goes to T2. The
+// adaptation behaviour is unchanged.
+
+type arcSet struct {
+	t1, t2 []trace.Key // resident keys, LRU first
+	b1, b2 []trace.Key // ghost keys, LRU first
+	p      int         // target |T1|
+}
+
+type arc struct {
+	ways int
+	sets []arcSet
+}
+
+// NewARC returns the adaptive replacement cache policy.
+func NewARC() Policy { return &arc{} }
+
+func (*arc) Name() string { return "ARC" }
+
+func (a *arc) Reset(sets, ways int) {
+	a.ways = ways
+	a.sets = make([]arcSet, sets)
+}
+
+// removeKey deletes key from list if present, reporting whether it was.
+func removeKey(list []trace.Key, key trace.Key) ([]trace.Key, bool) {
+	for i, k := range list {
+		if k == key {
+			return append(list[:i], list[i+1:]...), true
+		}
+	}
+	return list, false
+}
+
+func (a *arc) Touch(set, way int, line *Line, acc trace.Access) {
+	s := &a.sets[set]
+	var hit bool
+	if s.t1, hit = removeKey(s.t1, acc.Key); !hit {
+		s.t2, _ = removeKey(s.t2, acc.Key)
+	}
+	s.t2 = append(s.t2, acc.Key) // any hit promotes to T2-MRU
+}
+
+func (a *arc) Insert(set, way int, line *Line, acc trace.Access) {
+	s := &a.sets[set]
+	if _, inB1 := removeKey2(&s.b1, acc.Key); inB1 {
+		// B1 hit: recency list was too small; grow p.
+		delta := 1
+		if len(s.b1) > 0 && len(s.b2)/len(s.b1) > 1 {
+			delta = len(s.b2) / len(s.b1)
+		}
+		s.p = min(s.p+delta, a.ways)
+		s.t2 = append(s.t2, acc.Key)
+	} else if _, inB2 := removeKey2(&s.b2, acc.Key); inB2 {
+		// B2 hit: frequency list was too small; shrink p.
+		delta := 1
+		if len(s.b2) > 0 && len(s.b1)/len(s.b2) > 1 {
+			delta = len(s.b1) / len(s.b2)
+		}
+		s.p = max(s.p-delta, 0)
+		s.t2 = append(s.t2, acc.Key)
+	} else {
+		// Genuinely new key: enters the recency list.
+		s.t1, _ = removeKey(s.t1, acc.Key) // drop any stale residue
+		s.t2, _ = removeKey(s.t2, acc.Key)
+		s.t1 = append(s.t1, acc.Key)
+	}
+	// Ghosts hold at most one set's worth of history each.
+	if len(s.b1) > a.ways {
+		s.b1 = s.b1[len(s.b1)-a.ways:]
+	}
+	if len(s.b2) > a.ways {
+		s.b2 = s.b2[len(s.b2)-a.ways:]
+	}
+}
+
+// removeKey2 is removeKey operating in place.
+func removeKey2(list *[]trace.Key, key trace.Key) (trace.Key, bool) {
+	out, ok := removeKey(*list, key)
+	*list = out
+	return key, ok
+}
+
+func (a *arc) Victim(set int, lines []Line) int {
+	s := &a.sets[set]
+	for len(s.t1) > 0 || len(s.t2) > 0 {
+		var key trace.Key
+		fromT1 := len(s.t1) > 0 && (len(s.t1) > s.p || len(s.t2) == 0)
+		if fromT1 {
+			key, s.t1 = s.t1[0], s.t1[1:]
+		} else {
+			key, s.t2 = s.t2[0], s.t2[1:]
+		}
+		for w := range lines {
+			if lines[w].Valid && lines[w].Key == key {
+				if fromT1 {
+					s.b1 = append(s.b1, key)
+				} else {
+					s.b2 = append(s.b2, key)
+				}
+				return w
+			}
+		}
+		// Stale directory entry (line invalidated externally): drop and retry.
+	}
+	// Directory empty: degenerate to LRU rather than fail.
+	return lru{}.Victim(set, lines)
+}

@@ -33,13 +33,25 @@ func Classify3C(cfg Config, policy Policy, tr trace.Trace) (Breakdown3C, error) 
 	if err != nil {
 		return out, err
 	}
+	return Classify3CFromCounts(real, faStats.Misses, faStats.Compulsory), nil
+}
+
+// Classify3CFromCounts is the normalization core of Classify3C, decomposing
+// already-measured miss counts: real is the configuration under study,
+// faMisses/faCompulsory the fully-associative LRU reference at the same
+// line count. Callers that already hold a Mattson stack profile (the arena:
+// faMisses = StackProfile.MissesAt(lines), faCompulsory = Cold) decompose
+// without re-running either simulation — the profile and the event-driven
+// simulator agree exactly, as the stackdist tests prove.
+func Classify3CFromCounts(real Stats, faMisses, faCompulsory int64) Breakdown3C {
+	var out Breakdown3C
 	out.Total = real.Misses
 	out.Compulsory = real.Compulsory
-	out.Capacity = faStats.Misses - faStats.Compulsory
+	out.Capacity = faMisses - faCompulsory
 	if out.Capacity < 0 {
 		out.Capacity = 0
 	}
-	out.Conflict = real.Misses - faStats.Misses
+	out.Conflict = real.Misses - faMisses
 	if out.Conflict < 0 {
 		// Bélády anomalies can make the set-associative cache *beat* the
 		// fully associative one on some traces; report zero conflicts
@@ -56,5 +68,5 @@ func Classify3C(cfg Config, policy Policy, tr trace.Trace) (Breakdown3C, error) 
 		out.Capacity = 0
 		out.Conflict = out.Total - out.Compulsory
 	}
-	return out, nil
+	return out
 }

@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcor/internal/trace"
+)
+
+// scanPollutedTrace interleaves a small hot working set with a long stream
+// of one-hit wonders: the classic workload where pure recency caches bleed
+// (every scan key evicts a hot key) and scan-resistant designs shine.
+func scanPollutedTrace(hot, scan, rounds int) trace.Trace {
+	var tr trace.Trace
+	next := hot
+	for r := 0; r < rounds; r++ {
+		for h := 0; h < hot; h++ {
+			tr = append(tr, trace.Access{Key: trace.Key(h)})
+			tr = append(tr, trace.Access{Key: trace.Key(next)})
+			next++
+			_ = scan
+		}
+	}
+	trace.AnnotateNextUse(tr)
+	return tr
+}
+
+func mustSimulate(t *testing.T, cfg Config, p Policy, tr trace.Trace) Stats {
+	t.Helper()
+	st, err := Simulate(cfg, p, tr)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name(), err)
+	}
+	return st
+}
+
+func TestARCScanResistance(t *testing.T) {
+	tr := scanPollutedTrace(24, 0, 40)
+	cfg := Config{Lines: 32, WriteAllocate: true}
+	arcSt := mustSimulate(t, cfg, NewARC(), tr)
+	lruSt := mustSimulate(t, cfg, NewLRU(), tr)
+	if arcSt.Misses >= lruSt.Misses {
+		t.Errorf("ARC should beat LRU under scan pollution: ARC %d misses, LRU %d", arcSt.Misses, lruSt.Misses)
+	}
+}
+
+func TestS3FIFOScanResistance(t *testing.T) {
+	tr := scanPollutedTrace(24, 0, 40)
+	cfg := Config{Lines: 32, WriteAllocate: true}
+	s3St := mustSimulate(t, cfg, NewS3FIFO(), tr)
+	lruSt := mustSimulate(t, cfg, NewLRU(), tr)
+	if s3St.Misses >= lruSt.Misses {
+		t.Errorf("S3-FIFO should beat LRU under scan pollution: S3-FIFO %d misses, LRU %d", s3St.Misses, lruSt.Misses)
+	}
+}
+
+func TestS3FIFOSetAssociative(t *testing.T) {
+	// Exercise the queue bookkeeping across many small sets, where the
+	// probationary queue degenerates to a single entry.
+	rng := rand.New(rand.NewSource(3))
+	tr := pbShapedTrace(rng, 200, 3)
+	cfg := Config{Lines: 64, Ways: 4, WriteAllocate: true}
+	st := mustSimulate(t, cfg, NewS3FIFO(), tr)
+	if st.Accesses != int64(len(tr)) {
+		t.Fatalf("accesses %d != trace length %d", st.Accesses, len(tr))
+	}
+	if st.Hits == 0 {
+		t.Error("S3-FIFO produced zero hits on a reuse-heavy trace")
+	}
+}
+
+// TestLearnedBetweenLRUAndOPT is the synthetic version of the arena's
+// acceptance criterion: on PB-shaped traces the learned predictor must land
+// in the [OPT, LRU] miss band — it approximates the oracle, so it beats
+// recency, but it can never beat the oracle itself.
+func TestLearnedBetweenLRUAndOPT(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tp := 80 + rng.Intn(120)
+		tr := pbShapedTrace(rng, tp, 2)
+		for _, cp := range []int{tp / 4, tp / 2, 3 * tp / 4} {
+			if cp < 4 {
+				cp = 4
+			}
+			cfg := Config{Lines: cp, WriteAllocate: true}
+			opt := mustSimulate(t, cfg, NewOPT(), tr)
+			lruSt := mustSimulate(t, cfg, NewLRU(), tr)
+			learnedSt := mustSimulate(t, cfg, NewLearned(), tr)
+			if learnedSt.Misses < opt.Misses {
+				t.Errorf("seed %d cp %d: Learned %d misses beats OPT %d — impossible, simulator bug",
+					seed, cp, learnedSt.Misses, opt.Misses)
+			}
+			if learnedSt.Misses > lruSt.Misses {
+				t.Errorf("seed %d cp %d: Learned %d misses worse than LRU %d",
+					seed, cp, learnedSt.Misses, lruSt.Misses)
+			}
+		}
+	}
+}
+
+// TestLearnedDegradesToSRRIP feeds the learned policy a trace with no
+// next-use annotations: every access is an ungradable label, confidence
+// collapses before the first eviction, and from then on the policy must
+// behave exactly like the SRRIP whose state it shadows.
+func TestLearnedDegradesToSRRIP(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var tr trace.Trace
+	for i := 0; i < 4000; i++ {
+		tr = append(tr, trace.Access{Key: trace.Key(rng.Intn(300))})
+	}
+	// Deliberately NOT annotated: NextUse stays zero everywhere.
+	cfg := Config{Lines: 64, Ways: 4, WriteAllocate: true}
+	learnedSt := mustSimulate(t, cfg, NewLearned(), tr)
+	srripSt := mustSimulate(t, cfg, NewSRRIP(), tr)
+	if learnedSt != srripSt {
+		t.Errorf("stale learned policy diverged from SRRIP: learned %+v, srrip %+v", learnedSt, srripSt)
+	}
+}

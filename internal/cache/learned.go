@@ -1,0 +1,145 @@
+package cache
+
+import "tcor/internal/trace"
+
+// Learned reuse-distance policy (in the spirit of "Toward Robust and
+// Efficient ML-Based GPU Caching for Modern Inference"): an online
+// predictor that tries to approximate the OPT information TCOR's Tiling
+// Engine gets for free. Every access carries the PLB-visible next-use
+// annotation, so the true forward reuse distance of the current key is the
+// training label; the policy learns a per-key EMA of those distances (plus
+// a global fallback for cold keys) and replaces with "evict the line whose
+// *predicted* next use lies farthest in the future" — Belady's rule driven
+// by the model instead of the oracle.
+//
+// The predictor also grades itself on every label: a prediction within a
+// factor of two of the observed distance bumps a saturating confidence
+// counter, a miss by more than that decays it. While confidence holds, the
+// learned victim rule applies; when predictions go stale — the workload
+// shifted faster than the EMA tracks, or the trace carries no next-use
+// annotations at all — the policy degrades gracefully to plain SRRIP,
+// whose RRPV state it maintains in parallel at all times.
+
+const (
+	learnedConfMax   = 63                 // saturating confidence counter
+	learnedConfStart = learnedConfMax / 2 // also the learned-mode threshold
+	learnedDead      = int64(1) << 40     // interval assigned to never-reused keys
+	learnedEMAShift  = 2                  // EMA weight: new sample counts 1/4
+)
+
+type learned struct {
+	ways int
+	now  int64 // mirror of the cache clock (lines are stamped before we run)
+
+	ema    map[trace.Key]int64 // predicted reuse interval per key
+	global int64               // fallback interval for never-seen keys
+	conf   int
+
+	// pred[set][way] is the predicted next-use time of the resident line.
+	pred [][]int64
+}
+
+// NewLearned returns the learned reuse-distance classifier policy.
+func NewLearned() Policy { return &learned{} }
+
+func (*learned) Name() string { return "Learned" }
+
+func (l *learned) Reset(sets, ways int) {
+	l.ways = ways
+	l.now = 0
+	l.ema = make(map[trace.Key]int64)
+	l.global = 1
+	l.conf = learnedConfStart
+	l.pred = make([][]int64, sets)
+	for i := range l.pred {
+		l.pred[i] = make([]int64, ways)
+	}
+}
+
+func (l *learned) learnedMode() bool { return l.conf >= learnedConfStart }
+
+// observe trains on one access and records the line's predicted next use.
+// line.LastUse was stamped with the cache clock just before the policy ran,
+// so it doubles as the current time.
+func (l *learned) observe(set, way int, line *Line, acc trace.Access) {
+	l.now = line.LastUse
+	var actual int64
+	switch {
+	case acc.NextUse == trace.Never:
+		actual = learnedDead
+	case acc.NextUse > l.now:
+		actual = acc.NextUse - l.now
+	default:
+		// NextUse at or before now: the trace carries no (or inconsistent)
+		// annotations. There is no label to train on; every such access is
+		// evidence the model cannot be trusted.
+		if l.conf > 0 {
+			l.conf--
+		}
+		l.pred[set][way] = l.now + l.lookup(acc.Key)
+		return
+	}
+
+	// Grade the prediction the model would have made before seeing the label.
+	predicted := l.lookup(acc.Key)
+	if predicted >= actual/2 && predicted <= actual*2 {
+		if l.conf < learnedConfMax {
+			l.conf++
+		}
+	} else if l.conf > 0 {
+		l.conf--
+	}
+
+	// Train: move the per-key and global EMAs toward the label.
+	if old, ok := l.ema[acc.Key]; ok {
+		l.ema[acc.Key] = old + (actual-old)>>learnedEMAShift
+	} else {
+		l.ema[acc.Key] = actual
+	}
+	if actual < learnedDead {
+		l.global += (actual - l.global) >> learnedEMAShift
+	}
+	l.pred[set][way] = l.now + l.ema[acc.Key]
+}
+
+// lookup returns the model's predicted reuse interval for key.
+func (l *learned) lookup(key trace.Key) int64 {
+	if v, ok := l.ema[key]; ok {
+		return v
+	}
+	return l.global
+}
+
+func (l *learned) Touch(set, way int, line *Line, acc trace.Access) {
+	line.RRPV = 0 // SRRIP shadow state
+	l.observe(set, way, line, acc)
+}
+
+func (l *learned) Insert(set, way int, line *Line, acc trace.Access) {
+	line.RRPV = rrpvLong // SRRIP shadow state
+	l.observe(set, way, line, acc)
+}
+
+func (l *learned) Victim(set int, lines []Line) int {
+	if !l.learnedMode() {
+		return rripVictim(lines)
+	}
+	// Belady over predictions. A line whose predicted reuse already passed
+	// without a hit is overdue — likely dead — and outranks any prediction
+	// still in the future, most-overdue first.
+	v, best := 0, l.score(set, 0)
+	for w := 1; w < len(lines); w++ {
+		if s := l.score(set, w); s > best {
+			v, best = w, s
+		}
+	}
+	return v
+}
+
+func (l *learned) score(set, way int) int64 {
+	p := l.pred[set][way]
+	if p < l.now {
+		return learnedDead + (l.now - p)
+	}
+	return p
+}

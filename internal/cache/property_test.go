@@ -37,19 +37,14 @@ func pbShapedTrace(rng *rand.Rand, tp, passes int) trace.Trace {
 // mandatory-allocation Belady is provably optimal here — any violation is
 // an implementation bug, not a statistical fluke.
 func TestOPTBeladySandwich(t *testing.T) {
-	rivals := []struct {
-		name string
-		make func() Policy
-	}{
-		{"LRU", NewLRU},
-		{"MRU", NewMRU},
-		{"FIFO", NewFIFO},
-		{"Random", func() Policy { return NewRandom(1) }},
-		{"NRU", NewNRU},
-		{"SRRIP", NewSRRIP},
-		{"SHiP", func() Policy { return NewSHiP(nil) }},
-		{"Hawkeye", func() Policy { return NewHawkeye(nil) }},
-		{"Shepherd", func() Policy { return NewShepherd(1) }},
+	// Every registered policy duels OPT, so a new contender joins the
+	// sandwich the moment it joins the registry. OPT itself is the left
+	// side of the inequality, not a rival.
+	var rivals []PolicyInfo
+	for _, e := range Policies() {
+		if e.Name != "OPT" {
+			rivals = append(rivals, e)
+		}
 	}
 
 	for seed := int64(1); seed <= 6; seed++ {
@@ -72,17 +67,29 @@ func TestOPTBeladySandwich(t *testing.T) {
 					seed, tp, cp, optStats.Misses, lb)
 			}
 			for _, rival := range rivals {
-				st, err := Simulate(cfg, rival.make(), tr)
+				// Tree-PLRU only works with power-of-two associativity, so
+				// clamp its fully-associative capacity down to one. OPT's
+				// miss count is monotone in capacity (stack property), so
+				// OPT@cp <= OPT@cp' <= rival@cp' keeps the sandwich valid.
+				rcfg := cfg
+				if rival.Name == "PLRU" {
+					pow2 := 2
+					for pow2*2 <= cp {
+						pow2 *= 2
+					}
+					rcfg = Config{Lines: pow2, WriteAllocate: true}
+				}
+				st, err := Simulate(rcfg, rival.Make(), tr)
 				if err != nil {
-					t.Fatalf("seed %d cp %d %s: %v", seed, cp, rival.name, err)
+					t.Fatalf("seed %d cp %d %s: %v", seed, cp, rival.Name, err)
 				}
 				if optStats.Misses > st.Misses {
 					t.Errorf("seed %d tp %d cp %d: OPT misses %d exceed %s's %d",
-						seed, tp, cp, optStats.Misses, rival.name, st.Misses)
+						seed, tp, cp, optStats.Misses, rival.Name, st.Misses)
 				}
 				if st.Accesses != int64(len(tr)) || optStats.Accesses != st.Accesses {
 					t.Errorf("seed %d cp %d %s: access counts diverge (%d vs %d)",
-						seed, cp, rival.name, optStats.Accesses, st.Accesses)
+						seed, cp, rival.Name, optStats.Accesses, st.Accesses)
 				}
 			}
 		}

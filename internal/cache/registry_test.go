@@ -1,0 +1,110 @@
+package cache
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"tcor/internal/trace"
+)
+
+func TestRegistryNamesSortedAndUnique(t *testing.T) {
+	names := PolicyNames()
+	if len(names) < 15 {
+		t.Fatalf("registry suspiciously small: %d policies", len(names))
+	}
+	if !sort.SliceIsSorted(names, func(i, j int) bool {
+		return strings.ToLower(names[i]) < strings.ToLower(names[j])
+	}) {
+		t.Errorf("PolicyNames not sorted: %v", names)
+	}
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if seen[strings.ToLower(n)] {
+			t.Errorf("duplicate registry name %q", n)
+		}
+		seen[strings.ToLower(n)] = true
+	}
+}
+
+func TestRegistryRoundTrips(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := NewPolicy(name)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("NewPolicy(%q).Name() = %q; registry name and policy name must agree", name, p.Name())
+		}
+		lower, err := NewPolicy(strings.ToLower(name))
+		if err != nil {
+			t.Errorf("NewPolicy(%q) (lower case): %v", strings.ToLower(name), err)
+		} else if lower.Name() != name {
+			t.Errorf("case-insensitive lookup of %q resolved to %q", name, lower.Name())
+		}
+	}
+	if _, err := NewPolicy("no-such-policy"); err == nil {
+		t.Error("NewPolicy accepted an unknown name")
+	}
+	if p, err := NewPolicy("s3fifo"); err != nil || p.Name() != "S3-FIFO" {
+		t.Errorf("alias s3fifo: got %v, %v", p, err)
+	}
+	if name, err := CanonicalPolicyName("opt"); err != nil || name != "OPT" {
+		t.Errorf("CanonicalPolicyName(opt) = %q, %v", name, err)
+	}
+}
+
+func TestRegistryInstancesUnshared(t *testing.T) {
+	// Two instances from the same entry must not share mutable state: the
+	// arena runs one instance per (benchmark, policy) job concurrently.
+	a, _ := NewPolicy("DRRIP")
+	b, _ := NewPolicy("DRRIP")
+	if a == b {
+		t.Fatal("NewPolicy returned a shared instance")
+	}
+}
+
+// missSequence simulates tr and records one byte per access: 'H' or 'M'.
+func missSequence(t *testing.T, cfg Config, p Policy, tr trace.Trace) []byte {
+	t.Helper()
+	c, err := New(cfg, p)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name(), err)
+	}
+	seq := make([]byte, len(tr))
+	for i, a := range tr {
+		if c.Access(a).Hit {
+			seq[i] = 'H'
+		} else {
+			seq[i] = 'M'
+		}
+	}
+	return seq
+}
+
+// TestPolicyDeterminism runs every registered policy twice over the same
+// fixed-seed trace and asserts byte-identical miss sequences. This is the
+// arena's foundation: map-iteration nondeterminism or shared-instance state
+// in any policy would make ranked reports irreproducible, and this catches
+// it at the policy level before the arena amplifies it.
+func TestPolicyDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tp := 96
+	tr := pbShapedTrace(rng, tp, 2)
+
+	for _, e := range Policies() {
+		for _, cfg := range []Config{
+			{Lines: 32, WriteAllocate: true},          // fully associative (power of two for PLRU)
+			{Lines: 64, Ways: 4, WriteAllocate: true}, // set associative
+		} {
+			first := missSequence(t, cfg, e.Make(), tr)
+			second := missSequence(t, cfg, e.Make(), tr)
+			if !bytes.Equal(first, second) {
+				t.Errorf("%s (lines=%d ways=%d): miss sequences differ between identical runs",
+					e.Name, cfg.Lines, cfg.Ways)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package cache
+
+import "tcor/internal/trace"
+
+// S3-FIFO (Yang et al., SOSP 2023): three static FIFO queues. New keys
+// enter a small probationary queue sized at ~10% of the set; keys that
+// prove reuse while probationary are promoted into the main queue, one-hit
+// wonders fall out through a ghost queue. Main-queue evictions give each
+// line as many second chances as it earned hits (capped), which
+// approximates LRU-like retention with FIFO-cheap bookkeeping — the design
+// point is scan resistance without per-access reordering.
+//
+// Adapted to the Policy interface the same way as ARC: the queues shadow
+// residency, Insert/Victim keep them synchronized with the set, and hit
+// counts live in a per-set map rather than in the lines.
+
+const (
+	s3FreqMax   = 3  // saturating per-key hit counter
+	s3SmallFrac = 10 // small queue target: ways / s3SmallFrac, min 1
+)
+
+type s3fifoSet struct {
+	small, main []trace.Key // FIFO order, head first
+	ghost       []trace.Key
+	freq        map[trace.Key]uint8
+}
+
+type s3fifo struct {
+	ways     int
+	smallCap int
+	sets     []s3fifoSet
+}
+
+// NewS3FIFO returns the S3-FIFO policy.
+func NewS3FIFO() Policy { return &s3fifo{} }
+
+func (*s3fifo) Name() string { return "S3-FIFO" }
+
+func (s *s3fifo) Reset(sets, ways int) {
+	s.ways = ways
+	s.smallCap = max(1, ways/s3SmallFrac)
+	s.sets = make([]s3fifoSet, sets)
+	for i := range s.sets {
+		s.sets[i].freq = make(map[trace.Key]uint8, ways)
+	}
+}
+
+func (s *s3fifo) Touch(set, way int, line *Line, acc trace.Access) {
+	st := &s.sets[set]
+	if f := st.freq[acc.Key]; f < s3FreqMax {
+		st.freq[acc.Key] = f + 1
+	}
+}
+
+func (s *s3fifo) Insert(set, way int, line *Line, acc trace.Access) {
+	st := &s.sets[set]
+	st.small, _ = removeKey(st.small, acc.Key) // drop stale residue
+	st.main, _ = removeKey(st.main, acc.Key)
+	if _, wasGhost := removeKey2(&st.ghost, acc.Key); wasGhost {
+		// A ghost hit means the key was evicted too hastily: readmit
+		// straight into the main queue.
+		st.main = append(st.main, acc.Key)
+	} else {
+		st.small = append(st.small, acc.Key)
+	}
+	st.freq[acc.Key] = 0
+	if len(st.ghost) > s.ways {
+		st.ghost = st.ghost[len(st.ghost)-s.ways:]
+	}
+}
+
+func (s *s3fifo) Victim(set int, lines []Line) int {
+	st := &s.sets[set]
+	for len(st.small) > 0 || len(st.main) > 0 {
+		if len(st.small) >= s.smallCap || len(st.main) == 0 {
+			// Evict from the probationary queue.
+			var key trace.Key
+			key, st.small = st.small[0], st.small[1:]
+			if st.freq[key] > 0 {
+				// Earned reuse while probationary: promote, keep looking.
+				st.main = append(st.main, key)
+				st.freq[key] = 0
+				continue
+			}
+			if w, ok := findWay(lines, key); ok {
+				delete(st.freq, key)
+				st.ghost = append(st.ghost, key)
+				return w
+			}
+			delete(st.freq, key) // stale entry: drop and retry
+			continue
+		}
+		// Evict from the main queue with frequency-funded second chances.
+		var key trace.Key
+		key, st.main = st.main[0], st.main[1:]
+		if f := st.freq[key]; f > 0 {
+			st.freq[key] = f - 1
+			st.main = append(st.main, key)
+			continue
+		}
+		if w, ok := findWay(lines, key); ok {
+			delete(st.freq, key)
+			return w
+		}
+		delete(st.freq, key)
+	}
+	return fifo{}.Victim(set, lines)
+}
+
+func findWay(lines []Line, key trace.Key) (int, bool) {
+	for w := range lines {
+		if lines[w].Valid && lines[w].Key == key {
+			return w, true
+		}
+	}
+	return -1, false
+}

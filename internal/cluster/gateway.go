@@ -228,6 +228,7 @@ func NewGateway(opts Options) (*Gateway, error) {
 	mux.HandleFunc("/v1/ring", g.handleRing)
 	mux.HandleFunc("/v1/simulate", g.handleSimulate)
 	mux.HandleFunc("/v1/sweep", g.handleSweep)
+	mux.HandleFunc("/v1/arena", g.handleArena)
 	mux.Handle("/metrics", stats.MetricsHandler("tcord", reg))
 	g.mux = mux
 	return g, nil
@@ -752,6 +753,72 @@ func (g *Gateway) hedgeDelay() time.Duration {
 		d = g.opts.MinHedge
 	}
 	return d
+}
+
+// --- arena routing ---
+
+// handleArena proxies a replacement-policy race to the shard owning its
+// content address, failing over along the ring when a shard errors. Reports
+// are byte-identical on every shard (the race is deterministic and every
+// daemon pins the same single-frame geometry), so failover never changes a
+// number — only which shard's arena cache warms up. No hedging: a race is
+// orders of magnitude heavier than a simulate call, and doubling one
+// deliberately is the wrong trade.
+func (g *Gateway) handleArena(w http.ResponseWriter, r *http.Request) {
+	var req serve.ArenaRequest
+	if !g.beginSim(w, r, &req) {
+		return
+	}
+	_, key, err := serve.ArenaKey(req)
+	if err != nil {
+		g.writeError(w, badRequest("%v", err))
+		return
+	}
+	ctx, cancel := g.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	var firstErr error
+	for _, idx := range g.ring.Successors(key) {
+		sh := g.shards[idx]
+		done, allowErr := sh.brk.Allow()
+		if allowErr != nil {
+			if firstErr == nil {
+				firstErr = allowErr
+			}
+			continue
+		}
+		if err := g.chaos.Inject(ctx, resilience.SiteProxy); err != nil {
+			done(resilience.Ignore) // injected at the gateway, not the shard's fault
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		body, outcome, err := sh.client.ArenaRaw(ctx, req)
+		done(shardOutcome(err))
+		if err == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Tcord-Cache", string(outcome))
+			w.Header().Set(serve.ShardHeader, sh.name)
+			w.Write(body) //nolint:errcheck // client gone is its own problem
+			return
+		}
+		// A 4xx is the shard rejecting the request itself — every shard
+		// would; pass it through instead of burning the ring.
+		var ae *client.APIError
+		if errors.As(err, &ae) && ae.Status < 500 && ae.Status != http.StatusTooManyRequests {
+			g.writeError(w, err)
+			return
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		g.failovers.Inc()
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	g.writeError(w, firstErr)
 }
 
 // --- sweep fan-out ---

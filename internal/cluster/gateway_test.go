@@ -445,3 +445,91 @@ func TestGatewayDrain(t *testing.T) {
 		t.Fatalf("draining gateway answered %d %q, want 503 draining", resp.StatusCode, body)
 	}
 }
+
+// postArena drives one /v1/arena request through the gateway.
+func postArena(t *testing.T, url string, req serve.ArenaRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/arena", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+var testArena = serve.ArenaRequest{Policies: []string{"LRU", "OPT"}, Benchmarks: []string{"CCS"}, SizeKB: 16}
+
+// arenaOrderOf returns the shard URLs in the gateway's try order for req.
+func arenaOrderOf(t *testing.T, g *Gateway, req serve.ArenaRequest) []string {
+	t.Helper()
+	_, key, err := serve.ArenaKey(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	for _, n := range g.Ring().Successors(key) {
+		order = append(order, g.shards[n].name)
+	}
+	return order
+}
+
+// TestGatewayArenaRoutesToOwner: a race lands on the shard owning its
+// content address, the cache disposition and shard name pass through, and
+// a repeat hits the same owner's cache.
+func TestGatewayArenaRoutesToOwner(t *testing.T) {
+	fc := newFakeCluster(t, 3)
+	for _, u := range fc.urls {
+		fc.setRole(u, answer(fmt.Sprintf("{\"from\":%q}\n", u), "miss"))
+	}
+	g, srv := newTestGateway(t, fc, singleAttempt())
+
+	want := arenaOrderOf(t, g, testArena)[0]
+	resp := postArena(t, srv.URL, testArena)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(serve.ShardHeader); got != want {
+		t.Fatalf("served by %s, ring owner is %s", got, want)
+	}
+	if got := resp.Header.Get("X-Tcord-Cache"); got != "miss" {
+		t.Fatalf("X-Tcord-Cache = %q, want the shard's disposition", got)
+	}
+	if !strings.Contains(body, want) {
+		t.Fatalf("body %q did not come from owner %s", body, want)
+	}
+}
+
+// TestGatewayArenaFailsOver: a broken owner's race fails over along the
+// ring; a 4xx from the owner, by contrast, passes straight through — every
+// shard would reject the same request the same way.
+func TestGatewayArenaFailsOver(t *testing.T) {
+	fc := newFakeCluster(t, 2)
+	g, srv := newTestGateway(t, fc, singleAttempt())
+
+	order := arenaOrderOf(t, g, testArena)
+	fc.setRole(order[0], fail(http.StatusInternalServerError, "internal"))
+	fc.setRole(order[1], answer("{\"from\":\"successor\"}\n", "miss"))
+
+	resp := postArena(t, srv.URL, testArena)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "successor") {
+		t.Fatalf("failover got %d %q, want the successor's race", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(serve.ShardHeader); got != order[1] {
+		t.Fatalf("served by %s, want the successor %s", got, order[1])
+	}
+
+	fc.setRole(order[0], fail(http.StatusBadRequest, "invalid_request"))
+	resp = postArena(t, srv.URL, testArena)
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("owner 400 answered %d at the gateway, want pass-through", resp.StatusCode)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -240,3 +240,46 @@ func TestGoldenSimulateChaosShards(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGoldenGatewayArenaMatchesSingleNode: a policy race proxied through
+// the gateway is byte-identical to the same race on a standalone daemon,
+// and a repeat is answered from the owning shard's arena cache.
+func TestGoldenGatewayArenaMatchesSingleNode(t *testing.T) {
+	single := httptest.NewServer(serve.NewServer(serve.Options{}).Handler())
+	defer single.Close()
+	rc := newRealCluster(t, 3, serve.Options{}, Options{})
+
+	req := serve.ArenaRequest{
+		Policies:   []string{"LRU", "OPT", "ARC"},
+		Benchmarks: []string{"CCS"},
+		SizeKB:     16,
+	}
+	wantStatus, _, want := post(t, single.URL, "/v1/arena", req)
+	if wantStatus != http.StatusOK {
+		t.Fatalf("single-node arena: status %d: %s", wantStatus, want)
+	}
+	gotStatus, hdr, got := post(t, rc.gwURL, "/v1/arena", req)
+	if gotStatus != http.StatusOK {
+		t.Fatalf("gateway arena: status %d: %s", gotStatus, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("gateway arena differs from single-node:\ngateway: %s\nsingle:  %s", got, want)
+	}
+	if hdr.Get(serve.ShardHeader) == "" {
+		t.Fatal("gateway arena response does not name its shard")
+	}
+
+	status2, hdr2, got2 := post(t, rc.gwURL, "/v1/arena", req)
+	if status2 != http.StatusOK {
+		t.Fatalf("repeat arena: status %d", status2)
+	}
+	if hdr2.Get("X-Tcord-Cache") != "hit" {
+		t.Fatalf("repeat arena disposition = %q, want hit", hdr2.Get("X-Tcord-Cache"))
+	}
+	if !bytes.Equal(got2, got) {
+		t.Fatal("repeat arena served different bytes")
+	}
+	if err := rc.gateway.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -56,7 +56,7 @@ type checkpointRecord struct {
 type Checkpoint struct {
 	mu       sync.Mutex
 	f        *os.File
-	restored map[string]*gpu.Result // key+"\x00"+cfgSHA -> restored result
+	restored map[string]json.RawMessage // key+"\x00"+cfgSHA -> payload JSON
 
 	restoredC  *stats.Counter // cells served from the journal
 	journaledC *stats.Counter // cells appended this session
@@ -83,7 +83,7 @@ func (r *Runner) OpenCheckpoint(path string) (int, error) {
 		return 0, err
 	}
 
-	cp := &Checkpoint{restored: make(map[string]*gpu.Result)}
+	cp := &Checkpoint{restored: make(map[string]json.RawMessage)}
 	m := r.Metrics()
 	cp.restoredC = m.Counter("checkpoint.restored")
 	cp.journaledC = m.Counter("checkpoint.journaled")
@@ -113,11 +113,10 @@ func (r *Runner) OpenCheckpoint(path string) (int, error) {
 			if hex.EncodeToString(sum[:]) != rec.SHA {
 				break
 			}
-			res := new(gpu.Result)
-			if err := json.Unmarshal(rec.Result, res); err != nil {
-				break
-			}
-			cp.restored[rec.Key+"\x00"+rec.CfgSHA] = res
+			// Payloads stay raw here: the journal is shared by full-system
+			// runs (gpu.Result) and arena cells, and each consumer decodes
+			// into its own type at lookup time.
+			cp.restored[rec.Key+"\x00"+rec.CfgSHA] = rec.Result
 			valid += len(line) + 1
 			rest = next
 		}
@@ -148,29 +147,51 @@ func (r *Runner) OpenCheckpoint(path string) (int, error) {
 	return len(cp.restored), nil
 }
 
-// lookup returns the restored result for a cell, if the journal holds one
-// under the exact configuration hash.
+// lookup returns the restored full-system result for a cell, if the journal
+// holds one under the exact configuration hash.
 func (cp *Checkpoint) lookup(key, cfgSHA string) (*gpu.Result, bool) {
+	raw, ok := cp.Lookup(key, cfgSHA)
+	if !ok {
+		return nil, false
+	}
+	res := new(gpu.Result)
+	if err := json.Unmarshal(raw, res); err != nil {
+		// A record journaled under a different payload type (or by a future
+		// format) is a miss, not an error: the cell just recomputes.
+		return nil, false
+	}
+	return res, true
+}
+
+// Lookup returns the raw journaled payload for a cell, if present. Callers
+// owning other payload types (the arena's per-policy cells) decode it
+// themselves; a decode failure should be treated as a cache miss.
+func (cp *Checkpoint) Lookup(key, cfgSHA string) (json.RawMessage, bool) {
 	if cp == nil {
 		return nil, false
 	}
 	cp.mu.Lock()
-	res, ok := cp.restored[key+"\x00"+cfgSHA]
+	raw, ok := cp.restored[key+"\x00"+cfgSHA]
 	cp.mu.Unlock()
 	if ok {
 		cp.restoredC.Inc()
 	}
-	return res, ok
+	return raw, ok
 }
 
-// journal appends one completed cell. The record is a single write of a
-// single line, so a crash leaves at most one torn tail for the next open to
-// truncate.
+// journal appends one completed full-system cell.
 func (cp *Checkpoint) journal(key, cfgSHA string, res *gpu.Result) error {
+	return cp.Journal(key, cfgSHA, res)
+}
+
+// Journal appends one completed cell of any JSON-marshalable payload type.
+// The record is a single write of a single line, so a crash leaves at most
+// one torn tail for the next open to truncate.
+func (cp *Checkpoint) Journal(key, cfgSHA string, payload any) error {
 	if cp == nil {
 		return nil
 	}
-	body, err := json.Marshal(res)
+	body, err := json.Marshal(payload)
 	if err != nil {
 		return err
 	}

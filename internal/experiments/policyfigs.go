@@ -80,10 +80,12 @@ func policyByName(name string) policySpec {
 	}
 }
 
-// cacheCfgFor builds a primitive-granularity cache geometry for a capacity
+// CacheCfgFor builds a primitive-granularity cache geometry for a capacity
 // of cp primitives and the requested associativity (ways<=0 means fully
 // associative). The line count is rounded down to a multiple of the ways.
-func cacheCfgFor(cp, ways int) cache.Config {
+// The policy figures and the arena share this so "48 KiB, 4-way" means the
+// same geometry everywhere.
+func CacheCfgFor(cp, ways int) cache.Config {
 	if ways <= 0 {
 		return cache.Config{Lines: cp, WriteAllocate: true}
 	}
@@ -113,7 +115,7 @@ func (r *Runner) missRatioAvg(ps policySpec, cp, ways int) (float64, error) {
 		}
 		// ps.make() runs inside the sweep job: every benchmark simulates
 		// against a fresh policy instance, so no state is shared.
-		st, err := cache.Simulate(cacheCfgFor(cp, ways), ps.make(), tr)
+		st, err := cache.Simulate(CacheCfgFor(cp, ways), ps.make(), tr)
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"tcor/internal/arena"
+	"tcor/internal/experiments"
+)
+
+func TestArenaValidation(t *testing.T) {
+	s := NewServer(Options{})
+	h := s.Handler()
+	cases := []struct {
+		name, body string
+		wantStatus int
+		wantIn     string
+	}{
+		{"unknown policy", `{"policies":["nope"]}`, 400, "unknown policy"},
+		{"unknown benchmark", `{"benchmarks":["nope"]}`, 400, "unknown benchmark"},
+		{"absurd size", `{"sizeKB":1048576}`, 400, "out of range"},
+		{"plru without pow2 ways", `{"policies":["PLRU"]}`, 400, "power-of-two"},
+		{"negative timeout", `{"timeoutMs":-1}`, 400, "timeoutMs"},
+		{"unknown field", `{"turbo":true}`, 400, "unknown field"},
+		{"oversized curve grid", func() string {
+			sizes := make([]float64, maxArenaCurveSizes+1)
+			for i := range sizes {
+				sizes[i] = float64(i + 1)
+			}
+			b, _ := json.Marshal(ArenaRequest{Curves: true, CurveSizesKB: sizes})
+			return string(b)
+		}(), 400, "server limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := postJSON(h, "/v1/arena", tc.body)
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", rec.Code, tc.wantStatus, rec.Body)
+			}
+			if !bytes.Contains(rec.Body.Bytes(), []byte(tc.wantIn)) {
+				t.Errorf("body %s does not mention %q", rec.Body, tc.wantIn)
+			}
+		})
+	}
+	if rec := getPath(h, "/v1/arena"); rec.Code != 405 {
+		t.Errorf("GET /v1/arena = %d, want 405", rec.Code)
+	}
+}
+
+func TestArenaKeyNormalizes(t *testing.T) {
+	// Two phrasings of the same race must share one content address: case
+	// and aliases canonicalize, anchors append, defaults materialize.
+	_, k1, err := ArenaKey(ArenaRequest{Policies: []string{"arc", "lru"}, Benchmarks: []string{"CCS"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k2, err := ArenaKey(ArenaRequest{Policies: []string{"ARC", "LRU", "opt"}, Benchmarks: []string{"CCS"}, SizeKB: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("equivalent requests got distinct keys %s vs %s", k1, k2)
+	}
+	_, k3, err := ArenaKey(ArenaRequest{Policies: []string{"ARC"}, Benchmarks: []string{"CCS"}, SizeKB: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Error("different capacities share a key")
+	}
+}
+
+// TestArenaServesCachesAndMatchesLibrary is the endpoint's end-to-end
+// contract: a served report is byte-identical to a direct arena.Race over a
+// single-frame runner, a repeat is a cache hit with the same bytes, and the
+// serving-layer invariants hold afterwards.
+func TestArenaServesCachesAndMatchesLibrary(t *testing.T) {
+	s := NewServer(Options{})
+	h := s.Handler()
+	body := `{"policies":["LRU","OPT"],"benchmarks":["CCS"],"sizeKB":16}`
+
+	rec := postJSON(h, "/v1/arena", body)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d (body %s)", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-Tcord-Cache"); got != "miss" {
+		t.Errorf("first race cache disposition = %q, want miss", got)
+	}
+
+	r := experiments.NewRunner()
+	r.Frames = 1
+	rep, err := arena.Race(context.Background(), r, arena.Options{
+		Policies: []string{"LRU", "OPT"}, Benchmarks: []string{"CCS"}, SizeKB: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.Body.Bytes(), want) {
+		t.Errorf("served report diverges from direct library race\ngot:  %s\nwant: %s",
+			rec.Body.Bytes(), want)
+	}
+
+	rec2 := postJSON(h, "/v1/arena", body)
+	if rec2.Code != 200 {
+		t.Fatalf("repeat status = %d", rec2.Code)
+	}
+	if got := rec2.Header().Get("X-Tcord-Cache"); got != "hit" {
+		t.Errorf("repeat cache disposition = %q, want hit", got)
+	}
+	if !bytes.Equal(rec.Body.Bytes(), rec2.Body.Bytes()) {
+		t.Error("cache hit served different bytes than the miss")
+	}
+
+	var decoded arena.Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("served report is not a Report: %v", err)
+	}
+	if decoded.Ranking[0].Policy != "OPT" {
+		t.Errorf("OPT not ranked first: %+v", decoded.Ranking)
+	}
+	if decoded.Frames != 1 {
+		t.Errorf("daemon races frames=%d, want the pinned single frame", decoded.Frames)
+	}
+
+	snap := s.Registry().Snapshot()
+	if got := snap.Get("serve.arena.races.completed"); got != 1 {
+		t.Errorf("serve.arena.races.completed = %d, want 1 (hit must not race)", got)
+	}
+	if got := snap.Get("serve.arena.policy.lru.races"); got != 1 {
+		t.Errorf("serve.arena.policy.lru.races = %d, want 1", got)
+	}
+	if got := snap.Get("serve.arena.policy.opt.cells"); got != 1 {
+		t.Errorf("serve.arena.policy.opt.cells = %d, want 1", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Errorf("invariants after arena traffic: %v", err)
+	}
+}

@@ -72,8 +72,9 @@ type cacheEntry struct {
 // newResultCache builds a cache bounded to capacity entries (capacity <= 0
 // means unbounded) whose entries stay fresh for ttl (0 = forever) and may be
 // served up to maxStale past that on request, metering into reg under the
-// "serve.cache." prefix.
-func newResultCache(capacity int, ttl, maxStale time.Duration, clock resilience.Clock, reg *stats.Registry) *resultCache {
+// given prefix ("serve.cache" for the simulate cache, "serve.arena.cache"
+// for the arena's — two instances on one registry must not alias counters).
+func newResultCache(capacity int, ttl, maxStale time.Duration, clock resilience.Clock, reg *stats.Registry, prefix string) *resultCache {
 	if clock == nil {
 		clock = resilience.Wall()
 	}
@@ -84,14 +85,14 @@ func newResultCache(capacity int, ttl, maxStale time.Duration, clock resilience.
 		clock:       clock,
 		ll:          list.New(),
 		m:           make(map[string]*cacheEntry),
-		hits:        reg.Counter("serve.cache.hits"),
-		misses:      reg.Counter("serve.cache.misses"),
-		coalesced:   reg.Counter("serve.cache.coalesced"),
-		evictions:   reg.Counter("serve.cache.evictions"),
-		expired:     reg.Counter("serve.cache.expired"),
-		staleServes: reg.Counter("serve.cache.staleServes"),
-		retained:    reg.Counter("serve.cache.retained"),
-		size:        reg.Gauge("serve.cache.size"),
+		hits:        reg.Counter(prefix + ".hits"),
+		misses:      reg.Counter(prefix + ".misses"),
+		coalesced:   reg.Counter(prefix + ".coalesced"),
+		evictions:   reg.Counter(prefix + ".evictions"),
+		expired:     reg.Counter(prefix + ".expired"),
+		staleServes: reg.Counter(prefix + ".staleServes"),
+		retained:    reg.Counter(prefix + ".retained"),
+		size:        reg.Gauge(prefix + ".size"),
 	}
 }
 

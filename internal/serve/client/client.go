@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"time"
 
+	"tcor/internal/arena"
 	"tcor/internal/buildinfo"
 	"tcor/internal/resilience"
 	"tcor/internal/serve"
@@ -410,6 +411,29 @@ func (c *Client) CacheProbe(ctx context.Context, req serve.SimulateRequest) ([]b
 		return nil, "", false, err
 	}
 	return data, CacheOutcome(hdr.Get("X-Tcord-Cache")), true, nil
+}
+
+// Arena runs a replacement-policy race on the server and returns the decoded
+// ranked report plus how the arena cache served it.
+func (c *Client) Arena(ctx context.Context, req serve.ArenaRequest) (arena.Report, CacheOutcome, error) {
+	data, how, err := c.ArenaRaw(ctx, req)
+	if err != nil {
+		return arena.Report{}, how, err
+	}
+	var rep arena.Report
+	return rep, how, json.Unmarshal(data, &rep)
+}
+
+// ArenaRaw is Arena returning the exact served bytes — the canonical report
+// encoding, byte-identical to `paperfig -arena -frames 1` over the same
+// roster, suite and capacity. The cluster gateway proxies with it.
+func (c *Client) ArenaRaw(ctx context.Context, req serve.ArenaRequest) ([]byte, CacheOutcome, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, "", err
+	}
+	data, hdr, err := c.do(ctx, http.MethodPost, "/v1/arena", body, nil)
+	return data, CacheOutcome(hdr.Get("X-Tcord-Cache")), err
 }
 
 // SweepRaw is Sweep returning each run's exact served bytes, undecoded,

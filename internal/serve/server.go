@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -188,6 +189,13 @@ type Server struct {
 	draining atomic.Bool
 	httpSrv  *http.Server
 
+	// The arena endpoint's state: its own content-addressed report cache
+	// (never sharing entries with the simulate cache — the value shapes
+	// differ) and a lazily built, memo-bounded experiment runner.
+	arenaCache *resultCache
+	arenaOnce  sync.Once
+	arenaR     *experiments.Runner
+
 	requests  *stats.Counter
 	responses map[int]*stats.Counter // status class -> counter (2,4,5)
 	panics    *stats.Counter
@@ -196,6 +204,10 @@ type Server struct {
 	latency   *stats.Histogram // whole-request wall time, ns
 	simDur    *stats.Histogram // simulation compute time, ns
 	encodeDur *stats.Histogram // result-encoding time, ns
+
+	arenaOK     *stats.Counter
+	arenaFailed *stats.Counter
+	arenaDur    *stats.Histogram // arena race compute time, ns
 
 	brkState *stats.Gauge   // breaker position (0 closed, 1 open, 2 half-open)
 	brkTrans *stats.Counter // breaker state transitions
@@ -213,14 +225,17 @@ func NewServer(opts Options) *Server {
 	opts = opts.withDefaults()
 	reg := opts.Registry
 	s := &Server{
-		opts:   opts,
-		reg:    reg,
-		gate:   newGate(opts.Workers, opts.QueueDepth, reg),
-		cache:  newResultCache(opts.CacheEntries, opts.CacheTTL, opts.MaxStale, opts.Clock, reg),
-		logger: opts.Logger,
-		tracer: stats.NewTracer(opts.TraceCapacity),
-		chaos:  opts.Chaos,
-		clock:  opts.Clock,
+		opts:  opts,
+		reg:   reg,
+		gate:  newGate(opts.Workers, opts.QueueDepth, reg),
+		cache: newResultCache(opts.CacheEntries, opts.CacheTTL, opts.MaxStale, opts.Clock, reg, "serve.cache"),
+		// Arena reports are a few KiB each and deterministic, so entries
+		// stay fresh forever under the same LRU bound as the simulate cache.
+		arenaCache: newResultCache(opts.CacheEntries, 0, 0, opts.Clock, reg, "serve.arena.cache"),
+		logger:     opts.Logger,
+		tracer:     stats.NewTracer(opts.TraceCapacity),
+		chaos:      opts.Chaos,
+		clock:      opts.Clock,
 
 		requests: reg.Counter("serve.http.requests"),
 		responses: map[int]*stats.Counter{
@@ -234,9 +249,14 @@ func NewServer(opts Options) *Server {
 		latency:   reg.Histogram("serve.http.latency"),
 		simDur:    reg.Histogram("serve.sim.duration"),
 		encodeDur: reg.Histogram("serve.encode.duration"),
-		brkState:  reg.Gauge("serve.breaker.state"),
-		brkTrans:  reg.Counter("serve.breaker.transitions"),
-		brkShort:  reg.Counter("serve.breaker.shortCircuits"),
+
+		arenaOK:     reg.Counter("serve.arena.races.completed"),
+		arenaFailed: reg.Counter("serve.arena.races.failed"),
+		arenaDur:    reg.Histogram("serve.arena.duration"),
+
+		brkState: reg.Gauge("serve.breaker.state"),
+		brkTrans: reg.Counter("serve.breaker.transitions"),
+		brkShort: reg.Counter("serve.breaker.shortCircuits"),
 		simulate: func(_ context.Context, scene *workload.Scene, cfg gpu.Config) (*gpu.Result, error) {
 			return gpu.Simulate(scene, cfg)
 		},
@@ -270,6 +290,7 @@ func NewServer(opts Options) *Server {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/arena", s.handleArena)
 	mux.Handle("/metrics", stats.MetricsHandler("tcord", reg))
 	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
 	s.mux = mux
@@ -303,6 +324,21 @@ func (s *Server) registerInvariants() {
 		// Every eviction displaced an entry some miss inserted.
 		if ev, miss := snap.Get("serve.cache.evictions"), snap.Get("serve.cache.misses"); ev > miss {
 			return fmt.Errorf("cache evictions %d exceed misses %d", ev, miss)
+		}
+		return nil
+	})
+	s.reg.RegisterInvariant("serve.arenaCacheBounded", func(snap stats.Snapshot) error {
+		if got := snap.Get("serve.arena.cache.size"); got < 0 || (cacheCap > 0 && got > cacheCap) {
+			return fmt.Errorf("arena cache size %d outside [0,%d]", got, cacheCap)
+		}
+		return nil
+	})
+	s.reg.RegisterInvariant("serve.arenaRacesBounded", func(snap stats.Snapshot) error {
+		// Every race outcome followed an arena-cache miss that led the
+		// compute (hits and coalesced waiters never race).
+		done := snap.Get("serve.arena.races.completed") + snap.Get("serve.arena.races.failed")
+		if miss := snap.Get("serve.arena.cache.misses"); done > miss {
+			return fmt.Errorf("arena race outcomes %d exceed cache misses %d", done, miss)
 		}
 		return nil
 	})

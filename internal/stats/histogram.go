@@ -66,6 +66,18 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[bucketIndex(v)].Add(1)
 }
 
+// ObserveN records n occurrences of value v in one shot. Analyzers folding
+// an already-counted distribution (a stack-distance profile, a bucketed
+// trace) use this instead of looping Observe n times.
+func (h *Histogram) ObserveN(v, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	h.count.Add(n)
+	h.sum.Add(v * n)
+	h.buckets[bucketIndex(v)].Add(n)
+}
+
 // ObserveSince records the elapsed time since t0 in nanoseconds. The
 // convention of the repo's latency histograms is nanosecond values; the
 // Prometheus encoder converts to seconds at the edge.

@@ -1,0 +1,63 @@
+package stats
+
+// Reuse-distance analysis: the arena's explanation layer. A Mattson stack
+// profile (internal/cache.StackProfile) counts, for every access, how many
+// distinct keys intervened since the previous touch of the same key — the
+// reuse (stack) distance. The shape of that distribution is what decides
+// which replacement policy wins: a mass of short distances below the
+// capacity rewards recency (LRU), a bimodal split rewards scan resistance
+// (ARC, S3-FIFO), and mass beyond every plausible capacity is compulsory
+// territory where only OPT's dead-line knowledge helps.
+//
+// This package cannot import internal/cache (the dependency points the
+// other way), so the analyzer takes the dense count array the profile
+// exposes: counts[d] is the number of accesses observed at distance d.
+
+// ReuseDistHistogram folds a dense distance-count array into a log-2
+// Histogram, one ObserveN per non-empty distance. Distance 0 (immediate
+// re-reference) lands in bucket 0; cold first touches have no distance and
+// are accounted separately by the summary.
+func ReuseDistHistogram(counts []int64) *Histogram {
+	h := &Histogram{}
+	for d, n := range counts {
+		h.ObserveN(int64(d), n)
+	}
+	return h
+}
+
+// ReuseDistSummary condenses a reuse-distance distribution to the numbers
+// the arena report prints per benchmark.
+type ReuseDistSummary struct {
+	// Reused counts accesses with a finite reuse distance; Cold counts
+	// first touches (infinite distance).
+	Reused int64 `json:"reused"`
+	Cold   int64 `json:"cold"`
+	// ColdShare is Cold / (Cold + Reused): the compulsory floor no policy
+	// can beat.
+	ColdShare float64 `json:"coldShare"`
+	// Mean is the exact mean finite distance; P50/P90/P99 are log-2 bucket
+	// estimates (within 2x, same resolution as the latency histograms).
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+}
+
+// SummarizeReuseDist builds the histogram for counts and condenses it,
+// attributing cold first touches to the summary's compulsory share.
+func SummarizeReuseDist(counts []int64, cold int64) ReuseDistSummary {
+	h := ReuseDistHistogram(counts)
+	snap := h.Snapshot()
+	s := ReuseDistSummary{
+		Reused: snap.Count,
+		Cold:   cold,
+		Mean:   snap.Mean(),
+		P50:    snap.Quantile(0.50),
+		P90:    snap.Quantile(0.90),
+		P99:    snap.Quantile(0.99),
+	}
+	if total := s.Reused + s.Cold; total > 0 {
+		s.ColdShare = float64(s.Cold) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestObserveNMatchesLoopedObserve(t *testing.T) {
+	var a, b Histogram
+	values := []int64{0, 1, 3, 7, 100, 1 << 20}
+	for _, v := range values {
+		for i := 0; i < 5; i++ {
+			a.Observe(v)
+		}
+		b.ObserveN(v, 5)
+	}
+	b.ObserveN(42, 0)  // no-op
+	b.ObserveN(42, -3) // no-op
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa != sb {
+		t.Errorf("ObserveN diverged from looped Observe:\n%+v\n%+v", sa, sb)
+	}
+}
+
+func TestReuseDistHistogram(t *testing.T) {
+	// counts[d]: 10 accesses at distance 0, 6 at distance 5, 4 at distance 200.
+	counts := make([]int64, 201)
+	counts[0] = 10
+	counts[5] = 6
+	counts[200] = 4
+	h := ReuseDistHistogram(counts)
+	if h.Count() != 20 {
+		t.Fatalf("count = %d, want 20", h.Count())
+	}
+	if h.Sum() != 5*6+200*4 {
+		t.Fatalf("sum = %d, want %d", h.Sum(), 5*6+200*4)
+	}
+	snap := h.Snapshot()
+	if snap.Buckets[0] != 10 { // distance 0 lands in the <=0 bucket
+		t.Errorf("bucket 0 = %d, want 10", snap.Buckets[0])
+	}
+}
+
+func TestSummarizeReuseDist(t *testing.T) {
+	counts := make([]int64, 64)
+	for d := 1; d <= 32; d++ {
+		counts[d] = 2 // uniform mass: exact mean 16.5
+	}
+	s := SummarizeReuseDist(counts, 36)
+	if s.Reused != 64 || s.Cold != 36 {
+		t.Fatalf("reused/cold = %d/%d, want 64/36", s.Reused, s.Cold)
+	}
+	if math.Abs(s.ColdShare-0.36) > 1e-12 {
+		t.Errorf("coldShare = %v, want 0.36", s.ColdShare)
+	}
+	if math.Abs(s.Mean-16.5) > 1e-9 {
+		t.Errorf("mean = %v, want 16.5", s.Mean)
+	}
+	if s.P50 <= 0 || s.P90 < s.P50 || s.P99 < s.P90 {
+		t.Errorf("quantiles not monotone: p50=%v p90=%v p99=%v", s.P50, s.P90, s.P99)
+	}
+	empty := SummarizeReuseDist(nil, 0)
+	if empty.ColdShare != 0 || empty.Reused != 0 {
+		t.Errorf("empty summary: %+v", empty)
+	}
+}
