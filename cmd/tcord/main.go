@@ -113,7 +113,7 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	fs.DurationVar(&o.timeout, "timeout", time.Minute, "default per-request deadline")
 	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown drain budget")
 	fs.StringVar(&o.logFormat, "log", "text", "access/lifecycle log format: text, json or off")
-	fs.IntVar(&o.traceCap, "trace-spans", 4096, "span capacity of GET /debug/trace (0 = tracing off)")
+	fs.IntVar(&o.traceCap, "trace-spans", 4096, "span capacity of GET /debug/trace; on a gateway also sizes the buffer behind /v1/cluster/trace (0 = tracing off)")
 	fs.StringVar(&o.chaos, "chaos", "", `inject faults into requests, e.g. "rate=0.1,lat=50ms,codes=500|503,seed=7" (empty = off)`)
 	fs.BoolVar(&o.breaker, "breaker", true, "guard the simulation path with a circuit breaker (503 + stale cache when open)")
 	fs.DurationVar(&o.cacheTTL, "cache-ttl", 0, "result-cache entry freshness bound (0 = fresh forever)")
@@ -244,10 +244,14 @@ func serveOptions(o options) serve.Options {
 // gatewayOptions maps the command line onto the gateway configuration.
 func gatewayOptions(o options) cluster.Options {
 	co := cluster.Options{
-		Shards:     o.shards,
-		VNodes:     o.vnodes,
-		HedgeAfter: o.hedge,
-		Logger:     newLogger(o.logFormat),
+		Shards:        o.shards,
+		VNodes:        o.vnodes,
+		HedgeAfter:    o.hedge,
+		TraceCapacity: o.traceCap,
+		Logger:        newLogger(o.logFormat),
+	}
+	if o.traceCap == 0 {
+		co.TraceCapacity = -1
 	}
 	if o.chaos != "" {
 		co.Registry = stats.NewRegistry()

@@ -417,6 +417,7 @@ func simulate(w io.Writer, scene *workload.Scene, config string, o options, col 
 	cfg.L2TraceDepth = o.evtrace
 	cfg.TileParallel = o.tilePar
 	cfg.Tracer = tracer
+	cfg.TraceTiles = true // full per-tile resolution for single-run analysis
 	res, err := gpu.Simulate(scene, cfg)
 	if err != nil {
 		return err

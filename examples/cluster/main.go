@@ -20,6 +20,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"tcor"
@@ -132,6 +133,34 @@ func run() error {
 			100*(1-float64(tc.MemReads)/float64(base.MemReads)))
 	}
 
+	// Every hop of that sweep carried a traceparent, so the cluster can
+	// stitch the gateway's spans and every shard's spans into one Perfetto
+	// export. Re-issue the sweep over plain net/http to read the trace ID
+	// off the response header, then pull the stitched document.
+	traceID, err := sweepTraceID(ctx, gwAddr, tcor.SweepRequest{Items: items})
+	if err != nil {
+		return err
+	}
+	doc, err := stitchedTrace(ctx, gwAddr, traceID)
+	if err != nil {
+		return err
+	}
+	procs := make(map[int]int)
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			procs[ev.Pid]++
+			spans++
+		}
+	}
+	fmt.Printf("\nstitched trace %s: %d spans across %d processes\n",
+		traceID, spans, len(procs))
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			fmt.Printf("  pid %d = %-8s (%d spans)\n", ev.Pid, ev.Args["name"], procs[ev.Pid])
+		}
+	}
+
 	// Kill the shard that owns the first request and keep serving: the
 	// gateway fails over to the ring successors (probing the dead owner's
 	// cache first), so callers never see the loss.
@@ -157,12 +186,158 @@ func run() error {
 		fmt.Printf("  %-3s %-8s -> %s (%.3f prim/cycle)\n", req.Benchmark, req.Config, served, rr.PPC)
 	}
 
+	// With a shard down, the telemetry rollup degrades loudly instead of
+	// silently: the dead shard's up-gauge drops to zero, the page carries a
+	// Warning header, and /v1/cluster/health turns degraded.
+	if err := showRollup(ctx, gwAddr, victim); err != nil {
+		return err
+	}
+
 	snap := gw.Registry().Snapshot()
 	fmt.Println("\ngateway routing counters:")
 	for _, name := range []string{"gw.requests", "gw.responses.2xx", "gw.failovers", "gw.probe.hits", "gw.hedges"} {
 		fmt.Printf("  %-18s %d\n", name, snap.Get(name))
 	}
 	return gw.CheckInvariants()
+}
+
+// stitchedDoc is the slice of the Perfetto export the demo reads: complete
+// ("X") span events and per-process metadata ("M") rows on pid tracks.
+type stitchedDoc struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Pid  int               `json:"pid"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+	OtherData map[string]string `json:"otherData"`
+}
+
+// sweepTraceID posts a sweep over plain net/http (the typed client hides
+// headers) and returns the trace ID the gateway minted for it, from the
+// traceparent response header (00-<traceId>-<spanId>-<flags>).
+func sweepTraceID(ctx context.Context, gwAddr string, req tcor.SweepRequest) (string, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, "POST",
+		"http://"+gwAddr+"/v1/sweep", bytes.NewReader(payload))
+	if err != nil {
+		return "", err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("sweep via gateway: status %d", resp.StatusCode)
+	}
+	parts := strings.Split(resp.Header.Get("Traceparent"), "-")
+	if len(parts) != 4 {
+		return "", fmt.Errorf("gateway sent no traceparent header")
+	}
+	return parts[1], nil
+}
+
+// stitchedTrace pulls /v1/cluster/trace/<id> until the export stabilizes:
+// spans land when they end, which is after the response that created them
+// flushed, so the first fetch can catch the trace mid-assembly.
+func stitchedTrace(ctx context.Context, gwAddr, traceID string) (stitchedDoc, error) {
+	var last stitchedDoc
+	lastSpans := -1
+	for i := 0; i < 40; i++ {
+		req, err := http.NewRequestWithContext(ctx, "GET",
+			"http://"+gwAddr+"/v1/cluster/trace/"+traceID, nil)
+		if err != nil {
+			return stitchedDoc{}, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return stitchedDoc{}, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return stitchedDoc{}, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return stitchedDoc{}, fmt.Errorf("cluster trace: status %d: %s", resp.StatusCode, body)
+		}
+		var doc stitchedDoc
+		if err := json.Unmarshal(body, &doc); err != nil {
+			return stitchedDoc{}, err
+		}
+		if n := len(doc.TraceEvents); n == lastSpans {
+			return doc, nil
+		} else {
+			last, lastSpans = doc, n
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return last, nil
+}
+
+// showRollup prints the cluster-wide telemetry surfaces after a shard
+// death: the Prometheus union page flags itself partial and the JSON
+// health rollup reports the cluster degraded.
+func showRollup(ctx context.Context, gwAddr string, victim int) error {
+	req, err := http.NewRequestWithContext(ctx, "GET",
+		"http://"+gwAddr+"/v1/cluster/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster metrics: status %d", resp.StatusCode)
+	}
+	fmt.Printf("\ncluster metrics rollup (Warning: %q):\n", resp.Header.Get("Warning"))
+	for _, line := range strings.Split(string(page), "\n") {
+		if strings.HasPrefix(line, "tcord_cluster_shard_up") ||
+			strings.HasPrefix(line, "tcord_serve_http_requests") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+
+	req, err = http.NewRequestWithContext(ctx, "GET",
+		"http://"+gwAddr+"/v1/cluster/health", nil)
+	if err != nil {
+		return err
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status string `json:"status"`
+		Shards []struct {
+			Index   int    `json:"index"`
+			Ready   bool   `json:"ready"`
+			Breaker string `json:"breaker"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return err
+	}
+	fmt.Printf("cluster health: %s (shard %d is down)\n", health.Status, victim)
+	for _, row := range health.Shards {
+		fmt.Printf("  shard %d: ready=%v breaker=%s\n", row.Index, row.Ready, row.Breaker)
+	}
+	return nil
 }
 
 // servedBy re-issues req through the gateway (a result-cache hit on the

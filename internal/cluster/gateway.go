@@ -84,6 +84,13 @@ type Options struct {
 	// upstream attempt: an injected fault aborts the attempt before it
 	// reaches the wire, exercising failover without a real shard death.
 	Chaos *resilience.Injector
+	// TraceCapacity bounds the gateway's in-memory span trace (0 = 4096
+	// spans, negative = tracing disabled). Every request gets a root span;
+	// each upstream attempt — hedge, failover, cache probe, sub-sweep —
+	// becomes a child span whose identity is propagated to the shard in the
+	// traceparent header, so the cluster trace collector can stitch the
+	// per-process span sets back into one export.
+	TraceCapacity int
 }
 
 // HedgeWarmup is how many proxied simulate latencies the adaptive hedger
@@ -139,13 +146,22 @@ func (o Options) withDefaults() Options {
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.DiscardHandler)
 	}
+	switch {
+	case o.TraceCapacity == 0:
+		o.TraceCapacity = 4096
+	case o.TraceCapacity < 0:
+		o.TraceCapacity = 0 // disabled; NewTracer returns the nil no-op
+	}
 	return o
 }
 
 // shard is one upstream daemon: a typed client (retry inside) plus the
-// circuit breaker the router consults before sending work its way.
+// circuit breaker the router consults before sending work its way. idx is
+// the shard's position in Options.Shards — the index space of per-shard
+// metrics, the `shard` rollup label and the stitched trace's track names.
 type shard struct {
 	name   string
+	idx    int
 	client *client.Client
 	brk    *resilience.Breaker
 }
@@ -162,6 +178,7 @@ type Gateway struct {
 	reg    *stats.Registry
 	logger *slog.Logger
 	chaos  *resilience.Injector
+	tracer *stats.Tracer // nil when TraceCapacity < 0
 
 	mux      *http.ServeMux
 	httpSrv  *http.Server
@@ -194,6 +211,7 @@ func NewGateway(opts Options) (*Gateway, error) {
 		reg:       reg,
 		logger:    opts.Logger,
 		chaos:     opts.Chaos,
+		tracer:    stats.NewTracer(opts.TraceCapacity),
 		requests:  reg.Counter("gw.requests"),
 		panics:    reg.Counter("gw.panics"),
 		latency:   reg.Histogram("gw.latency"),
@@ -211,12 +229,14 @@ func NewGateway(opts Options) (*Gateway, error) {
 		cfg := *opts.Breaker
 		g.shards = append(g.shards, &shard{
 			name: name,
+			idx:  i,
 			client: client.New(name, opts.HTTPClient,
 				client.WithRetry(*opts.Retry),
 				client.WithMetricsPrefix(reg, "gw.shard."+strconv.Itoa(i))),
 			brk: resilience.NewBreaker(cfg),
 		})
 	}
+	g.tracer.MeterDropped(reg.Counter("trace.dropped"))
 	g.registerInvariants()
 
 	mux := http.NewServeMux()
@@ -229,7 +249,11 @@ func NewGateway(opts Options) (*Gateway, error) {
 	mux.HandleFunc("/v1/simulate", g.handleSimulate)
 	mux.HandleFunc("/v1/sweep", g.handleSweep)
 	mux.HandleFunc("/v1/arena", g.handleArena)
+	mux.HandleFunc("/v1/cluster/trace/", g.handleClusterTrace)
+	mux.HandleFunc("/v1/cluster/metrics", g.handleClusterMetrics)
+	mux.HandleFunc("/v1/cluster/health", g.handleClusterHealth)
 	mux.Handle("/metrics", stats.MetricsHandler("tcord", reg))
+	mux.HandleFunc("/debug/trace", g.handleDebugTrace)
 	g.mux = mux
 	return g, nil
 }
@@ -320,7 +344,26 @@ func (g *Gateway) middleware(next http.Handler) http.Handler {
 			id = serve.MintRequestID()
 		}
 		w.Header().Set(serve.RequestIDHeader, id)
-		r = r.WithContext(serve.ContextWithRequestID(r.Context(), id))
+
+		// Root the request's trace (joining a caller's when a valid
+		// traceparent arrived) and echo the trace context on the response:
+		// the caller of a hedged sweep learns the one ID under which
+		// /v1/cluster/trace/<id> stitches every process's spans.
+		var sp *stats.Span
+		if parent, ok := stats.ExtractTraceparent(r.Header); ok {
+			sp = g.tracer.BeginRemote("http.request", "cluster", parent)
+		} else {
+			sp = g.tracer.Begin("http.request", "cluster")
+		}
+		stats.InjectTraceparent(w.Header(), sp.Context())
+		sp.SetAttr("method", r.Method)
+		sp.SetAttr("path", r.URL.Path)
+		sp.SetAttr("requestId", id)
+
+		ctx := serve.ContextWithRequestID(r.Context(), id)
+		ctx = stats.ContextWithTracer(ctx, g.tracer)
+		ctx = stats.ContextWithSpan(ctx, sp)
+		r = r.WithContext(ctx)
 
 		rec := &statusRecorder{ResponseWriter: w}
 		defer func() {
@@ -340,6 +383,8 @@ func (g *Gateway) middleware(next http.Handler) http.Handler {
 			}
 			dur := time.Since(t0)
 			g.latency.Observe(int64(dur))
+			sp.SetAttr("status", strconv.Itoa(rec.status))
+			sp.End()
 			g.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
 				slog.String("id", id),
 				slog.String("method", r.Method),
@@ -512,6 +557,31 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	g.writeJSON(w, g.reg.Snapshot())
 }
 
+// handleDebugTrace mirrors the shard daemons' /debug/trace on the gateway:
+// the whole buffer as Chrome trace_event JSON, or one trace's raw spans as
+// a stats.TraceSet with ?trace=<id>. The stitched cluster-wide view lives
+// at /v1/cluster/trace/<id>.
+func (g *Gateway) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		g.writeError(w, &gwError{status: http.StatusMethodNotAllowed,
+			code: "method_not_allowed", msg: "use GET"})
+		return
+	}
+	if q := r.URL.Query().Get("trace"); q != "" {
+		id, err := stats.ParseTraceID(q)
+		if err != nil {
+			g.writeError(w, badRequest("trace parameter: %v", err))
+			return
+		}
+		g.writeJSON(w, g.tracer.TraceSet("", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := g.tracer.WriteChromeTrace(w); err != nil {
+		g.logger.Error("trace export", "err", err)
+	}
+}
+
 // RingInfo is the body of GET /v1/ring: the cluster topology as the
 // gateway sees it.
 type RingInfo struct {
@@ -587,7 +657,11 @@ func (g *Gateway) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // routeProbe forwards a cache-only probe to the key's owner.
 func (g *Gateway) routeProbe(ctx context.Context, w http.ResponseWriter, req serve.SimulateRequest, key string) {
 	owner := g.shards[g.ring.Owner(key)]
+	sp, ctx := stats.StartSpan(ctx, "gw.probe", "cluster")
+	sp.SetAttr("shard", "shard-"+strconv.Itoa(owner.idx))
 	body, outcome, ok, err := owner.client.CacheProbe(ctx, req)
+	sp.SetAttr("hit", strconv.FormatBool(err == nil && ok))
+	sp.End()
 	if err != nil {
 		g.writeError(w, err)
 		return
@@ -624,7 +698,7 @@ func (g *Gateway) fetchSim(ctx context.Context, req serve.SimulateRequest, key s
 		hedged bool
 	}
 	results := make(chan attemptOut, len(order))
-	next, pending := 0, 0
+	next, pending, attempt := 0, 0, 0
 	var lastOpen error
 	// launch starts the next candidate whose breaker admits it; failover
 	// marks attempts triggered by a predecessor's failure (they may be
@@ -638,9 +712,11 @@ func (g *Gateway) fetchSim(ctx context.Context, req serve.SimulateRequest, key s
 				lastOpen = err
 				continue
 			}
+			n := attempt
+			attempt++
 			pending++
 			go func() {
-				res, err := g.attemptSim(ctx, sh, owner, req, failover, done)
+				res, err := g.attemptSim(ctx, sh, owner, req, n, failover, hedged, done)
 				results <- attemptOut{res: res, err: err, hedged: hedged}
 			}()
 			return true
@@ -686,22 +762,62 @@ func (g *Gateway) fetchSim(ctx context.Context, req serve.SimulateRequest, key s
 	}
 }
 
-// attemptSim is one upstream try. On a failover attempt to a non-owner,
-// the owner's cache is probed first: a shard whose compute path is broken
-// (breaker open, serving bounded-stale) still answers probes, and a dead
-// one fails them fast — either way a failover shard never recomputes a
-// result the cluster already holds.
-func (g *Gateway) attemptSim(ctx context.Context, sh, owner *shard, req serve.SimulateRequest, failover bool, done func(error)) (simResult, error) {
+// attemptSim is one upstream try, recorded as a gw.attempt child span of
+// the request's root — the span whose identity the shard call carries in
+// its traceparent header, so the shard's own spans stitch under it. On a
+// failover attempt to a non-owner, the owner's cache is probed first: a
+// shard whose compute path is broken (breaker open, serving bounded-stale)
+// still answers probes, and a dead one fails them fast — either way a
+// failover shard never recomputes a result the cluster already holds.
+func (g *Gateway) attemptSim(ctx context.Context, sh, owner *shard, req serve.SimulateRequest, attempt int, failover, hedged bool, done func(error)) (simResult, error) {
+	sp, sctx := stats.StartSpan(ctx, "gw.attempt", "cluster")
+	sp.SetAttr("shard", "shard-"+strconv.Itoa(sh.idx))
+	sp.SetAttr("attempt", strconv.Itoa(attempt))
+	if failover {
+		sp.SetAttr("failover", "true")
+	}
+	if hedged {
+		sp.SetAttr("hedged", "true")
+	}
+	res, err := g.attemptSimSpanned(sctx, sh, owner, req, failover, sp, done)
+	sp.SetAttr("outcome", attemptOutcome(ctx, err))
+	sp.End()
+	return res, err
+}
+
+// attemptOutcome labels an attempt span's result. A hedge loser — its
+// sibling won and fetchSim canceled the race context — is "cancelled", the
+// shape the stitched export shows for work the gateway deliberately
+// abandoned; everything else is "ok", "deadline" or "error".
+func attemptOutcome(ctx context.Context, err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.Canceled), errors.Is(ctx.Err(), context.Canceled):
+		return "cancelled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	default:
+		return "error"
+	}
+}
+
+func (g *Gateway) attemptSimSpanned(ctx context.Context, sh, owner *shard, req serve.SimulateRequest, failover bool, sp *stats.Span, done func(error)) (simResult, error) {
 	if err := g.chaos.Inject(ctx, resilience.SiteProxy); err != nil {
 		done(resilience.Ignore) // injected at the gateway, not the shard's fault
 		return simResult{}, err
 	}
 	if failover && sh != owner {
-		pctx, pcancel := context.WithTimeout(ctx, g.opts.ProbeTimeout)
+		psp, pctx := stats.StartSpan(ctx, "gw.probe", "cluster")
+		psp.SetAttr("shard", "shard-"+strconv.Itoa(owner.idx))
+		pctx, pcancel := context.WithTimeout(pctx, g.opts.ProbeTimeout)
 		body, outcome, ok, err := owner.client.CacheProbe(pctx, req)
 		pcancel()
+		psp.SetAttr("hit", strconv.FormatBool(err == nil && ok))
+		psp.End()
 		if err == nil && ok {
 			g.probeHits.Inc()
+			sp.SetAttr("probeHit", "true")
 			done(resilience.Ignore) // sh itself was never called
 			return simResult{body: body, outcome: outcome, shard: owner}, nil
 		}
@@ -778,7 +894,7 @@ func (g *Gateway) handleArena(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	var firstErr error
-	for _, idx := range g.ring.Successors(key) {
+	for attempt, idx := range g.ring.Successors(key) {
 		sh := g.shards[idx]
 		done, allowErr := sh.brk.Allow()
 		if allowErr != nil {
@@ -787,15 +903,25 @@ func (g *Gateway) handleArena(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
-		if err := g.chaos.Inject(ctx, resilience.SiteProxy); err != nil {
+		sp, actx := stats.StartSpan(ctx, "gw.attempt", "cluster")
+		sp.SetAttr("shard", "shard-"+strconv.Itoa(sh.idx))
+		sp.SetAttr("attempt", strconv.Itoa(attempt))
+		if attempt > 0 {
+			sp.SetAttr("failover", "true")
+		}
+		if err := g.chaos.Inject(actx, resilience.SiteProxy); err != nil {
 			done(resilience.Ignore) // injected at the gateway, not the shard's fault
+			sp.SetAttr("outcome", attemptOutcome(ctx, err))
+			sp.End()
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
-		body, outcome, err := sh.client.ArenaRaw(ctx, req)
+		body, outcome, err := sh.client.ArenaRaw(actx, req)
 		done(shardOutcome(err))
+		sp.SetAttr("outcome", attemptOutcome(ctx, err))
+		sp.End()
 		if err == nil {
 			w.Header().Set("Content-Type", "application/json")
 			w.Header().Set("X-Tcord-Cache", string(outcome))
@@ -958,8 +1084,20 @@ func (g *Gateway) fanOutSweep(ctx context.Context, items []serve.SimulateRequest
 	return runs, anyStale.Load(), nil
 }
 
-// trySubSweep sends one sub-sweep to its owner under the shard's breaker.
+// trySubSweep sends one sub-sweep to its owner under the shard's breaker,
+// as a gw.subsweep child span carrying the chunk size — the span whose
+// traceparent the shard's own sweep spans stitch under.
 func (g *Gateway) trySubSweep(ctx context.Context, sh *shard, items []serve.SimulateRequest) ([]json.RawMessage, http.Header, error) {
+	sp, sctx := stats.StartSpan(ctx, "gw.subsweep", "cluster")
+	sp.SetAttr("shard", "shard-"+strconv.Itoa(sh.idx))
+	sp.SetAttr("items", strconv.Itoa(len(items)))
+	got, hdr, err := g.trySubSweepSpanned(sctx, sh, items)
+	sp.SetAttr("outcome", attemptOutcome(ctx, err))
+	sp.End()
+	return got, hdr, err
+}
+
+func (g *Gateway) trySubSweepSpanned(ctx context.Context, sh *shard, items []serve.SimulateRequest) ([]json.RawMessage, http.Header, error) {
 	done, err := sh.brk.Allow()
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tcor/internal/resilience"
+	"tcor/internal/serve"
+)
+
+func getClusterMetrics(t *testing.T, gwURL string) (http.Header, string) {
+	t.Helper()
+	resp, err := http.Get(gwURL + "/v1/cluster/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	page, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster metrics: status %d: %s", resp.StatusCode, page)
+	}
+	return resp.Header, string(page)
+}
+
+// seriesValues collects every sample of one family from the rollup page,
+// keyed by the value of its shard label.
+func seriesValues(t *testing.T, text, name string) map[string]int64 {
+	t.Helper()
+	out := make(map[string]int64)
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name+"{") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseInt(line[sp+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		labels := line[len(name)+1 : strings.LastIndexByte(line, '}')]
+		out[labelValue(labels, "shard")] = v
+	}
+	return out
+}
+
+// TestClusterMetricsRollup: one page unions every shard's exposition under
+// shard labels and appends fleet aggregates — counters summed, histograms
+// merged through the shared bucket scheme — that exactly equal the sum of
+// the shard series they aggregate.
+func TestClusterMetricsRollup(t *testing.T) {
+	rc := newRealCluster(t, 3, serve.Options{}, Options{})
+	// Warm every shard's serving metrics with a fanned-out sweep.
+	status, _, body := post(t, rc.gwURL, "/v1/sweep", goldenSweep())
+	if status != http.StatusOK {
+		t.Fatalf("sweep: status %d: %s", status, body)
+	}
+
+	hdr, text := getClusterMetrics(t, rc.gwURL)
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want the Prometheus text format", ct)
+	}
+	if w := hdr.Get("Warning"); w != "" {
+		t.Fatalf("complete rollup flagged partial: %q", w)
+	}
+
+	for i := 0; i < 3; i++ {
+		up := fmt.Sprintf("tcord_cluster_shard_up{shard=\"shard-%d\"} 1", i)
+		if !strings.Contains(text, up) {
+			t.Errorf("rollup is missing %q", up)
+		}
+	}
+
+	// Every shard contributes its serving series under its own label, and
+	// the fleet counter is their exact sum.
+	reqs := seriesValues(t, text, "tcord_serve_http_requests")
+	var sum int64
+	for i := 0; i < 3; i++ {
+		v, ok := reqs["shard-"+strconv.Itoa(i)]
+		if !ok {
+			t.Fatalf("rollup has no tcord_serve_http_requests series for shard-%d:\n%s", i, text)
+		}
+		if v == 0 {
+			t.Errorf("shard-%d reports zero http requests after serving a sweep", i)
+		}
+		sum += v
+	}
+	fleet, ok := reqs["fleet"]
+	if !ok {
+		t.Fatal("rollup has no fleet aggregate for tcord_serve_http_requests")
+	}
+	if fleet != sum {
+		t.Fatalf("fleet http requests = %d, want the shard sum %d", fleet, sum)
+	}
+
+	// Histograms aggregate through Histogram.Merge: the fleet _count is the
+	// sum of the shard counts and the fleet family re-emits bucket lines.
+	counts := seriesValues(t, text, "tcord_serve_http_latency_count")
+	sum = 0
+	for i := 0; i < 3; i++ {
+		v, ok := counts["shard-"+strconv.Itoa(i)]
+		if !ok {
+			t.Fatalf("rollup has no latency histogram for shard-%d", i)
+		}
+		sum += v
+	}
+	if counts["fleet"] != sum {
+		t.Fatalf("fleet latency count = %d, want the shard sum %d", counts["fleet"], sum)
+	}
+	sums := seriesValues(t, text, "tcord_serve_http_latency_sum")
+	if want := sums["shard-0"] + sums["shard-1"] + sums["shard-2"]; sums["fleet"] != want {
+		t.Fatalf("fleet latency sum = %d, want the shard sum %d", sums["fleet"], want)
+	}
+	if !strings.Contains(text, `tcord_serve_http_latency_bucket{le="`) {
+		t.Fatal("rollup dropped the latency histogram's bucket lines")
+	}
+	if !strings.Contains(text, `,shard="fleet"} `) {
+		t.Fatal("rollup has no fleet-labeled bucket lines")
+	}
+}
+
+// TestClusterMetricsPartialOnDeadShard: a SIGKILL-style shard death
+// degrades the rollup to a flagged partial — its availability gauge drops
+// to zero, the Warning header fires, and the dead shard contributes no
+// series — while the live shards' union still serves.
+func TestClusterMetricsPartialOnDeadShard(t *testing.T) {
+	rc := newRealCluster(t, 3, serve.Options{}, Options{
+		Retry: &resilience.RetryPolicy{MaxAttempts: 1},
+	})
+	rc.servers[1].CloseClientConnections()
+	rc.servers[1].Close()
+
+	hdr, text := getClusterMetrics(t, rc.gwURL)
+	if w := hdr.Get("Warning"); !strings.Contains(w, "partial rollup") {
+		t.Fatalf("Warning = %q, want the partial-rollup flag", w)
+	}
+	ups := seriesValues(t, text, "tcord_cluster_shard_up")
+	if ups["shard-1"] != 0 {
+		t.Fatalf("dead shard's up gauge = %d, want 0", ups["shard-1"])
+	}
+	for _, s := range []string{"shard-0", "shard-2"} {
+		if ups[s] != 1 {
+			t.Fatalf("live shard %s's up gauge = %d, want 1", s, ups[s])
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "tcord_cluster_shard_up") {
+			continue
+		}
+		if strings.Contains(line, `shard="shard-1"`) {
+			t.Fatalf("dead shard still contributes a series: %q", line)
+		}
+	}
+	reqs := seriesValues(t, text, "tcord_serve_http_requests")
+	for _, s := range []string{"shard-0", "shard-2"} {
+		if _, ok := reqs[s]; !ok {
+			t.Errorf("live shard %s's series missing from the partial rollup", s)
+		}
+	}
+	if _, ok := reqs["fleet"]; !ok {
+		t.Error("partial rollup dropped the fleet aggregate")
+	}
+}
+
+// TestClusterHealthRollup: the JSON companion reports per-shard
+// readyz/breaker state and the cluster verdict moves ok -> degraded when
+// a shard dies.
+func TestClusterHealthRollup(t *testing.T) {
+	rc := newRealCluster(t, 3, serve.Options{}, Options{
+		Retry: &resilience.RetryPolicy{MaxAttempts: 1},
+	})
+	get := func() ClusterHealth {
+		t.Helper()
+		resp, err := http.Get(rc.gwURL + "/v1/cluster/health")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cluster health: status %d", resp.StatusCode)
+		}
+		var h ClusterHealth
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	h := get()
+	if h.Status != "ok" {
+		t.Fatalf("status %q with every shard ready, want ok", h.Status)
+	}
+	if len(h.Shards) != 3 {
+		t.Fatalf("%d shard rows, want 3", len(h.Shards))
+	}
+	for i, row := range h.Shards {
+		if row.Name != rc.shardURL[i] || row.Index != i {
+			t.Errorf("row %d is %s/%d, want %s/%d", i, row.Name, row.Index, rc.shardURL[i], i)
+		}
+		if !row.Ready {
+			t.Errorf("shard %d not ready in a healthy cluster: %s", i, row.Detail)
+		}
+		if row.Breaker != "closed" {
+			t.Errorf("shard %d breaker %q, want closed", i, row.Breaker)
+		}
+	}
+
+	rc.servers[2].CloseClientConnections()
+	rc.servers[2].Close()
+	h = get()
+	if h.Status != "degraded" {
+		t.Fatalf("status %q with one dead shard, want degraded", h.Status)
+	}
+	if h.Shards[2].Ready {
+		t.Error("dead shard reported ready")
+	}
+	if h.Shards[2].Detail == "" {
+		t.Error("dead shard's row carries no failure detail")
+	}
+	for _, i := range []int{0, 1} {
+		if !h.Shards[i].Ready {
+			t.Errorf("live shard %d reported not ready", i)
+		}
+	}
+}

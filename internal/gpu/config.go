@@ -97,6 +97,19 @@ type Config struct {
 	// from JSON so the serving layer's content-addressed result cache ignores
 	// it.
 	Tracer *stats.Tracer `json:"-"`
+	// TraceParent, when non-nil, parents the run's frame spans under an
+	// existing span instead of minting a fresh root trace per frame — the
+	// serving layer threads its per-request "simulate" span through here so
+	// the simulator's phase spans join the request's distributed trace.
+	// Excluded from JSON like Tracer.
+	TraceParent *stats.Span `json:"-"`
+	// TraceTiles additionally records one span per tile under each frame's
+	// "tiles" span. At the Table I screen that is ~1500 spans per frame —
+	// the right resolution for single-run analysis (`tcorsim -trace`), far
+	// too noisy for a serving process's bounded trace buffer, where one
+	// sweep would flood the buffer and evict the request spans a
+	// distributed trace is stitched from. Opt-in for that reason.
+	TraceTiles bool `json:"-"`
 	// IncludeLeakage adds per-structure static energy (leakage x frame
 	// cycles) to the tallies. Off by default: the paper-matching
 	// calibration is dynamic-energy based, and leakage rewards the faster

@@ -281,12 +281,23 @@ func (s *sim) penaltySince(p penaltyProbe) int64 {
 	return (l2 + dr) / int64(s.cfg.Timing.MSHROverlap)
 }
 
+// beginFrameSpan opens one frame's top span: a child of cfg.TraceParent
+// when the caller threaded one through (the frame then joins the caller's
+// trace), else a fresh root trace. Nil-safe — with tracing off it returns
+// the nil span.
+func (s *sim) beginFrameSpan() *stats.Span {
+	if p := s.cfg.TraceParent; p != nil {
+		return p.Child("frame", "gpu")
+	}
+	return s.tracer.Begin("frame", "gpu")
+}
+
 // runFrame pushes one frame through the whole pipeline. When a tracer is
 // configured the frame emits a span tree — frame > {geometry, binning,
 // tiles > tile...} — whose wall-clock durations attribute simulator time to
 // pipeline phases (the trace never feeds back into simulated cycles).
 func (s *sim) runFrame(f int) error {
-	fsp := s.tracer.Begin("frame", "gpu")
+	fsp := s.beginFrameSpan()
 	fsp.SetAttr("frame", strconv.Itoa(f))
 	defer fsp.End()
 
@@ -493,9 +504,10 @@ func (h *frameHandler) AttrWrite(prim uint32, numAttrs uint8, firstUse, lastUse 
 }
 
 // beginTileSpan lazily opens the current tile's span at its first Tile
-// Fetcher event. The tracer-nil check keeps the disabled path to one branch.
+// Fetcher event. Per-tile spans are gated on cfg.TraceTiles (see the knob's
+// doc for why); the tracer-nil check keeps the disabled path to one branch.
 func (h *frameHandler) beginTileSpan() {
-	if h.sim.tracer != nil && h.tileSpan == nil {
+	if h.sim.tracer != nil && h.sim.cfg.TraceTiles && h.tileSpan == nil {
 		h.tileSpan = h.tilesSpan.Child("tile", "gpu")
 	}
 }

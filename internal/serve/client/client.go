@@ -260,6 +260,11 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if id := serve.RequestIDFrom(ctx); id != "" {
 		req.Header.Set(serve.RequestIDHeader, id)
 	}
+	// Propagate the active span's trace identity: the receiving daemon's
+	// middleware joins this trace and links its root span back to the span
+	// that issued the call. With tracing off the context is invalid and
+	// nothing is injected.
+	stats.InjectTraceparent(req.Header, stats.SpanFrom(ctx).Context())
 	resp, err := c.http.Do(req)
 	if err != nil {
 		// http.Client wraps the context error in a *url.Error; unwrap-aware
@@ -336,6 +341,24 @@ func (c *Client) Stats(ctx context.Context) (map[string]int64, error) {
 	}
 	var out map[string]int64
 	return out, json.Unmarshal(data, &out)
+}
+
+// MetricsText fetches the server's Prometheus exposition page verbatim.
+// The cluster gateway's /v1/cluster/metrics rollup scrapes shards with it.
+func (c *Client) MetricsText(ctx context.Context) ([]byte, error) {
+	data, _, err := c.do(ctx, http.MethodGet, "/metrics", nil, nil)
+	return data, err
+}
+
+// TraceSpans pulls the server's recorded spans for one trace ID — the
+// /debug/trace?trace= path the gateway's trace collector stitches from.
+func (c *Client) TraceSpans(ctx context.Context, id stats.TraceID) (stats.TraceSet, error) {
+	data, _, err := c.do(ctx, http.MethodGet, "/debug/trace?trace="+id.String(), nil, nil)
+	if err != nil {
+		return stats.TraceSet{}, err
+	}
+	var ts stats.TraceSet
+	return ts, json.Unmarshal(data, &ts)
 }
 
 // CacheOutcome says how a simulation was served: "hit" (result cache),

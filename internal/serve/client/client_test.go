@@ -280,6 +280,40 @@ func TestClientForwardsRequestID(t *testing.T) {
 	}
 }
 
+// TestClientInjectsTraceparent: the active span's trace identity rides
+// every outbound request, and without a live span no header is set.
+func TestClientInjectsTraceparent(t *testing.T) {
+	var got string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get(stats.TraceparentHeader)
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	c := New(srv.URL, srv.Client())
+
+	if err := c.Healthy(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got != "" {
+		t.Fatalf("no-span request carried traceparent %q", got)
+	}
+
+	tr := stats.NewTracer(8)
+	sp := tr.Begin("caller", "test")
+	defer sp.End()
+	ctx := stats.ContextWithSpan(context.Background(), sp)
+	if err := c.Healthy(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tc, err := stats.ParseTraceparent(got)
+	if err != nil {
+		t.Fatalf("injected traceparent %q: %v", got, err)
+	}
+	if want := sp.Context(); tc != want {
+		t.Fatalf("injected context %+v, want the span's %+v", tc, want)
+	}
+}
+
 // TestWithMetricsPrefix: per-shard client instrumentation lands under the
 // caller's prefix so a gateway can meter each upstream separately.
 func TestWithMetricsPrefix(t *testing.T) {

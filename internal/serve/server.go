@@ -280,6 +280,9 @@ func NewServer(opts Options) *Server {
 		}
 		s.brk = resilience.NewBreaker(cfg)
 	}
+	// Buffer overflow in the bounded tracer is silent at the Tracer level;
+	// publish it so a fleet scrape can see span loss per process.
+	s.tracer.MeterDropped(reg.Counter("trace.dropped"))
 	s.registerInvariants()
 
 	mux := http.NewServeMux()
@@ -473,7 +476,18 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		w.Header().Set(RequestIDHeader, id)
 
 		meta := &requestMeta{}
-		sp := s.tracer.Begin("http.request", "serve")
+		// Join the caller's trace when a valid traceparent arrived (the
+		// gateway or typed client injects one per hop); otherwise this
+		// process is the trace root. The response echoes the request's own
+		// trace context so callers — and CI — can fetch the stitched trace
+		// for a request they just made.
+		var sp *stats.Span
+		if parent, ok := stats.ExtractTraceparent(r.Header); ok {
+			sp = s.tracer.BeginRemote("http.request", "serve", parent)
+		} else {
+			sp = s.tracer.Begin("http.request", "serve")
+		}
+		stats.InjectTraceparent(w.Header(), sp.Context())
 		sp.SetAttr("method", r.Method)
 		sp.SetAttr("path", r.URL.Path)
 		sp.SetAttr("requestId", id)
@@ -569,12 +583,25 @@ func (s *Server) chaosEvaluate(path string) resilience.Fault {
 	return s.chaos.Evaluate(resilience.SiteHTTP)
 }
 
-// handleDebugTrace serves the daemon's span trace as Chrome trace_event
-// JSON (chrome://tracing, Perfetto). With tracing disabled it serves an
-// empty trace rather than erroring, so scrapers need no config knowledge.
+// handleDebugTrace serves the daemon's span trace. Without parameters it
+// renders the whole buffer as Chrome trace_event JSON (chrome://tracing,
+// Perfetto) — the historical shape CI pins. With ?trace=<32-hex-id> it
+// serves the raw span records of that one trace as a stats.TraceSet, the
+// pull path the gateway's cluster collector stitches from. With tracing
+// disabled both shapes are empty rather than errors, so scrapers need no
+// config knowledge.
 func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(w, methodNotAllowed(http.MethodGet))
+		return
+	}
+	if q := r.URL.Query().Get("trace"); q != "" {
+		id, err := stats.ParseTraceID(q)
+		if err != nil {
+			s.writeError(w, badRequest("trace parameter: %v", err))
+			return
+		}
+		s.writeJSON(w, s.tracer.TraceSet("", id))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -890,6 +917,7 @@ func (s *Server) computeJob(ctx context.Context, j job) (cached, error) {
 	sp.SetAttr("config", j.cfgName)
 	cfg := j.cfg
 	cfg.Tracer = s.tracer // json:"-", so the cache key is unaffected
+	cfg.TraceParent = sp  // frame/phase spans join the request's trace
 	res, err := s.simulate(sctx, scene, cfg)
 	sp.End()
 	s.simDur.ObserveSince(simT0)

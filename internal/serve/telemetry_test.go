@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"tcor/internal/gpu"
+	"tcor/internal/stats"
 	"tcor/internal/workload"
 )
 
@@ -188,6 +189,117 @@ func TestDebugTraceEndpoint(t *testing.T) {
 	}
 }
 
+// TestTraceparentPropagation pins the middleware's join-or-mint contract:
+// a valid inbound traceparent is adopted (same trace, remote parent link),
+// anything else mints a fresh root — and the response always echoes the
+// request's own trace context.
+func TestTraceparentPropagation(t *testing.T) {
+	s := NewServer(Options{})
+	h := s.Handler()
+
+	// No inbound context: a root trace is minted and echoed.
+	rec := getPath(h, "/healthz")
+	minted, err := stats.ParseTraceparent(rec.Header().Get(stats.TraceparentHeader))
+	if err != nil {
+		t.Fatalf("response traceparent: %v", err)
+	}
+
+	// A valid inbound context is joined: same trace ID, new span ID,
+	// remote-parent link recorded on the span.
+	parent := stats.TraceContext{TraceID: stats.NewTraceID(), SpanID: stats.NewSpanID(), Flags: 1}
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	stats.InjectTraceparent(req.Header, parent)
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req)
+	echoed, err := stats.ParseTraceparent(rec2.Header().Get(stats.TraceparentHeader))
+	if err != nil {
+		t.Fatalf("response traceparent: %v", err)
+	}
+	if echoed.TraceID != parent.TraceID {
+		t.Errorf("joined trace ID = %s, want the inbound %s", echoed.TraceID, parent.TraceID)
+	}
+	if echoed.SpanID == parent.SpanID {
+		t.Error("server echoed the caller's span ID instead of minting its own")
+	}
+	if echoed.TraceID == minted.TraceID {
+		t.Error("two unrelated requests shared a trace ID")
+	}
+	spans := s.Tracer().TraceSpans(parent.TraceID)
+	if len(spans) != 1 {
+		t.Fatalf("joined trace has %d spans, want 1", len(spans))
+	}
+	if !spans[0].Remote || spans[0].ParentSpan != parent.SpanID {
+		t.Errorf("span did not record the remote parent: %+v", spans[0])
+	}
+
+	// A malformed inbound header degrades to a fresh root, not an error.
+	req3 := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req3.Header.Set(stats.TraceparentHeader, "garbage")
+	rec3 := httptest.NewRecorder()
+	h.ServeHTTP(rec3, req3)
+	if rec3.Code != http.StatusOK {
+		t.Fatalf("malformed traceparent broke the request: %d", rec3.Code)
+	}
+	fresh, err := stats.ParseTraceparent(rec3.Header().Get(stats.TraceparentHeader))
+	if err != nil {
+		t.Fatalf("response traceparent after malformed inbound: %v", err)
+	}
+	if fresh.TraceID == parent.TraceID {
+		t.Error("malformed inbound header was adopted")
+	}
+}
+
+// TestDebugTraceByID pins the pull path the gateway collector stitches
+// from: ?trace=<id> returns that trace's spans as a TraceSet.
+func TestDebugTraceByID(t *testing.T) {
+	s := NewServer(Options{})
+	s.simulate = fastSim
+	h := s.Handler()
+
+	parent := stats.TraceContext{TraceID: stats.NewTraceID(), SpanID: stats.NewSpanID(), Flags: 1}
+	req := httptest.NewRequest(http.MethodPost, "/v1/simulate",
+		strings.NewReader(`{"benchmark":"CCS","frames":1}`))
+	req.Header.Set("Content-Type", "application/json")
+	stats.InjectTraceparent(req.Header, parent)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("simulate status = %d: %s", rec.Code, rec.Body)
+	}
+
+	dump := getPath(h, "/debug/trace?trace="+parent.TraceID.String())
+	if dump.Code != http.StatusOK {
+		t.Fatalf("/debug/trace?trace= status = %d: %s", dump.Code, dump.Body)
+	}
+	var ts stats.TraceSet
+	if err := json.Unmarshal(dump.Body.Bytes(), &ts); err != nil {
+		t.Fatalf("trace dump is not a TraceSet: %v", err)
+	}
+	names := map[string]bool{}
+	for _, sp := range ts.Spans {
+		if sp.TraceID != parent.TraceID {
+			t.Errorf("span %q carries trace %s, want %s", sp.Name, sp.TraceID, parent.TraceID)
+		}
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"http.request", "simulate", "encode"} {
+		if !names[want] {
+			t.Errorf("trace dump is missing a %q span (have %v)", want, names)
+		}
+	}
+
+	// An unrelated trace ID returns the empty set, not an error.
+	other := getPath(h, "/debug/trace?trace="+stats.NewTraceID().String())
+	if strings.TrimSpace(other.Body.String()) != `{"spans":[]}` {
+		t.Errorf("unknown trace dump = %q, want the empty set", other.Body.String())
+	}
+
+	// A malformed ID is a 400, not a panic or an empty 200.
+	if bad := getPath(h, "/debug/trace?trace=nope"); bad.Code != http.StatusBadRequest {
+		t.Errorf("malformed trace ID status = %d, want 400", bad.Code)
+	}
+}
+
 func TestTracingDisabled(t *testing.T) {
 	s := NewServer(Options{TraceCapacity: -1})
 	s.simulate = fastSim
@@ -204,5 +316,14 @@ func TestTracingDisabled(t *testing.T) {
 	}
 	if strings.TrimSpace(rec.Body.String()) != `{"traceEvents":[]}` {
 		t.Errorf("disabled trace = %q, want the empty document", rec.Body.String())
+	}
+	// Disabled tracing propagates nothing: no response traceparent, and the
+	// by-ID pull path answers the empty set.
+	if got := rec.Header().Get(stats.TraceparentHeader); got != "" {
+		t.Errorf("disabled tracing echoed a traceparent %q", got)
+	}
+	byID := getPath(h, "/debug/trace?trace="+stats.NewTraceID().String())
+	if strings.TrimSpace(byID.Body.String()) != `{"spans":[]}` {
+		t.Errorf("disabled by-ID dump = %q, want the empty set", byID.Body.String())
 	}
 }

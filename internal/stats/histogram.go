@@ -104,6 +104,22 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
+// HistogramFromSnapshot reconstructs a live Histogram holding s's counts —
+// the inverse of Snapshot. The cluster metrics rollup parses shard
+// histograms back out of their text exposition and rebuilds them with this
+// so fleet aggregates go through the same Merge path live histograms use.
+func HistogramFromSnapshot(s HistogramSnapshot) *Histogram {
+	var h Histogram
+	h.count.Store(s.Count)
+	h.sum.Store(s.Sum)
+	for i, n := range s.Buckets {
+		if n != 0 {
+			h.buckets[i].Store(n)
+		}
+	}
+	return &h
+}
+
 // Count returns the number of observations (0 for nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {

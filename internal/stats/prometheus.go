@@ -83,11 +83,26 @@ func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
 }
 
 // writePromHistogram emits one histogram family with cumulative buckets.
-// Only buckets up to the highest non-empty one are listed (plus +Inf), so an
-// idle histogram is three lines, not sixty-seven.
 func writePromHistogram(w io.Writer, pn string, s HistogramSnapshot) error {
 	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
 		return err
+	}
+	return WritePromHistogramSamples(w, pn, "", s)
+}
+
+// WritePromHistogramSamples emits one histogram family's samples (no TYPE
+// line) with cumulative buckets, appending extraLabels (e.g. `shard="fleet"`)
+// to every sample when non-empty. Only buckets up to the highest non-empty
+// one are listed (plus +Inf), so an idle histogram is three lines, not
+// sixty-seven. The cluster metrics rollup emits shard-labeled and fleet
+// families with it.
+func WritePromHistogramSamples(w io.Writer, pn, extraLabels string, s HistogramSnapshot) error {
+	bucketFmt, tailFmt := "%s_bucket{le=\"%d\"} %d\n", "%s_sum %d\n%s_count %d\n"
+	infFmt := "%s_bucket{le=\"+Inf\"} %d\n"
+	if extraLabels != "" {
+		bucketFmt = "%s_bucket{le=\"%d\"," + extraLabels + "} %d\n"
+		infFmt = "%s_bucket{le=\"+Inf\"," + extraLabels + "} %d\n"
+		tailFmt = "%s_sum{" + extraLabels + "} %d\n%s_count{" + extraLabels + "} %d\n"
 	}
 	last := -1
 	for i, n := range s.Buckets {
@@ -98,14 +113,14 @@ func writePromHistogram(w io.Writer, pn string, s HistogramSnapshot) error {
 	var cum int64
 	for i := 0; i <= last && i < HistogramBuckets-1; i++ {
 		cum += s.Buckets[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, BucketUpper(i), cum); err != nil {
+		if _, err := fmt.Fprintf(w, bucketFmt, pn, BucketUpper(i), cum); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, s.Count); err != nil {
+	if _, err := fmt.Fprintf(w, infFmt, pn, s.Count); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, s.Sum, pn, s.Count); err != nil {
+	if _, err := fmt.Fprintf(w, tailFmt, pn, s.Sum, pn, s.Count); err != nil {
 		return err
 	}
 	return nil

@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"context"
+	"net/http"
 	"testing"
 	"time"
 )
@@ -52,6 +54,53 @@ func BenchmarkNilTracerSpan(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sp := tr.Begin("op", "bench")
 		sp.SetAttr("k", "v")
+		sp.End()
+	}
+}
+
+// BenchmarkTraceparentInjectExtract is the per-hop propagation cost with
+// tracing ON: format the header on the way out, parse it on the way in.
+// Gated in cmd/benchcmp against BENCH_baseline.json.
+func BenchmarkTraceparentInjectExtract(b *testing.B) {
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: 1}
+	h := make(http.Header)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		InjectTraceparent(h, tc)
+		got, ok := ExtractTraceparent(h)
+		if !ok || got.TraceID != tc.TraceID {
+			b.Fatal("round trip lost the context")
+		}
+	}
+}
+
+// BenchmarkTracePropagationDisabled is the whole middleware propagation
+// path with tracing OFF — the nil-cost contract every request pays when
+// -trace-spans 0: header extract on empty headers, a nil span from the
+// nil tracer, context plumbing, and the (skipped) outbound injection.
+// Gated in cmd/benchcmp so the disabled path stays allocation-free of
+// tracing work.
+func BenchmarkTracePropagationDisabled(b *testing.B) {
+	var tr *Tracer
+	in := make(http.Header)  // no traceparent inbound
+	out := make(http.Header) // response/outbound headers
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc, ok := ExtractTraceparent(in)
+		var sp *Span
+		if ok {
+			sp = tr.BeginRemote("http.request", "bench", tc)
+		} else {
+			sp = tr.Begin("http.request", "bench")
+		}
+		InjectTraceparent(out, sp.Context())
+		sctx := ContextWithSpan(ContextWithTracer(ctx, tr), sp)
+		if next := SpanFrom(sctx); next != nil {
+			b.Fatal("nil tracer produced a live span")
+		}
 		sp.End()
 	}
 }

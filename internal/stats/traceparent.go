@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// W3C-style trace identity. A request entering the cluster gets a 16-byte
+// trace ID that every process touching it inherits; each span within the
+// request gets an 8-byte span ID. The pair travels between processes in the
+// `traceparent` header (https://www.w3.org/TR/trace-context/):
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-span-id>-<2 hex flags>
+//
+// The serve middleware extracts it (minting a fresh trace when absent), the
+// typed client and the cluster gateway inject it on every outbound hop, and
+// the gateway's trace collector stitches the per-process span sets back into
+// one export by following the remote-parent links the header carried.
+
+// TraceID is the 16-byte identity one request keeps across every process.
+type TraceID [16]byte
+
+// SpanID is the 8-byte identity of one span within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String returns the 32-char lowercase hex form.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String returns the 16-char lowercase hex form.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseTraceID parses the 32-char hex form. The all-zero ID is rejected:
+// the spec reserves it as "no trace".
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 32 {
+		return id, fmt.Errorf("stats: trace ID %q is %d chars, want 32", s, len(s))
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, fmt.Errorf("stats: trace ID %q: %v", s, err)
+	}
+	if id.IsZero() {
+		return TraceID{}, fmt.Errorf("stats: trace ID is all zero")
+	}
+	return id, nil
+}
+
+// ParseSpanID parses the 16-char hex form, rejecting the all-zero ID.
+func ParseSpanID(s string) (SpanID, error) {
+	var id SpanID
+	if len(s) != 16 {
+		return id, fmt.Errorf("stats: span ID %q is %d chars, want 16", s, len(s))
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return SpanID{}, fmt.Errorf("stats: span ID %q: %v", s, err)
+	}
+	if id.IsZero() {
+		return SpanID{}, fmt.Errorf("stats: span ID is all zero")
+	}
+	return id, nil
+}
+
+// TraceContext is the propagated slice of a span's identity: enough for a
+// downstream process to join the same trace and link its root span back to
+// the caller's span.
+type TraceContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte // bit 0 = sampled; everything this repo emits is sampled
+}
+
+// Valid reports whether the context identifies a trace (non-zero trace and
+// span IDs).
+func (tc TraceContext) Valid() bool { return !tc.TraceID.IsZero() && !tc.SpanID.IsZero() }
+
+// Traceparent renders the context in W3C header form (version 00).
+func (tc TraceContext) Traceparent() string {
+	buf := make([]byte, 0, 55)
+	buf = append(buf, "00-"...)
+	buf = hex.AppendEncode(buf, tc.TraceID[:])
+	buf = append(buf, '-')
+	buf = hex.AppendEncode(buf, tc.SpanID[:])
+	buf = append(buf, '-')
+	buf = hex.AppendEncode(buf, []byte{tc.Flags})
+	return string(buf)
+}
+
+// ParseTraceparent parses a traceparent header value. Unknown future
+// versions are accepted as long as the first four fields parse (per spec);
+// version "ff" and malformed or all-zero IDs are rejected.
+func ParseTraceparent(s string) (TraceContext, error) {
+	var tc TraceContext
+	if len(s) < 55 {
+		return tc, fmt.Errorf("stats: traceparent %q too short", s)
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tc, fmt.Errorf("stats: traceparent %q malformed", s)
+	}
+	var version [1]byte
+	if _, err := hex.Decode(version[:], []byte(s[0:2])); err != nil {
+		return tc, fmt.Errorf("stats: traceparent version %q: %v", s[0:2], err)
+	}
+	if version[0] == 0xff {
+		return tc, fmt.Errorf("stats: traceparent version ff is invalid")
+	}
+	if version[0] == 0 && len(s) != 55 {
+		return tc, fmt.Errorf("stats: version-00 traceparent %q is %d chars, want 55", s, len(s))
+	}
+	tid, err := ParseTraceID(s[3:35])
+	if err != nil {
+		return tc, err
+	}
+	sid, err := ParseSpanID(s[36:52])
+	if err != nil {
+		return tc, err
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return tc, fmt.Errorf("stats: traceparent flags %q: %v", s[53:55], err)
+	}
+	return TraceContext{TraceID: tid, SpanID: sid, Flags: flags[0]}, nil
+}
+
+// TraceparentHeader is the propagation header's canonical name.
+const TraceparentHeader = "Traceparent"
+
+// InjectTraceparent sets the traceparent header from tc. An invalid context
+// (the nil span's) injects nothing, so disabled tracing stays header-free.
+func InjectTraceparent(h http.Header, tc TraceContext) {
+	if !tc.Valid() {
+		return
+	}
+	h.Set(TraceparentHeader, tc.Traceparent())
+}
+
+// ExtractTraceparent parses the traceparent header, reporting whether a
+// valid context was present. Absent or malformed headers are (zero, false):
+// the caller mints a fresh trace rather than failing the request.
+func ExtractTraceparent(h http.Header) (TraceContext, bool) {
+	v := h.Get(TraceparentHeader)
+	if v == "" {
+		return TraceContext{}, false
+	}
+	tc, err := ParseTraceparent(v)
+	if err != nil {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// idState drives span/trace ID minting: a splitmix64 sequence over an
+// atomic counter seeded from crypto/rand at process start. IDs are unique
+// within a process and collision-resistant across processes without taking
+// a lock or a syscall per span — per-tile simulation spans mint thousands
+// per frame.
+var idState atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		idState.Store(binary.LittleEndian.Uint64(seed[:]))
+	} else {
+		// A broken crypto/rand leaves IDs unique-per-process but
+		// predictable; keep tracing functional anyway.
+		idState.Store(0x6a09e667f3bcc908)
+	}
+}
+
+// nextID returns the next pseudorandom 64-bit ID word (never 0).
+func nextID() uint64 {
+	for {
+		x := idState.Add(0x9e3779b97f4a7c15) // golden-ratio increment (splitmix64)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+// NewTraceID mints a fresh random trace ID.
+func NewTraceID() TraceID {
+	var id TraceID
+	binary.BigEndian.PutUint64(id[0:8], nextID())
+	binary.BigEndian.PutUint64(id[8:16], nextID())
+	return id
+}
+
+// NewSpanID mints a fresh random span ID.
+func NewSpanID() SpanID {
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], nextID())
+	return id
+}

@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: 1}
+	s := tc.Traceparent()
+	if len(s) != 55 {
+		t.Fatalf("traceparent %q is %d chars, want 55", s, len(s))
+	}
+	if !strings.HasPrefix(s, "00-") {
+		t.Fatalf("traceparent %q does not carry version 00", s)
+	}
+	got, err := ParseTraceparent(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tc {
+		t.Fatalf("round trip changed the context: %+v != %+v", got, tc)
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span ID
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // version ff
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",
+	}
+	for _, s := range bad {
+		if _, err := ParseTraceparent(s); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted a malformed value", s)
+		}
+	}
+	// A future version with trailing fields parses (the spec says ignore
+	// what you don't understand).
+	future := "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-what-ever"
+	tc, err := ParseTraceparent(future)
+	if err != nil {
+		t.Fatalf("future-version traceparent rejected: %v", err)
+	}
+	if tc.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("future-version trace ID = %s", tc.TraceID)
+	}
+}
+
+func TestInjectExtractHeader(t *testing.T) {
+	h := make(http.Header)
+	if _, ok := ExtractTraceparent(h); ok {
+		t.Fatal("extracted a context from empty headers")
+	}
+	// The invalid zero context injects nothing — the disabled-tracing path.
+	InjectTraceparent(h, TraceContext{})
+	if h.Get(TraceparentHeader) != "" {
+		t.Fatal("zero context set a traceparent header")
+	}
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: 1}
+	InjectTraceparent(h, tc)
+	got, ok := ExtractTraceparent(h)
+	if !ok || got != tc {
+		t.Fatalf("Extract(Inject(tc)) = %+v, %v; want %+v", got, ok, tc)
+	}
+	// A garbage header extracts as absent, not as an error.
+	h.Set(TraceparentHeader, "not-a-traceparent")
+	if _, ok := ExtractTraceparent(h); ok {
+		t.Fatal("extracted a context from a malformed header")
+	}
+}
+
+func TestMintedIDsUnique(t *testing.T) {
+	seenT := make(map[TraceID]bool)
+	seenS := make(map[SpanID]bool)
+	for i := 0; i < 10000; i++ {
+		tid, sid := NewTraceID(), NewSpanID()
+		if tid.IsZero() || sid.IsZero() {
+			t.Fatal("minted a zero ID")
+		}
+		if seenT[tid] || seenS[sid] {
+			t.Fatalf("ID collision after %d mints", i)
+		}
+		seenT[tid], seenS[sid] = true, true
+	}
+}
+
+// TestSpanTraceIdentity pins the lineage rules: Begin mints a trace, Child
+// inherits it with an in-process parent link, BeginRemote adopts the
+// propagated trace with a remote parent link.
+func TestSpanTraceIdentity(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Begin("root", "test")
+	child := root.Child("child", "test")
+	child.End()
+	root.End()
+
+	remoteCtx := root.Context()
+	if !remoteCtx.Valid() {
+		t.Fatal("live span's context is invalid")
+	}
+	far := tr.BeginRemote("far", "test", remoteCtx)
+	far.End()
+	fresh := tr.BeginRemote("fresh", "test", TraceContext{}) // invalid parent -> new trace
+	fresh.End()
+
+	spans := tr.Spans()
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	r, c, f, fr := byName["root"], byName["child"], byName["far"], byName["fresh"]
+	if r.TraceID.IsZero() || r.SpanID.IsZero() {
+		t.Fatal("root span has no trace identity")
+	}
+	if !r.ParentSpan.IsZero() || r.Remote {
+		t.Fatalf("root span has a parent link: %+v", r)
+	}
+	if c.TraceID != r.TraceID || c.ParentSpan != r.SpanID || c.Remote {
+		t.Fatalf("child lineage wrong: %+v vs root %+v", c, r)
+	}
+	if f.TraceID != r.TraceID || f.ParentSpan != r.SpanID || !f.Remote {
+		t.Fatalf("remote lineage wrong: %+v vs root %+v", f, r)
+	}
+	if fr.TraceID == r.TraceID || fr.Remote {
+		t.Fatalf("invalid remote parent should mint a fresh trace: %+v", fr)
+	}
+
+	// TraceSpans filters by trace.
+	got := tr.TraceSpans(r.TraceID)
+	if len(got) != 3 {
+		t.Fatalf("TraceSpans returned %d spans, want 3", len(got))
+	}
+	if n := len(tr.TraceSpans(fr.TraceID)); n != 1 {
+		t.Fatalf("fresh trace has %d spans, want 1", n)
+	}
+	if tr.TraceSpans(TraceID{}) != nil {
+		t.Fatal("zero trace ID returned spans")
+	}
+}
+
+func TestSpanRecordJSONRoundTrip(t *testing.T) {
+	rec := SpanRecord{
+		Name: "op", Cat: "test", ID: 7, Parent: 3, Root: 1,
+		Start:   time.Date(2026, 8, 8, 12, 0, 0, 123456789, time.UTC),
+		Dur:     1500 * time.Microsecond,
+		Attrs:   map[string]string{"shard": "shard-1"},
+		TraceID: NewTraceID(), SpanID: NewSpanID(), ParentSpan: NewSpanID(),
+		Remote: true,
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), rec.TraceID.String()) {
+		t.Fatalf("JSON %s does not carry the hex trace ID", data)
+	}
+	var got SpanRecord
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Start.Equal(rec.Start) {
+		t.Fatalf("start changed: %v != %v", got.Start, rec.Start)
+	}
+	got.Start = rec.Start // location normalization; equality checked above
+	if got.Name != rec.Name || got.Dur != rec.Dur || got.TraceID != rec.TraceID ||
+		got.SpanID != rec.SpanID || got.ParentSpan != rec.ParentSpan ||
+		got.Remote != rec.Remote || got.Attrs["shard"] != "shard-1" {
+		t.Fatalf("round trip changed the record:\n got %+v\nwant %+v", got, rec)
+	}
+}
+
+// TestTracerDroppedMetered overflows the bounded buffer and asserts the
+// loss is published through the registry counter, not just the private
+// count — the "silent span loss" fix.
+func TestTracerDroppedMetered(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(4)
+	tr.MeterDropped(reg.Counter("trace.dropped"))
+	for i := 0; i < 10; i++ {
+		tr.Begin("op", "test").End()
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("retained %d spans, want the capacity 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped() = %d, want 6", got)
+	}
+	if got := reg.Snapshot().Get("trace.dropped"); got != 6 {
+		t.Fatalf("trace.dropped counter = %d, want 6", got)
+	}
+	// Reset clears the private count; the registry counter is cumulative
+	// (counters never go backward on a live /metrics page).
+	tr.Reset()
+	tr.Begin("op", "test").End()
+	if got := reg.Snapshot().Get("trace.dropped"); got != 6 {
+		t.Fatalf("trace.dropped moved to %d on a non-dropping End", got)
+	}
+	// Nil tracer: metering is a no-op, not a panic.
+	var nilT *Tracer
+	nilT.MeterDropped(reg.Counter("trace.dropped"))
+}

@@ -27,6 +27,10 @@ type Tracer struct {
 	spans   []SpanRecord
 	dropped int64
 
+	// droppedCounter, when set via MeterDropped, publishes the drop count
+	// through a registry so silent span loss is visible on /metrics.
+	droppedCounter *Counter
+
 	nextID atomic.Int64
 	epoch  time.Time
 }
@@ -40,7 +44,11 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{cap: capacity, epoch: time.Now()}
 }
 
-// SpanRecord is one completed span as the tracer retains it.
+// SpanRecord is one completed span as the tracer retains it. The int64
+// ID/Parent/Root triple is the process-local lineage (cheap, dense, used as
+// Chrome track IDs); TraceID/SpanID/ParentSpan are the W3C-style identity
+// that survives process hops — ParentSpan with Remote=true points at a span
+// recorded by another process's tracer.
 type SpanRecord struct {
 	Name   string
 	Cat    string
@@ -50,6 +58,92 @@ type SpanRecord struct {
 	Start  time.Time
 	Dur    time.Duration
 	Attrs  map[string]string
+
+	TraceID    TraceID
+	SpanID     SpanID
+	ParentSpan SpanID // zero = no parent anywhere
+	Remote     bool   // ParentSpan lives in another process
+}
+
+// spanRecordWire is SpanRecord's JSON shape: IDs in hex, the start as
+// RFC3339Nano wall time (cross-process skew is the stitcher's problem), the
+// duration in integer nanoseconds.
+type spanRecordWire struct {
+	Name       string            `json:"name"`
+	Cat        string            `json:"cat,omitempty"`
+	ID         int64             `json:"id"`
+	Parent     int64             `json:"parent,omitempty"`
+	Root       int64             `json:"root"`
+	Start      time.Time         `json:"start"`
+	DurNs      int64             `json:"durNs"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	TraceID    string            `json:"traceId,omitempty"`
+	SpanID     string            `json:"spanId,omitempty"`
+	ParentSpan string            `json:"parentSpanId,omitempty"`
+	Remote     bool              `json:"remote,omitempty"`
+}
+
+// MarshalJSON renders the record with hex trace identity — the shape the
+// shard-side /debug/trace?trace=<id> pull path serves.
+func (r SpanRecord) MarshalJSON() ([]byte, error) {
+	w := spanRecordWire{
+		Name: r.Name, Cat: r.Cat, ID: r.ID, Parent: r.Parent, Root: r.Root,
+		Start: r.Start, DurNs: int64(r.Dur), Attrs: r.Attrs, Remote: r.Remote,
+	}
+	if !r.TraceID.IsZero() {
+		w.TraceID = r.TraceID.String()
+	}
+	if !r.SpanID.IsZero() {
+		w.SpanID = r.SpanID.String()
+	}
+	if !r.ParentSpan.IsZero() {
+		w.ParentSpan = r.ParentSpan.String()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON is MarshalJSON's inverse; the gateway's trace collector
+// decodes shard span sets with it.
+func (r *SpanRecord) UnmarshalJSON(data []byte) error {
+	var w spanRecordWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*r = SpanRecord{
+		Name: w.Name, Cat: w.Cat, ID: w.ID, Parent: w.Parent, Root: w.Root,
+		Start: w.Start, Dur: time.Duration(w.DurNs), Attrs: w.Attrs, Remote: w.Remote,
+	}
+	if w.TraceID != "" {
+		id, err := ParseTraceID(w.TraceID)
+		if err != nil {
+			return err
+		}
+		r.TraceID = id
+	}
+	if w.SpanID != "" {
+		id, err := ParseSpanID(w.SpanID)
+		if err != nil {
+			return err
+		}
+		r.SpanID = id
+	}
+	if w.ParentSpan != "" {
+		id, err := ParseSpanID(w.ParentSpan)
+		if err != nil {
+			return err
+		}
+		r.ParentSpan = id
+	}
+	return nil
+}
+
+// TraceSet is one process's contribution to a distributed trace: the spans
+// it retained for one trace ID. Process is informational ("tcord" on a
+// standalone daemon); the cluster trace collector overrides it with the
+// shard's ring name when stitching.
+type TraceSet struct {
+	Process string       `json:"process,omitempty"`
+	Spans   []SpanRecord `json:"spans"`
 }
 
 // Span is one in-flight timed operation. Begin/Child start it, SetAttr
@@ -65,26 +159,61 @@ type Span struct {
 	root   int64
 	start  time.Time
 	attrs  map[string]string
+
+	traceID    TraceID
+	spanID     SpanID
+	parentSpan SpanID
+	remote     bool
 }
 
-// Begin starts a root span. Nil-safe: a nil tracer returns a nil span.
+// Begin starts a root span, minting a fresh trace ID. Nil-safe: a nil
+// tracer returns a nil span.
 func (t *Tracer) Begin(name, cat string) *Span {
 	if t == nil {
 		return nil
 	}
 	id := t.nextID.Add(1)
-	return &Span{t: t, name: name, cat: cat, id: id, root: id, start: time.Now()}
+	return &Span{t: t, name: name, cat: cat, id: id, root: id, start: time.Now(),
+		traceID: NewTraceID(), spanID: NewSpanID()}
 }
 
-// Child starts a span parented under s (same tracer, same track). Nil-safe:
-// a nil span returns a nil span.
+// BeginRemote starts a root-of-process span continuing the trace a remote
+// caller propagated: the span joins parent's trace and links back to the
+// caller's span ID as its remote parent. An invalid parent context falls
+// back to Begin (fresh trace). Nil-safe.
+func (t *Tracer) BeginRemote(name, cat string, parent TraceContext) *Span {
+	if t == nil {
+		return nil
+	}
+	if !parent.Valid() {
+		return t.Begin(name, cat)
+	}
+	id := t.nextID.Add(1)
+	return &Span{t: t, name: name, cat: cat, id: id, root: id, start: time.Now(),
+		traceID: parent.TraceID, spanID: NewSpanID(),
+		parentSpan: parent.SpanID, remote: true}
+}
+
+// Child starts a span parented under s (same tracer, same trace, same
+// track). Nil-safe: a nil span returns a nil span.
 func (s *Span) Child(name, cat string) *Span {
 	if s == nil {
 		return nil
 	}
 	id := s.t.nextID.Add(1)
 	return &Span{t: s.t, name: name, cat: cat, id: id, parent: s.id, root: s.root,
-		start: time.Now()}
+		start: time.Now(), traceID: s.traceID, spanID: NewSpanID(),
+		parentSpan: s.spanID}
+}
+
+// Context returns the span's propagable identity — inject it on outbound
+// requests so the callee's spans link back here. The nil span returns the
+// zero (invalid) context, which InjectTraceparent ignores.
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.traceID, SpanID: s.spanID, Flags: 1}
 }
 
 // SetAttr attaches a key/value annotation (exported into the trace's args).
@@ -107,14 +236,33 @@ func (s *Span) End() {
 	rec := SpanRecord{
 		Name: s.name, Cat: s.cat, ID: s.id, Parent: s.parent, Root: s.root,
 		Start: s.start, Dur: time.Since(s.start), Attrs: s.attrs,
+		TraceID: s.traceID, SpanID: s.spanID, ParentSpan: s.parentSpan,
+		Remote: s.remote,
 	}
 	t := s.t
 	t.mu.Lock()
+	var dropped *Counter
 	if len(t.spans) < t.cap {
 		t.spans = append(t.spans, rec)
 	} else {
 		t.dropped++
+		dropped = t.droppedCounter
 	}
+	t.mu.Unlock()
+	dropped.Inc() // nil-safe; outside the lock so metering never serializes End
+}
+
+// MeterDropped publishes the tracer's span-loss count through c (typically
+// reg.Counter("trace.dropped")): every span discarded because the buffer
+// was full increments it, so a scrape shows silent loss instead of a trace
+// that merely looks quiet. Nil-safe on both sides; call before tracing
+// starts.
+func (t *Tracer) MeterDropped(c *Counter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.droppedCounter = c
 	t.mu.Unlock()
 }
 
@@ -149,6 +297,35 @@ func (t *Tracer) Spans() []SpanRecord {
 	t.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
 	return out
+}
+
+// TraceSpans returns the retained spans belonging to one trace, in start
+// order. This is the pull path behind /debug/trace?trace=<id>: a collector
+// asks each process for its slice of a distributed trace and stitches the
+// slices by their remote-parent links.
+func (t *Tracer) TraceSpans(id TraceID) []SpanRecord {
+	if t == nil || id.IsZero() {
+		return nil
+	}
+	t.mu.Lock()
+	var out []SpanRecord
+	for _, s := range t.spans {
+		if s.TraceID == id {
+			out = append(out, s)
+		}
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// TraceSet bundles TraceSpans(id) under a process name for the wire.
+func (t *Tracer) TraceSet(process string, id TraceID) TraceSet {
+	spans := t.TraceSpans(id)
+	if spans == nil {
+		spans = []SpanRecord{}
+	}
+	return TraceSet{Process: process, Spans: spans}
 }
 
 // Reset drops every retained span and the dropped count, keeping the buffer
@@ -208,9 +385,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			}
 			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 				Name: s.Name, Cat: s.Cat, Ph: "X",
-				Ts:   float64(s.Start.Sub(t.epoch)) / float64(time.Microsecond),
-				Dur:  float64(s.Dur) / float64(time.Microsecond),
-				Pid:  1, Tid: s.Root, Args: args,
+				Ts:  float64(s.Start.Sub(t.epoch)) / float64(time.Microsecond),
+				Dur: float64(s.Dur) / float64(time.Microsecond),
+				Pid: 1, Tid: s.Root, Args: args,
 			})
 		}
 	}
