@@ -10,6 +10,8 @@
 //	tcord -debug :8345                     # expvar + pprof alongside the API
 //	tcord -chaos "rate=0.1,lat=50ms,codes=500|503,seed=7"  # fault injection
 //	tcord -shards host:8344,host:8345      # gateway over shard daemons
+//	tcord -tenants tenants.json            # multi-tenant QoS roster
+//	tcord -jobs-dir /var/lib/tcord/jobs    # durable async jobs (?async=1)
 //	tcord -version
 //
 // With -shards the process is a cluster gateway instead of a simulation
@@ -25,6 +27,8 @@
 //	POST /v1/simulate   run (or fetch from cache) one simulation
 //	POST /v1/sweep      run a batch through the bounded worker pool
 //	POST /v1/arena      race a replacement-policy roster, ranked vs OPT
+//	GET  /v1/jobs       durable async jobs (-jobs-dir): list, poll, cancel,
+//	                    fetch results; submissions are ?async=1 on the POSTs
 //	GET  /v1/benchmarks list the built-in Table II suite
 //	GET  /v1/version    build identity (module version, VCS revision)
 //	GET  /v1/stats      serving-layer metrics snapshot
@@ -96,6 +100,11 @@ type options struct {
 	shards []string
 	vnodes int
 	hedge  time.Duration
+
+	tenantsPath string
+	tenants     *serve.TenantSet
+	jobsDir     string
+	jobWorkers  int
 }
 
 // parseOptions parses args into options and enforces the flag rules; every
@@ -123,6 +132,9 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	fs.StringVar(&shards, "shards", "", "run as a cluster gateway over these shard daemons (comma-separated host:port or http://host:port; empty = serve simulations directly)")
 	fs.IntVar(&o.vnodes, "vnodes", 0, "virtual nodes per shard on the gateway's consistent-hash ring (0 = 64)")
 	fs.DurationVar(&o.hedge, "hedge", 0, "gateway hedge delay before duplicating a slow request to the next shard (0 = adaptive p99, negative = off)")
+	fs.StringVar(&o.tenantsPath, "tenants", "", `multi-tenant roster JSON file: {"api-key": {"name", "weight", "maxInflight", "maxQueued", "cacheShare"}, ...}; "*" names the anonymous tenant (empty = one anonymous tenant owning the machine)`)
+	fs.StringVar(&o.jobsDir, "jobs-dir", "", "directory for durable async jobs: ?async=1 submissions persist their progress under it and resume after a restart (empty = async requests answer 400)")
+	fs.IntVar(&o.jobWorkers, "job-workers", 0, "max concurrently executing background jobs (0 = half of -workers, min 1)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -186,6 +198,28 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	if len(o.shards) == 0 && (o.vnodes != 0 || o.hedge != 0) {
 		return options{}, fmt.Errorf("-vnodes and -hedge only apply in gateway mode (-shards)")
 	}
+	if o.jobWorkers < 0 {
+		return options{}, fmt.Errorf("-job-workers must be non-negative, got %d", o.jobWorkers)
+	}
+	if o.jobWorkers != 0 && o.jobsDir == "" {
+		return options{}, fmt.Errorf("-job-workers needs -jobs-dir")
+	}
+	if len(o.shards) > 0 && (o.tenantsPath != "" || o.jobsDir != "" || o.jobWorkers != 0) {
+		// The gateway forwards credentials and routes jobs to shards; the
+		// roster and the store live on the shards themselves.
+		return options{}, fmt.Errorf("-tenants, -jobs-dir and -job-workers only apply in daemon mode (without -shards)")
+	}
+	if o.tenantsPath != "" {
+		data, err := os.ReadFile(o.tenantsPath)
+		if err != nil {
+			return options{}, fmt.Errorf("-tenants: %w", err)
+		}
+		ts, err := serve.ParseTenants(data)
+		if err != nil {
+			return options{}, fmt.Errorf("-tenants %s: %w", o.tenantsPath, err)
+		}
+		o.tenants = ts
+	}
 	return o, nil
 }
 
@@ -215,6 +249,9 @@ func serveOptions(o options) serve.Options {
 		Logger:         newLogger(o.logFormat),
 		CacheTTL:       o.cacheTTL,
 		MaxStale:       o.maxStale,
+		Tenants:        o.tenants,
+		JobsDir:        o.jobsDir,
+		JobWorkers:     o.jobWorkers,
 	}
 	if o.queue == 0 {
 		so.QueueDepth = -1
@@ -309,6 +346,12 @@ func run(o options) error {
 		return runGateway(o)
 	}
 	srv := serve.NewServer(serveOptions(o))
+	if err := srv.JobsInitError(); err != nil {
+		// A daemon asked for durable jobs must not run silently degraded:
+		// an operator who set -jobs-dir is owed crash-surviving jobs, not a
+		// 503 discovered at the first async submission.
+		return fmt.Errorf("durable job store (-jobs-dir %s): %w", o.jobsDir, err)
+	}
 
 	if o.debugAddr != "" {
 		stats.PublishExpvar("tcord", srv.Registry())
@@ -327,6 +370,12 @@ func run(o options) error {
 	}
 	fmt.Fprintf(os.Stderr, "tcord: %s\n", buildinfo.Get())
 	fmt.Fprintf(os.Stderr, "tcord: serving on http://%s\n", addr)
+	if o.tenants != nil {
+		fmt.Fprintf(os.Stderr, "tcord: %d tenants loaded from %s\n", len(o.tenants.Tenants()), o.tenantsPath)
+	}
+	if o.jobsDir != "" {
+		fmt.Fprintf(os.Stderr, "tcord: durable jobs under %s\n", o.jobsDir)
+	}
 	if o.chaos != "" {
 		fmt.Fprintf(os.Stderr, "tcord: CHAOS MODE armed (%s) — responses include injected faults\n", o.chaos)
 	}

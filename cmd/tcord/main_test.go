@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -42,6 +44,13 @@ func TestParseOptionsValidation(t *testing.T) {
 		{"hedge without shards", []string{"-hedge", "100ms"}, true},
 		{"vnodes without shards", []string{"-vnodes", "32"}, true},
 		{"negative vnodes", []string{"-shards", "localhost:8344", "-vnodes", "-1"}, true},
+		{"jobs dir", []string{"-jobs-dir", "jobs"}, false},
+		{"jobs dir with workers", []string{"-jobs-dir", "jobs", "-job-workers", "2"}, false},
+		{"job workers without jobs dir", []string{"-job-workers", "2"}, true},
+		{"negative job workers", []string{"-jobs-dir", "jobs", "-job-workers", "-1"}, true},
+		{"tenants missing file", []string{"-tenants", "/nonexistent/tenants.json"}, true},
+		{"tenants in gateway mode", []string{"-shards", "localhost:8344", "-tenants", "t.json"}, true},
+		{"jobs dir in gateway mode", []string{"-shards", "localhost:8344", "-jobs-dir", "jobs"}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -92,6 +101,39 @@ func TestServeOptionsMapping(t *testing.T) {
 	}
 	if so.CacheTTL != 90*time.Second || so.MaxStale != 2*time.Hour {
 		t.Fatalf("cache freshness mapped as (%v, %v), want (90s, 2h)", so.CacheTTL, so.MaxStale)
+	}
+}
+
+// TestTenantsFlag pins the -tenants contract: a valid roster file loads and
+// rides into serve.Options together with the job flags; a misconfigured one
+// refuses to start the daemon instead of silently degrading.
+func TestTenantsFlag(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "tenants.json")
+	if err := os.WriteFile(good, []byte(`{
+		"key-a": {"name": "alpha", "weight": 3, "maxInflight": 2},
+		"*":     {"name": "default", "weight": 1}
+	}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	o, err := parseOptions([]string{"-tenants", good, "-jobs-dir", filepath.Join(dir, "jobs"), "-job-workers", "2"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.tenants == nil || o.tenants.TotalWeight() != 4 {
+		t.Fatalf("roster did not load: %+v", o.tenants)
+	}
+	so := serveOptions(o)
+	if so.Tenants != o.tenants || so.JobsDir != o.jobsDir || so.JobWorkers != 2 {
+		t.Fatalf("tenancy/jobs flags did not map into serve.Options: %+v", so)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"k": {"name": "a", "weight": 0}}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseOptions([]string{"-tenants", bad}, io.Discard); err == nil {
+		t.Fatal("a zero-weight tenant roster was accepted")
 	}
 }
 

@@ -2,7 +2,10 @@
 // process by default, or points at a running daemon with -addr), talks to
 // it through the typed retrying client, shows the content-addressed result
 // cache collapsing a repeated request, fans a baseline-vs-TCOR comparison
-// through /v1/sweep, and drains.
+// through /v1/sweep, and drains. In the in-process mode it also walks the
+// multi-tenant + durable-jobs surface: a tenant-authenticated client
+// submits a sweep with ?async=1, polls the job, and proves the stored
+// result is byte-identical to the synchronous sweep.
 //
 // It doubles as a resilience drill. With -n it drives that many sequential
 // simulate calls and exits non-zero if any of them surfaces an error — run
@@ -17,7 +20,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,8 +48,26 @@ func run(addr string, n int, retry bool) error {
 
 	var srv *tcor.Server
 	baseURL := addr
-	if baseURL == "" {
-		srv = tcor.NewServer(tcor.ServeOptions{Workers: 2, CacheEntries: 16})
+	inProcess := baseURL == ""
+	if inProcess {
+		// The in-process daemon runs with a two-tenant roster and a durable
+		// job store so the demo can walk the multi-tenant + async surface.
+		tenants, err := tcor.ParseTenants([]byte(`{
+			"key-acme": {"name": "acme", "weight": 3, "maxInflight": 4},
+			"*":        {"name": "default", "weight": 1}
+		}`))
+		if err != nil {
+			return err
+		}
+		jobsDir, err := os.MkdirTemp("", "tcor-jobs-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(jobsDir)
+		srv = tcor.NewServer(tcor.ServeOptions{
+			Workers: 2, CacheEntries: 16,
+			Tenants: tenants, JobsDir: jobsDir, JobWorkers: 1,
+		})
 		started, err := srv.Start("127.0.0.1:0")
 		if err != nil {
 			return err
@@ -75,8 +98,17 @@ func run(addr string, n int, retry bool) error {
 		if err := drill(ctx, c, n); err != nil {
 			return err
 		}
-	} else if err := demo(ctx, c); err != nil {
-		return err
+	} else {
+		if err := demo(ctx, c); err != nil {
+			return err
+		}
+		// The tenancy/jobs walk needs the roster and job store only the
+		// in-process daemon is guaranteed to have.
+		if inProcess {
+			if err := tenantsDemo(ctx, baseURL); err != nil {
+				return err
+			}
+		}
 	}
 
 	if srv != nil {
@@ -137,5 +169,82 @@ func demo(ctx context.Context, c *tcor.ServiceClient) error {
 	}
 	fmt.Printf("\nserver metrics: %d simulations, %d cache hits, %d misses\n",
 		st["serve.simulations.completed"], st["serve.cache.hits"], st["serve.cache.misses"])
+	return nil
+}
+
+// tenantsDemo walks the multi-tenant + durable-jobs surface: a client
+// authenticated as the "acme" tenant submits a sweep asynchronously, polls
+// the job to completion, and proves the stored result is byte-identical to
+// the same sweep run synchronously — the property that makes async
+// submission and crash recovery safe to rely on.
+func tenantsDemo(ctx context.Context, baseURL string) error {
+	acme := tcor.NewServiceClient(baseURL, nil, tcor.WithClientTenant("key-acme"))
+
+	sweep := tcor.SweepRequest{Items: []tcor.SimulateRequest{
+		{Benchmark: "CCS", Config: "baseline", TileCacheKB: 64, Frames: 1},
+		{Benchmark: "CCS", Config: "tcor", TileCacheKB: 64, Frames: 1},
+		{Benchmark: "GTr", Config: "tcor", TileCacheKB: 64, Frames: 1},
+	}}
+
+	// Submission returns immediately with a content-addressed job ID;
+	// resubmitting the same body as the same tenant returns the same job.
+	job, err := acme.SweepAsync(ctx, sweep)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nasync sweep submitted as tenant %q: job %s (%s, %d cells)\n",
+		job.Tenant, job.ID, job.State, job.TotalCells)
+
+	done, err := acme.WaitJob(ctx, job.ID, 50*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job finished: %s, %d/%d cells\n", done.State, done.DoneCells, done.TotalCells)
+
+	asyncBytes, err := acme.JobResult(ctx, job.ID)
+	if err != nil {
+		return err
+	}
+	var stored struct {
+		Runs []json.RawMessage `json:"runs"`
+	}
+	if err := json.Unmarshal(asyncBytes, &stored); err != nil {
+		return err
+	}
+	syncRuns, _, err := acme.SweepRaw(ctx, sweep)
+	if err != nil {
+		return err
+	}
+	if len(stored.Runs) != len(syncRuns) {
+		return fmt.Errorf("async result has %d runs, sync sweep %d", len(stored.Runs), len(syncRuns))
+	}
+	for i := range syncRuns {
+		if !bytes.Equal(stored.Runs[i], syncRuns[i]) {
+			return fmt.Errorf("run %d diverged between async and sync execution", i)
+		}
+	}
+	fmt.Printf("async result is byte-identical to the sync sweep (%d runs, %d bytes)\n",
+		len(stored.Runs), len(asyncBytes))
+
+	// The job listing is tenant-scoped: acme sees its job, an anonymous
+	// caller sees none of it.
+	jobs, err := acme.Jobs(ctx)
+	if err != nil {
+		return err
+	}
+	anon := tcor.NewServiceClient(baseURL, nil)
+	anonJobs, err := anon.Jobs(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job listings are tenant-scoped: acme sees %d, anonymous sees %d\n",
+		len(jobs), len(anonJobs))
+
+	st, err := acme.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tenant metrics: acme made %d requests, jobs done %d\n",
+		st["serve.tenant.acme.requests"], st["serve.jobs.done"])
 	return nil
 }

@@ -184,16 +184,18 @@ type Gateway struct {
 	httpSrv  *http.Server
 	draining atomic.Bool
 
-	requests  *stats.Counter
-	responses [6]*stats.Counter
-	panics    *stats.Counter
-	latency   *stats.Histogram
-	proxyDur  *stats.Histogram // successful proxied /v1/simulate calls, ns
-	hedges    *stats.Counter
-	hedgeWins *stats.Counter
-	failovers *stats.Counter
-	probeHits *stats.Counter
-	fallback  *stats.Counter // sweep items recovered item-by-item
+	requests   *stats.Counter
+	responses  [6]*stats.Counter
+	panics     *stats.Counter
+	latency    *stats.Histogram
+	proxyDur   *stats.Histogram // successful proxied /v1/simulate calls, ns
+	hedges     *stats.Counter
+	hedgeWins  *stats.Counter
+	failovers  *stats.Counter
+	probeHits  *stats.Counter
+	fallback   *stats.Counter // sweep items recovered item-by-item
+	jobSubmits *stats.Counter // async submissions routed to a job's owner
+	jobProxied *stats.Counter // job reads/cancels proxied to a shard
 }
 
 // NewGateway builds a gateway over opts.Shards. The shard list is fixed
@@ -206,21 +208,23 @@ func NewGateway(opts Options) (*Gateway, error) {
 	}
 	reg := opts.Registry
 	g := &Gateway{
-		opts:      opts,
-		ring:      ring,
-		reg:       reg,
-		logger:    opts.Logger,
-		chaos:     opts.Chaos,
-		tracer:    stats.NewTracer(opts.TraceCapacity),
-		requests:  reg.Counter("gw.requests"),
-		panics:    reg.Counter("gw.panics"),
-		latency:   reg.Histogram("gw.latency"),
-		proxyDur:  reg.Histogram("gw.proxy.duration"),
-		hedges:    reg.Counter("gw.hedges"),
-		hedgeWins: reg.Counter("gw.hedge.wins"),
-		failovers: reg.Counter("gw.failovers"),
-		probeHits: reg.Counter("gw.probe.hits"),
-		fallback:  reg.Counter("gw.sweep.fallbackItems"),
+		opts:       opts,
+		ring:       ring,
+		reg:        reg,
+		logger:     opts.Logger,
+		chaos:      opts.Chaos,
+		tracer:     stats.NewTracer(opts.TraceCapacity),
+		requests:   reg.Counter("gw.requests"),
+		panics:     reg.Counter("gw.panics"),
+		latency:    reg.Histogram("gw.latency"),
+		proxyDur:   reg.Histogram("gw.proxy.duration"),
+		hedges:     reg.Counter("gw.hedges"),
+		hedgeWins:  reg.Counter("gw.hedge.wins"),
+		failovers:  reg.Counter("gw.failovers"),
+		probeHits:  reg.Counter("gw.probe.hits"),
+		fallback:   reg.Counter("gw.sweep.fallbackItems"),
+		jobSubmits: reg.Counter("gw.jobs.submits"),
+		jobProxied: reg.Counter("gw.jobs.proxied"),
 	}
 	for c := 2; c <= 5; c++ {
 		g.responses[c] = reg.Counter("gw.responses." + strconv.Itoa(c) + "xx")
@@ -249,6 +253,8 @@ func NewGateway(opts Options) (*Gateway, error) {
 	mux.HandleFunc("/v1/simulate", g.handleSimulate)
 	mux.HandleFunc("/v1/sweep", g.handleSweep)
 	mux.HandleFunc("/v1/arena", g.handleArena)
+	mux.HandleFunc("/v1/jobs", g.handleJobs)
+	mux.HandleFunc("/v1/jobs/", g.handleJob)
 	mux.HandleFunc("/v1/cluster/trace/", g.handleClusterTrace)
 	mux.HandleFunc("/v1/cluster/metrics", g.handleClusterMetrics)
 	mux.HandleFunc("/v1/cluster/health", g.handleClusterHealth)
@@ -361,6 +367,12 @@ func (g *Gateway) middleware(next http.Handler) http.Handler {
 		sp.SetAttr("requestId", id)
 
 		ctx := serve.ContextWithRequestID(r.Context(), id)
+		// Lift the caller's tenant credential into the context: the per-shard
+		// client re-applies it on every attempt, so quota and cache accounting
+		// follow the caller through retries, hedges and failovers alike. The
+		// gateway never resolves the credential itself — an unknown key is the
+		// owning shard's 401 to give, passed through unchanged.
+		ctx = serve.ContextWithTenantKey(ctx, serve.TenantKeyFromRequest(r))
 		ctx = stats.ContextWithTracer(ctx, g.tracer)
 		ctx = stats.ContextWithSpan(ctx, sp)
 		r = r.WithContext(ctx)
@@ -459,18 +471,21 @@ func badRequest(format string, args ...any) *gwError {
 }
 
 // beginSim is the shared front door of the proxied simulation endpoints:
-// method check, drain check, bounded body read, strict decode.
-func (g *Gateway) beginSim(w http.ResponseWriter, r *http.Request, into any) bool {
+// method check, drain check, bounded body read, strict decode. It returns
+// the raw body — the async job path forwards it to the owning shard
+// verbatim, so the shard's content-addressed JobID matches the gateway's
+// routing address — and false after writing the error response itself.
+func (g *Gateway) beginSim(w http.ResponseWriter, r *http.Request, into any) ([]byte, bool) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		g.writeError(w, &gwError{status: http.StatusMethodNotAllowed,
 			code: "method_not_allowed", msg: "use " + http.MethodPost})
-		return false
+		return nil, false
 	}
 	if g.draining.Load() {
 		g.writeError(w, &gwError{status: http.StatusServiceUnavailable,
 			code: "draining", msg: "gateway is draining; not accepting new simulations"})
-		return false
+		return nil, false
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.opts.MaxBodyBytes))
 	if err != nil {
@@ -482,15 +497,15 @@ func (g *Gateway) beginSim(w http.ResponseWriter, r *http.Request, into any) boo
 		} else {
 			g.writeError(w, badRequest("reading request body: %v", err))
 		}
-		return false
+		return nil, false
 	}
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
 		g.writeError(w, badRequest("decoding request: %v", err))
-		return false
+		return nil, false
 	}
-	return true
+	return body, true
 }
 
 func (g *Gateway) requestContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
@@ -623,7 +638,7 @@ type simResult struct {
 
 func (g *Gateway) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req serve.SimulateRequest
-	if !g.beginSim(w, r, &req) {
+	if _, ok := g.beginSim(w, r, &req); !ok {
 		return
 	}
 	key, err := serve.CanonicalKey(req)
@@ -882,12 +897,17 @@ func (g *Gateway) hedgeDelay() time.Duration {
 // deliberately is the wrong trade.
 func (g *Gateway) handleArena(w http.ResponseWriter, r *http.Request) {
 	var req serve.ArenaRequest
-	if !g.beginSim(w, r, &req) {
+	body, ok := g.beginSim(w, r, &req)
+	if !ok {
 		return
 	}
 	_, key, err := serve.ArenaKey(req)
 	if err != nil {
 		g.writeError(w, badRequest("%v", err))
+		return
+	}
+	if serve.AsyncRequested(r) {
+		g.routeJobSubmit(w, r, serve.JobKindArena, body)
 		return
 	}
 	ctx, cancel := g.requestContext(r, req.TimeoutMs)
@@ -951,7 +971,8 @@ func (g *Gateway) handleArena(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req serve.SweepRequest
-	if !g.beginSim(w, r, &req) {
+	body, ok := g.beginSim(w, r, &req)
+	if !ok {
 		return
 	}
 	if len(req.Items) == 0 {
@@ -975,6 +996,10 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if item.TimeoutMs > timeoutMs {
 			timeoutMs = item.TimeoutMs
 		}
+	}
+	if serve.AsyncRequested(r) {
+		g.routeJobSubmit(w, r, serve.JobKindSweep, body)
+		return
 	}
 	ctx, cancel := g.requestContext(r, timeoutMs)
 	defer cancel()

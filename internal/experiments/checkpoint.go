@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 
@@ -15,8 +16,10 @@ import (
 
 // checkpointFormat versions the journal's on-disk shape. Bump it whenever a
 // record field changes meaning; an old-format file is a hard error, never a
-// silent misread.
-const checkpointFormat = "tcor-checkpoint/1"
+// silent misread. Version 2 widened the record hash from the result payload
+// alone to the full (key, cfgSHA, result) triple, so a flipped byte anywhere
+// in a record — not just its payload — is detected on open.
+const checkpointFormat = "tcor-checkpoint/2"
 
 // checkpointHeader is the journal's first line: the format version plus the
 // run fingerprint (screen geometry and frame override). A journal written
@@ -28,15 +31,38 @@ type checkpointHeader struct {
 	Frames int    `json:"frames"`
 }
 
+// journalHeader is the first line of a standalone journal opened through
+// OpenJournal: the format version plus an opaque caller-owned fingerprint
+// (the serving layer uses the job's content address, so a job directory can
+// never be resumed under a different request).
+type journalHeader struct {
+	Format      string `json:"format"`
+	Fingerprint string `json:"fingerprint"`
+}
+
 // checkpointRecord is one completed run: the memo key, a hash of the full
 // configuration (the memo key alone names but does not pin the config), the
-// result, and a hash of the result bytes so a corrupted line is detected
-// rather than restored.
+// result, and a hash over the whole triple so a corrupted line — whether in
+// the key, the config hash, or the payload — is detected rather than
+// restored.
 type checkpointRecord struct {
 	Key    string          `json:"key"`
 	CfgSHA string          `json:"cfgSHA"`
 	SHA    string          `json:"sha"`
 	Result json.RawMessage `json:"result"`
+}
+
+// recordSHA hashes the full record triple. Covering the key and config hash
+// (not just the result bytes) means a mid-file flip in a record's name can
+// never resurface a valid payload under the wrong cell.
+func recordSHA(key, cfgSHA string, result []byte) string {
+	h := sha256.New()
+	io.WriteString(h, key)
+	h.Write([]byte{0})
+	io.WriteString(h, cfgSHA)
+	h.Write([]byte{0})
+	h.Write(result)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Checkpoint is an append-only journal of completed full-system runs:
@@ -48,8 +74,10 @@ type checkpointRecord struct {
 // canonical JSON, which round-trips exactly).
 //
 // Crash safety comes from the format, not fsync discipline: a torn final
-// line (the process died mid-write) fails its hash or parse and is
-// truncated away on open, sacrificing at most that one cell.
+// line (the process died mid-write) fails its hash or parse, and open
+// truncates the journal from the first bad record onward — whether that
+// record is a torn tail or a corrupted line in the middle of the file —
+// sacrificing only the cells at and after the damage.
 //
 // A nil *Checkpoint is a valid no-op, so the Runner's hot path stays
 // unconditional.
@@ -62,42 +90,27 @@ type Checkpoint struct {
 	journaledC *stats.Counter // cells appended this session
 }
 
-// OpenCheckpoint attaches a journal at path to the runner, creating it (with
-// a fingerprint header) if absent and otherwise replaying it: valid records
-// become restorable cells, and everything from the first torn or corrupt
-// line onward is truncated. It returns the number of restorable cells.
-//
-// The journal is fingerprinted by the runner's Screen and Frames — open it
-// after configuring those, and opening a journal written under a different
-// fingerprint is an error. Restores and appends are metered in the runner's
-// registry as "checkpoint.restored" and "checkpoint.journaled".
-func (r *Runner) OpenCheckpoint(path string) (int, error) {
-	screenJSON, err := json.Marshal(r.Screen)
-	if err != nil {
-		return 0, err
-	}
-	want := checkpointHeader{Format: checkpointFormat, Screen: string(screenJSON), Frames: r.Frames}
-
+// openJournal replays the journal at path, validating the header line with
+// checkHeader and every record's full-triple hash. Everything from the
+// first torn or corrupt line onward is truncated; the file is reopened for
+// appends, writing hdrLine if the journal is empty or freshly created.
+func openJournal(path string, hdrLine []byte, checkHeader func(line []byte) error, restoredC, journaledC *stats.Counter) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
-		return 0, err
+		return nil, err
 	}
 
-	cp := &Checkpoint{restored: make(map[string]json.RawMessage)}
-	m := r.Metrics()
-	cp.restoredC = m.Counter("checkpoint.restored")
-	cp.journaledC = m.Counter("checkpoint.journaled")
+	cp := &Checkpoint{
+		restored:   make(map[string]json.RawMessage),
+		restoredC:  restoredC,
+		journaledC: journaledC,
+	}
 
 	valid := 0 // byte offset just past the last intact line
 	if len(data) > 0 {
 		line, rest, _ := bytes.Cut(data, []byte("\n"))
-		var hdr checkpointHeader
-		if err := json.Unmarshal(line, &hdr); err != nil || hdr.Format != checkpointFormat {
-			return 0, fmt.Errorf("experiments: %s is not a %s journal", path, checkpointFormat)
-		}
-		if hdr.Screen != want.Screen || hdr.Frames != want.Frames {
-			return 0, fmt.Errorf("experiments: checkpoint %s was written for screen=%s frames=%d; this runner is screen=%s frames=%d",
-				path, hdr.Screen, hdr.Frames, want.Screen, want.Frames)
+		if err := checkHeader(line); err != nil {
+			return nil, err
 		}
 		valid = len(line) + 1
 		for len(rest) > 0 {
@@ -109,13 +122,12 @@ func (r *Runner) OpenCheckpoint(path string) (int, error) {
 			if err := json.Unmarshal(line, &rec); err != nil {
 				break
 			}
-			sum := sha256.Sum256(rec.Result)
-			if hex.EncodeToString(sum[:]) != rec.SHA {
+			if recordSHA(rec.Key, rec.CfgSHA, rec.Result) != rec.SHA {
 				break
 			}
 			// Payloads stay raw here: the journal is shared by full-system
-			// runs (gpu.Result) and arena cells, and each consumer decodes
-			// into its own type at lookup time.
+			// runs (gpu.Result), arena cells, and async job cells, and each
+			// consumer decodes into its own type at lookup time.
 			cp.restored[rec.Key+"\x00"+rec.CfgSHA] = rec.Result
 			valid += len(line) + 1
 			rest = next
@@ -123,28 +135,94 @@ func (r *Runner) OpenCheckpoint(path string) (int, error) {
 	}
 	if valid < len(data) {
 		if err := os.Truncate(path, int64(valid)); err != nil {
-			return 0, err
+			return nil, err
 		}
 	}
 
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	if valid == 0 {
-		hdrLine, err := json.Marshal(want)
-		if err != nil {
+		if _, err := f.Write(append(append([]byte{}, hdrLine...), '\n')); err != nil {
 			f.Close()
-			return 0, err
-		}
-		if _, err := f.Write(append(hdrLine, '\n')); err != nil {
-			f.Close()
-			return 0, err
+			return nil, err
 		}
 	}
 	cp.f = f
+	return cp, nil
+}
+
+// OpenCheckpoint attaches a journal at path to the runner, creating it (with
+// a fingerprint header) if absent and otherwise replaying it: valid records
+// become restorable cells, and everything from the first torn or corrupt
+// record onward is truncated. It returns the number of restorable cells.
+//
+// The journal is fingerprinted by the runner's Screen and Frames — open it
+// after configuring those, and opening a journal written under a different
+// fingerprint is an error. Restores and appends are metered in the runner's
+// registry as "checkpoint.restored" and "checkpoint.journaled".
+func (r *Runner) OpenCheckpoint(path string) (int, error) {
+	screenJSON, err := json.Marshal(r.Screen)
+	if err != nil {
+		return 0, err
+	}
+	want := checkpointHeader{Format: checkpointFormat, Screen: string(screenJSON), Frames: r.Frames}
+	hdrLine, err := json.Marshal(want)
+	if err != nil {
+		return 0, err
+	}
+	check := func(line []byte) error {
+		var hdr checkpointHeader
+		if err := json.Unmarshal(line, &hdr); err != nil || hdr.Format != checkpointFormat {
+			return fmt.Errorf("experiments: %s is not a %s journal", path, checkpointFormat)
+		}
+		if hdr.Screen != want.Screen || hdr.Frames != want.Frames {
+			return fmt.Errorf("experiments: checkpoint %s was written for screen=%s frames=%d; this runner is screen=%s frames=%d",
+				path, hdr.Screen, hdr.Frames, want.Screen, want.Frames)
+		}
+		return nil
+	}
+	m := r.Metrics()
+	cp, err := openJournal(path, hdrLine, check, m.Counter("checkpoint.restored"), m.Counter("checkpoint.journaled"))
+	if err != nil {
+		return 0, err
+	}
 	r.Checkpoint = cp
 	return len(cp.restored), nil
+}
+
+// OpenJournal opens (or creates) a standalone checkpoint journal at path,
+// fingerprinted by an arbitrary caller-owned string instead of a Runner's
+// screen geometry. The serving layer's durable job store persists sweep
+// cells through this: same record format, same torn/corrupt-record
+// truncation, same byte-identical restore semantics. It returns the
+// checkpoint and the number of restorable cells. Restores and appends are
+// metered in reg as "checkpoint.restored" and "checkpoint.journaled"; a nil
+// reg meters into a private registry.
+func OpenJournal(path, fingerprint string, reg *stats.Registry) (*Checkpoint, int, error) {
+	hdrLine, err := json.Marshal(journalHeader{Format: checkpointFormat, Fingerprint: fingerprint})
+	if err != nil {
+		return nil, 0, err
+	}
+	check := func(line []byte) error {
+		var hdr journalHeader
+		if err := json.Unmarshal(line, &hdr); err != nil || hdr.Format != checkpointFormat {
+			return fmt.Errorf("experiments: %s is not a %s journal", path, checkpointFormat)
+		}
+		if hdr.Fingerprint != fingerprint {
+			return fmt.Errorf("experiments: journal %s was written for fingerprint %q, not %q", path, hdr.Fingerprint, fingerprint)
+		}
+		return nil
+	}
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	cp, err := openJournal(path, hdrLine, check, reg.Counter("checkpoint.restored"), reg.Counter("checkpoint.journaled"))
+	if err != nil {
+		return nil, 0, err
+	}
+	return cp, len(cp.restored), nil
 }
 
 // lookup returns the restored full-system result for a cell, if the journal
@@ -164,8 +242,9 @@ func (cp *Checkpoint) lookup(key, cfgSHA string) (*gpu.Result, bool) {
 }
 
 // Lookup returns the raw journaled payload for a cell, if present. Callers
-// owning other payload types (the arena's per-policy cells) decode it
-// themselves; a decode failure should be treated as a cache miss.
+// owning other payload types (the arena's per-policy cells, the serving
+// layer's job cells) decode it themselves; a decode failure should be
+// treated as a cache miss.
 func (cp *Checkpoint) Lookup(key, cfgSHA string) (json.RawMessage, bool) {
 	if cp == nil {
 		return nil, false
@@ -195,9 +274,8 @@ func (cp *Checkpoint) Journal(key, cfgSHA string, payload any) error {
 	if err != nil {
 		return err
 	}
-	sum := sha256.Sum256(body)
 	line, err := json.Marshal(checkpointRecord{
-		Key: key, CfgSHA: cfgSHA, SHA: hex.EncodeToString(sum[:]), Result: body,
+		Key: key, CfgSHA: cfgSHA, SHA: recordSHA(key, cfgSHA, body), Result: body,
 	})
 	if err != nil {
 		return err

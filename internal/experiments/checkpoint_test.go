@@ -160,8 +160,76 @@ func TestCheckpointFingerprintMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := checkpointRunner().OpenCheckpoint(path); err == nil ||
-		!strings.Contains(err.Error(), "not a tcor-checkpoint/1 journal") {
+		!strings.Contains(err.Error(), "not a "+checkpointFormat+" journal") {
 		t.Fatalf("opening a non-journal = %v, want a format error", err)
+	}
+}
+
+// TestCheckpointMidFileCorruption asserts the record hash covers the whole
+// triple, not just the payload: flipping a byte inside a mid-file record's
+// key — leaving the line valid JSON and its result bytes untouched — must
+// truncate the journal from that record onward, keeping only the records
+// before it.
+func TestCheckpointMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	r := checkpointRunner()
+	if _, err := r.OpenCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, kb := range []int{64, 128, 256} {
+		if _, err := r.Run("CCS", fmt.Sprintf("tcor%d", kb), gpu.TCOR(kb<<10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Checkpoint.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n")) // [header, rec1, rec2, rec3, ""]
+	if len(lines) < 4 {
+		t.Fatalf("journal has %d lines, want header + 3 records", len(lines)-1)
+	}
+	// Rewrite the middle record's key to a different but equally valid name.
+	// The line stays parseable JSON and the payload bytes are untouched, so
+	// only the full-triple hash can catch it.
+	var rec checkpointRecord
+	if err := json.Unmarshal(lines[2], &rec); err != nil {
+		t.Fatal(err)
+	}
+	tampered, err := json.Marshal(checkpointRecord{
+		Key: rec.Key + "X", CfgSHA: rec.CfgSHA, SHA: rec.SHA, Result: rec.Result,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	out = append(out, lines[0]...)
+	out = append(out, lines[1]...)
+	out = append(out, tampered...)
+	out = append(out, '\n')
+	out = append(out, lines[3]...)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := checkpointRunner()
+	n, err := r2.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("restored %d cells past a corrupt middle record, want only the 1 before it", n)
+	}
+	r2.Checkpoint.Close()
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(lines[0]) + len(lines[1])
+	if len(after) != want {
+		t.Fatalf("journal is %d bytes after reopen, want truncation to %d (header + first record)", len(after), want)
 	}
 }
 

@@ -170,6 +170,13 @@ var errQueueFull = &apiError{status: http.StatusTooManyRequests,
 var errDraining = &apiError{status: http.StatusServiceUnavailable,
 	code: "draining", msg: "server is draining; not accepting new simulations"}
 
+// errUnknownTenant is returned when a request presents a credential the
+// tenant roster does not know. Unknown keys never fall back to the
+// anonymous tenant: a typo'd key silently sharing the default quota is a
+// noisy-neighbor incident waiting to be misdiagnosed.
+var errUnknownTenant = &apiError{status: http.StatusUnauthorized,
+	code: "unknown_tenant", msg: "unknown tenant credential"}
+
 // job is a fully resolved, validated simulation: the canonical form every
 // API request reduces to before touching the cache or the worker pool.
 type job struct {

@@ -103,12 +103,17 @@ func (s *Server) arenaRunner() *experiments.Runner {
 // slot and concurrent identical races collapse into one.
 func (s *Server) handleArena(w http.ResponseWriter, r *http.Request) {
 	var req ArenaRequest
-	if !s.beginSim(w, r, &req) {
+	body, ok := s.beginSim(w, r, &req)
+	if !ok {
 		return
 	}
 	opts, key, err := ArenaKey(req)
 	if err != nil {
 		s.writeError(w, err)
+		return
+	}
+	if AsyncRequested(r) {
+		s.submitJob(w, r, JobKindArena, body)
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
@@ -132,14 +137,27 @@ func (s *Server) handleArena(w http.ResponseWriter, r *http.Request) {
 // canonical report encoding. Per-policy counters meter how many cells each
 // roster member raced.
 func (s *Server) computeArena(ctx context.Context, opts arena.Options) (cached, error) {
-	if err := s.gate.acquire(ctx); err != nil {
+	rel, err := s.gate.acquire(ctx)
+	if err != nil {
+		if err == errQueueFull {
+			qe := *errQueueFull
+			qe.retryAfter = s.tenantRetryAfter(s.tenantFrom(ctx))
+			return cached{}, &qe
+		}
 		return cached{}, err
 	}
-	defer s.gate.release()
+	defer rel()
 	if err := ctx.Err(); err != nil {
 		return cached{}, err
 	}
+	return s.raceArena(ctx, s.arenaRunner(), opts)
+}
 
+// raceArena runs one arena race on the given runner and encodes the
+// canonical report. Sync requests pass the shared memoized runner;
+// background arena jobs pass a private runner wired to the job's
+// checkpoint journal so the race resumes across restarts.
+func (s *Server) raceArena(ctx context.Context, runner *experiments.Runner, opts arena.Options) (cached, error) {
 	cells := int64(len(opts.Benchmarks) * (1 + len(opts.CurveSizesKB)))
 	for _, p := range opts.Policies {
 		s.reg.Counter("serve.arena.policy." + strings.ToLower(p) + ".races").Inc()
@@ -148,7 +166,7 @@ func (s *Server) computeArena(ctx context.Context, opts arena.Options) (cached, 
 
 	opts.Parallel = s.opts.Workers
 	t0 := time.Now()
-	rep, err := arena.Race(ctx, s.arenaRunner(), opts)
+	rep, err := arena.Race(ctx, runner, opts)
 	s.arenaDur.ObserveSince(t0)
 	if err != nil {
 		s.arenaFailed.Inc()

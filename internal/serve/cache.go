@@ -45,9 +45,27 @@ type resultCache struct {
 	ttl, maxStale time.Duration
 	clock         resilience.Clock
 
+	// byTenant charges every resident entry to the tenant whose miss
+	// computed it. Eviction prefers entries of tenants over their
+	// configured CacheShare, so one tenant's burst evicts its own tail
+	// before touching anyone else's entries.
+	byTenant map[string]*tenantCharge
+	defName  string // the anonymous tenant's name, the fallback charge
+
 	hits, misses, coalesced, evictions *stats.Counter
 	expired, staleServes, retained     *stats.Counter
 	size                               *stats.Gauge
+}
+
+// tenantCharge is one tenant's slice of a cache: its live entry count (the
+// gauge mirrors it for /metrics) and the share-derived limit beyond which
+// its entries become the preferred eviction victims (0 = cap unbounded, no
+// preference).
+type tenantCharge struct {
+	limit     int
+	count     int
+	size      *stats.Gauge
+	evictions *stats.Counter
 }
 
 // cacheEntry is one key's cell. done is closed exactly once, after which
@@ -61,6 +79,7 @@ type resultCache struct {
 // maxStale degraded serving exists to offer.
 type cacheEntry struct {
 	key         string
+	tenant      string // tenant name charged for the entry (the miss leader's)
 	elem        *list.Element
 	done        chan struct{}
 	val         cached
@@ -74,17 +93,22 @@ type cacheEntry struct {
 // served up to maxStale past that on request, metering into reg under the
 // given prefix ("serve.cache" for the simulate cache, "serve.arena.cache"
 // for the arena's — two instances on one registry must not alias counters).
-func newResultCache(capacity int, ttl, maxStale time.Duration, clock resilience.Clock, reg *stats.Registry, prefix string) *resultCache {
+func newResultCache(capacity int, ttl, maxStale time.Duration, clock resilience.Clock, ts *TenantSet, reg *stats.Registry, prefix string) *resultCache {
 	if clock == nil {
 		clock = resilience.Wall()
 	}
-	return &resultCache{
+	if ts == nil {
+		ts = DefaultTenants()
+	}
+	c := &resultCache{
 		cap:         capacity,
 		ttl:         ttl,
 		maxStale:    maxStale,
 		clock:       clock,
 		ll:          list.New(),
 		m:           make(map[string]*cacheEntry),
+		byTenant:    make(map[string]*tenantCharge),
+		defName:     ts.Default().Name,
 		hits:        reg.Counter(prefix + ".hits"),
 		misses:      reg.Counter(prefix + ".misses"),
 		coalesced:   reg.Counter(prefix + ".coalesced"),
@@ -94,6 +118,56 @@ func newResultCache(capacity int, ttl, maxStale time.Duration, clock resilience.
 		retained:    reg.Counter(prefix + ".retained"),
 		size:        reg.Gauge(prefix + ".size"),
 	}
+	for _, t := range ts.Tenants() {
+		tc := &tenantCharge{
+			size:      reg.Gauge(prefix + ".tenant." + t.Name + ".size"),
+			evictions: reg.Counter(prefix + ".tenant." + t.Name + ".evictions"),
+		}
+		if capacity > 0 {
+			// The share-derived limit, at least one entry: a tenant with a
+			// tiny share must still be able to keep its latest result warm.
+			tc.limit = int(t.CacheShare * float64(capacity))
+			if tc.limit < 1 {
+				tc.limit = 1
+			}
+		}
+		c.byTenant[t.Name] = tc
+	}
+	return c
+}
+
+// chargeFor resolves a tenant name to its charge account, falling back to
+// the anonymous tenant's for names outside the roster (a job resumed under
+// a changed config).
+func (c *resultCache) chargeFor(name string) *tenantCharge {
+	if tc, ok := c.byTenant[name]; ok {
+		return tc
+	}
+	return c.byTenant[c.defName]
+}
+
+// chargeLocked adds an LRU-resident entry to its tenant's account (c.mu held).
+func (c *resultCache) chargeLocked(e *cacheEntry) {
+	tc := c.chargeFor(e.tenant)
+	tc.count++
+	tc.size.Add(1)
+}
+
+// unchargeLocked removes a no-longer-resident entry from its tenant's
+// account (c.mu held).
+func (c *resultCache) unchargeLocked(e *cacheEntry) {
+	tc := c.chargeFor(e.tenant)
+	tc.count--
+	tc.size.Add(-1)
+}
+
+// tenantNameFrom names the tenant a computed entry is charged to: the
+// resolved tenant on the request context, else the anonymous tenant.
+func (c *resultCache) tenantNameFrom(ctx context.Context) string {
+	if t, ok := ctx.Value(tenantSpecKey{}).(*TenantSpec); ok {
+		return t.Name
+	}
+	return c.defName
 }
 
 // outcome classifies how a get was served, for the X-Tcord-Cache header.
@@ -146,6 +220,7 @@ func (c *resultCache) get(ctx context.Context, key string, allowStale func() boo
 				c.ll.Remove(e.elem)
 				e.elem = nil
 				delete(c.m, e.key)
+				c.unchargeLocked(e)
 				c.size.Set(int64(c.ll.Len()))
 				c.expired.Inc()
 				prev = e
@@ -171,7 +246,7 @@ func (c *resultCache) get(ctx context.Context, key string, allowStale func() boo
 			}
 		}
 	}
-	e := &cacheEntry{key: key, done: make(chan struct{}), prev: prev}
+	e := &cacheEntry{key: key, tenant: c.tenantNameFrom(ctx), done: make(chan struct{}), prev: prev}
 	c.m[key] = e
 	c.mu.Unlock()
 	c.misses.Inc()
@@ -217,6 +292,7 @@ func (c *resultCache) complete(e *cacheEntry) {
 		if p := e.prev; p != nil {
 			c.m[p.key] = p
 			p.elem = c.ll.PushBack(p)
+			c.chargeLocked(p)
 			c.retained.Inc()
 			c.evictLocked()
 		}
@@ -224,20 +300,39 @@ func (c *resultCache) complete(e *cacheEntry) {
 	}
 	e.prev = nil
 	e.elem = c.ll.PushFront(e)
+	c.chargeLocked(e)
 	c.evictLocked()
 }
 
 // evictLocked trims the LRU to capacity and republishes the size gauge
-// (c.mu held).
+// (c.mu held). Victim selection is proportional-share aware: the least
+// recently used entry of a tenant over its CacheShare limit goes first, so
+// a flooding tenant consumes its own tail; only when no tenant is over its
+// share does plain LRU apply.
 func (c *resultCache) evictLocked() {
 	for c.cap > 0 && c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
+		oldest := c.victimLocked()
 		victim := oldest.Value.(*cacheEntry)
 		c.ll.Remove(oldest)
 		delete(c.m, victim.key)
+		c.unchargeLocked(victim)
 		c.evictions.Inc()
+		c.chargeFor(victim.tenant).evictions.Inc()
 	}
 	c.size.Set(int64(c.ll.Len()))
+}
+
+// victimLocked picks the eviction victim: scanning from the cold end, the
+// first entry whose tenant is over its share limit; the coldest entry when
+// every tenant is within its share.
+func (c *resultCache) victimLocked() *list.Element {
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		if tc := c.chargeFor(e.tenant); tc.limit > 0 && tc.count > tc.limit {
+			return el
+		}
+	}
+	return c.ll.Back()
 }
 
 // peek reports whether key has a completed entry servable right now without

@@ -14,7 +14,7 @@ import (
 func cacheFixture(capacity int, ttl, maxStale time.Duration) (*resultCache, *resilience.FakeClock, *stats.Registry) {
 	clock := resilience.NewFakeClock(time.Unix(1000, 0))
 	reg := stats.NewRegistry()
-	return newResultCache(capacity, ttl, maxStale, clock, reg, "serve.cache"), clock, reg
+	return newResultCache(capacity, ttl, maxStale, clock, DefaultTenants(), reg, "serve.cache"), clock, reg
 }
 
 func mustGet(t *testing.T, c *resultCache, key string, allowStale func() bool, compute func() (cached, error)) (cached, outcome) {

@@ -25,8 +25,9 @@ import (
 
 // Client talks to one tcord server. The zero value is not usable; call New.
 type Client struct {
-	base string
-	http *http.Client
+	base   string
+	http   *http.Client
+	tenant string // credential sent as serve.TenantHeader ("" = anonymous)
 
 	retry   *resilience.RetryPolicy // nil = single attempt (the default)
 	breaker *resilience.Breaker     // nil = no client-side breaker
@@ -57,6 +58,16 @@ func WithRetry(p resilience.RetryPolicy) Option {
 // loop waits out the cooldown.
 func WithBreaker(cfg resilience.BreakerConfig) Option {
 	return func(c *Client) { c.breaker = resilience.NewBreaker(cfg) }
+}
+
+// WithTenant authenticates every call as the tenant owning key: the
+// credential rides serve.TenantHeader on each attempt — retries, hedges and
+// gateway failovers included — so quota, fair-share weight and cache
+// accounting follow the caller wherever the request lands. A per-call
+// credential placed on the context with serve.ContextWithTenantKey takes
+// precedence; the empty key leaves the client anonymous.
+func WithTenant(key string) Option {
+	return func(c *Client) { c.tenant = key }
 }
 
 // WithMetrics meters the client's retry behavior into reg:
@@ -192,6 +203,14 @@ func breakerOutcome(err error) error {
 // budgeted retry loop with it — through the client breaker when configured.
 // extra headers (nil for none) are set on every attempt.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, extra http.Header) ([]byte, http.Header, error) {
+	data, hdr, _, err := c.doFull(ctx, method, path, body, extra)
+	return data, hdr, err
+}
+
+// doFull is do also reporting the HTTP status of the final attempt — the
+// job-submission path distinguishes 202 (created) from 200 (idempotent
+// resubmission), both of which are successes.
+func (c *Client) doFull(ctx context.Context, method, path string, body []byte, extra http.Header) ([]byte, http.Header, int, error) {
 	if c.retry == nil {
 		return c.doOnce(ctx, method, path, body, extra)
 	}
@@ -207,24 +226,25 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, extra
 		}
 	}
 	type reply struct {
-		data []byte
-		hdr  http.Header
+		data   []byte
+		hdr    http.Header
+		status int
 	}
 	r, err := resilience.Do(ctx, p, func(ctx context.Context) (reply, error) {
-		data, hdr, err := c.doOnce(ctx, method, path, body, extra)
-		return reply{data, hdr}, err
+		data, hdr, status, err := c.doOnce(ctx, method, path, body, extra)
+		return reply{data, hdr, status}, err
 	})
 	if err != nil {
 		c.giveups.Inc()
 	}
-	return r.data, r.hdr, err
+	return r.data, r.hdr, r.status, err
 }
 
 // doOnce issues one HTTP request and decodes error envelopes.
-func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, extra http.Header) ([]byte, http.Header, error) {
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, extra http.Header) ([]byte, http.Header, int, error) {
 	done, allowErr := c.breaker.Allow()
 	if allowErr != nil {
-		return nil, nil, allowErr
+		return nil, nil, 0, allowErr
 	}
 	committed := false
 	defer func() {
@@ -232,14 +252,14 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, e
 			done(errors.New("client: attempt panicked"))
 		}
 	}()
-	data, hdr, err := c.attempt(ctx, method, path, body, extra)
+	data, hdr, status, err := c.attempt(ctx, method, path, body, extra)
 	committed = true
 	done(breakerOutcome(err))
-	return data, hdr, err
+	return data, hdr, status, err
 }
 
 // attempt is one wire round trip.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, extra http.Header) ([]byte, http.Header, error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, extra http.Header) ([]byte, http.Header, int, error) {
 	c.attempts.Inc()
 	var rd io.Reader
 	if body != nil {
@@ -247,7 +267,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -260,6 +280,14 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if id := serve.RequestIDFrom(ctx); id != "" {
 		req.Header.Set(serve.RequestIDHeader, id)
 	}
+	// The tenant credential is re-applied on every attempt, so it survives
+	// retries the same way the request ID does. A context-scoped credential
+	// (the gateway forwarding its caller's identity) outranks the client's.
+	if key := serve.TenantKeyFrom(ctx); key != "" {
+		req.Header.Set(serve.TenantHeader, key)
+	} else if c.tenant != "" {
+		req.Header.Set(serve.TenantHeader, c.tenant)
+	}
 	// Propagate the active span's trace identity: the receiving daemon's
 	// middleware joins this trace and links its root span back to the span
 	// that issued the call. With tracing off the context is invalid and
@@ -270,12 +298,12 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		// http.Client wraps the context error in a *url.Error; unwrap-aware
 		// callers (the retry loop) need errors.Is to see through it, which
 		// url.Error supports.
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, resp.Header, err
+		return nil, resp.Header, resp.StatusCode, err
 	}
 	if resp.StatusCode/100 != 2 {
 		ae := &APIError{Status: resp.StatusCode,
@@ -294,9 +322,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 				ae.HasRetryAfter = true
 			}
 		}
-		return nil, resp.Header, ae
+		return nil, resp.Header, resp.StatusCode, ae
 	}
-	return data, resp.Header, nil
+	return data, resp.Header, resp.StatusCode, nil
 }
 
 // Healthy reports whether the server process answers at all.
@@ -457,6 +485,120 @@ func (c *Client) ArenaRaw(ctx context.Context, req serve.ArenaRequest) ([]byte, 
 	}
 	data, hdr, err := c.do(ctx, http.MethodPost, "/v1/arena", body, nil)
 	return data, CacheOutcome(hdr.Get("X-Tcord-Cache")), err
+}
+
+// SweepAsync submits a sweep as a durable background job and returns its
+// record immediately. Poll Job (or call WaitJob) until State is terminal,
+// then fetch JobResult — the stored bytes are identical to what the
+// synchronous Sweep response would have been. Resubmitting the same body
+// under the same credential returns the same job.
+func (c *Client) SweepAsync(ctx context.Context, req serve.SweepRequest) (serve.JobRecord, error) {
+	return c.submitAsync(ctx, "/v1/sweep?async=1", req)
+}
+
+// ArenaAsync submits an arena race as a durable background job; see
+// SweepAsync for the lifecycle.
+func (c *Client) ArenaAsync(ctx context.Context, req serve.ArenaRequest) (serve.JobRecord, error) {
+	return c.submitAsync(ctx, "/v1/arena?async=1", req)
+}
+
+func (c *Client) submitAsync(ctx context.Context, path string, req any) (serve.JobRecord, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return serve.JobRecord{}, err
+	}
+	data, _, err := c.do(ctx, http.MethodPost, path, body, nil)
+	if err != nil {
+		return serve.JobRecord{}, err
+	}
+	var jr serve.JobResponse
+	return jr.Job, json.Unmarshal(data, &jr)
+}
+
+// Job fetches one job's current record.
+func (c *Client) Job(ctx context.Context, id string) (serve.JobRecord, error) {
+	data, _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, nil)
+	if err != nil {
+		return serve.JobRecord{}, err
+	}
+	var jr serve.JobResponse
+	return jr.Job, json.Unmarshal(data, &jr)
+}
+
+// Jobs lists the calling tenant's jobs, oldest first.
+func (c *Client) Jobs(ctx context.Context) ([]serve.JobRecord, error) {
+	data, _, err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var jr serve.JobsResponse
+	return jr.Jobs, json.Unmarshal(data, &jr)
+}
+
+// CancelJob cancels a queued or running job and returns its record. A job
+// already in a terminal state is a 409 APIError.
+func (c *Client) CancelJob(ctx context.Context, id string) (serve.JobRecord, error) {
+	data, _, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+	if err != nil {
+		return serve.JobRecord{}, err
+	}
+	var jr serve.JobResponse
+	return jr.Job, json.Unmarshal(data, &jr)
+}
+
+// JobResult fetches a done job's stored result bytes. A job that is not
+// done yet — or failed, or was cancelled — is a 409 APIError.
+func (c *Client) JobResult(ctx context.Context, id string) ([]byte, error) {
+	data, _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, nil)
+	return data, err
+}
+
+// SubmitJobRaw posts one ?async=1 submission body verbatim to path (e.g.
+// "/v1/sweep?async=1") and returns the server's exact response bytes plus
+// the HTTP status — 202 for a freshly created job, 200 for an idempotent
+// resubmission. The cluster gateway forwards raw bodies with it so the
+// shard's JobID, computed over the exact bytes it receives, matches the
+// content address the gateway routed by.
+func (c *Client) SubmitJobRaw(ctx context.Context, path string, body []byte) ([]byte, int, error) {
+	data, _, status, err := c.doFull(ctx, http.MethodPost, path, body, nil)
+	return data, status, err
+}
+
+// JobRaw fetches one job's record as the server's exact served bytes.
+func (c *Client) JobRaw(ctx context.Context, id string) ([]byte, error) {
+	data, _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, nil)
+	return data, err
+}
+
+// CancelJobRaw cancels a job and returns the server's exact response bytes.
+func (c *Client) CancelJobRaw(ctx context.Context, id string) ([]byte, error) {
+	data, _, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+	return data, err
+}
+
+// WaitJob polls a job until it reaches a terminal state (or ctx ends),
+// returning the final record. poll <= 0 defaults to 200ms.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (serve.JobRecord, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		rec, err := c.Job(ctx, id)
+		if err != nil {
+			return rec, err
+		}
+		switch rec.State {
+		case serve.JobDone, serve.JobFailed, serve.JobCancelled:
+			return rec, nil
+		}
+		select {
+		case <-ctx.Done():
+			return rec, ctx.Err()
+		case <-t.C:
+		}
+	}
 }
 
 // SweepRaw is Sweep returning each run's exact served bytes, undecoded,

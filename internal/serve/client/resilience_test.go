@@ -223,3 +223,45 @@ func TestRetryRidesOutChaos(t *testing.T) {
 		t.Fatalf("serving-layer invariants after the drill: %v", err)
 	}
 }
+
+// TestTenantSurvivesRetries pins WithTenant's delivery contract: the
+// credential is re-applied on every attempt of a retried call, and a
+// context-scoped credential outranks the client-wide one.
+func TestTenantSurvivesRetries(t *testing.T) {
+	var calls atomic.Int64
+	var keys []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		keys = append(keys, r.Header.Get(serve.TenantHeader))
+		if calls.Add(1) == 1 {
+			w.WriteHeader(500)
+			w.Write([]byte(`{"error":{"code":"scripted","message":"scripted failure"}}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"version":"test","goVersion":"test","revision":"","dirty":false}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, srv.Client(),
+		WithTenant("key-acme"),
+		WithRetry(resilience.RetryPolicy{
+			MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+		}))
+	if _, err := c.Version(context.Background()); err != nil {
+		t.Fatalf("Version = %v", err)
+	}
+	if len(keys) != 2 || keys[0] != "key-acme" || keys[1] != "key-acme" {
+		t.Fatalf("tenant header across attempts = %v, want key-acme on both", keys)
+	}
+
+	// A context credential (the gateway forwarding its caller) wins.
+	keys = nil
+	calls.Store(1) // no scripted failure this time
+	ctx := serve.ContextWithTenantKey(context.Background(), "key-edge")
+	if _, err := c.Version(ctx); err != nil {
+		t.Fatalf("Version with ctx tenant = %v", err)
+	}
+	if len(keys) != 1 || keys[0] != "key-edge" {
+		t.Fatalf("ctx tenant header = %v, want key-edge", keys)
+	}
+}

@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sort"
+	"sync"
+
+	"tcor/internal/resilience"
+	"tcor/internal/stats"
+)
+
+// strideScale is the stride scheduler's numerator: a tenant's stride is
+// strideScale/weight, so a weight-3 tenant's virtual pass advances a third
+// as fast as a weight-1 tenant's and it is picked three times as often.
+// 1<<20 keeps strides integral and distinct up to the maximum weight.
+const strideScale = 1 << 20
+
+// gate is the admission controller: a pool of worker slots fronted by
+// per-tenant bounded wait queues drained in weighted fair-share order.
+// Every simulation — whether it arrived through /v1/simulate or as one
+// item of a sweep — must hold a slot while it runs, so the server never
+// executes more than Workers simulations at once; each tenant's backlog is
+// bounded by its own MaxQueued, and the excess is rejected immediately with
+// errQueueFull (HTTP 429 + a Retry-After sized from that tenant's backlog)
+// instead of accumulating latency.
+//
+// Scheduling is stride-based WFQ: each tenant queue carries a virtual pass,
+// advanced by strideScale/weight per admission, and a released slot goes to
+// the eligible tenant with the smallest pass (FIFO within a tenant). A
+// tenant waking from idle rejoins at max(its pass, the global virtual
+// time), so sleeping never banks credit and a burst cannot monopolize the
+// pool — starvation-free by construction, and deterministic: admission
+// order depends only on weights and arrival order, never on the clock.
+//
+// Slot and gauge accounting share one mutex, and a released slot is handed
+// directly to the chosen waiter instead of being freed and re-claimed. The
+// handoff means serve.inflight never moves during a release-to-admit
+// transition: a metrics snapshot can never read the gauge below the number
+// of held slots nor above Workers.
+//
+// The serve.queue.wait histogram observes successful admissions only —
+// instant admissions observe 0 — so its count always matches serve.admitted
+// at quiescence and never exceeds it mid-flight. Waiters that give up
+// (context canceled or expired in the queue) meter their queue time into
+// serve.queue.canceledWait instead, keeping cancellations from inflating
+// the admission-wait quantiles.
+type gate struct {
+	workers int
+	depth   int // per-tenant backlog bound for tenants with MaxQueued == 0
+	clock   resilience.Clock
+	tenants *TenantSet
+
+	mu     sync.Mutex
+	free   int    // unheld worker slots
+	vtime  uint64 // global virtual time: the last scheduled pass
+	queues map[string]*tenantQueue
+	names  []string // queue names in deterministic scan order
+
+	queueGauge    *stats.Gauge
+	inflight      *stats.Gauge
+	admitted      *stats.Counter
+	rejectedFull  *stats.Counter
+	canceledWaits *stats.Counter
+	waitHist      *stats.Histogram // admission wait, successful admissions only
+	canceledHist  *stats.Histogram // time spent queued by canceled waiters
+}
+
+// tenantQueue is one tenant's slice of the gate: its FIFO of waiters, its
+// running count against MaxInflight, and its stride-scheduling state.
+type tenantQueue struct {
+	t       *TenantSpec
+	waiters *list.List // *waiter, FIFO within the tenant
+	running int        // slots this tenant currently holds
+	pass    uint64     // virtual pass: next admission's scheduling key
+	stride  uint64     // strideScale / weight
+
+	queuedG   *stats.Gauge
+	runningG  *stats.Gauge
+	admittedC *stats.Counter
+	rejectedC *stats.Counter
+	waitH     *stats.Histogram
+}
+
+// waiter is one queued acquire. ch is closed exactly once, by the releaser
+// that hands it a slot; admitted flips under gate.mu at that same moment so
+// a canceled waiter can tell whether it lost a race against a handoff.
+type waiter struct {
+	ch       chan struct{}
+	admitted bool
+	elem     *list.Element
+	q        *tenantQueue
+}
+
+// newGate builds a gate with workers slots, per-tenant wait queues
+// defaulting to depth, and one scheduling queue per tenant in ts, metering
+// into reg under "serve." and "serve.tenant.<name>.".
+func newGate(workers, depth int, ts *TenantSet, clock resilience.Clock, reg *stats.Registry) *gate {
+	g := &gate{
+		workers:       workers,
+		free:          workers,
+		depth:         depth,
+		clock:         clock,
+		tenants:       ts,
+		queues:        make(map[string]*tenantQueue),
+		queueGauge:    reg.Gauge("serve.queue.depth"),
+		inflight:      reg.Gauge("serve.inflight"),
+		admitted:      reg.Counter("serve.admitted"),
+		rejectedFull:  reg.Counter("serve.rejected.queueFull"),
+		canceledWaits: reg.Counter("serve.rejected.canceledInQueue"),
+		waitHist:      reg.Histogram("serve.queue.wait"),
+		canceledHist:  reg.Histogram("serve.queue.canceledWait"),
+	}
+	for _, t := range ts.Tenants() {
+		prefix := "serve.tenant." + t.Name + "."
+		g.queues[t.Name] = &tenantQueue{
+			t:         t,
+			waiters:   list.New(),
+			stride:    strideScale / uint64(t.Weight),
+			queuedG:   reg.Gauge(prefix + "queued"),
+			runningG:  reg.Gauge(prefix + "inflight"),
+			admittedC: reg.Counter(prefix + "admitted"),
+			rejectedC: reg.Counter(prefix + "rejected.queueFull"),
+			waitH:     reg.Histogram(prefix + "queue.wait"),
+		}
+		g.names = append(g.names, t.Name)
+	}
+	sort.Strings(g.names)
+	return g
+}
+
+// queueFor returns the scheduling queue for the request's tenant: the one
+// resolved by middleware into ctx, or the default tenant's.
+func (g *gate) queueFor(ctx context.Context) *tenantQueue {
+	name := g.tenants.Default().Name
+	if t, ok := ctx.Value(tenantSpecKey{}).(*TenantSpec); ok {
+		name = t.Name
+	}
+	return g.queues[name]
+}
+
+// maxQueued is the tenant's backlog bound.
+func (q *tenantQueue) maxQueued(gateDepth int) int {
+	if q.t.MaxQueued > 0 {
+		return q.t.MaxQueued
+	}
+	return gateDepth
+}
+
+// underCap reports whether the tenant may start one more simulation.
+func (q *tenantQueue) underCap() bool {
+	return q.t.MaxInflight == 0 || q.running < q.t.MaxInflight
+}
+
+// acquire claims a worker slot for the context's tenant, waiting in the
+// tenant's bounded queue if none is available. It returns errQueueFull
+// without waiting when that queue is already at its bound, and the context
+// error if the caller gives up while queued. On success the caller must
+// invoke the returned release function.
+//
+// Wait time is telemetered: the serve.queue.wait histogram (and the
+// tenant's), the request's meta (for the access-log queueWait field) and,
+// when the context carries a span, a child queue.wait span in the trace.
+func (g *gate) acquire(ctx context.Context) (func(), error) {
+	g.mu.Lock()
+	q := g.queueFor(ctx)
+	// Fast path: a slot is free, the tenant is under its concurrency cap,
+	// and it has no earlier waiter of its own to honor. A free slot with
+	// waiters elsewhere means those tenants are at their caps — taking the
+	// slot is not queue-jumping, because they could not use it.
+	if g.free > 0 && q.waiters.Len() == 0 && q.underCap() {
+		g.free--
+		g.admitLocked(q, false)
+		g.mu.Unlock()
+		g.waitHist.Observe(0)
+		q.waitH.Observe(0)
+		return g.releaser(q), nil
+	}
+	if q.waiters.Len() >= q.maxQueued(g.depth) {
+		g.mu.Unlock()
+		g.rejectedFull.Inc()
+		q.rejectedC.Inc()
+		return nil, errQueueFull
+	}
+	if q.waiters.Len() == 0 {
+		// Idle-to-active transition: rejoin the scheduler at the current
+		// virtual time. A tenant that slept does not accumulate credit it
+		// could later burn in a monopolizing burst.
+		if q.pass < g.vtime {
+			q.pass = g.vtime
+		}
+	}
+	w := &waiter{ch: make(chan struct{}), q: q}
+	w.elem = q.waiters.PushBack(w)
+	g.queueGauge.Add(1)
+	q.queuedG.Add(1)
+	g.mu.Unlock()
+
+	t0 := g.clock.Now()
+	sp, _ := stats.StartSpan(ctx, "queue.wait", "serve")
+	select {
+	case <-w.ch:
+		wait := g.clock.Now().Sub(t0)
+		g.waitHist.Observe(int64(wait))
+		q.waitH.Observe(int64(wait))
+		metaFrom(ctx).addQueueWait(wait)
+		sp.End()
+		return g.releaser(q), nil
+	case <-ctx.Done():
+		wait := g.clock.Now().Sub(t0)
+		g.mu.Lock()
+		if w.admitted {
+			// A handoff raced the cancellation: we own a slot we will not
+			// use. The grant was metered as an admission, so observe its
+			// wait (keeping wait-count == admissions exact), then pass the
+			// slot straight on before reporting the cancellation.
+			g.waitHist.Observe(int64(wait))
+			q.waitH.Observe(int64(wait))
+			g.releaseLocked(q)
+			g.mu.Unlock()
+		} else {
+			q.waiters.Remove(w.elem)
+			g.queueGauge.Add(-1)
+			q.queuedG.Add(-1)
+			g.mu.Unlock()
+			g.canceledWaits.Inc()
+			g.canceledHist.Observe(int64(wait))
+		}
+		metaFrom(ctx).addQueueWait(wait)
+		sp.End()
+		return nil, ctx.Err()
+	}
+}
+
+// admitLocked charges an admission to the tenant (g.mu held). handoff
+// admissions inherit a slot that never became free, so the global in-flight
+// gauge — already counting it — must not move; fast-path admissions claim a
+// free slot and increment it.
+func (g *gate) admitLocked(q *tenantQueue, handoff bool) {
+	q.running++
+	q.runningG.Add(1)
+	if !handoff {
+		g.inflight.Add(1)
+	}
+	g.admitted.Inc()
+	q.admittedC.Inc()
+}
+
+// releaser binds a release to the queue the slot was charged to, so a
+// request's slot is always returned to the right tenant's accounting no
+// matter where the release happens.
+func (g *gate) releaser(q *tenantQueue) func() {
+	return func() {
+		g.mu.Lock()
+		g.releaseLocked(q)
+		g.mu.Unlock()
+	}
+}
+
+// releaseLocked (g.mu held) returns q's slot: handed directly to the
+// fair-share scheduler's chosen waiter when one is eligible — the in-flight
+// gauge is net untouched because the slot never becomes free — or, with no
+// eligible waiter, freed (decrementing the gauge) in the same critical
+// section.
+func (g *gate) releaseLocked(q *tenantQueue) {
+	q.running--
+	q.runningG.Add(-1)
+	if next := g.pickLocked(); next != nil {
+		w := next.waiters.Remove(next.waiters.Front()).(*waiter)
+		g.queueGauge.Add(-1)
+		next.queuedG.Add(-1)
+		g.admitLocked(next, true)
+		w.admitted = true
+		close(w.ch)
+		return
+	}
+	g.free++
+	g.inflight.Add(-1)
+}
+
+// pickLocked returns the eligible tenant queue with the smallest virtual
+// pass (ties broken by name, which the deterministic scan order provides),
+// advancing the global virtual time and the winner's pass. Nil when no
+// tenant has an admittable waiter.
+func (g *gate) pickLocked() *tenantQueue {
+	var best *tenantQueue
+	for _, name := range g.names {
+		q := g.queues[name]
+		if q.waiters.Len() == 0 || !q.underCap() {
+			continue
+		}
+		if best == nil || q.pass < best.pass {
+			best = q
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	g.vtime = best.pass
+	best.pass += best.stride
+	return best
+}
+
+// backlog returns the live load the generic 429 Retry-After estimate is
+// sized from: running simulations plus queued waiters, all tenants.
+func (g *gate) backlog() int64 {
+	return g.inflight.Load() + g.queueGauge.Load()
+}
+
+// tenantBacklog returns one tenant's live load: its queued waiters plus its
+// running simulations.
+func (g *gate) tenantBacklog(t *TenantSpec) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	q := g.queues[t.Name]
+	if q == nil {
+		return g.inflight.Load() + g.queueGauge.Load()
+	}
+	return int64(q.waiters.Len() + q.running)
+}
+
+// tenantWorkers is the slice of the worker pool a tenant can count on under
+// full contention: its weight's share, at least one.
+func (g *gate) tenantWorkers(t *TenantSpec) int {
+	n := int(int64(g.workers) * int64(t.Weight) / g.tenants.TotalWeight())
+	if t.MaxInflight > 0 && n > t.MaxInflight {
+		n = t.MaxInflight
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,472 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tcor/internal/resilience"
+	"tcor/internal/stats"
+)
+
+// testGate builds a single-tenant gate with the legacy global semantics.
+func testGate(workers, depth int, reg *stats.Registry) *gate {
+	return newGate(workers, depth, DefaultTenants(), resilience.Wall(), reg)
+}
+
+// TestQueueWaitObservesAdmissionsOnly is the regression test for the
+// canceled-waiter accounting bug: gate.acquire used to observe every
+// waiter's queue time into serve.queue.wait through a deferred Observe,
+// cancellations included, breaking the documented count-matches-admissions
+// property and inflating the wait quantiles with give-up times. Canceled
+// waits must meter serve.queue.canceledWait instead.
+func TestQueueWaitObservesAdmissionsOnly(t *testing.T) {
+	reg := stats.NewRegistry()
+	g := testGate(1, 4, reg)
+
+	rel, err := g.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+
+	// Queue a waiter, then make it give up.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := g.acquire(ctx)
+		errc <- err
+	}()
+	waitFor(t, func() bool { return reg.Snapshot().Get("serve.queue.depth") == 1 })
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("canceled waiter returned %v, want context.Canceled", err)
+	}
+	rel()
+
+	snap := reg.Snapshot()
+	if adm, obs := snap.Get("serve.admitted"), snap.Get("serve.queue.wait.count"); adm != 1 || obs != adm {
+		t.Fatalf("admitted=%d queue.wait.count=%d, want both 1: a canceled waiter leaked into the admission-wait histogram", adm, obs)
+	}
+	if got := snap.Get("serve.rejected.canceledInQueue"); got != 1 {
+		t.Fatalf("serve.rejected.canceledInQueue = %d, want 1", got)
+	}
+	if got := snap.Get("serve.queue.canceledWait.count"); got != 1 {
+		t.Fatalf("serve.queue.canceledWait.count = %d, want 1: canceled waits must be metered separately", got)
+	}
+	if got := snap.Get("serve.queue.depth"); got != 0 {
+		t.Fatalf("serve.queue.depth = %d after cancellation, want 0", got)
+	}
+}
+
+// TestQueueWaitCountNeverExceedsAdmissions hammers the gate with a mix of
+// admitted and canceled waiters under -race and asserts the invariant at
+// every quiescent point and at the end.
+func TestQueueWaitCountNeverExceedsAdmissions(t *testing.T) {
+	reg := stats.NewRegistry()
+	g := testGate(2, 8, reg)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			if i%3 == 0 {
+				// A third of the callers give up almost immediately.
+				time.AfterFunc(time.Duration(i%5)*100*time.Microsecond, cancel)
+			}
+			defer cancel()
+			rel, err := g.acquire(ctx)
+			if err != nil {
+				return
+			}
+			time.Sleep(50 * time.Microsecond)
+			rel()
+		}(i)
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	adm, obs := snap.Get("serve.admitted"), snap.Get("serve.queue.wait.count")
+	if obs != adm {
+		t.Fatalf("queue.wait.count=%d admitted=%d, want equal at quiescence", obs, adm)
+	}
+	if got := snap.Get("serve.inflight"); got != 0 {
+		t.Fatalf("serve.inflight = %d at quiescence, want 0", got)
+	}
+	if got := snap.Get("serve.queue.depth"); got != 0 {
+		t.Fatalf("serve.queue.depth = %d at quiescence, want 0", got)
+	}
+}
+
+// TestInflightNeverDipsDuringHandoff is the regression test for the
+// release-ordering bug: release used to decrement serve.inflight before
+// freeing the slot, so while a queued waiter was being admitted a metrics
+// snapshot could read the gauge below the number of held slots (zero, with
+// one worker and a full pipeline). Slot handoff now leaves the gauge
+// untouched, so with a continuously busy single-worker gate a concurrent
+// sampler must never read inflight outside {1} mid-chain, and never outside
+// [0, workers] at all.
+func TestInflightNeverDipsDuringHandoff(t *testing.T) {
+	reg := stats.NewRegistry()
+	g := testGate(1, 8, reg)
+	inflight := reg.Snapshot // re-snapshot each probe
+
+	// Sampler: record the minimum gauge value observed while the chain runs.
+	stop := make(chan struct{})
+	var minSeen atomic.Int64
+	minSeen.Store(1 << 40)
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := inflight().Get("serve.inflight")
+			for {
+				cur := minSeen.Load()
+				if v >= cur || minSeen.CompareAndSwap(cur, v) {
+					break
+				}
+			}
+		}
+	}()
+
+	// Build an unbroken handoff chain: the next acquirer is always queued
+	// before the current holder releases, so a correctly-accounted gauge
+	// holds the value 1 for the chain's whole lifetime.
+	const handoffs = 60
+	cur, err := g.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("seed acquire: %v", err)
+	}
+	for i := 0; i < handoffs; i++ {
+		acquired := make(chan func(), 1)
+		errs := make(chan error, 1)
+		go func() {
+			rel, err := g.acquire(context.Background())
+			errs <- err
+			acquired <- rel
+		}()
+		waitFor(t, func() bool { return reg.Snapshot().Get("serve.queue.depth") == 1 })
+		cur() // handoff: the queued waiter now holds the slot
+		if err := <-errs; err != nil {
+			t.Fatalf("handoff %d: %v", i, err)
+		}
+		cur = <-acquired
+	}
+	close(stop)
+	sampler.Wait()
+	cur()
+
+	if got := minSeen.Load(); got < 1 {
+		t.Fatalf("serve.inflight read %d during an unbroken handoff chain; the gauge dipped below the held-slot count", got)
+	}
+	if got := reg.Snapshot().Get("serve.inflight"); got != 0 {
+		t.Fatalf("serve.inflight = %d after final release, want 0", got)
+	}
+	if err := reg.Check(); err != nil {
+		t.Fatalf("registry invariants: %v", err)
+	}
+}
+
+// TestGateHandoffIsFIFO pins the queue discipline within one tenant:
+// released slots go to the tenant's longest-waiting request, and a
+// late-arriving caller cannot jump the queue through the fast path while
+// waiters exist.
+func TestGateHandoffIsFIFO(t *testing.T) {
+	reg := stats.NewRegistry()
+	g := testGate(1, 8, reg)
+	seedRel, err := g.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("seed acquire: %v", err)
+	}
+	const n = 4
+	order := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		ready := make(chan struct{})
+		go func() {
+			close(ready)
+			if rel, err := g.acquire(context.Background()); err == nil {
+				order <- i
+				rel()
+			}
+		}()
+		<-ready
+		waitFor(t, func() bool {
+			return reg.Snapshot().Get("serve.queue.depth") == int64(i+1)
+		})
+	}
+	seedRel()
+	for want := 0; want < n; want++ {
+		if got := <-order; got != want {
+			t.Fatalf("admission order: got waiter %d in position %d, want FIFO", got, want)
+		}
+	}
+}
+
+// twoTenantGate builds a gate over tenants alpha (weight wa) and beta
+// (weight wb) plus the implicit default.
+func twoTenantGate(t *testing.T, workers, depth, wa, wb int, reg *stats.Registry) (*gate, context.Context, context.Context) {
+	t.Helper()
+	ts, err := ParseTenants([]byte(`{
+		"key-alpha": {"name":"alpha","weight":` + itoa(wa) + `},
+		"key-beta":  {"name":"beta","weight":` + itoa(wb) + `}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGate(workers, depth, ts, resilience.Wall(), reg)
+	alpha, err := ts.Resolve("key-alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := ts.Resolve("key-beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g,
+		contextWithTenant(context.Background(), alpha),
+		contextWithTenant(context.Background(), beta)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n = n / 10
+	}
+	return string(b[i:])
+}
+
+// saturateAndDrain seeds the single worker slot, parks per-tenant waiters
+// behind it, then releases the seed and records the tenant name of each
+// admission in order. Admissions serialize through the one slot, so the
+// recorded order is exactly the scheduler's.
+func saturateAndDrain(t *testing.T, g *gate, reg *stats.Registry, perTenant int, ctxs map[string]context.Context) []string {
+	t.Helper()
+	seedRel, err := g.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("seed acquire: %v", err)
+	}
+	names := make([]string, 0, len(ctxs))
+	for name := range ctxs {
+		names = append(names, name)
+	}
+	total := perTenant * len(names)
+	order := make(chan string, total)
+	var wg sync.WaitGroup
+	queued := 0
+	for _, name := range names {
+		name, ctx := name, ctxs[name]
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rel, err := g.acquire(ctx)
+				if err != nil {
+					t.Errorf("tenant %s acquire: %v", name, err)
+					return
+				}
+				order <- name
+				rel()
+			}()
+			queued++
+			waitFor(t, func() bool {
+				return reg.Snapshot().Get("serve.queue.depth") == int64(queued)
+			})
+		}
+	}
+	seedRel()
+	wg.Wait()
+	close(order)
+	got := make([]string, 0, total)
+	for name := range order {
+		got = append(got, name)
+	}
+	return got
+}
+
+// TestFairShareEqualWeights is the admission-fairness regression test: two
+// tenants with equal weight saturating a single worker must each receive at
+// least 40% of the admissions over the contended window — the old global
+// FIFO's convoy behavior (whoever enqueued their burst first drains it
+// entirely) would give one tenant 100% of the head of the window.
+func TestFairShareEqualWeights(t *testing.T) {
+	reg := stats.NewRegistry()
+	g, alphaCtx, betaCtx := twoTenantGate(t, 1, 64, 1, 1, reg)
+	const per = 20
+	order := saturateAndDrain(t, g, reg, per, map[string]context.Context{
+		"alpha": alphaCtx, "beta": betaCtx,
+	})
+
+	// The contended window is the head of the drain, while both tenants
+	// still have queued work. Count shares over the first 2*min(...) = all
+	// admissions before either queue empties; with equal backlogs that is
+	// everything, but judge the first half to be strict about interleaving.
+	window := order[:per]
+	counts := map[string]int{}
+	for _, name := range window {
+		counts[name]++
+	}
+	for _, name := range []string{"alpha", "beta"} {
+		if min := (len(window) * 40) / 100; counts[name] < min {
+			t.Fatalf("tenant %s got %d of the first %d admissions, want >= %d (40%%); full order: %v",
+				name, counts[name], len(window), min, order)
+		}
+	}
+}
+
+// TestFairShareWeighted pins the stride math: weights 3:1 must yield
+// completion shares within 10 percentage points of 75%/25% over the
+// contended window.
+func TestFairShareWeighted(t *testing.T) {
+	reg := stats.NewRegistry()
+	g, alphaCtx, betaCtx := twoTenantGate(t, 1, 64, 3, 1, reg)
+	const per = 24
+	order := saturateAndDrain(t, g, reg, per, map[string]context.Context{
+		"alpha": alphaCtx, "beta": betaCtx,
+	})
+
+	// Alpha drains three cells per beta cell, so the window where both
+	// compete ends when alpha's 24 are done: after 24 + 24/3 = 32 slots.
+	window := order[:32]
+	alpha := 0
+	for _, name := range window {
+		if name == "alpha" {
+			alpha++
+		}
+	}
+	share := float64(alpha) / float64(len(window))
+	if share < 0.65 || share > 0.85 {
+		t.Fatalf("alpha (weight 3) got %.0f%% of the contended window, want 75%% +/- 10; full order: %v",
+			share*100, order)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Get("serve.tenant.alpha.admitted"); got != per {
+		t.Fatalf("serve.tenant.alpha.admitted = %d, want %d", got, per)
+	}
+	if got := snap.Get("serve.tenant.beta.admitted"); got != per {
+		t.Fatalf("serve.tenant.beta.admitted = %d, want %d", got, per)
+	}
+}
+
+// TestTenantMaxInflightCap pins the per-tenant concurrency cap: a tenant
+// capped at one in-flight request queues its second even while worker slots
+// sit free, and an uncapped tenant can still claim those slots.
+func TestTenantMaxInflightCap(t *testing.T) {
+	reg := stats.NewRegistry()
+	ts, err := ParseTenants([]byte(`{
+		"key-capped": {"name":"capped","weight":1,"maxInflight":1},
+		"key-open":   {"name":"open","weight":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGate(2, 8, ts, resilience.Wall(), reg)
+	capped, _ := ts.Resolve("key-capped")
+	open, _ := ts.Resolve("key-open")
+	cappedCtx := contextWithTenant(context.Background(), capped)
+	openCtx := contextWithTenant(context.Background(), open)
+
+	rel1, err := g.acquire(cappedCtx)
+	if err != nil {
+		t.Fatalf("capped first acquire: %v", err)
+	}
+	// Second capped acquire must queue despite a free slot.
+	done := make(chan func(), 1)
+	go func() {
+		rel, err := g.acquire(cappedCtx)
+		if err != nil {
+			t.Errorf("capped second acquire: %v", err)
+		}
+		done <- rel
+	}()
+	waitFor(t, func() bool {
+		return reg.Snapshot().Get("serve.tenant.capped.queued") == 1
+	})
+	// The open tenant takes the free slot the capped tenant cannot use.
+	rel2, err := g.acquire(openCtx)
+	if err != nil {
+		t.Fatalf("open acquire should bypass the capped tenant's blocked waiter: %v", err)
+	}
+	if got := reg.Snapshot().Get("serve.inflight"); got != 2 {
+		t.Fatalf("serve.inflight = %d, want 2", got)
+	}
+	rel1() // frees the capped tenant's cap; its waiter is admitted
+	rel3 := <-done
+	rel3()
+	rel2()
+	if got := reg.Snapshot().Get("serve.inflight"); got != 0 {
+		t.Fatalf("serve.inflight = %d at quiescence, want 0", got)
+	}
+}
+
+// TestTenantQueueBoundIsPerTenant pins backlog isolation: one tenant
+// filling its own queue bound gets 429s while the other tenant still
+// queues freely.
+func TestTenantQueueBoundIsPerTenant(t *testing.T) {
+	reg := stats.NewRegistry()
+	ts, err := ParseTenants([]byte(`{
+		"key-heavy": {"name":"heavy","weight":1,"maxQueued":1},
+		"key-light": {"name":"light","weight":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGate(1, 8, ts, resilience.Wall(), reg)
+	heavy, _ := ts.Resolve("key-heavy")
+	light, _ := ts.Resolve("key-light")
+	heavyCtx := contextWithTenant(context.Background(), heavy)
+	lightCtx := contextWithTenant(context.Background(), light)
+
+	seedRel, err := g.acquire(heavyCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if rel, err := g.acquire(heavyCtx); err == nil {
+			rel()
+		}
+	}()
+	waitFor(t, func() bool {
+		return reg.Snapshot().Get("serve.tenant.heavy.queued") == 1
+	})
+	// Heavy's queue (bound 1) is full: the next heavy caller bounces...
+	if _, err := g.acquire(heavyCtx); err != errQueueFull {
+		t.Fatalf("heavy over-bound acquire = %v, want errQueueFull", err)
+	}
+	// ...while light still queues.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if rel, err := g.acquire(lightCtx); err != nil {
+			t.Errorf("light acquire: %v", err)
+		} else {
+			rel()
+		}
+	}()
+	waitFor(t, func() bool {
+		return reg.Snapshot().Get("serve.tenant.light.queued") == 1
+	})
+	seedRel()
+	wg.Wait()
+	snap := reg.Snapshot()
+	if got := snap.Get("serve.tenant.heavy.rejected.queueFull"); got != 1 {
+		t.Fatalf("serve.tenant.heavy.rejected.queueFull = %d, want 1", got)
+	}
+	if got := snap.Get("serve.rejected.queueFull"); got != 1 {
+		t.Fatalf("serve.rejected.queueFull = %d, want 1", got)
+	}
+}

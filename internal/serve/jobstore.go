@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// JobState is a durable job's position in its state machine:
+//
+//	queued -> running -> done | failed | cancelled
+//
+// queued and running survive a crash as "resume me"; the three terminal
+// states are immutable. A daemon killed mid-run restarts the job from its
+// checkpoint journal, re-executing only un-journaled cells.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// terminal reports whether the state is final.
+func (st JobState) terminal() bool {
+	return st == JobDone || st == JobFailed || st == JobCancelled
+}
+
+// Job kinds: which endpoint's work a durable job carries.
+const (
+	JobKindSweep = "sweep"
+	JobKindArena = "arena"
+)
+
+// JobRecord is the public face of one durable job: what GET /v1/jobs/{id}
+// serves and what the submission response carries. Tenant is the owning
+// tenant's public name (never the credential).
+type JobRecord struct {
+	ID     string   `json:"id"`
+	Kind   string   `json:"kind"`
+	Tenant string   `json:"tenant"`
+	State  JobState `json:"state"`
+	// TotalCells is the job's cell count (sweep items; arena
+	// policy x benchmark x size cells). DoneCells counts completed ones,
+	// RestoredCells the subset served from the checkpoint journal after a
+	// restart instead of being re-executed.
+	TotalCells    int    `json:"totalCells"`
+	DoneCells     int    `json:"doneCells"`
+	RestoredCells int    `json:"restoredCells,omitempty"`
+	Error         string `json:"error,omitempty"`
+	CreatedAtMs   int64  `json:"createdAtMs"`
+	UpdatedAtMs   int64  `json:"updatedAtMs"`
+}
+
+// JobResponse wraps a single job record (submission and status responses).
+type JobResponse struct {
+	Job JobRecord `json:"job"`
+}
+
+// JobsResponse is the GET /v1/jobs listing.
+type JobsResponse struct {
+	Jobs []JobRecord `json:"jobs"`
+}
+
+// JobID content-addresses a job: a hash over the kind, the submitting
+// tenant's credential and the compacted request body. The gateway computes
+// the same address from the same inputs, so job routing (ring owner by ID)
+// and idempotent resubmission need no coordination. Byte-different bodies
+// meaning the same request get different IDs — the same trade CanonicalKey
+// avoids is accepted here because a job resubmission is normally a retry of
+// the identical client call.
+func JobID(kind, tenantKey string, body []byte) string {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, body); err != nil {
+		buf.Reset()
+		buf.Write(body)
+	}
+	h := sha256.New()
+	io.WriteString(h, "tcor-job\x00"+kind+"\x00"+tenantKey+"\x00")
+	h.Write(buf.Bytes())
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// jobFile is the on-disk shape of <jobsDir>/<id>/job.json: the public
+// record plus the original request body, which a restarted daemon re-runs.
+type jobFile struct {
+	Record  JobRecord       `json:"record"`
+	Request json.RawMessage `json:"request"`
+}
+
+// jobEntry is one job's live state. rec and userCancel are guarded by the
+// manager's mutex; body and paths are immutable after creation.
+type jobEntry struct {
+	rec        JobRecord
+	body       []byte
+	dir        string
+	cancel     func() // non-nil while running
+	userCancel bool   // DELETE requested the cancellation (vs a shutdown)
+	done       chan struct{}
+}
+
+func (e *jobEntry) journalPath() string { return filepath.Join(e.dir, "cells.journal") }
+func (e *jobEntry) resultPath() string  { return filepath.Join(e.dir, "result.json") }
+
+// persistJob atomically rewrites the job's job.json (write-temp + rename,
+// so a crash mid-update leaves the previous intact version).
+func persistJob(e *jobEntry) error {
+	blob, err := json.Marshal(jobFile{Record: e.rec, Request: e.body})
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(e.dir, "job.json"), append(blob, '\n'))
+}
+
+// atomicWrite writes data to path via a temp file and rename.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadJobs scans a jobs directory and rebuilds the entries from their
+// job.json files. Unreadable or torn job files are skipped with a warning
+// through report — one corrupt job must not take the store (or the daemon)
+// down. Jobs found queued or running on disk are returned in state queued:
+// the manager re-enqueues them and their checkpoint journals make the
+// re-run cheap.
+func loadJobs(dir string, report func(id string, err error)) (map[string]*jobEntry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make(map[string]*jobEntry)
+	for _, d := range names {
+		if !d.IsDir() {
+			continue
+		}
+		id := d.Name()
+		jdir := filepath.Join(dir, id)
+		blob, err := os.ReadFile(filepath.Join(jdir, "job.json"))
+		if err != nil {
+			report(id, err)
+			continue
+		}
+		var jf jobFile
+		if err := json.Unmarshal(blob, &jf); err != nil {
+			report(id, fmt.Errorf("corrupt job.json: %w", err))
+			continue
+		}
+		if jf.Record.ID != id {
+			report(id, fmt.Errorf("job.json claims id %q", jf.Record.ID))
+			continue
+		}
+		e := &jobEntry{rec: jf.Record, body: jf.Request, dir: jdir, done: make(chan struct{})}
+		if !e.rec.State.terminal() {
+			e.rec.State = JobQueued
+		} else {
+			close(e.done)
+		}
+		jobs[id] = e
+	}
+	return jobs, nil
+}

@@ -92,6 +92,22 @@ type Options struct {
 	// JSON, so cache keys are unaffected: a daemon restarted with a
 	// different value keeps hitting the same entries.
 	TileParallel int
+	// Tenants is the multi-tenant roster (see ParseTenants). Nil means a
+	// single anonymous tenant owning the whole machine — the untenanted
+	// server's exact behavior.
+	Tenants *TenantSet
+	// JobsDir, when non-empty, enables the durable async job API
+	// (POST /v1/sweep?async=1, /v1/arena?async=1, GET/DELETE /v1/jobs/...):
+	// each job persists its progress under JobsDir/<id>/ through the
+	// experiments checkpoint journal, and a restarted daemon rescans the
+	// directory and resumes incomplete jobs. Empty disables async requests
+	// (they answer 400).
+	JobsDir string
+	// JobWorkers bounds concurrently executing background jobs
+	// (0 = max(1, Workers/2), negative = 1). Jobs run off the sync
+	// admission path, so a saturated job pool never starves interactive
+	// requests of worker slots.
+	JobWorkers int
 }
 
 // withDefaults resolves the zero values.
@@ -145,6 +161,15 @@ func (o Options) withDefaults() Options {
 	if o.Clock == nil {
 		o.Clock = resilience.Wall()
 	}
+	if o.Tenants == nil {
+		o.Tenants = DefaultTenants()
+	}
+	switch {
+	case o.JobWorkers == 0:
+		o.JobWorkers = max(1, o.Workers/2)
+	case o.JobWorkers < 0:
+		o.JobWorkers = 1
+	}
 	return o
 }
 
@@ -175,16 +200,19 @@ func (h logfHandler) WithGroup(string) slog.Handler      { return h }
 // gate, result cache and lifecycle state behind it. Create with NewServer;
 // either mount Handler on an existing server or call Start/Shutdown.
 type Server struct {
-	opts   Options
-	reg    *stats.Registry
-	gate   *gate
-	cache  *resultCache
-	mux    *http.ServeMux
-	logger *slog.Logger
-	tracer *stats.Tracer // nil when TraceCapacity < 0
-	chaos  *resilience.Injector
-	brk    *resilience.Breaker // nil when Options.Breaker is nil
-	clock  resilience.Clock
+	opts    Options
+	reg     *stats.Registry
+	gate    *gate
+	cache   *resultCache
+	mux     *http.ServeMux
+	logger  *slog.Logger
+	tracer  *stats.Tracer // nil when TraceCapacity < 0
+	chaos   *resilience.Injector
+	brk     *resilience.Breaker // nil when Options.Breaker is nil
+	clock   resilience.Clock
+	tenants *TenantSet
+	jobs    *jobManager // nil when JobsDir is empty
+	jobsErr error       // a failed job-store init; async requests answer it
 
 	draining atomic.Bool
 	httpSrv  *http.Server
@@ -227,15 +255,16 @@ func NewServer(opts Options) *Server {
 	s := &Server{
 		opts:  opts,
 		reg:   reg,
-		gate:  newGate(opts.Workers, opts.QueueDepth, reg),
-		cache: newResultCache(opts.CacheEntries, opts.CacheTTL, opts.MaxStale, opts.Clock, reg, "serve.cache"),
+		gate:  newGate(opts.Workers, opts.QueueDepth, opts.Tenants, opts.Clock, reg),
+		cache: newResultCache(opts.CacheEntries, opts.CacheTTL, opts.MaxStale, opts.Clock, opts.Tenants, reg, "serve.cache"),
 		// Arena reports are a few KiB each and deterministic, so entries
 		// stay fresh forever under the same LRU bound as the simulate cache.
-		arenaCache: newResultCache(opts.CacheEntries, 0, 0, opts.Clock, reg, "serve.arena.cache"),
+		arenaCache: newResultCache(opts.CacheEntries, 0, 0, opts.Clock, opts.Tenants, reg, "serve.arena.cache"),
 		logger:     opts.Logger,
 		tracer:     stats.NewTracer(opts.TraceCapacity),
 		chaos:      opts.Chaos,
 		clock:      opts.Clock,
+		tenants:    opts.Tenants,
 
 		requests: reg.Counter("serve.http.requests"),
 		responses: map[int]*stats.Counter{
@@ -283,6 +312,18 @@ func NewServer(opts Options) *Server {
 	// Buffer overflow in the bounded tracer is silent at the Tracer level;
 	// publish it so a fleet scrape can see span loss per process.
 	s.tracer.MeterDropped(reg.Counter("trace.dropped"))
+	if opts.JobsDir != "" {
+		jm, err := newJobManager(s, opts.JobsDir, opts.JobWorkers)
+		if err != nil {
+			// The daemon stays up (the sync API is unaffected); async
+			// submissions answer the stored error. cmd/tcord checks
+			// JobsInitError at startup and refuses to run this degraded.
+			s.jobsErr = err
+			s.logger.Error("job store init failed", "dir", opts.JobsDir, "err", err)
+		} else {
+			s.jobs = jm
+		}
+	}
 	s.registerInvariants()
 
 	mux := http.NewServeMux()
@@ -294,11 +335,24 @@ func NewServer(opts Options) *Server {
 	mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
 	mux.HandleFunc("/v1/arena", s.handleArena)
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.Handle("/metrics", stats.MetricsHandler("tcord", reg))
 	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
 	s.mux = mux
+	if s.jobs != nil {
+		// Resume incomplete jobs only after the mux is live: a resumed job
+		// runs through the same compute path a fresh one does.
+		s.jobs.resumeLoaded()
+	}
 	return s
 }
+
+// JobsInitError reports a failed durable-job-store initialization (an
+// unreadable JobsDir, a torn job file that could not be quarantined). The
+// server still serves the sync API; callers that require durable jobs
+// should treat this as fatal.
+func (s *Server) JobsInitError() error { return s.jobsErr }
 
 // registerInvariants wires the serving-layer accounting identities into the
 // registry. They are all inequalities over single atomic words, so a
@@ -311,12 +365,71 @@ func (s *Server) registerInvariants() {
 		}
 		return nil
 	})
+	// The global queue bound is the sum of the per-tenant bounds: each
+	// tenant queues at most its own MaxQueued (QueueDepth when unset).
+	var queueTotal int64
+	for _, t := range s.tenants.Tenants() {
+		if t.MaxQueued > 0 {
+			queueTotal += int64(t.MaxQueued)
+		} else {
+			queueTotal += queue
+		}
+	}
 	s.reg.RegisterInvariant("serve.queueBounded", func(snap stats.Snapshot) error {
-		if got := snap.Get("serve.queue.depth"); got < 0 || got > queue {
-			return fmt.Errorf("queue depth %d outside [0,%d]", got, queue)
+		if got := snap.Get("serve.queue.depth"); got < 0 || got > queueTotal {
+			return fmt.Errorf("queue depth %d outside [0,%d]", got, queueTotal)
 		}
 		return nil
 	})
+	for _, t := range s.tenants.Tenants() {
+		t := t
+		prefix := "serve.tenant." + t.Name + "."
+		s.reg.RegisterInvariant(prefix+"admissionsBounded", func(snap stats.Snapshot) error {
+			// A tenant's admissions are a subset of the gate's.
+			if ten, all := snap.Get(prefix+"admitted"), snap.Get("serve.admitted"); ten > all {
+				return fmt.Errorf("tenant admissions %d exceed total %d", ten, all)
+			}
+			return nil
+		})
+		if t.MaxInflight > 0 {
+			capT := int64(t.MaxInflight)
+			s.reg.RegisterInvariant(prefix+"inflightCapped", func(snap stats.Snapshot) error {
+				if got := snap.Get(prefix + "inflight"); got < 0 || got > capT {
+					return fmt.Errorf("tenant in-flight %d outside [0,%d]", got, capT)
+				}
+				return nil
+			})
+		}
+	}
+	// Per-tenant cache charges partition the cache: their sum is the total
+	// size. Both sides mutate under the cache mutex and Check runs at
+	// quiescent points (shutdown post-drain, test ends), so equality holds.
+	for _, prefix := range []string{"serve.cache", "serve.arena.cache"} {
+		prefix := prefix
+		s.reg.RegisterInvariant(prefix+".tenantChargesSum", func(snap stats.Snapshot) error {
+			var sum int64
+			for _, t := range s.tenants.Tenants() {
+				sum += snap.Get(prefix + ".tenant." + t.Name + ".size")
+			}
+			if total := snap.Get(prefix + ".size"); sum != total {
+				return fmt.Errorf("per-tenant cache charges sum to %d, total size is %d", sum, total)
+			}
+			return nil
+		})
+	}
+	if s.jobs != nil {
+		s.reg.RegisterInvariant("serve.jobs.conservation", func(snap stats.Snapshot) error {
+			// Every created job is in exactly one state; Check runs at
+			// quiescent points, so the partition is exact.
+			sum := snap.Get("serve.jobs.queued") + snap.Get("serve.jobs.running") +
+				snap.Get("serve.jobs.done") + snap.Get("serve.jobs.failed") +
+				snap.Get("serve.jobs.cancelled")
+			if created := snap.Get("serve.jobs.created"); sum != created {
+				return fmt.Errorf("job states sum to %d, created is %d", sum, created)
+			}
+			return nil
+		})
+	}
 	s.reg.RegisterInvariant("serve.cacheBounded", func(snap stats.Snapshot) error {
 		if got := snap.Get("serve.cache.size"); got < 0 || (cacheCap > 0 && got > cacheCap) {
 			return fmt.Errorf("cache size %d outside [0,%d]", got, cacheCap)
@@ -346,11 +459,13 @@ func (s *Server) registerInvariants() {
 		return nil
 	})
 	s.reg.RegisterInvariant("serve.simulationsBounded", func(snap stats.Snapshot) error {
-		// Completions and failures are subsets of admissions (admitted is
-		// incremented before either outcome).
+		// Completions and failures are subsets of simulation starts: gate
+		// admissions for sync requests, cell-simulation starts for
+		// background jobs (both increment before either outcome).
 		done := snap.Get("serve.simulations.completed") + snap.Get("serve.simulations.failed")
-		if adm := snap.Get("serve.admitted"); done > adm {
-			return fmt.Errorf("simulation outcomes %d exceed admissions %d", done, adm)
+		started := snap.Get("serve.admitted") + snap.Get("serve.jobs.cells.simulations")
+		if done > started {
+			return fmt.Errorf("simulation outcomes %d exceed starts %d", done, started)
 		}
 		return nil
 	})
@@ -428,10 +543,15 @@ func (s *Server) Start(addr string) (string, error) {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.logger.Info("draining")
-	if s.httpSrv == nil {
-		return nil
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
 	}
-	err := s.httpSrv.Shutdown(ctx)
+	if s.jobs != nil {
+		// Interrupted jobs stay "running" on disk; the next start resumes
+		// them from their checkpoint journals.
+		s.jobs.stop()
+	}
 	s.logger.Info("drained")
 	return err
 }
@@ -492,10 +612,21 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		sp.SetAttr("path", r.URL.Path)
 		sp.SetAttr("requestId", id)
 
+		// Resolve the caller's tenant before anything can queue or cache:
+		// an unknown credential is a hard 401 (never a silent fallback to
+		// the default tenant's quota), and the resolved tenant rides the
+		// context into the admission gate, the result cache and the span.
+		tenant, tenantErr := s.tenants.Resolve(TenantKeyFromRequest(r))
+		if tenant == nil {
+			tenant = s.tenants.Default() // for the log line only
+		}
+		sp.SetAttr("tenant", tenant.Name)
+
 		ctx := ContextWithRequestID(r.Context(), id)
 		ctx = contextWithMeta(ctx, meta)
 		ctx = stats.ContextWithTracer(ctx, s.tracer)
 		ctx = stats.ContextWithSpan(ctx, sp)
+		ctx = contextWithTenant(ctx, tenant)
 		r = r.WithContext(ctx)
 
 		rec := &statusRecorder{ResponseWriter: w}
@@ -524,6 +655,7 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 			sp.End()
 			s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
 				slog.String("id", id),
+				slog.String("tenant", tenant.Name),
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.Path),
 				slog.Int("status", rec.status),
@@ -531,6 +663,13 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 				slog.Duration("queueWait", wait),
 				slog.String("cache", disposition))
 		}()
+
+		if tenantErr != nil {
+			s.reg.Counter("serve.rejected.unknownTenant").Inc()
+			s.writeError(rec, tenantErr)
+			return
+		}
+		s.reg.Counter("serve.tenant." + tenant.Name + ".requests").Inc()
 
 		// Chaos hook: with SiteHTTP armed, a request may absorb injected
 		// latency, answer an injected status, or panic into the recovery
@@ -663,7 +802,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
-	if !s.beginSim(w, r, &req) {
+	if _, ok := s.beginSim(w, r, &req); !ok {
 		return
 	}
 
@@ -716,7 +855,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
-	if !s.beginSim(w, r, &req) {
+	body, ok := s.beginSim(w, r, &req)
+	if !ok {
 		return
 	}
 
@@ -741,6 +881,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if item.TimeoutMs > timeoutMs {
 			timeoutMs = item.TimeoutMs
 		}
+	}
+	if AsyncRequested(r) {
+		// The request is fully validated; hand it to the durable job
+		// subsystem and answer with the job record immediately.
+		s.submitJob(w, r, JobKindSweep, body)
+		return
 	}
 	ctx, cancel := s.requestContext(r, timeoutMs)
 	defer cancel()
@@ -780,16 +926,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // beginSim is the shared front door of the simulation endpoints: method
-// check, drain check, bounded body read, strict decode. It returns false
-// after writing the error response itself.
-func (s *Server) beginSim(w http.ResponseWriter, r *http.Request, into any) bool {
+// check, drain check, bounded body read, strict decode. It returns the raw
+// body (the async job path content-addresses it) and false after writing
+// the error response itself.
+func (s *Server) beginSim(w http.ResponseWriter, r *http.Request, into any) ([]byte, bool) {
 	if r.Method != http.MethodPost {
 		s.writeError(w, methodNotAllowed(http.MethodPost))
-		return false
+		return nil, false
 	}
 	if s.draining.Load() {
 		s.writeError(w, errDraining)
-		return false
+		return nil, false
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	if err != nil {
@@ -801,13 +948,24 @@ func (s *Server) beginSim(w http.ResponseWriter, r *http.Request, into any) bool
 		} else {
 			s.writeError(w, badRequest("reading request body: %v", err))
 		}
-		return false
+		return nil, false
 	}
 	if err := decodeStrict(body, into); err != nil {
 		s.writeError(w, err)
-		return false
+		return nil, false
 	}
-	return true
+	return body, true
+}
+
+// AsyncRequested reports whether the request asked for the durable-job
+// path (?async=1 or ?async=true). Exported so the cluster gateway applies
+// the exact same test before routing a submission to a shard.
+func AsyncRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("async") {
+	case "1", "true":
+		return true
+	}
+	return false
 }
 
 // requestContext derives the per-request deadline: the request-supplied
@@ -887,21 +1045,37 @@ func breakerOutcome(err error) error {
 	return err
 }
 
-// computeJob is the cache-miss leader's work: admission, workload
-// generation, the simulation itself and the canonical encoding, split into
-// sim and encode spans feeding the serve.sim.duration and
-// serve.encode.duration histograms. With SiteSimulate armed, the chaos
-// injector runs after admission, just before the simulation — injected
-// errors surface like simulator failures and are never cached.
+// computeJob is the cache-miss leader's work: admission through the
+// fair-share gate, then the ungated cell compute. A queue-full rejection is
+// decorated with the caller tenant's own Retry-After — sized from that
+// tenant's backlog, not the whole machine's.
 func (s *Server) computeJob(ctx context.Context, j job) (cached, error) {
-	if err := s.gate.acquire(ctx); err != nil {
+	rel, err := s.gate.acquire(ctx)
+	if err != nil {
+		if err == errQueueFull {
+			qe := *errQueueFull
+			qe.retryAfter = s.tenantRetryAfter(s.tenantFrom(ctx))
+			return cached{}, &qe
+		}
 		return cached{}, err
 	}
-	defer s.gate.release()
+	defer rel()
 	if err := ctx.Err(); err != nil {
 		// The deadline or the client beat the queue; don't start.
 		return cached{}, err
 	}
+	return s.computeCell(ctx, j)
+}
+
+// computeCell is the admission-free compute core: workload generation, the
+// simulation itself and the canonical encoding, split into sim and encode
+// spans feeding the serve.sim.duration and serve.encode.duration
+// histograms. Sync requests reach it through computeJob's gate; background
+// jobs call it directly — their concurrency is bounded by the job pool, off
+// the sync admission path. With SiteSimulate armed, the chaos injector runs
+// first — injected errors surface like simulator failures and are never
+// cached.
+func (s *Server) computeCell(ctx context.Context, j job) (cached, error) {
 	if err := s.chaos.Inject(ctx, resilience.SiteSimulate); err != nil {
 		s.simFailed.Inc()
 		return cached{}, err
@@ -988,8 +1162,18 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 // histogram is empty or the suite is fast). Clamped to [1s, 60s] so a cold
 // histogram or a pathological backlog cannot produce a useless hint.
 func (s *Server) retryAfterEstimate() time.Duration {
-	backlog := s.gate.backlog() + 1
-	workers := int64(s.opts.Workers)
+	return s.retryAfterFor(s.gate.backlog()+1, int64(s.opts.Workers))
+}
+
+// tenantRetryAfter sizes a tenant's 429 hint from that tenant's own backlog
+// over its fair share of the worker pool: a light tenant behind a heavy
+// neighbor is told to come back soon, not to wait out a machine-wide queue
+// it will never stand in.
+func (s *Server) tenantRetryAfter(t *TenantSpec) time.Duration {
+	return s.retryAfterFor(s.gate.tenantBacklog(t)+1, int64(s.gate.tenantWorkers(t)))
+}
+
+func (s *Server) retryAfterFor(backlog, workers int64) time.Duration {
 	waves := (backlog + workers - 1) / workers
 	p50 := time.Duration(s.simDur.Quantile(0.5))
 	if p50 < time.Second {

@@ -1,0 +1,315 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// TenantHeader carries the tenant credential on every request. The typed
+// client's WithTenant option sets it, and the cluster gateway forwards it
+// through hedges and failovers; "Authorization: Bearer <key>" is accepted
+// as an equivalent spelling.
+const TenantHeader = "X-Tcord-Tenant"
+
+// AnonKey is the config key that customizes the built-in anonymous tenant —
+// the bucket all uncredentialed traffic lands in.
+const AnonKey = "*"
+
+// DefaultTenantName is the anonymous tenant's name, reserved for it: no
+// configured tenant may claim it.
+const DefaultTenantName = "default"
+
+const (
+	maxTenants       = 64
+	maxTenantWeight  = 1_000_000
+	maxTenantLimit   = 1_000_000
+	maxTenantKeyLen  = 128
+	maxTenantNameLen = 32
+)
+
+var tenantNameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9_-]*$`)
+
+// TenantSpec is one tenant's admission contract: its share of the worker
+// pool (Weight, relative to the other tenants), hard concurrency and
+// backlog caps, and its slice of the result cache.
+type TenantSpec struct {
+	// Key is the credential presented in TenantHeader; AnonKey for the
+	// anonymous tenant. Never logged or exported — Name is the public
+	// identity.
+	Key string `json:"-"`
+
+	// Name labels the tenant in metrics (serve.tenant.<name>.*), spans,
+	// and logs. Metric-safe: lowercase alphanumerics plus '-' and '_'.
+	Name string `json:"name"`
+
+	// Weight is the tenant's fair-share weight: under contention a tenant
+	// with weight 3 completes three cells for every one a weight-1 tenant
+	// does. Required, 1..1e6.
+	Weight int `json:"weight"`
+
+	// MaxInflight caps the tenant's concurrently executing requests.
+	// 0 means no per-tenant cap (the global worker pool still bounds it).
+	MaxInflight int `json:"maxInflight"`
+
+	// MaxQueued bounds the tenant's admission backlog; the tenant's
+	// requests 429 beyond it. 0 means the server's QueueDepth.
+	MaxQueued int `json:"maxQueued"`
+
+	// CacheShare is the fraction of result-cache entries this tenant may
+	// hold before its own entries become preferred eviction victims.
+	// 0 means weight-proportional (weight / total weight).
+	CacheShare float64 `json:"cacheShare"`
+}
+
+// TenantSet is a validated, immutable tenant roster: every configured
+// tenant plus the anonymous default, resolvable by credential.
+type TenantSet struct {
+	byKey map[string]*TenantSpec
+	def   *TenantSpec
+	list  []*TenantSpec // sorted by name; includes the default
+	total int64         // sum of weights
+}
+
+// DefaultTenants is the roster used when no -tenants config is given: a
+// single anonymous tenant holding the whole machine, which reproduces the
+// untenanted server exactly.
+func DefaultTenants() *TenantSet {
+	def := &TenantSpec{Key: AnonKey, Name: DefaultTenantName, Weight: 1, CacheShare: 1}
+	return &TenantSet{
+		byKey: map[string]*TenantSpec{},
+		def:   def,
+		list:  []*TenantSpec{def},
+		total: 1,
+	}
+}
+
+// ParseTenants parses and validates a tenants config: a JSON object mapping
+// API key to tenant spec, e.g.
+//
+//	{"k-acme": {"name":"acme","weight":3,"maxQueued":32,"cacheShare":0.5},
+//	 "k-edge": {"name":"edge","weight":1},
+//	 "*":      {"name":"default","weight":1}}
+//
+// The "*" entry customizes the anonymous tenant; if absent, anonymous
+// traffic gets weight 1 and no caps. Every violation is a hard error —
+// duplicate keys, duplicate names, zero or negative weights, absurd limits,
+// unknown fields — never a silent clamp, matching the cache.Config policy.
+func ParseTenants(data []byte) (*TenantSet, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("tenants config: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return nil, fmt.Errorf("tenants config: top level must be a JSON object, got %v", tok)
+	}
+
+	// Token-walk the object: encoding/json silently keeps only the last
+	// value for a duplicated key, and two specs fighting over one
+	// credential is exactly the misconfiguration that must not parse.
+	byKey := make(map[string]*TenantSpec)
+	names := make(map[string]string) // name -> key that claimed it
+	var order []string
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("tenants config: %w", err)
+		}
+		key := keyTok.(string)
+		if key == "" {
+			return nil, fmt.Errorf("tenants config: empty API key")
+		}
+		if len(key) > maxTenantKeyLen {
+			return nil, fmt.Errorf("tenants config: API key longer than %d bytes", maxTenantKeyLen)
+		}
+		if strings.ContainsAny(key, " \t\r\n") {
+			return nil, fmt.Errorf("tenants config: API key %q contains whitespace", key)
+		}
+		if _, dup := byKey[key]; dup {
+			return nil, fmt.Errorf("tenants config: duplicate API key %q", key)
+		}
+		// Pull the value as raw bytes through the outer decoder (keeping
+		// its offset aligned), then re-decode strictly so typo'd fields
+		// stay hard errors.
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return nil, fmt.Errorf("tenants config: tenant %q: %w", key, err)
+		}
+		spec := new(TenantSpec)
+		specDec := json.NewDecoder(bytes.NewReader(raw))
+		specDec.DisallowUnknownFields()
+		if err := specDec.Decode(spec); err != nil {
+			return nil, fmt.Errorf("tenants config: tenant %q: %w", key, err)
+		}
+		spec.Key = key
+		if err := validateTenant(spec); err != nil {
+			return nil, fmt.Errorf("tenants config: tenant %q: %w", key, err)
+		}
+		if key == AnonKey {
+			if spec.Name != DefaultTenantName {
+				return nil, fmt.Errorf("tenants config: the %q entry must be named %q, got %q", AnonKey, DefaultTenantName, spec.Name)
+			}
+		} else if spec.Name == DefaultTenantName {
+			return nil, fmt.Errorf("tenants config: name %q is reserved for the anonymous tenant (key %q)", DefaultTenantName, AnonKey)
+		}
+		if prev, dup := names[spec.Name]; dup {
+			return nil, fmt.Errorf("tenants config: name %q claimed by both key %q and key %q", spec.Name, prev, key)
+		}
+		names[spec.Name] = key
+		byKey[key] = spec
+		order = append(order, key)
+		if len(byKey) > maxTenants {
+			return nil, fmt.Errorf("tenants config: more than %d tenants", maxTenants)
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing '}'
+		return nil, fmt.Errorf("tenants config: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("tenants config: trailing data after the tenant object")
+	}
+
+	ts := &TenantSet{byKey: byKey}
+	if def, ok := byKey[AnonKey]; ok {
+		ts.def = def
+		delete(byKey, AnonKey)
+	} else {
+		ts.def = &TenantSpec{Key: AnonKey, Name: DefaultTenantName, Weight: 1}
+	}
+	ts.list = append(ts.list, ts.def)
+	for _, k := range order {
+		if k != AnonKey {
+			ts.list = append(ts.list, byKey[k])
+		}
+	}
+	sort.Slice(ts.list, func(i, j int) bool { return ts.list[i].Name < ts.list[j].Name })
+	for _, t := range ts.list {
+		ts.total += int64(t.Weight)
+	}
+	// Unset cache shares default to weight-proportional, so the roster's
+	// implicit shares always sum to at most 1.
+	for _, t := range ts.list {
+		if t.CacheShare == 0 {
+			t.CacheShare = float64(t.Weight) / float64(ts.total)
+		}
+	}
+	return ts, nil
+}
+
+func validateTenant(t *TenantSpec) error {
+	if t.Name == "" {
+		return fmt.Errorf("name is required")
+	}
+	if len(t.Name) > maxTenantNameLen {
+		return fmt.Errorf("name %q longer than %d characters", t.Name, maxTenantNameLen)
+	}
+	if !tenantNameRE.MatchString(t.Name) {
+		return fmt.Errorf("name %q is not metric-safe (want lowercase alphanumerics, '-', '_')", t.Name)
+	}
+	if t.Weight <= 0 {
+		return fmt.Errorf("weight %d must be positive", t.Weight)
+	}
+	if t.Weight > maxTenantWeight {
+		return fmt.Errorf("weight %d exceeds the maximum %d", t.Weight, maxTenantWeight)
+	}
+	if t.MaxInflight < 0 || t.MaxInflight > maxTenantLimit {
+		return fmt.Errorf("maxInflight %d out of range [0, %d]", t.MaxInflight, maxTenantLimit)
+	}
+	if t.MaxQueued < 0 || t.MaxQueued > maxTenantLimit {
+		return fmt.Errorf("maxQueued %d out of range [0, %d]", t.MaxQueued, maxTenantLimit)
+	}
+	if t.CacheShare < 0 || t.CacheShare > 1 {
+		return fmt.Errorf("cacheShare %g out of range [0, 1]", t.CacheShare)
+	}
+	return nil
+}
+
+// Tenants returns the roster sorted by name, the anonymous tenant included.
+func (ts *TenantSet) Tenants() []*TenantSpec { return ts.list }
+
+// Default returns the anonymous tenant.
+func (ts *TenantSet) Default() *TenantSpec { return ts.def }
+
+// byName returns the tenant with the given public name, or nil. Durable job
+// records store the name (never the credential); a resumed job resolves its
+// owner through this.
+func (ts *TenantSet) byName(name string) *TenantSpec {
+	for _, t := range ts.list {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// TotalWeight returns the sum of all tenant weights.
+func (ts *TenantSet) TotalWeight() int64 { return ts.total }
+
+// Resolve maps a presented credential to its tenant: the empty credential
+// is the anonymous tenant, and an unknown one is an error (the caller turns
+// it into a 401 — a typo'd key silently sharing the default tenant's quota
+// would be a misconfiguration nobody notices until a noisy neighbor does).
+func (ts *TenantSet) Resolve(key string) (*TenantSpec, error) {
+	if key == "" {
+		return ts.def, nil
+	}
+	if t, ok := ts.byKey[key]; ok {
+		return t, nil
+	}
+	return nil, errUnknownTenant
+}
+
+// tenantKeyKey carries the tenant credential through a context; the
+// exported helpers below are the only way in or out.
+type tenantKeyKey struct{}
+
+// ContextWithTenantKey returns a context carrying a tenant credential. The
+// typed client forwards it on every attempt, and the gateway stamps it into
+// shard calls so tenancy survives hedges and failovers.
+func ContextWithTenantKey(ctx context.Context, key string) context.Context {
+	if key == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantKeyKey{}, key)
+}
+
+// TenantKeyFrom extracts the tenant credential from a context, if any.
+func TenantKeyFrom(ctx context.Context) string {
+	key, _ := ctx.Value(tenantKeyKey{}).(string)
+	return key
+}
+
+// TenantKeyFromRequest extracts the presented credential from a request:
+// TenantHeader first, then "Authorization: Bearer <key>". Empty means
+// anonymous.
+func TenantKeyFromRequest(r *http.Request) string {
+	if key := r.Header.Get(TenantHeader); key != "" {
+		return key
+	}
+	if auth := r.Header.Get("Authorization"); len(auth) > 7 && strings.EqualFold(auth[:7], "Bearer ") {
+		return strings.TrimSpace(auth[7:])
+	}
+	return ""
+}
+
+// tenantKey carries the resolved *TenantSpec through the request context.
+type tenantSpecKey struct{}
+
+func contextWithTenant(ctx context.Context, t *TenantSpec) context.Context {
+	return context.WithValue(ctx, tenantSpecKey{}, t)
+}
+
+// tenantFrom returns the resolved tenant for a request context, or the
+// default tenant when middleware did not run (direct handler tests).
+func (s *Server) tenantFrom(ctx context.Context) *TenantSpec {
+	if t, ok := ctx.Value(tenantSpecKey{}).(*TenantSpec); ok {
+		return t
+	}
+	return s.tenants.Default()
+}

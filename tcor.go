@@ -78,8 +78,22 @@ type (
 	// RunResult is the served form of a simulation's metrics; it encodes
 	// byte-identically to a direct Simulate call's summary.
 	RunResult = serve.RunResult
-	// ClientOption configures a ServiceClient (retries, breaker, metrics).
+	// ClientOption configures a ServiceClient (retries, breaker, metrics,
+	// tenant credential).
 	ClientOption = client.Option
+	// TenantSet is a validated multi-tenant roster (see ParseTenants and
+	// ServeOptions.Tenants): API keys mapped to named tenants with
+	// fair-share weights, inflight/queue quotas and cache shares.
+	TenantSet = serve.TenantSet
+	// TenantSpec is one tenant's identity and limits within a TenantSet.
+	TenantSpec = serve.TenantSpec
+	// JobRecord is one durable async job's persisted state (see
+	// ServeOptions.JobsDir and ServiceClient.SweepAsync): identity, kind,
+	// owning tenant, lifecycle state and cell-level progress.
+	JobRecord = serve.JobRecord
+	// JobState is a JobRecord lifecycle state: JobQueued, JobRunning,
+	// JobDone, JobFailed or JobCancelled.
+	JobState = serve.JobState
 	// RetryPolicy shapes a retrying client's backoff: attempt cap, base and
 	// max delay, elapsed-time budget, deterministic jitter seed.
 	RetryPolicy = resilience.RetryPolicy
@@ -184,6 +198,24 @@ var (
 	WithClientBreaker       = client.WithBreaker
 	WithClientMetrics       = client.WithMetrics
 	WithClientMetricsPrefix = client.WithMetricsPrefix
+	// WithClientTenant authenticates every call as the tenant owning the
+	// given API key; the credential survives retries, gateway hedges and
+	// failovers alongside the request ID.
+	WithClientTenant = client.WithTenant
+)
+
+// ParseTenants validates a multi-tenant roster from its JSON form (the
+// -tenants file of cmd/tcord). Misconfiguration is a hard error — weights,
+// quotas and cache shares are never silently clamped.
+func ParseTenants(data []byte) (*TenantSet, error) { return serve.ParseTenants(data) }
+
+// Durable job lifecycle states, re-exported for JobRecord.State.
+const (
+	JobQueued    = serve.JobQueued
+	JobRunning   = serve.JobRunning
+	JobDone      = serve.JobDone
+	JobFailed    = serve.JobFailed
+	JobCancelled = serve.JobCancelled
 )
 
 // Gateway fronts a set of tcord shard daemons with the single-daemon API:
